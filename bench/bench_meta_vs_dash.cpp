@@ -1,0 +1,184 @@
+// E5 / Table 2 — DASH vs meta-analysis vs naive pooling.
+//
+// The paper motivates DASH by the two failure modes of the status quo:
+// meta-analysis "loss of power due to noisy standard errors as well as
+// between-group heterogeneity (c.f. Simpson's paradox)". Two
+// sub-experiments over Monte-Carlo replicates:
+//
+//  (a) POWER: many small parties, homogeneous true effect. Power at
+//      alpha = 0.05 of per-party meta vs pooled DASH, by effect size.
+//      DASH should dominate, most visibly at small per-party N.
+//  (b) BIAS: the Simpson's-paradox construction (party-graded allele
+//      frequency and phenotype mean, zero true effect). Mean estimated
+//      beta and type-I error rate for naive pooling (biased), meta,
+//      and DASH with per-party centering (both unbiased; DASH tighter).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/association_scan.h"
+#include "core/meta_scan.h"
+#include "core/secure_scan.h"
+#include "data/genotype_generator.h"
+#include "data/workloads.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace dash;
+
+constexpr int kReplicates = 120;
+constexpr double kAlpha = 0.05;
+
+// (a) power experiment: many small parties, one tested variant with a
+// homogeneous effect, intercept + 2 covariates per party.
+//
+// Fairness note: fixed-effect meta-analysis uses normal p-values that
+// ignore the noise in each tiny party's estimated standard error, which
+// inflates its type-I error. We therefore also report CALIBRATED power:
+// each method's 5% critical value is taken from its own null (effect=0)
+// distribution, so the comparison is at matched type-I error — the
+// paper's "loss of power due to noisy standard errors" in its honest
+// form.
+struct PowerCell {
+  double meta_nominal = 0.0;
+  double dash_nominal = 0.0;
+  Vector meta_stats;
+  Vector dash_stats;
+};
+
+PowerCell RunPowerCell(double effect, Rng* seeder) {
+  constexpr int kParties = 12;
+  constexpr int64_t kPerParty = 14;
+  PowerCell cell;
+  for (int rep = 0; rep < kReplicates; ++rep) {
+    Rng rng(seeder->NextU64());
+    std::vector<PartyData> parties;
+    for (int p = 0; p < kParties; ++p) {
+      PartyData pd;
+      pd.x = GaussianMatrix(kPerParty, 1, &rng);
+      pd.c = WithInterceptColumn(GaussianMatrix(kPerParty, 2, &rng));
+      pd.y.resize(static_cast<size_t>(kPerParty));
+      for (int64_t i = 0; i < kPerParty; ++i) {
+        pd.y[static_cast<size_t>(i)] =
+            effect * pd.x(i, 0) + 0.3 * pd.c(i, 1) + rng.Gaussian();
+      }
+      parties.push_back(std::move(pd));
+    }
+    const MetaScanResult meta = MetaAnalysisScan(parties).value();
+    cell.meta_nominal += (meta.pval[0] < kAlpha);
+    cell.meta_stats.push_back(std::fabs(meta.z[0]));
+
+    SecureScanOptions opts;
+    opts.aggregation = AggregationMode::kPublicShare;
+    const ScanResult dash =
+        SecureAssociationScan(opts).Run(parties).value().result;
+    cell.dash_nominal += (dash.pval[0] < kAlpha);
+    cell.dash_stats.push_back(std::fabs(dash.tstat[0]));
+  }
+  cell.meta_nominal /= kReplicates;
+  cell.dash_nominal /= kReplicates;
+  return cell;
+}
+
+double EmpiricalQuantile(Vector values, double q) {
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(q * (values.size() - 1));
+  return values[idx];
+}
+
+double CalibratedPower(const Vector& stats, double critical) {
+  int hits = 0;
+  for (const double s : stats) hits += (s > critical);
+  return static_cast<double>(hits) / static_cast<double>(stats.size());
+}
+
+void PowerExperiment() {
+  std::printf("-- (a) homogeneous effect, 12 parties of 14 samples, K=3 --\n");
+  Rng seeder(501);
+  const PowerCell null_cell = RunPowerCell(0.0, &seeder);
+  const double meta_crit = EmpiricalQuantile(null_cell.meta_stats, 0.95);
+  const double dash_crit = EmpiricalQuantile(null_cell.dash_stats, 0.95);
+  std::printf("type-I at nominal alpha=0.05: meta %.3f (anti-conservative), "
+              "dash %.3f\n",
+              null_cell.meta_nominal, null_cell.dash_nominal);
+  std::printf("%-10s | %10s %10s | %12s %12s\n", "effect", "meta@5%",
+              "dash@5%", "meta(calib)", "dash(calib)");
+  for (const double effect : {0.2, 0.35, 0.5}) {
+    const PowerCell cell = RunPowerCell(effect, &seeder);
+    std::printf("%-10.2f | %10.3f %10.3f | %12.3f %12.3f\n", effect,
+                cell.meta_nominal, cell.dash_nominal,
+                CalibratedPower(cell.meta_stats, meta_crit),
+                CalibratedPower(cell.dash_stats, dash_crit));
+  }
+}
+
+// (b) bias experiment: Simpson's-paradox workload with zero true effect.
+void BiasExperiment() {
+  std::printf("\n-- (b) Simpson's paradox, true effect = 0 --\n");
+  std::printf("%-14s %12s %14s\n", "analysis", "mean beta",
+              "type-I @ 0.05");
+  double naive_beta = 0.0;
+  double meta_beta = 0.0;
+  double dash_beta = 0.0;
+  int naive_fp = 0;
+  int meta_fp = 0;
+  int dash_fp = 0;
+  Rng seeder(733);
+  for (int rep = 0; rep < kReplicates; ++rep) {
+    ConfoundedWorkloadOptions opts;
+    opts.party_sizes = {150, 150, 150};
+    opts.num_variants = 1;
+    opts.within_effect = 0.0;
+    opts.party_shift = 1.5;
+    opts.seed = seeder.NextU64();
+    const ScanWorkload w = MakeConfoundedWorkload(opts).value();
+
+    const PooledData pooled = PoolParties(w.parties).value();
+    const ScanResult naive =
+        AssociationScan(pooled.x, pooled.y, pooled.c).value();
+    naive_beta += naive.beta[0];
+    naive_fp += (naive.pval[0] < kAlpha);
+
+    const MetaScanResult meta = MetaAnalysisScan(w.parties).value();
+    meta_beta += meta.beta[0];
+    meta_fp += (meta.pval[0] < kAlpha);
+
+    std::vector<PartyData> centered = w.parties;
+    for (auto& p : centered) p.c = Matrix(p.num_samples(), 0);
+    SecureScanOptions scan_opts;
+    scan_opts.aggregation = AggregationMode::kPublicShare;
+    scan_opts.center_per_party = true;
+    const ScanResult dash =
+        SecureAssociationScan(scan_opts).Run(centered).value().result;
+    dash_beta += dash.beta[0];
+    dash_fp += (dash.pval[0] < kAlpha);
+  }
+  std::printf("%-14s %12.4f %14.3f   <- biased\n", "naive pooled",
+              naive_beta / kReplicates,
+              static_cast<double>(naive_fp) / kReplicates);
+  std::printf("%-14s %12.4f %14.3f\n", "meta-analysis",
+              meta_beta / kReplicates,
+              static_cast<double>(meta_fp) / kReplicates);
+  std::printf("%-14s %12.4f %14.3f\n", "DASH+center",
+              dash_beta / kReplicates,
+              static_cast<double>(dash_fp) / kReplicates);
+}
+
+int RealMain() {
+  std::printf("=== E5 (Table 2): DASH vs the status-quo alternatives ===\n");
+  std::printf("%d Monte-Carlo replicates per cell\n\n", kReplicates);
+  PowerExperiment();
+  BiasExperiment();
+  std::printf(
+      "\nexpected shape: (a) dash power >= meta power, gap widest at\n"
+      "moderate effects; (b) naive pooled beta far from 0 with ~100%%\n"
+      "type-I error, meta and DASH near 0 with ~5%% type-I error.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return RealMain(); }

@@ -1,0 +1,111 @@
+// E2 / Figure 1 — "at plaintext speed": secure-vs-plaintext runtime
+// ratio as N and M grow, per aggregation mode.
+//
+// The paper's claim is that DASH's secure scan costs essentially the
+// same as the plaintext distributed scan: per-party compute is identical
+// and the SMC layer touches only O(M) aggregates, independent of N. The
+// series below should show the ratio tending to ~1 as N grows (compute
+// dominates) for every mode.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/association_scan.h"
+#include "core/secure_scan.h"
+#include "data/workloads.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace dash;
+
+struct Row {
+  int64_t n;
+  int64_t m;
+  double plain_seconds;
+  double ratio[4];
+};
+
+double TimePlain(const ScanWorkload& w) {
+  const PooledData pooled = PoolParties(w.parties).value();
+  Stopwatch timer;
+  const auto r = AssociationScan(pooled.x, pooled.y, pooled.c);
+  DASH_CHECK(r.ok());
+  return timer.ElapsedSeconds();
+}
+
+double TimeSecure(const ScanWorkload& w, AggregationMode mode) {
+  SecureScanOptions opts;
+  opts.aggregation = mode;
+  opts.frac_bits = 32;  // leaves ring headroom for the largest N here
+  const SecureAssociationScan scan(opts);
+  Stopwatch timer;
+  const auto r = scan.Run(w.parties);
+  DASH_CHECK(r.ok()) << r.status();
+  return timer.ElapsedSeconds();
+}
+
+ScanWorkload MakeSized(int64_t n_total, int64_t m, uint64_t seed) {
+  RDemoOptions opts;
+  opts.n1 = n_total * 2 / 9;
+  opts.n2 = n_total * 4 / 9;
+  opts.n3 = n_total - opts.n1 - opts.n2;
+  opts.num_variants = m;
+  opts.num_covariates = 4;
+  opts.seed = seed;
+  return MakeRDemoWorkload(opts);
+}
+
+void PrintRows(const std::vector<Row>& rows) {
+  std::printf("%-8s %-8s %12s | %9s %9s %9s %9s\n", "N", "M", "plain(s)",
+              "public", "additive", "masked", "shamir");
+  for (const Row& r : rows) {
+    std::printf("%-8lld %-8lld %12.4f | %9.3f %9.3f %9.3f %9.3f\n",
+                static_cast<long long>(r.n), static_cast<long long>(r.m),
+                r.plain_seconds, r.ratio[0], r.ratio[1], r.ratio[2],
+                r.ratio[3]);
+  }
+}
+
+Row Measure(int64_t n, int64_t m, uint64_t seed) {
+  const ScanWorkload w = MakeSized(n, m, seed);
+  Row row;
+  row.n = n;
+  row.m = m;
+  row.plain_seconds = TimePlain(w);
+  const AggregationMode modes[4] = {
+      AggregationMode::kPublicShare, AggregationMode::kAdditive,
+      AggregationMode::kMasked, AggregationMode::kShamir};
+  for (int i = 0; i < 4; ++i) {
+    row.ratio[i] = TimeSecure(w, modes[i]) / row.plain_seconds;
+  }
+  return row;
+}
+
+int RealMain() {
+  std::printf("=== E2 (Figure 1): secure/plaintext runtime ratio ===\n");
+  std::printf("P = 3 parties, K = 4; ratio = secure wall / plaintext wall\n\n");
+
+  std::printf("-- sweep N (M = 2000) --\n");
+  std::vector<Row> by_n;
+  for (const int64_t n : {2000, 4000, 8000, 16000}) {
+    by_n.push_back(Measure(n, 2000, 11 + static_cast<uint64_t>(n)));
+  }
+  PrintRows(by_n);
+
+  std::printf("\n-- sweep M (N = 4500) --\n");
+  std::vector<Row> by_m;
+  for (const int64_t m : {500, 2000, 8000}) {
+    by_m.push_back(Measure(4500, m, 29 + static_cast<uint64_t>(m)));
+  }
+  PrintRows(by_m);
+
+  std::printf(
+      "\nexpected shape: ratios -> ~1 as N grows (per-party compute is the\n"
+      "same kernel as plaintext; SMC cost is O(M), independent of N).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return RealMain(); }

@@ -1,0 +1,94 @@
+// E4 / Figure 3 — compute scaling O(NK² + NKM/C) of the scan kernel
+// (paper §2, equations (4)-(5)).
+//
+// google-benchmark micro-benchmarks over N, M, K and worker threads.
+// Expected shape: time linear in N at fixed (M, K); linear in M at fixed
+// (N, K); linear in K at fixed (N, M); and decreasing in threads
+// (on multi-core hosts) since the column shards are independent.
+
+#include <benchmark/benchmark.h>
+
+#include "core/association_scan.h"
+#include "linalg/qr.h"
+#include "data/genotype_generator.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace dash;
+
+struct Study {
+  Matrix x;
+  Vector y;
+  Matrix c;
+};
+
+Study MakeStudy(int64_t n, int64_t m, int64_t k) {
+  Rng rng(static_cast<uint64_t>(n * 31 + m * 7 + k));
+  Study s;
+  s.x = GaussianMatrix(n, m, &rng);
+  s.c = GaussianMatrix(n, k, &rng);
+  s.y = GaussianVector(n, &rng);
+  return s;
+}
+
+void BM_ScanSweepN(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const Study s = MakeStudy(n, 500, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AssociationScan(s.x, s.y, s.c).value());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 500);
+  state.counters["N"] = static_cast<double>(n);
+}
+BENCHMARK(BM_ScanSweepN)->Arg(1000)->Arg(2000)->Arg(4000)->Arg(8000);
+
+void BM_ScanSweepM(benchmark::State& state) {
+  const int64_t m = state.range(0);
+  const Study s = MakeStudy(2000, m, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AssociationScan(s.x, s.y, s.c).value());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000 * m);
+  state.counters["M"] = static_cast<double>(m);
+}
+BENCHMARK(BM_ScanSweepM)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_ScanSweepK(benchmark::State& state) {
+  const int64_t k = state.range(0);
+  const Study s = MakeStudy(2000, 500, k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AssociationScan(s.x, s.y, s.c).value());
+  }
+  state.counters["K"] = static_cast<double>(k);
+}
+BENCHMARK(BM_ScanSweepK)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ScanThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const Study s = MakeStudy(3000, 1500, 4);
+  ScanOptions opts;
+  opts.num_threads = threads;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AssociationScan(s.x, s.y, s.c, opts).value());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ScanThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// The QR step is O(NK²): negligible next to the O(NKM) statistics pass,
+// which is why the paper treats reading the data as the bound.
+void BM_CovariateQr(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(static_cast<uint64_t>(n));
+  const Matrix c = GaussianMatrix(n, 8, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ThinQr(c).value());
+  }
+  state.counters["N"] = static_cast<double>(n);
+}
+BENCHMARK(BM_CovariateQr)->Arg(1000)->Arg(4000)->Arg(16000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Secure gene burden testing (paper §5).
+//
+//   $ ./examples/gene_burden
+//
+// Rare variants are collapsed into per-gene burden scores B = X W by each
+// party locally (matrix multiplication is associative, so the projection
+// commutes with the horizontal partition), then the ordinary DASH
+// protocol runs on the G gene scores instead of the M variants —
+// shrinking both the multiple-testing burden and the traffic.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/burden_scan.h"
+#include "core/secure_scan.h"
+#include "data/genotype_generator.h"
+#include "data/party_split.h"
+#include "util/random.h"
+
+namespace {
+
+int RealMain() {
+  using namespace dash;
+
+  constexpr int64_t kVariants = 2000;
+  constexpr int64_t kGenes = 100;
+  constexpr int64_t kCausalGene = 13;
+
+  // Rare variants (low MAF) across three parties.
+  GenotypeOptions geno;
+  geno.num_samples = 1500;
+  geno.num_variants = kVariants;
+  geno.maf_min = 0.002;
+  geno.maf_max = 0.02;
+  geno.seed = 3;
+  const Matrix x = GenerateGenotypes(geno);
+
+  // 20 variants per gene, in order.
+  std::vector<int64_t> gene_of_variant(kVariants);
+  for (int64_t v = 0; v < kVariants; ++v) gene_of_variant[static_cast<size_t>(v)] = v / 20;
+  const Matrix weights =
+      BurdenWeightsFromGeneAssignment(gene_of_variant, kGenes).value();
+
+  // Phenotype driven by the causal gene's total burden.
+  Rng rng(4);
+  const Matrix burden = MatMul(x, weights);
+  Matrix c(1500, 1);
+  Vector y(1500);
+  for (int64_t i = 0; i < 1500; ++i) {
+    c(i, 0) = 1.0;
+    y[static_cast<size_t>(i)] = 0.6 * burden(i, kCausalGene) + rng.Gaussian();
+  }
+
+  const auto parties = SplitRows(x, y, c, {500, 500, 500}).value();
+
+  SecureScanOptions options;
+  options.aggregation = AggregationMode::kMasked;
+  const auto out = SecureBurdenScan(parties, weights, options);
+  if (!out.ok()) {
+    std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+    return 1;
+  }
+  const ScanResult& scan = out->result;
+
+  std::printf("secure burden scan: %lld variants -> %lld genes\n",
+              static_cast<long long>(kVariants),
+              static_cast<long long>(kGenes));
+  std::printf("top genes by p-value:\n%-8s %10s %12s\n", "gene", "beta", "p");
+  // Print the 5 smallest p-values.
+  std::vector<int64_t> order;
+  for (int64_t g = 0; g < kGenes; ++g) order.push_back(g);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return scan.pval[static_cast<size_t>(a)] < scan.pval[static_cast<size_t>(b)];
+  });
+  for (int rank = 0; rank < 5; ++rank) {
+    const int64_t g = order[static_cast<size_t>(rank)];
+    std::printf("%-8lld %10.4f %12.3e%s\n", static_cast<long long>(g),
+                scan.beta[static_cast<size_t>(g)],
+                scan.pval[static_cast<size_t>(g)],
+                g == kCausalGene ? "   <- planted causal gene" : "");
+  }
+  std::printf("\ntraffic: %lld bytes (vs ~20x more for a per-variant scan)\n",
+              static_cast<long long>(out->metrics.total_bytes));
+  return 0;
+}
+
+}  // namespace
+
+int main() { return RealMain(); }

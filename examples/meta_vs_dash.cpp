@@ -1,0 +1,88 @@
+// Simpson's paradox demo: why pooling beats meta-analysis (paper §3).
+//
+//   $ ./examples/meta_vs_dash
+//
+// Three parties differ in both the tested variant's allele frequency and
+// the phenotype mean (a classic between-cohort confound). The true
+// within-party effect is zero. Three analyses:
+//
+//   1. naive pooled scan (intercept only)      -> spurious association;
+//   2. per-party meta-analysis                 -> unbiased, noisier;
+//   3. DASH with per-party centering           -> unbiased, pooled power,
+//      and it never moves raw data.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/association_scan.h"
+#include "core/meta_scan.h"
+#include "core/secure_scan.h"
+#include "data/workloads.h"
+
+namespace {
+
+int RealMain() {
+  using namespace dash;
+
+  ConfoundedWorkloadOptions opts;
+  opts.party_sizes = {600, 600, 600};
+  opts.num_variants = 50;
+  opts.within_effect = 0.0;  // variant 0 truly does nothing
+  opts.party_shift = 2.0;
+  opts.seed = 17;
+  const auto workload = MakeConfoundedWorkload(opts);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  const ScanWorkload& w = workload.value();
+  std::printf(
+      "variant 0: MAF rises 0.10 -> 0.25 -> 0.40 across parties while the\n"
+      "phenotype mean rises 0 -> 2 -> 4; true within-party effect = 0\n\n");
+
+  // 1. Naive pooled analysis (would also require illegally pooling data).
+  const auto pooled = PoolParties(w.parties).value();
+  const ScanResult naive =
+      AssociationScan(pooled.x, pooled.y, pooled.c).value();
+  std::printf("naive pooled:      beta = %+7.4f  p = %9.2e   <- SPURIOUS\n",
+              naive.beta[0], naive.pval[0]);
+
+  // 2. Status quo: per-party estimates, inverse-variance meta-analysis.
+  const MetaScanResult meta = MetaAnalysisScan(w.parties).value();
+  std::printf("meta-analysis:     beta = %+7.4f  p = %9.2e   (Q p = %.2e)\n",
+              meta.beta[0], meta.pval[0], meta.q_pval[0]);
+
+  // 3. DASH with per-party centering == pooled batch-indicator model.
+  std::vector<PartyData> centered = w.parties;
+  for (auto& p : centered) p.c = Matrix(p.num_samples(), 0);
+  SecureScanOptions scan_opts;
+  scan_opts.aggregation = AggregationMode::kMasked;
+  scan_opts.center_per_party = true;
+  const auto dash_out = SecureAssociationScan(scan_opts).Run(centered);
+  const ScanResult& dash = dash_out->result;
+  std::printf("DASH (secure):     beta = %+7.4f  p = %9.2e   <- correct\n\n",
+              dash.beta[0], dash.pval[0]);
+
+  // Power comparison on a variant with a real but modest effect: rerun
+  // with within_effect > 0 and compare meta vs DASH p-values.
+  opts.within_effect = 0.08;
+  opts.seed = 18;
+  const ScanWorkload w2 = MakeConfoundedWorkload(opts).value();
+  const MetaScanResult meta2 = MetaAnalysisScan(w2.parties).value();
+  std::vector<PartyData> centered2 = w2.parties;
+  for (auto& p : centered2) p.c = Matrix(p.num_samples(), 0);
+  const ScanResult dash2 =
+      SecureAssociationScan(scan_opts).Run(centered2)->result;
+  std::printf("with a true within-party effect of 0.08 on variant 0:\n");
+  std::printf("meta-analysis:     beta = %+7.4f  se = %.4f  p = %9.2e\n",
+              meta2.beta[0], meta2.se[0], meta2.pval[0]);
+  std::printf("DASH (secure):     beta = %+7.4f  se = %.4f  p = %9.2e\n",
+              dash2.beta[0], dash2.se[0], dash2.pval[0]);
+  std::printf("\nDASH pools the full N for power AND adjusts for the batch\n"
+              "structure, without any party disclosing individual data.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return RealMain(); }

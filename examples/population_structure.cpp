@@ -1,0 +1,84 @@
+// Population-structure confounding and PC correction (paper preface).
+//
+//   $ ./examples/population_structure
+//
+// Three cohorts enroll from genetically diverged subpopulations
+// (Balding-Nichols, Fst = 0.05) whose phenotype means also differ. An
+// unadjusted scan is inflated genome-wide (lambda_GC >> 1); adding the
+// top principal components of the GRM to the permanent covariates
+// restores calibration — the role the paper assigns to secure multiparty
+// PCA (Cho, Wu, Berger) upstream of DASH. Here the PCA runs in the clear
+// as a stand-in for that substrate (see DESIGN.md substitutions).
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/mixed_model.h"
+#include "core/secure_scan.h"
+#include "data/population_structure.h"
+#include "stats/pca.h"
+
+namespace {
+
+int RealMain() {
+  using namespace dash;
+
+  StructuredPopulationOptions opts;
+  opts.subpop_sizes = {250, 250, 250};
+  opts.num_variants = 800;
+  opts.fst = 0.05;
+  opts.pheno_shift = 0.6;
+  opts.causal_effect = 0.0;  // pure null: every hit is confounding
+  const auto workload = MakeStructuredWorkload(opts);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  const ScanWorkload& w = workload.value();
+
+  SecureScanOptions scan_opts;
+  scan_opts.aggregation = AggregationMode::kMasked;
+
+  // 1. Unadjusted scan: genome-wide inflation.
+  const auto naive = SecureAssociationScan(scan_opts).Run(w.parties);
+  const double lambda_naive = GenomicControlLambda(naive->result.tstat);
+
+  // 2. PCs of the GRM as ancestry covariates. (Stand-in for secure PCA.)
+  const PooledData pooled = PoolParties(w.parties).value();
+  const Matrix grm = ComputeGrm(pooled.x);
+  const auto pca = TopPrincipalComponents(grm, 2);
+  if (!pca.ok()) {
+    std::fprintf(stderr, "%s\n", pca.status().ToString().c_str());
+    return 1;
+  }
+  const auto adjusted_parties =
+      AppendComponentCovariates(w.parties, pca->components).value();
+  const auto adjusted = SecureAssociationScan(scan_opts).Run(adjusted_parties);
+  const double lambda_adjusted = GenomicControlLambda(adjusted->result.tstat);
+
+  std::printf("3 subpopulations (Fst=%.2f), phenotype shift %.1f/pop, "
+              "%lld null variants\n\n",
+              opts.fst, opts.pheno_shift,
+              static_cast<long long>(opts.num_variants));
+  std::printf("%-26s %10s %16s\n", "analysis", "lambda_GC",
+              "hits at p<1e-4");
+  const auto count_hits = [](const ScanResult& r) {
+    int hits = 0;
+    for (const double p : r.pval) hits += (!std::isnan(p) && p < 1e-4);
+    return hits;
+  };
+  std::printf("%-26s %10.3f %16d   <- inflated\n", "unadjusted",
+              lambda_naive, count_hits(naive->result));
+  std::printf("%-26s %10.3f %16d   <- calibrated\n", "with 2 ancestry PCs",
+              lambda_adjusted, count_hits(adjusted->result));
+
+  std::printf("\nPCA: top eigenvalues %.2f, %.2f (%d subspace iterations)\n",
+              pca->eigenvalues[0], pca->eigenvalues[1], pca->iterations);
+  std::printf("every variant is truly null: all unadjusted hits above are\n"
+              "ancestry confounding, absorbed once PCs join the covariates.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return RealMain(); }

@@ -1,0 +1,61 @@
+#include "core/burden_scan.h"
+
+#include <string>
+
+namespace dash {
+
+Result<Matrix> BurdenWeightsFromGeneAssignment(
+    const std::vector<int64_t>& gene_of_variant, int64_t num_genes) {
+  if (num_genes <= 0) return InvalidArgumentError("num_genes must be positive");
+  Matrix w(static_cast<int64_t>(gene_of_variant.size()), num_genes);
+  for (size_t v = 0; v < gene_of_variant.size(); ++v) {
+    const int64_t g = gene_of_variant[v];
+    if (g < 0 || g >= num_genes) {
+      return OutOfRangeError("variant " + std::to_string(v) +
+                             " assigned to gene " + std::to_string(g) +
+                             " outside [0, " + std::to_string(num_genes) + ")");
+    }
+    w(static_cast<int64_t>(v), g) = 1.0;
+  }
+  return w;
+}
+
+Result<std::vector<PartyData>> ApplyBurdenWeights(
+    const std::vector<PartyData>& parties, const Matrix& weights) {
+  DASH_RETURN_IF_ERROR(ValidateParties(parties));
+  if (parties[0].x.cols() != weights.rows()) {
+    return InvalidArgumentError(
+        "weights have " + std::to_string(weights.rows()) +
+        " rows but parties have " + std::to_string(parties[0].x.cols()) +
+        " variants");
+  }
+  std::vector<PartyData> out;
+  out.reserve(parties.size());
+  for (const auto& p : parties) {
+    PartyData b;
+    b.x = MatMul(p.x, weights);
+    b.y = p.y;
+    b.c = p.c;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+Result<ScanResult> BurdenScan(const Matrix& x, const Matrix& weights,
+                              const Vector& y, const Matrix& c,
+                              const ScanOptions& options) {
+  if (x.cols() != weights.rows()) {
+    return InvalidArgumentError("weight rows must match variant count");
+  }
+  return AssociationScan(MatMul(x, weights), y, c, options);
+}
+
+Result<SecureScanOutput> SecureBurdenScan(
+    const std::vector<PartyData>& parties, const Matrix& weights,
+    const SecureScanOptions& options) {
+  DASH_ASSIGN_OR_RETURN(std::vector<PartyData> projected,
+                        ApplyBurdenWeights(parties, weights));
+  return SecureAssociationScan(options).Run(projected);
+}
+
+}  // namespace dash

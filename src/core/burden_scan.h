@@ -1,0 +1,46 @@
+// Gene burden tests (paper §5).
+//
+// A burden test collapses the M variant columns into G gene scores via a
+// weight matrix W (M x G): B = X W. Because matrix multiplication is
+// associative, each party can form its own B_p = X_p W locally — the
+// projection acts on the variant axis, not the sample axis — and then
+// the ordinary (secure) association scan runs on B. The secure variants
+// therefore compose for free; this module provides the weight-matrix
+// machinery and the composed scans.
+
+#ifndef DASH_CORE_BURDEN_SCAN_H_
+#define DASH_CORE_BURDEN_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/association_scan.h"
+#include "core/secure_scan.h"
+#include "data/party_split.h"
+#include "util/status.h"
+
+namespace dash {
+
+// Builds an M x G 0/1 membership weight matrix from per-variant gene
+// assignments (values in [0, num_genes)).
+Result<Matrix> BurdenWeightsFromGeneAssignment(
+    const std::vector<int64_t>& gene_of_variant, int64_t num_genes);
+
+// Applies B_p = X_p W to every party (y and C pass through).
+Result<std::vector<PartyData>> ApplyBurdenWeights(
+    const std::vector<PartyData>& parties, const Matrix& weights);
+
+// Single-site burden scan: scan of X W against y with covariates c.
+Result<ScanResult> BurdenScan(const Matrix& x, const Matrix& weights,
+                              const Vector& y, const Matrix& c,
+                              const ScanOptions& options = {});
+
+// Secure multi-party burden scan: local projection then the DASH
+// protocol on the gene scores.
+Result<SecureScanOutput> SecureBurdenScan(
+    const std::vector<PartyData>& parties, const Matrix& weights,
+    const SecureScanOptions& options = {});
+
+}  // namespace dash
+
+#endif  // DASH_CORE_BURDEN_SCAN_H_

@@ -1,0 +1,145 @@
+#include "core/distributed_qr.h"
+
+#include <string>
+#include <utility>
+
+#include "linalg/qr.h"
+#include "linalg/tsqr.h"
+#include "net/serialization.h"
+
+namespace dash {
+namespace {
+
+Status ValidateInputs(Network* network, const std::vector<Matrix>& local_r) {
+  if (static_cast<int>(local_r.size()) != network->num_parties()) {
+    return InvalidArgumentError("one R factor per party required");
+  }
+  const int64_t k = local_r[0].cols();
+  for (const auto& r : local_r) {
+    if (r.rows() != k || r.cols() != k) {
+      return InvalidArgumentError("R factors must all be K x K");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<DistributedQrResult> RunBroadcastStack(
+    Network* network, const std::vector<Matrix>& local_r) {
+  const int p = network->num_parties();
+  network->BeginRound();
+  for (int i = 0; i < p; ++i) {
+    ByteWriter w;
+    w.PutMatrix(local_r[static_cast<size_t>(i)]);
+    DASH_RETURN_IF_ERROR(network->Broadcast(i, MessageTag::kRFactor, w.Take()));
+  }
+  // Each party stacks what it received (plus its own) and factors; the
+  // results agree because the sign convention makes R unique. We compute
+  // party 0's view and drain the symmetric messages.
+  std::vector<Matrix> stack(static_cast<size_t>(p));
+  stack[0] = local_r[0];
+  for (int q = 1; q < p; ++q) {
+    DASH_ASSIGN_OR_RETURN(Message msg,
+                          network->Receive(0, q, MessageTag::kRFactor));
+    ByteReader r(msg.payload);
+    DASH_ASSIGN_OR_RETURN(stack[static_cast<size_t>(q)], r.GetMatrix());
+  }
+  for (int i = 1; i < p; ++i) {
+    for (int q = 0; q < p; ++q) {
+      if (q == i) continue;
+      DASH_RETURN_IF_ERROR(
+          network->Receive(i, q, MessageTag::kRFactor).status());
+    }
+  }
+  DistributedQrResult out;
+  DASH_ASSIGN_OR_RETURN(out.r, CombineRFactors(stack));
+  DASH_ASSIGN_OR_RETURN(out.r_inverse, InvertUpperTriangular(out.r));
+  out.rounds = 1;
+  return out;
+}
+
+Result<DistributedQrResult> RunBinaryTree(Network* network,
+                                          const std::vector<Matrix>& local_r) {
+  const int p = network->num_parties();
+  // active[i] is party i's current merged factor; parties drop out as
+  // their factor is absorbed by a lower-indexed partner.
+  std::vector<Matrix> current = local_r;
+  std::vector<bool> active(static_cast<size_t>(p), true);
+  int rounds = 0;
+  for (int stride = 1; stride < p; stride *= 2) {
+    network->BeginRound();
+    ++rounds;
+    // Senders first (all messages of the round go out before any merge).
+    for (int i = 0; i < p; ++i) {
+      if (!active[static_cast<size_t>(i)]) continue;
+      if ((i / stride) % 2 == 1 && i - stride >= 0) {
+        ByteWriter w;
+        w.PutMatrix(current[static_cast<size_t>(i)]);
+        DASH_RETURN_IF_ERROR(
+            network->Send(i, i - stride, MessageTag::kTreeR, w.Take()));
+      }
+    }
+    for (int i = 0; i < p; ++i) {
+      if (!active[static_cast<size_t>(i)]) continue;
+      if ((i / stride) % 2 == 1 && i - stride >= 0) {
+        active[static_cast<size_t>(i)] = false;
+      } else if (i + stride < p && active[static_cast<size_t>(i + stride)]) {
+        DASH_ASSIGN_OR_RETURN(
+            Message msg, network->Receive(i, i + stride, MessageTag::kTreeR));
+        ByteReader r(msg.payload);
+        DASH_ASSIGN_OR_RETURN(Matrix peer, r.GetMatrix());
+        DASH_ASSIGN_OR_RETURN(
+            current[static_cast<size_t>(i)],
+            QrRFactor(VStack({current[static_cast<size_t>(i)], peer})));
+      }
+    }
+  }
+  // Party 0 holds the pooled R; broadcast it so every party can proceed.
+  if (p > 1) {
+    network->BeginRound();
+    ++rounds;
+    ByteWriter w;
+    w.PutMatrix(current[0]);
+    DASH_RETURN_IF_ERROR(network->Broadcast(0, MessageTag::kRFactor, w.Take()));
+    for (int i = 1; i < p; ++i) {
+      DASH_RETURN_IF_ERROR(
+          network->Receive(i, 0, MessageTag::kRFactor).status());
+    }
+  }
+  DistributedQrResult out;
+  out.r = std::move(current[0]);
+  DASH_ASSIGN_OR_RETURN(out.r_inverse, InvertUpperTriangular(out.r));
+  out.rounds = rounds;
+  return out;
+}
+
+}  // namespace
+
+const char* RCombineModeName(RCombineMode mode) {
+  switch (mode) {
+    case RCombineMode::kBroadcastStack:
+      return "broadcast-stack";
+    case RCombineMode::kBinaryTree:
+      return "binary-tree";
+  }
+  return "unknown";
+}
+
+Result<DistributedQrResult> CombineRFactorsOverNetwork(
+    Network* network, const std::vector<Matrix>& local_r, RCombineMode mode) {
+  DASH_RETURN_IF_ERROR(ValidateInputs(network, local_r));
+  if (network->num_parties() == 1) {
+    DistributedQrResult out;
+    out.r = local_r[0];
+    DASH_ASSIGN_OR_RETURN(out.r_inverse, InvertUpperTriangular(out.r));
+    return out;
+  }
+  switch (mode) {
+    case RCombineMode::kBroadcastStack:
+      return RunBroadcastStack(network, local_r);
+    case RCombineMode::kBinaryTree:
+      return RunBinaryTree(network, local_r);
+  }
+  return InternalError("unknown R-combine mode");
+}
+
+}  // namespace dash

@@ -1,0 +1,73 @@
+#include "core/meta_scan.h"
+
+#include <cmath>
+
+#include "stats/meta_analysis.h"
+
+namespace dash {
+
+Result<MetaScanResult> MetaAnalysisScan(const std::vector<PartyData>& parties,
+                                        const ScanOptions& options) {
+  DASH_RETURN_IF_ERROR(ValidateParties(parties));
+  std::vector<ScanResult> per_party;
+  per_party.reserve(parties.size());
+  for (const auto& p : parties) {
+    DASH_ASSIGN_OR_RETURN(ScanResult r,
+                          AssociationScan(p.x, p.y, p.c, options));
+    per_party.push_back(std::move(r));
+  }
+
+  const int64_t m = per_party[0].num_variants();
+  MetaScanResult out;
+  const auto alloc = [m](Vector* v) { v->assign(static_cast<size_t>(m), 0.0); };
+  alloc(&out.beta);
+  alloc(&out.se);
+  alloc(&out.z);
+  alloc(&out.pval);
+  alloc(&out.cochran_q);
+  alloc(&out.q_pval);
+  alloc(&out.re_beta);
+  alloc(&out.re_se);
+  alloc(&out.re_pval);
+  alloc(&out.tau2);
+
+  const double nan = std::nan("");
+  Vector betas(parties.size());
+  Vector ses(parties.size());
+  for (int64_t j = 0; j < m; ++j) {
+    const size_t i = static_cast<size_t>(j);
+    bool usable = true;
+    for (size_t p = 0; p < parties.size(); ++p) {
+      const double b = per_party[p].beta[i];
+      const double s = per_party[p].se[i];
+      if (std::isnan(b) || !(s > 0.0)) {
+        usable = false;
+        break;
+      }
+      betas[p] = b;
+      ses[p] = s;
+    }
+    if (!usable) {
+      out.beta[i] = out.se[i] = out.z[i] = out.pval[i] = nan;
+      out.cochran_q[i] = out.q_pval[i] = nan;
+      out.re_beta[i] = out.re_se[i] = out.re_pval[i] = out.tau2[i] = nan;
+      continue;
+    }
+    DASH_ASSIGN_OR_RETURN(MetaAnalysisResult fixed, FixedEffectMeta(betas, ses));
+    DASH_ASSIGN_OR_RETURN(MetaAnalysisResult random,
+                          RandomEffectsMeta(betas, ses));
+    out.beta[i] = fixed.beta;
+    out.se[i] = fixed.se;
+    out.z[i] = fixed.z;
+    out.pval[i] = fixed.p_value;
+    out.cochran_q[i] = fixed.cochran_q;
+    out.q_pval[i] = fixed.q_p_value;
+    out.re_beta[i] = random.beta;
+    out.re_se[i] = random.se;
+    out.re_pval[i] = random.p_value;
+    out.tau2[i] = random.tau2;
+  }
+  return out;
+}
+
+}  // namespace dash

@@ -1,0 +1,51 @@
+// Meta-analysis scan: the status-quo baseline DASH is compared against.
+//
+// Each party runs the association scan on its own data; per variant the
+// within-party (beta_p, se_p) are combined by inverse-variance
+// meta-analysis (fixed-effect, plus DerSimonian-Laird random-effects).
+// Only the per-party summary statistics cross the trust boundary — the
+// same disclosure model under which consortia meta-analyze today.
+//
+// Experiment E5 quantifies the cost relative to pooled DASH: noisier
+// standard errors (each party estimates its own residual variance and
+// covariate projection) and vulnerability to between-party heterogeneity
+// (Simpson's paradox) when the pooled analysis is run naively.
+
+#ifndef DASH_CORE_META_SCAN_H_
+#define DASH_CORE_META_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/association_scan.h"
+#include "data/party_split.h"
+#include "util/status.h"
+
+namespace dash {
+
+struct MetaScanResult {
+  // Fixed-effect combination per variant.
+  Vector beta;
+  Vector se;
+  Vector z;
+  Vector pval;
+  // Heterogeneity diagnostics.
+  Vector cochran_q;
+  Vector q_pval;
+  // Random-effects (DerSimonian-Laird) combination per variant.
+  Vector re_beta;
+  Vector re_se;
+  Vector re_pval;
+  Vector tau2;
+
+  int64_t num_variants() const { return static_cast<int64_t>(beta.size()); }
+};
+
+// Runs per-party scans and combines them. Every party needs
+// N_p > K + 1 samples; variants untestable in any party are NaN.
+Result<MetaScanResult> MetaAnalysisScan(const std::vector<PartyData>& parties,
+                                        const ScanOptions& options = {});
+
+}  // namespace dash
+
+#endif  // DASH_CORE_META_SCAN_H_

@@ -1,0 +1,94 @@
+#include "core/mixed_model.h"
+
+#include <cmath>
+
+#include "linalg/eigen_sym.h"
+#include "stats/descriptive.h"
+
+namespace dash {
+
+Matrix ComputeGrm(const Matrix& genotypes) {
+  const int64_t n = genotypes.rows();
+  const int64_t m = genotypes.cols();
+  // Column-standardize, skipping monomorphic variants.
+  Matrix z(n, m);
+  int64_t used = 0;
+  for (int64_t j = 0; j < m; ++j) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < n; ++i) mean += genotypes(i, j);
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double d = genotypes(i, j) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(n > 1 ? n - 1 : 1);
+    if (var <= 0.0) continue;
+    const double inv_sd = 1.0 / std::sqrt(var);
+    for (int64_t i = 0; i < n; ++i) {
+      z(i, used) = (genotypes(i, j) - mean) * inv_sd;
+    }
+    ++used;
+  }
+  const Matrix zu = SliceCols(z, 0, used);
+  Matrix grm = MatMul(zu, Transpose(zu));
+  const double scale = used > 0 ? 1.0 / static_cast<double>(used) : 0.0;
+  for (int64_t i = 0; i < grm.size(); ++i) grm.data()[i] *= scale;
+  return grm;
+}
+
+Result<MixedModelTransform> MixedModelTransform::Build(const Matrix& kinship,
+                                                       double delta) {
+  if (kinship.rows() != kinship.cols()) {
+    return InvalidArgumentError("kinship matrix must be square");
+  }
+  if (!(delta >= 0.0)) {
+    return InvalidArgumentError("delta must be non-negative");
+  }
+  DASH_ASSIGN_OR_RETURN(SymmetricEigen eig, JacobiEigenSymmetric(kinship));
+
+  const int64_t n = kinship.rows();
+  MixedModelTransform t;
+  t.delta_ = delta;
+  t.eigenvalues_ = eig.eigenvalues;
+  t.rotation_ = Matrix(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    const double s = eig.eigenvalues[static_cast<size_t>(i)];
+    const double denom = delta * s + 1.0;
+    if (!(denom > 1e-10)) {
+      return FailedPreconditionError(
+          "delta * eigenvalue + 1 is not positive; kinship is too "
+          "negative-definite for this delta");
+    }
+    const double w = 1.0 / std::sqrt(denom);
+    // Row i of the rotation is w_i * (column i of U)ᵀ.
+    for (int64_t j = 0; j < n; ++j) {
+      t.rotation_(i, j) = w * eig.eigenvectors(j, i);
+    }
+  }
+  return t;
+}
+
+Vector MixedModelTransform::ApplyToVector(const Vector& v) const {
+  return MatVec(rotation_, v);
+}
+
+Matrix MixedModelTransform::ApplyToMatrix(const Matrix& m) const {
+  return MatMul(rotation_, m);
+}
+
+Result<ScanResult> MixedModelScan(const Matrix& x, const Vector& y,
+                                  const Matrix& c, const Matrix& kinship,
+                                  double delta, const ScanOptions& options) {
+  if (kinship.rows() != x.rows()) {
+    return InvalidArgumentError("kinship must match the sample count");
+  }
+  DASH_ASSIGN_OR_RETURN(MixedModelTransform t,
+                        MixedModelTransform::Build(kinship, delta));
+  const Matrix wx = t.ApplyToMatrix(x);
+  const Vector wy = t.ApplyToVector(y);
+  const Matrix wc = t.ApplyToMatrix(c);
+  return AssociationScan(wx, wy, wc, options);
+}
+
+}  // namespace dash

@@ -1,0 +1,55 @@
+// Linear mixed-model extension (paper §5).
+//
+// With a shared kinship kernel K = U diag(s) Uᵀ and variance ratio
+// delta = sigma_g² / sigma_e², the GLS model
+//   y ~ Normal(X beta + C gamma, sigma² (delta K + I))
+// whitens to OLS under the rotation W = diag(1/sqrt(delta s_i + 1)) Uᵀ:
+// scan W X against W y with covariates W C. The paper notes this works
+// "if an (eigendecomposition of) the kinship kernel can be shared" —
+// the rotation mixes rows across parties, so this module provides the
+// single-site/pooled form plus the GRM construction used to build K
+// from genotypes.
+
+#ifndef DASH_CORE_MIXED_MODEL_H_
+#define DASH_CORE_MIXED_MODEL_H_
+
+#include "core/association_scan.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace dash {
+
+// Genetic relatedness matrix Z Zᵀ / M from column-standardized
+// genotypes (columns with zero variance are dropped from the average).
+Matrix ComputeGrm(const Matrix& genotypes);
+
+// The whitening transform W = diag(1/sqrt(delta s + 1)) Uᵀ.
+class MixedModelTransform {
+ public:
+  // kinship must be symmetric PSD (within roundoff); delta >= 0.
+  static Result<MixedModelTransform> Build(const Matrix& kinship,
+                                           double delta);
+
+  Vector ApplyToVector(const Vector& v) const;
+  Matrix ApplyToMatrix(const Matrix& m) const;
+
+  double delta() const { return delta_; }
+  const Vector& eigenvalues() const { return eigenvalues_; }
+
+ private:
+  MixedModelTransform() = default;
+
+  Matrix rotation_;  // N x N: diag(w) Uᵀ
+  Vector eigenvalues_;
+  double delta_ = 0.0;
+};
+
+// Whiten-then-scan: the LMM association scan.
+Result<ScanResult> MixedModelScan(const Matrix& x, const Vector& y,
+                                  const Matrix& c, const Matrix& kinship,
+                                  double delta,
+                                  const ScanOptions& options = {});
+
+}  // namespace dash
+
+#endif  // DASH_CORE_MIXED_MODEL_H_

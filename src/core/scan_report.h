@@ -1,0 +1,37 @@
+// Human-readable scan reports: top hits, multiple-testing summaries,
+// calibration diagnostics — the text a consortium analyst actually reads
+// after the protocol finishes.
+
+#ifndef DASH_CORE_SCAN_REPORT_H_
+#define DASH_CORE_SCAN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/scan_result.h"
+#include "util/status.h"
+
+namespace dash {
+
+struct ScanReportOptions {
+  // Rows in the top-hits table.
+  int64_t top_hits = 10;
+  // Family-wise alpha for the Bonferroni line and FDR for the BH line.
+  double alpha = 0.05;
+  // Confidence level for the per-hit Wald intervals.
+  double confidence_level = 0.95;
+};
+
+// Renders a plain-text report: study shape, genomic-control lambda,
+// counts significant under Bonferroni and Benjamini-Hochberg, and a
+// top-hits table with confidence intervals.
+std::string RenderScanReport(const ScanResult& scan,
+                             const ScanReportOptions& options = {});
+
+// Renders and writes to a file.
+Status WriteScanReport(const ScanResult& scan, const std::string& path,
+                       const ScanReportOptions& options = {});
+
+}  // namespace dash
+
+#endif  // DASH_CORE_SCAN_REPORT_H_

@@ -1,0 +1,122 @@
+#include "core/scan_result.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "stats/distributions.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace dash {
+
+int64_t ScanResult::TopHit() const {
+  int64_t best = -1;
+  double best_p = std::numeric_limits<double>::infinity();
+  for (int64_t m = 0; m < num_variants(); ++m) {
+    const double p = pval[static_cast<size_t>(m)];
+    if (!std::isnan(p) && p < best_p) {
+      best_p = p;
+      best = m;
+    }
+  }
+  return best;
+}
+
+Status ScanResult::WriteCsv(const std::string& path) const {
+  CsvTable table({"variant", "beta", "se", "tstat", "pval"});
+  for (int64_t m = 0; m < num_variants(); ++m) {
+    const size_t i = static_cast<size_t>(m);
+    table.AddRow({std::to_string(m), DoubleToString(beta[i]),
+                  DoubleToString(se[i]), DoubleToString(tstat[i]),
+                  DoubleToString(pval[i])});
+  }
+  return table.WriteFile(path);
+}
+
+Result<ScanResult> FinalizeScanProjected(const ProjectedSufficientStats& s) {
+  const int64_t m = static_cast<int64_t>(s.xy.size());
+  const int64_t dof = s.num_samples - s.num_covariates - 1;
+  if (dof <= 0) {
+    return InvalidArgumentError(
+        "non-positive degrees of freedom: N=" + std::to_string(s.num_samples) +
+        ", K=" + std::to_string(s.num_covariates));
+  }
+  if (static_cast<int64_t>(s.xx.size()) != m ||
+      static_cast<int64_t>(s.qtx_qty.size()) != m ||
+      static_cast<int64_t>(s.qtx_qtx.size()) != m) {
+    return InvalidArgumentError("projected statistics disagree in length");
+  }
+
+  const double yyq = s.yy - s.qty_qty;
+
+  ScanResult out;
+  out.dof = dof;
+  out.beta.assign(static_cast<size_t>(m), 0.0);
+  out.se.assign(static_cast<size_t>(m), 0.0);
+  out.tstat.assign(static_cast<size_t>(m), 0.0);
+  out.pval.assign(static_cast<size_t>(m), 0.0);
+
+  const double nan = std::nan("");
+  for (int64_t j = 0; j < m; ++j) {
+    const size_t i = static_cast<size_t>(j);
+    const double xxq = s.xx[i] - s.qtx_qtx[i];
+    // Relative test: residual variation indistinguishable from roundoff
+    // means X_j lies in the span of the permanent covariates.
+    if (!(xxq > 1e-12 * (s.xx[i] + 1.0))) {
+      out.beta[i] = nan;
+      out.se[i] = nan;
+      out.tstat[i] = nan;
+      out.pval[i] = nan;
+      ++out.num_untestable;
+      continue;
+    }
+    const double xyq = s.xy[i] - s.qtx_qty[i];
+    const double beta = xyq / xxq;
+    double sigma2 = (yyq / xxq - beta * beta) / static_cast<double>(dof);
+    if (sigma2 < 0.0) sigma2 = 0.0;  // roundoff guard for perfect fits
+    const double se = std::sqrt(sigma2);
+    out.beta[i] = beta;
+    out.se[i] = se;
+    if (se > 0.0) {
+      const double t = beta / se;
+      out.tstat[i] = t;
+      out.pval[i] = StudentTTwoSidedPValue(t, static_cast<double>(dof));
+    } else {
+      out.tstat[i] = (beta == 0.0) ? 0.0 : std::copysign(
+          std::numeric_limits<double>::infinity(), beta);
+      out.pval[i] = (beta == 0.0) ? 1.0 : 0.0;
+    }
+  }
+  return out;
+}
+
+Result<ScanResult> FinalizeScan(const ScanSufficientStats& totals) {
+  const int64_t m = totals.num_variants();
+  const int64_t k = totals.num_covariates();
+  // Project the K-vector statistics down to the scalars Lemma 2.1 uses
+  // and share the finalization path with the Beaver-secured aggregation.
+  ProjectedSufficientStats proj;
+  proj.num_samples = totals.num_samples;
+  proj.num_covariates = k;
+  proj.yy = totals.yy;
+  proj.xy = totals.xy;
+  proj.xx = totals.xx;
+  proj.qty_qty = SquaredNorm(totals.qty);
+  proj.qtx_qty.assign(static_cast<size_t>(m), 0.0);
+  proj.qtx_qtx.assign(static_cast<size_t>(m), 0.0);
+  for (int64_t j = 0; j < m; ++j) {
+    double qq = 0.0;
+    double qy = 0.0;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const double q = totals.qtx(kk, j);
+      qy += q * totals.qty[static_cast<size_t>(kk)];
+      qq += q * q;
+    }
+    proj.qtx_qty[static_cast<size_t>(j)] = qy;
+    proj.qtx_qtx[static_cast<size_t>(j)] = qq;
+  }
+  return FinalizeScanProjected(proj);
+}
+
+}  // namespace dash

@@ -1,0 +1,204 @@
+#include "core/secure_scan.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/party_local.h"
+#include "mpc/secure_projection.h"
+#include "core/suff_stats.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace dash {
+
+const char* ProjectionSecurityName(ProjectionSecurity security) {
+  switch (security) {
+    case ProjectionSecurity::kRevealProjectedSums:
+      return "reveal-sums";
+    case ProjectionSecurity::kBeaverDotProducts:
+      return "beaver-dot-products";
+  }
+  return "unknown";
+}
+
+SecureAssociationScan::SecureAssociationScan(const SecureScanOptions& options)
+    : options_(options) {}
+
+Result<ScanResult> FinalizeScanWithAbsorbedParams(
+    const ScanSufficientStats& totals, int64_t absorbed_params) {
+  // dof = N − K − 1 − absorbed; fold the absorbed parameters into the
+  // sample count seen by the standard finalization.
+  ScanSufficientStats adjusted = totals;
+  adjusted.num_samples -= absorbed_params;
+  return FinalizeScan(adjusted);
+}
+
+Result<SecureScanOutput> SecureAssociationScan::Run(
+    const std::vector<PartyData>& input_parties) const {
+  DASH_RETURN_IF_ERROR(ValidateParties(input_parties));
+  const int num_parties = static_cast<int>(input_parties.size());
+  const int64_t m = input_parties[0].x.cols();
+  const int64_t k = input_parties[0].c.cols();
+
+  // Per-party preprocessing (the batch-indicator equivalence).
+  const std::vector<PartyData>* parties = &input_parties;
+  std::vector<PartyData> centered;
+  int64_t absorbed_params = 0;
+  if (options_.center_per_party) {
+    for (const auto& p : input_parties) {
+      for (int64_t j = 0; j < p.c.cols(); ++j) {
+        // A constant column would become zero after centering; catch the
+        // common mistake of passing an explicit intercept in this mode.
+        bool constant = p.c.rows() > 0;
+        for (int64_t i = 1; i < p.c.rows() && constant; ++i) {
+          constant = (p.c(i, j) == p.c(0, j));
+        }
+        if (constant && p.c.rows() > 0) {
+          return InvalidArgumentError(
+              "center_per_party absorbs the intercept; remove constant "
+              "column " + std::to_string(j) + " from C");
+        }
+      }
+    }
+    centered = input_parties;
+    CenterPerParty(&centered);
+    parties = &centered;
+    absorbed_params = num_parties;
+  }
+
+  Network network(num_parties);
+  if (options_.trace != nullptr) network.AttachTrace(options_.trace);
+  Stopwatch protocol_timer;
+  double local_seconds = 0.0;
+  double protocol_seconds = 0.0;
+  Stopwatch local_timer;
+
+  // Stage 1 (local): K x K R factors.
+  std::vector<Matrix> local_r;
+  local_r.reserve(static_cast<size_t>(num_parties));
+  if (k > 0) {
+    for (const auto& p : *parties) {
+      DASH_ASSIGN_OR_RETURN(Matrix r, PartyLocalRFactor(p));
+      local_r.push_back(std::move(r));
+    }
+  }
+  local_seconds += local_timer.ElapsedSeconds();
+
+  // Stage 2 (network): combine R factors; every party learns R⁻¹.
+  Matrix r_inverse(0, 0);
+  protocol_timer.Reset();
+  if (k > 0) {
+    DASH_ASSIGN_OR_RETURN(
+        DistributedQrResult qr,
+        CombineRFactorsOverNetwork(&network, local_r, options_.r_combine));
+    r_inverse = std::move(qr.r_inverse);
+  }
+  protocol_seconds += protocol_timer.ElapsedSeconds();
+
+  // Stage 3 (local): Q_p and sufficient-statistic summands. A single
+  // pool is shared across parties; within a real deployment each party
+  // would use its own cores, so this models total core usage.
+  local_timer.Reset();
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  std::vector<ScanSufficientStats> party_stats;
+  party_stats.reserve(static_cast<size_t>(num_parties));
+  int64_t total_samples = 0;
+  for (const auto& p : *parties) {
+    const Matrix q_p = (k > 0) ? PartyLocalQ(p, r_inverse)
+                               : Matrix(p.num_samples(), 0);
+    party_stats.push_back(PartyLocalStats(p, q_p, pool.get()));
+    total_samples += party_stats.back().num_samples;
+  }
+  local_seconds += local_timer.ElapsedSeconds();
+
+  SecureSumOptions sum_options;
+  sum_options.mode = options_.aggregation;
+  sum_options.frac_bits = options_.frac_bits;
+  sum_options.seed = options_.seed;
+  SecureVectorSum secure_sum(&network, sum_options);
+
+  ScanResult result;
+  if (options_.projection == ProjectionSecurity::kRevealProjectedSums) {
+    // Stage 4 (network): one secure-sum aggregation of everything.
+    protocol_timer.Reset();
+    std::vector<Vector> flattened;
+    flattened.reserve(static_cast<size_t>(num_parties));
+    for (const auto& stats : party_stats) {
+      flattened.push_back(FlattenStats(stats));
+    }
+    DASH_ASSIGN_OR_RETURN(Vector flat_totals, secure_sum.Run(flattened));
+    protocol_seconds += protocol_timer.ElapsedSeconds();
+
+    // Stage 5 (local, public): Lemma 2.1 finalization.
+    local_timer.Reset();
+    DASH_ASSIGN_OR_RETURN(ScanSufficientStats totals,
+                          UnflattenStats(flat_totals, m, k));
+    totals.num_samples = total_samples;
+    DASH_ASSIGN_OR_RETURN(
+        result, FinalizeScanWithAbsorbedParams(totals, absorbed_params));
+    local_seconds += local_timer.ElapsedSeconds();
+  } else {
+    // Beaver variant: the orthogonal statistics (y.y, X.y, X.X) are
+    // summed as before, but the projected K-vectors never leave the
+    // parties — only their dot products are opened.
+    protocol_timer.Reset();
+    std::vector<Vector> plain_parts;
+    std::vector<Vector> qty_summands;
+    std::vector<Matrix> qtx_summands;
+    plain_parts.reserve(static_cast<size_t>(num_parties));
+    for (const auto& stats : party_stats) {
+      Vector flat;
+      flat.reserve(static_cast<size_t>(1 + 2 * m));
+      flat.push_back(stats.yy);
+      flat.insert(flat.end(), stats.xy.begin(), stats.xy.end());
+      flat.insert(flat.end(), stats.xx.begin(), stats.xx.end());
+      plain_parts.push_back(std::move(flat));
+      qty_summands.push_back(stats.qty);
+      qtx_summands.push_back(stats.qtx);
+    }
+    DASH_ASSIGN_OR_RETURN(Vector plain_totals, secure_sum.Run(plain_parts));
+
+    SecureProjectionOptions proj_options;
+    proj_options.frac_bits = options_.projection_frac_bits;
+    proj_options.seed = options_.seed ^ 0xbea7e5;
+    SecureProjectedAggregation projector(&network, proj_options);
+    DASH_ASSIGN_OR_RETURN(ProjectedStats projected,
+                          projector.Run(qty_summands, qtx_summands));
+    protocol_seconds += protocol_timer.ElapsedSeconds();
+
+    local_timer.Reset();
+    ProjectedSufficientStats totals;
+    totals.num_samples = total_samples - absorbed_params;
+    totals.num_covariates = k;
+    totals.yy = plain_totals[0];
+    totals.xy.assign(plain_totals.begin() + 1, plain_totals.begin() + 1 + m);
+    totals.xx.assign(plain_totals.begin() + 1 + m,
+                     plain_totals.begin() + 1 + 2 * m);
+    totals.qty_qty = projected.qty_qty;
+    totals.qtx_qty = std::move(projected.qtx_qty);
+    totals.qtx_qtx = std::move(projected.qtx_qtx);
+    DASH_ASSIGN_OR_RETURN(result, FinalizeScanProjected(totals));
+    local_seconds += local_timer.ElapsedSeconds();
+  }
+
+  SecureScanOutput out;
+  out.result = std::move(result);
+  out.metrics.total_bytes = network.metrics().total_bytes();
+  out.metrics.total_messages = network.metrics().total_messages();
+  out.metrics.max_link_bytes = network.metrics().MaxLinkBytes();
+  out.metrics.rounds = network.metrics().rounds();
+  out.metrics.local_compute_seconds = local_seconds;
+  out.metrics.protocol_seconds = protocol_seconds;
+  DASH_LOG(Info) << "secure scan: P=" << num_parties << " N=" << total_samples
+                 << " M=" << m << " K=" << k << " mode="
+                 << AggregationModeName(options_.aggregation) << " bytes="
+                 << out.metrics.total_bytes;
+  return out;
+}
+
+}  // namespace dash

@@ -1,0 +1,117 @@
+// DASH: the secure multi-party association scan (paper §3).
+//
+// P parties hold horizontal slices (X_p, y_p, C_p) of a pooled study.
+// The protocol computes exactly the pooled scan's beta-hat, standard
+// errors, t-statistics and p-values while exchanging only:
+//
+//   1. K x K local R factors (combined by broadcast-stack or binary
+//      tree) — independent of N;
+//   2. one secure-sum aggregation of the sufficient statistics
+//      (1 + K + 2M + K*M values) — O(M) per link, independent of N.
+//
+// Per-party computation is the same ComputeLocalStats kernel the
+// plaintext scan uses, which is the paper's "plaintext speed" property;
+// the traffic counters exported in SecureScanOutput back the O(M)
+// communication claim (experiments E2 and E3).
+
+#ifndef DASH_CORE_SECURE_SCAN_H_
+#define DASH_CORE_SECURE_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distributed_qr.h"
+#include "net/trace.h"
+#include "core/scan_result.h"
+#include "data/party_split.h"
+#include "mpc/secure_sum.h"
+#include "util/status.h"
+
+namespace dash {
+
+// What the protocol reveals about the projected statistics.
+enum class ProjectionSecurity {
+  // Reveal the aggregated K-vectors Qᵀy and QᵀX (the paper's baseline:
+  // "sharing them to sum or applying an SMC sum protocol").
+  kRevealProjectedSums = 0,
+  // Reveal only the dot products Lemma 2.1 consumes, via Beaver-triple
+  // multiplication on the summands (the paper's "for even greater
+  // security" variant). Costs O(KM) traffic instead of O(M).
+  kBeaverDotProducts = 1,
+};
+
+const char* ProjectionSecurityName(ProjectionSecurity security);
+
+struct SecureScanOptions {
+  // How the sufficient-statistic summands are aggregated.
+  AggregationMode aggregation = AggregationMode::kMasked;
+
+  // How the per-party R factors are combined.
+  RCombineMode r_combine = RCombineMode::kBroadcastStack;
+
+  // Whether the projected statistics are revealed as sums or only as
+  // the final dot products.
+  ProjectionSecurity projection = ProjectionSecurity::kRevealProjectedSums;
+
+  // Fixed-point bits for the Beaver products (results carry 2x this;
+  // see mpc/secure_projection.h for the headroom trade-off).
+  int projection_frac_bits = 20;
+
+  // Fixed-point precision for the ring/field secure sums.
+  int frac_bits = FixedPointCodec::kDefaultFracBits;
+
+  // Threads for the per-party statistics pass.
+  int num_threads = 1;
+
+  // Center y, C, and X within each party before scanning. Exactly
+  // equivalent to adding one batch-indicator covariate per party (the
+  // paper's closing §3 note); supply C WITHOUT an intercept column in
+  // this mode. Degrees of freedom account for the P absorbed indicators.
+  bool center_per_party = false;
+
+  // Seed for protocol randomness (shares, masks, DH exponents).
+  uint64_t seed = 0xda5b;
+
+  // Optional transcript recorder (net/trace.h); when non-null, every
+  // protocol message's metadata is appended to it. Must outlive Run().
+  ProtocolTrace* trace = nullptr;
+};
+
+// Cost accounting captured from the simulated network and timers.
+struct SecureScanMetrics {
+  int64_t total_bytes = 0;
+  int64_t total_messages = 0;
+  int64_t max_link_bytes = 0;
+  int rounds = 0;
+  double local_compute_seconds = 0.0;  // QR, Q_p, statistics kernels
+  double protocol_seconds = 0.0;       // R combination + secure sums
+};
+
+struct SecureScanOutput {
+  ScanResult result;
+  SecureScanMetrics metrics;
+};
+
+class SecureAssociationScan {
+ public:
+  explicit SecureAssociationScan(const SecureScanOptions& options = {});
+
+  // Runs the full protocol across all parties in-process and returns the
+  // revealed scan (identical at every party) plus cost metrics.
+  Result<SecureScanOutput> Run(const std::vector<PartyData>& parties) const;
+
+  const SecureScanOptions& options() const { return options_; }
+
+ private:
+  SecureScanOptions options_;
+};
+
+// Extends FinalizeScan with preprocessing-absorbed parameters: dof =
+// N − K − 1 − absorbed_params (absorbed_params = P when per-party
+// centering stands in for P batch indicators).
+Result<ScanResult> FinalizeScanWithAbsorbedParams(
+    const ScanSufficientStats& totals, int64_t absorbed_params);
+
+}  // namespace dash
+
+#endif  // DASH_CORE_SECURE_SCAN_H_

@@ -1,0 +1,73 @@
+#include "core/sensitivity.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+
+namespace dash {
+
+double LeaveOneOutResult::Influence(size_t party, int64_t variant) const {
+  DASH_CHECK(party < leave_out.size());
+  const size_t i = static_cast<size_t>(variant);
+  const double base = all_parties.beta[i];
+  const double without = leave_out[party].beta[i];
+  const double se = all_parties.se[i];
+  if (std::isnan(base) || std::isnan(without) || !(se > 0.0)) {
+    return std::nan("");
+  }
+  return std::fabs(base - without) / se;
+}
+
+int64_t LeaveOneOutResult::MostInfluentialParty(int64_t variant) const {
+  int64_t best = -1;
+  double best_influence = -1.0;
+  for (size_t p = 0; p < leave_out.size(); ++p) {
+    const double inf = Influence(p, variant);
+    if (!std::isnan(inf) && inf > best_influence) {
+      best_influence = inf;
+      best = static_cast<int64_t>(p);
+    }
+  }
+  return best;
+}
+
+Result<LeaveOneOutResult> LeaveOnePartyOut(
+    const std::vector<CompressedStudy>& party_accumulators,
+    int64_t phenotype, const std::vector<int64_t>& covariate_subset) {
+  if (party_accumulators.size() < 2) {
+    return InvalidArgumentError(
+        "leave-one-out needs at least two parties");
+  }
+  // Total = fold of all accumulators.
+  CompressedStudy total = party_accumulators[0];
+  for (size_t p = 1; p < party_accumulators.size(); ++p) {
+    DASH_RETURN_IF_ERROR(total.Merge(party_accumulators[p]));
+  }
+
+  LeaveOneOutResult out;
+  DASH_ASSIGN_OR_RETURN(out.all_parties,
+                        total.Scan(phenotype, covariate_subset));
+  out.leave_out.reserve(party_accumulators.size());
+  for (size_t skip = 0; skip < party_accumulators.size(); ++skip) {
+    // Rebuild without party `skip` (statistics are additive; summing the
+    // others is numerically cleaner than subtracting).
+    size_t first = (skip == 0) ? 1 : 0;
+    CompressedStudy without = party_accumulators[first];
+    for (size_t p = first + 1; p < party_accumulators.size(); ++p) {
+      if (p == skip) continue;
+      DASH_RETURN_IF_ERROR(without.Merge(party_accumulators[p]));
+    }
+    auto scan = without.Scan(phenotype, covariate_subset);
+    if (!scan.ok()) {
+      return Status(scan.status().code(),
+                    "leave-one-out scan without party " +
+                        std::to_string(skip) + ": " +
+                        scan.status().message());
+    }
+    out.leave_out.push_back(std::move(scan).value());
+  }
+  return out;
+}
+
+}  // namespace dash

@@ -1,0 +1,50 @@
+// Leave-one-party-out sensitivity analysis.
+//
+// Consortium QC question: is a hit driven by every cohort, or by one?
+// Because the compressed statistics are additive, the scan excluding any
+// single party is "aggregate of everyone minus that party" — computable
+// from the per-party accumulators with NO additional data access. The
+// full analysis (P leave-one-out scans plus the all-party scan) costs
+// one pass of local arithmetic.
+//
+// Privacy note: in the secure setting, publishing leave-one-out results
+// reveals per-party differences by construction — this is an opt-in
+// diagnostic for consortia that already exchange per-cohort summary
+// statistics (as meta-analyses do).
+
+#ifndef DASH_CORE_SENSITIVITY_H_
+#define DASH_CORE_SENSITIVITY_H_
+
+#include <vector>
+
+#include "core/compressed_study.h"
+#include "core/scan_result.h"
+#include "util/status.h"
+
+namespace dash {
+
+struct LeaveOneOutResult {
+  ScanResult all_parties;
+  // leave_out[p] = scan with party p's samples removed.
+  std::vector<ScanResult> leave_out;
+
+  // Influence of party p on variant m: |beta_all - beta_without_p| in
+  // units of the all-party standard error. NaN where either scan is
+  // untestable.
+  double Influence(size_t party, int64_t variant) const;
+
+  // For one variant, the party whose removal moves beta the most.
+  int64_t MostInfluentialParty(int64_t variant) const;
+};
+
+// Runs the all-party and every leave-one-out scan for `phenotype` with
+// the given covariate subset (empty vector = no covariates; use
+// ScanAllCovariates semantics by passing all indices). Requires >= 2
+// parties and enough samples remaining in every leave-one-out subset.
+Result<LeaveOneOutResult> LeaveOnePartyOut(
+    const std::vector<CompressedStudy>& party_accumulators,
+    int64_t phenotype, const std::vector<int64_t>& covariate_subset);
+
+}  // namespace dash
+
+#endif  // DASH_CORE_SENSITIVITY_H_

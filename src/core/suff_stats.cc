@@ -1,0 +1,139 @@
+#include "core/suff_stats.h"
+
+#include <string>
+
+#include "util/check.h"
+
+namespace dash {
+
+void ScanSufficientStats::Add(const ScanSufficientStats& other) {
+  if (xy.empty() && qty.empty()) {
+    *this = other;
+    return;
+  }
+  DASH_CHECK_EQ(num_variants(), other.num_variants());
+  DASH_CHECK_EQ(num_covariates(), other.num_covariates());
+  num_samples += other.num_samples;
+  yy += other.yy;
+  for (size_t i = 0; i < qty.size(); ++i) qty[i] += other.qty[i];
+  for (size_t i = 0; i < xy.size(); ++i) xy[i] += other.xy[i];
+  for (size_t i = 0; i < xx.size(); ++i) xx[i] += other.xx[i];
+  for (int64_t i = 0; i < qtx.size(); ++i) qtx.data()[i] += other.qtx.data()[i];
+}
+
+ScanSufficientStats ComputeLocalStats(const Matrix& x, const Vector& y,
+                                      const Matrix& q, ThreadPool* pool) {
+  const int64_t n = x.rows();
+  const int64_t m = x.cols();
+  const int64_t k = q.cols();
+  DASH_CHECK_EQ(static_cast<int64_t>(y.size()), n);
+  DASH_CHECK_EQ(q.rows(), n);
+
+  ScanSufficientStats s;
+  s.num_samples = n;
+  s.yy = SquaredNorm(y);
+  s.qty = TransposeMatVec(q, y);
+  s.xy.assign(static_cast<size_t>(m), 0.0);
+  s.xx.assign(static_cast<size_t>(m), 0.0);
+  s.qtx = Matrix(k, m);
+
+  // Column-sharded loop: each worker owns a contiguous range of variants.
+  const auto work = [&](int64_t lo, int64_t hi) {
+    for (int64_t i = 0; i < n; ++i) {
+      const double* xi = x.row_data(i);
+      const double yi = y[static_cast<size_t>(i)];
+      const double* qi = q.row_data(i);
+      for (int64_t j = lo; j < hi; ++j) {
+        const double v = xi[j];
+        if (v == 0.0) continue;
+        s.xy[static_cast<size_t>(j)] += v * yi;
+        s.xx[static_cast<size_t>(j)] += v * v;
+        for (int64_t kk = 0; kk < k; ++kk) s.qtx(kk, j) += v * qi[kk];
+      }
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(0, m, work);
+  } else {
+    work(0, m);
+  }
+  return s;
+}
+
+ScanSufficientStats ComputeLocalStatsSparse(const SparseColumnMatrix& x,
+                                            const Vector& y, const Matrix& q,
+                                            ThreadPool* pool) {
+  const int64_t n = x.rows();
+  const int64_t m = x.cols();
+  const int64_t k = q.cols();
+  DASH_CHECK_EQ(static_cast<int64_t>(y.size()), n);
+  DASH_CHECK_EQ(q.rows(), n);
+
+  ScanSufficientStats s;
+  s.num_samples = n;
+  s.yy = SquaredNorm(y);
+  s.qty = TransposeMatVec(q, y);
+  s.xy.assign(static_cast<size_t>(m), 0.0);
+  s.xx.assign(static_cast<size_t>(m), 0.0);
+  s.qtx = Matrix(k, m);
+
+  const auto work = [&](int64_t lo, int64_t hi) {
+    for (int64_t j = lo; j < hi; ++j) {
+      double xy = 0.0;
+      double xx = 0.0;
+      for (const auto& e : x.ColumnEntries(j)) {
+        xy += e.value * y[static_cast<size_t>(e.row)];
+        xx += e.value * e.value;
+        const double* qrow = q.row_data(e.row);
+        for (int64_t kk = 0; kk < k; ++kk) s.qtx(kk, j) += e.value * qrow[kk];
+      }
+      s.xy[static_cast<size_t>(j)] = xy;
+      s.xx[static_cast<size_t>(j)] = xx;
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(0, m, work);
+  } else {
+    work(0, m);
+  }
+  return s;
+}
+
+Vector FlattenStats(const ScanSufficientStats& stats) {
+  const int64_t m = stats.num_variants();
+  const int64_t k = stats.num_covariates();
+  Vector flat;
+  flat.reserve(static_cast<size_t>(1 + k + 2 * m + k * m));
+  flat.push_back(stats.yy);
+  flat.insert(flat.end(), stats.qty.begin(), stats.qty.end());
+  flat.insert(flat.end(), stats.xy.begin(), stats.xy.end());
+  flat.insert(flat.end(), stats.xx.begin(), stats.xx.end());
+  flat.insert(flat.end(), stats.qtx.data(), stats.qtx.data() + stats.qtx.size());
+  return flat;
+}
+
+Result<ScanSufficientStats> UnflattenStats(const Vector& flat,
+                                           int64_t num_variants,
+                                           int64_t num_covariates) {
+  const int64_t expected = 1 + num_covariates + 2 * num_variants +
+                           num_covariates * num_variants;
+  if (static_cast<int64_t>(flat.size()) != expected) {
+    return InvalidArgumentError(
+        "flattened statistics have length " + std::to_string(flat.size()) +
+        "; expected " + std::to_string(expected));
+  }
+  ScanSufficientStats s;
+  size_t pos = 0;
+  s.yy = flat[pos++];
+  s.qty.assign(flat.begin() + pos, flat.begin() + pos + num_covariates);
+  pos += static_cast<size_t>(num_covariates);
+  s.xy.assign(flat.begin() + pos, flat.begin() + pos + num_variants);
+  pos += static_cast<size_t>(num_variants);
+  s.xx.assign(flat.begin() + pos, flat.begin() + pos + num_variants);
+  pos += static_cast<size_t>(num_variants);
+  s.qtx = Matrix(num_covariates, num_variants);
+  for (int64_t i = 0; i < s.qtx.size(); ++i) s.qtx.data()[i] = flat[pos++];
+  return s;
+}
+
+}  // namespace dash

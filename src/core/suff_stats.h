@@ -1,0 +1,68 @@
+// The six sufficient statistics of the association scan (paper §3).
+//
+// Everything the scan needs beyond public shape information is:
+//
+//   y.y (scalar)     Qᵀy (K)          — response statistics
+//   X.y (M)          X.X (M)          — per-column transient statistics
+//   QᵀX (K x M)                        — projected transient covariates
+//
+// Each party computes its local summand from its own rows; the summands
+// add across parties (exactly for the first four by orthogonality of the
+// row partition, and by plain linearity for Qᵀy and QᵀX). The total is
+// all that FinalizeScan (scan_result.h) consumes — raw data never moves.
+//
+// Flatten/Unflatten pack a party's summand into one contiguous vector of
+// length 1 + K + 2M + K*M so a single secure-sum round aggregates
+// everything.
+
+#ifndef DASH_CORE_SUFF_STATS_H_
+#define DASH_CORE_SUFF_STATS_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/vector_ops.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace dash {
+
+struct ScanSufficientStats {
+  int64_t num_samples = 0;  // public: rows contributing to this summand
+  double yy = 0.0;          // y.y
+  Vector qty;               // length K
+  Vector xy;                // length M
+  Vector xx;                // length M
+  Matrix qtx;               // K x M
+
+  int64_t num_variants() const { return static_cast<int64_t>(xy.size()); }
+  int64_t num_covariates() const { return static_cast<int64_t>(qty.size()); }
+
+  // Element-wise accumulation; shapes must agree (or *this be empty).
+  void Add(const ScanSufficientStats& other);
+};
+
+// Computes one party's summand given its rows of Q. `pool` may be null
+// (serial); otherwise columns of x are sharded across its threads.
+ScanSufficientStats ComputeLocalStats(const Matrix& x, const Vector& y,
+                                      const Matrix& q,
+                                      ThreadPool* pool = nullptr);
+
+// Sparse-X variant: per column costs O(nnz * K) instead of O(N * K).
+ScanSufficientStats ComputeLocalStatsSparse(const SparseColumnMatrix& x,
+                                            const Vector& y, const Matrix& q,
+                                            ThreadPool* pool = nullptr);
+
+// Packs [yy, qty, xy, xx, vec(qtx)] into one vector (num_samples is
+// public and travels outside the secure sum).
+Vector FlattenStats(const ScanSufficientStats& stats);
+
+// Inverse of FlattenStats given the public shape (M, K).
+Result<ScanSufficientStats> UnflattenStats(const Vector& flat,
+                                           int64_t num_variants,
+                                           int64_t num_covariates);
+
+}  // namespace dash
+
+#endif  // DASH_CORE_SUFF_STATS_H_

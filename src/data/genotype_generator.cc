@@ -1,0 +1,66 @@
+#include "data/genotype_generator.h"
+
+#include "util/check.h"
+
+namespace dash {
+namespace {
+
+// One HWE dosage draw: Bernoulli(maf) + Bernoulli(maf).
+inline double DrawDosage(double maf, Rng* rng) {
+  return (rng->Bernoulli(maf) ? 1.0 : 0.0) + (rng->Bernoulli(maf) ? 1.0 : 0.0);
+}
+
+void ValidateOptions(const GenotypeOptions& o) {
+  DASH_CHECK_GE(o.num_samples, 0);
+  DASH_CHECK_GE(o.num_variants, 0);
+  DASH_CHECK(0.0 <= o.maf_min && o.maf_min <= o.maf_max && o.maf_max <= 0.5)
+      << "invalid MAF range [" << o.maf_min << ", " << o.maf_max << "]";
+}
+
+}  // namespace
+
+Matrix GenerateGenotypes(const GenotypeOptions& options, Vector* mafs) {
+  ValidateOptions(options);
+  Rng rng(options.seed);
+  Matrix g(options.num_samples, options.num_variants);
+  if (mafs != nullptr) mafs->assign(static_cast<size_t>(options.num_variants), 0.0);
+  for (int64_t j = 0; j < options.num_variants; ++j) {
+    const double maf = rng.Uniform(options.maf_min, options.maf_max);
+    if (mafs != nullptr) (*mafs)[static_cast<size_t>(j)] = maf;
+    for (int64_t i = 0; i < options.num_samples; ++i) {
+      g(i, j) = DrawDosage(maf, &rng);
+    }
+  }
+  return g;
+}
+
+SparseColumnMatrix GenerateSparseGenotypes(const GenotypeOptions& options,
+                                           Vector* mafs) {
+  ValidateOptions(options);
+  Rng rng(options.seed);
+  SparseColumnMatrix g(options.num_samples, options.num_variants);
+  if (mafs != nullptr) mafs->assign(static_cast<size_t>(options.num_variants), 0.0);
+  for (int64_t j = 0; j < options.num_variants; ++j) {
+    const double maf = rng.Uniform(options.maf_min, options.maf_max);
+    if (mafs != nullptr) (*mafs)[static_cast<size_t>(j)] = maf;
+    for (int64_t i = 0; i < options.num_samples; ++i) {
+      const double dosage = DrawDosage(maf, &rng);
+      if (dosage != 0.0) g.PushEntry(j, i, dosage);
+    }
+  }
+  return g;
+}
+
+Matrix GaussianMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Gaussian();
+  return m;
+}
+
+Vector GaussianVector(int64_t n, Rng* rng) {
+  Vector v(static_cast<size_t>(n));
+  for (auto& x : v) x = rng->Gaussian();
+  return v;
+}
+
+}  // namespace dash

@@ -1,0 +1,46 @@
+// Synthetic genotype and Gaussian design matrices.
+//
+// The paper's target workload is GWAS: N samples by M variants, each
+// variant an additive dosage in {0, 1, 2} drawn under Hardy-Weinberg
+// equilibrium at a variant-specific minor-allele frequency (MAF). Low
+// MAF makes columns sparse, which is what the sparse scan path (E6)
+// exploits. Gaussian matrices reproduce the paper's §4 rnorm demo.
+
+#ifndef DASH_DATA_GENOTYPE_GENERATOR_H_
+#define DASH_DATA_GENOTYPE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "linalg/sparse_matrix.h"
+#include "util/random.h"
+
+namespace dash {
+
+struct GenotypeOptions {
+  int64_t num_samples = 0;
+  int64_t num_variants = 0;
+  // Per-variant MAF is drawn uniformly from [maf_min, maf_max].
+  double maf_min = 0.05;
+  double maf_max = 0.5;
+  uint64_t seed = 1;
+};
+
+// Dense dosage matrix (entries 0/1/2). The per-variant MAFs are written
+// to *mafs when non-null.
+Matrix GenerateGenotypes(const GenotypeOptions& options, Vector* mafs = nullptr);
+
+// Same distribution, stored sparse (zeros dropped). With rare variants
+// the density is roughly 2 * average MAF.
+SparseColumnMatrix GenerateSparseGenotypes(const GenotypeOptions& options,
+                                           Vector* mafs = nullptr);
+
+// N x M matrix of standard normals (the paper's matrix(rnorm(...), N, M)).
+Matrix GaussianMatrix(int64_t rows, int64_t cols, Rng* rng);
+
+// Length-n vector of standard normals.
+Vector GaussianVector(int64_t n, Rng* rng);
+
+}  // namespace dash
+
+#endif  // DASH_DATA_GENOTYPE_GENERATOR_H_

@@ -1,0 +1,34 @@
+// Numeric matrix/vector file I/O (headerless CSV) and PartyData loading
+// — the on-disk interface used by the dash_scan_cli example so each
+// institution can run the protocol from its own flat files.
+
+#ifndef DASH_DATA_MATRIX_IO_H_
+#define DASH_DATA_MATRIX_IO_H_
+
+#include <string>
+
+#include "data/party_split.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace dash {
+
+// Reads a headerless CSV of doubles; all rows must have equal width.
+Result<Matrix> ReadMatrixCsv(const std::string& path);
+
+// Reads one double per line (or a single-column CSV).
+Result<Vector> ReadVectorCsv(const std::string& path);
+
+// Writes with round-trip-exact formatting.
+Status WriteMatrixCsv(const Matrix& m, const std::string& path);
+Status WriteVectorCsv(const Vector& v, const std::string& path);
+
+// Loads one party's block from three files; row counts must agree.
+// An empty c_path yields a covariate-free block (K = 0).
+Result<PartyData> ReadPartyCsv(const std::string& x_path,
+                               const std::string& y_path,
+                               const std::string& c_path);
+
+}  // namespace dash
+
+#endif  // DASH_DATA_MATRIX_IO_H_

@@ -1,0 +1,47 @@
+#include "data/missing_data.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dash {
+
+ColumnMoments ColumnSumsAndCounts(const Matrix& x) {
+  ColumnMoments m;
+  m.sums.assign(static_cast<size_t>(x.cols()), 0.0);
+  m.counts.assign(static_cast<size_t>(x.cols()), 0.0);
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.row_data(i);
+    for (int64_t j = 0; j < x.cols(); ++j) {
+      if (std::isnan(row[j])) continue;
+      m.sums[static_cast<size_t>(j)] += row[j];
+      m.counts[static_cast<size_t>(j)] += 1.0;
+    }
+  }
+  return m;
+}
+
+void ImputeWithMeans(const Vector& means, Matrix* x) {
+  DASH_CHECK_EQ(static_cast<int64_t>(means.size()), x->cols());
+  for (int64_t i = 0; i < x->rows(); ++i) {
+    double* row = x->row_data(i);
+    for (int64_t j = 0; j < x->cols(); ++j) {
+      if (std::isnan(row[j])) row[j] = means[static_cast<size_t>(j)];
+    }
+  }
+}
+
+int64_t CountMissing(const Matrix& x) {
+  int64_t count = 0;
+  for (int64_t i = 0; i < x.size(); ++i) count += std::isnan(x.data()[i]);
+  return count;
+}
+
+void InjectMissingness(double rate, Rng* rng, Matrix* x) {
+  DASH_CHECK(rate >= 0.0 && rate <= 1.0);
+  for (int64_t i = 0; i < x->size(); ++i) {
+    if (rng->Bernoulli(rate)) x->data()[i] = std::nan("");
+  }
+}
+
+}  // namespace dash

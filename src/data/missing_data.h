@@ -1,0 +1,42 @@
+// Missing-genotype handling.
+//
+// Real cohort data has missing calls. The standard GWAS practice for
+// linear-algebra scan paths (PLINK, Hail) is per-variant mean dosage
+// imputation, which preserves the variant's mean and attenuates rather
+// than biases the test. In the multi-party setting the *global* column
+// means are needed, and they are themselves just sums — so they fit the
+// same secure-aggregation machinery (core/imputation.h).
+//
+// Missing entries are represented as NaN.
+
+#ifndef DASH_DATA_MISSING_DATA_H_
+#define DASH_DATA_MISSING_DATA_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "util/random.h"
+
+namespace dash {
+
+// Per-column sums and non-missing counts, skipping NaNs.
+struct ColumnMoments {
+  Vector sums;    // length M
+  Vector counts;  // length M (as doubles so they aggregate like the rest)
+};
+ColumnMoments ColumnSumsAndCounts(const Matrix& x);
+
+// Replaces NaNs in column j with means[j], in place. means must have
+// one entry per column.
+void ImputeWithMeans(const Vector& means, Matrix* x);
+
+// Number of NaN entries.
+int64_t CountMissing(const Matrix& x);
+
+// Test/bench helper: marks each entry missing independently with
+// probability `rate`.
+void InjectMissingness(double rate, Rng* rng, Matrix* x);
+
+}  // namespace dash
+
+#endif  // DASH_DATA_MISSING_DATA_H_

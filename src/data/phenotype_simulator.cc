@@ -1,0 +1,46 @@
+#include "data/phenotype_simulator.h"
+
+#include <string>
+
+namespace dash {
+
+Result<Vector> SimulatePhenotype(const Matrix& x, const Matrix& c,
+                                 const PhenotypeOptions& options) {
+  const int64_t n = x.rows();
+  if (c.rows() != n) {
+    return InvalidArgumentError("x and c disagree on sample count");
+  }
+  if (options.causal_variants.size() != options.effect_sizes.size()) {
+    return InvalidArgumentError(
+        "causal_variants and effect_sizes differ in length");
+  }
+  if (!options.covariate_effects.empty() &&
+      static_cast<int64_t>(options.covariate_effects.size()) != c.cols()) {
+    return InvalidArgumentError("covariate_effects must match c's columns");
+  }
+  if (!(options.noise_sd >= 0.0)) {
+    return InvalidArgumentError("noise_sd must be non-negative");
+  }
+
+  Vector y(static_cast<size_t>(n), 0.0);
+  for (size_t i = 0; i < options.causal_variants.size(); ++i) {
+    const int64_t m = options.causal_variants[i];
+    if (m < 0 || m >= x.cols()) {
+      return OutOfRangeError("causal variant index " + std::to_string(m) +
+                             " out of range");
+    }
+    const double beta = options.effect_sizes[i];
+    for (int64_t r = 0; r < n; ++r) y[static_cast<size_t>(r)] += beta * x(r, m);
+  }
+  if (!options.covariate_effects.empty()) {
+    const Vector cg = MatVec(c, options.covariate_effects);
+    for (int64_t r = 0; r < n; ++r) y[static_cast<size_t>(r)] += cg[static_cast<size_t>(r)];
+  }
+  Rng rng(options.seed);
+  if (options.noise_sd > 0.0) {
+    for (auto& v : y) v += rng.Gaussian(0.0, options.noise_sd);
+  }
+  return y;
+}
+
+}  // namespace dash

@@ -1,0 +1,39 @@
+// Phenotype simulation: y = X beta + C gamma + noise, with optional
+// per-party shifts for heterogeneity/confounding experiments.
+
+#ifndef DASH_DATA_PHENOTYPE_SIMULATOR_H_
+#define DASH_DATA_PHENOTYPE_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dash {
+
+struct PhenotypeOptions {
+  // Sparse effect specification: effect_sizes[i] applies to column
+  // causal_variants[i] of X. Variants not listed have effect 0.
+  std::vector<int64_t> causal_variants;
+  Vector effect_sizes;
+
+  // Effects of the permanent covariates (empty = all zero).
+  Vector covariate_effects;
+
+  // Residual noise standard deviation.
+  double noise_sd = 1.0;
+
+  uint64_t seed = 7;
+};
+
+// Simulates y for one design (x, c). Fails on out-of-range causal
+// indices or mismatched effect vectors.
+Result<Vector> SimulatePhenotype(const Matrix& x, const Matrix& c,
+                                 const PhenotypeOptions& options);
+
+}  // namespace dash
+
+#endif  // DASH_DATA_PHENOTYPE_SIMULATOR_H_

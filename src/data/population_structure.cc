@@ -1,0 +1,97 @@
+#include "data/population_structure.h"
+
+#include <string>
+
+#include "util/random.h"
+
+namespace dash {
+
+Result<ScanWorkload> MakeStructuredWorkload(
+    const StructuredPopulationOptions& options) {
+  if (options.subpop_sizes.empty()) {
+    return InvalidArgumentError("need at least one subpopulation");
+  }
+  if (!(options.fst > 0.0 && options.fst < 1.0)) {
+    return InvalidArgumentError("Fst must lie in (0, 1)");
+  }
+  if (!(0.0 < options.maf_min && options.maf_min <= options.maf_max &&
+        options.maf_max <= 0.5)) {
+    return InvalidArgumentError("invalid ancestral MAF range");
+  }
+
+  const int64_t num_pops = static_cast<int64_t>(options.subpop_sizes.size());
+  Rng rng(options.seed);
+  const double beta_scale = (1.0 - options.fst) / options.fst;
+
+  // Per-variant ancestral frequency, then per-subpopulation divergence.
+  std::vector<Vector> subpop_freqs(
+      static_cast<size_t>(num_pops),
+      Vector(static_cast<size_t>(options.num_variants), 0.0));
+  for (int64_t v = 0; v < options.num_variants; ++v) {
+    const double p = rng.Uniform(options.maf_min, options.maf_max);
+    for (int64_t s = 0; s < num_pops; ++s) {
+      double f = rng.Beta(p * beta_scale, (1.0 - p) * beta_scale);
+      // Clamp away from fixation so variants stay polymorphic.
+      if (f < 0.001) f = 0.001;
+      if (f > 0.999) f = 0.999;
+      subpop_freqs[static_cast<size_t>(s)][static_cast<size_t>(v)] = f;
+    }
+  }
+
+  ScanWorkload w;
+  for (int64_t s = 0; s < num_pops; ++s) {
+    const int64_t n = options.subpop_sizes[static_cast<size_t>(s)];
+    PartyData pd;
+    pd.x = Matrix(n, options.num_variants);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t v = 0; v < options.num_variants; ++v) {
+        const double f = subpop_freqs[static_cast<size_t>(s)][static_cast<size_t>(v)];
+        pd.x(i, v) = (rng.Bernoulli(f) ? 1.0 : 0.0) +
+                     (rng.Bernoulli(f) ? 1.0 : 0.0);
+      }
+    }
+    pd.c = Matrix(n, 1);
+    pd.y.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      pd.c(i, 0) = 1.0;
+      pd.y[static_cast<size_t>(i)] =
+          options.causal_effect * pd.x(i, 0) +
+          options.pheno_shift * static_cast<double>(s) +
+          rng.Gaussian(0.0, options.noise_sd);
+    }
+    w.parties.push_back(std::move(pd));
+  }
+  if (options.causal_effect != 0.0) {
+    w.causal_variants = {0};
+    w.effect_sizes = {options.causal_effect};
+  }
+  return w;
+}
+
+Result<std::vector<PartyData>> AppendComponentCovariates(
+    const std::vector<PartyData>& parties, const Matrix& components) {
+  DASH_RETURN_IF_ERROR(ValidateParties(parties));
+  int64_t total = 0;
+  for (const auto& p : parties) total += p.num_samples();
+  if (components.rows() != total) {
+    return InvalidArgumentError(
+        "components have " + std::to_string(components.rows()) +
+        " rows; parties hold " + std::to_string(total) + " samples");
+  }
+  std::vector<PartyData> out = parties;
+  int64_t row = 0;
+  for (auto& p : out) {
+    Matrix c(p.num_samples(), p.c.cols() + components.cols());
+    for (int64_t i = 0; i < p.num_samples(); ++i) {
+      for (int64_t j = 0; j < p.c.cols(); ++j) c(i, j) = p.c(i, j);
+      for (int64_t j = 0; j < components.cols(); ++j) {
+        c(i, p.c.cols() + j) = components(row + i, j);
+      }
+    }
+    p.c = std::move(c);
+    row += p.num_samples();
+  }
+  return out;
+}
+
+}  // namespace dash

@@ -1,0 +1,52 @@
+// Ancestry-structured genotypes under the Balding-Nichols model.
+//
+// Subpopulation allele frequencies diverge from an ancestral frequency p
+// as Beta(p(1-F)/F, (1-p)(1-F)/F) with Fst parameter F. When each party
+// enrolls from a different subpopulation and the phenotype carries a
+// subpopulation-level shift, every differentiated variant becomes
+// spuriously associated — the confounding that principal components (or
+// in the secure setting, the Cho-Wu-Berger secure PCA the paper builds
+// on) are added to C to absorb. Used by the `population_structure`
+// example and the E11 bench.
+
+#ifndef DASH_DATA_POPULATION_STRUCTURE_H_
+#define DASH_DATA_POPULATION_STRUCTURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/workloads.h"
+#include "util/status.h"
+
+namespace dash {
+
+struct StructuredPopulationOptions {
+  // One party per subpopulation.
+  std::vector<int64_t> subpop_sizes = {300, 300, 300};
+  int64_t num_variants = 1000;
+  // Wright's fixation index: divergence between subpopulations.
+  double fst = 0.05;
+  // Ancestral MAF range.
+  double maf_min = 0.1;
+  double maf_max = 0.5;
+  // Phenotype mean shift added per subpopulation index (the confounder).
+  double pheno_shift = 0.6;
+  // Optional true effect on variant 0 (0 = pure confounding null).
+  double causal_effect = 0.0;
+  double noise_sd = 1.0;
+  uint64_t seed = 404;
+};
+
+// Builds the workload; parties carry an intercept-only C so the
+// structure is unadjusted until the caller appends PCs.
+Result<ScanWorkload> MakeStructuredWorkload(
+    const StructuredPopulationOptions& options);
+
+// Appends the given per-sample component scores (N_total x k, rows in
+// party order) to every party's covariate block.
+Result<std::vector<PartyData>> AppendComponentCovariates(
+    const std::vector<PartyData>& parties, const Matrix& components);
+
+}  // namespace dash
+
+#endif  // DASH_DATA_POPULATION_STRUCTURE_H_

@@ -1,0 +1,94 @@
+// Workload presets shared by tests, benches, and examples.
+//
+// Three families:
+//  * MakeRDemoWorkload     — the paper's §4 demo: all-Gaussian data for
+//    parties of sizes (1000, 2000, 1500), M transient covariates, K=3.
+//  * MakeGwasWorkload      — HWE genotypes, intercept + Gaussian
+//    covariates, a planted set of causal variants.
+//  * MakeConfoundedWorkload — a Simpson's-paradox construction: the
+//    tested variant's allele frequency and the phenotype mean both rise
+//    across parties, so a pooled analysis that ignores party structure
+//    finds a spurious association while the within-party effect is the
+//    configured (e.g. zero) value. Used by experiment E5.
+
+#ifndef DASH_DATA_WORKLOADS_H_
+#define DASH_DATA_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/party_split.h"
+#include "util/status.h"
+
+namespace dash {
+
+struct ScanWorkload {
+  std::vector<PartyData> parties;
+  // Ground truth (empty when the workload is pure null, like the R demo).
+  std::vector<int64_t> causal_variants;
+  Vector effect_sizes;
+
+  int64_t num_variants() const {
+    return parties.empty() ? 0 : parties[0].x.cols();
+  }
+  int64_t num_covariates() const {
+    return parties.empty() ? 0 : parties[0].c.cols();
+  }
+  int64_t total_samples() const {
+    int64_t n = 0;
+    for (const auto& p : parties) n += p.num_samples();
+    return n;
+  }
+};
+
+struct RDemoOptions {
+  int64_t n1 = 1000;
+  int64_t n2 = 2000;
+  int64_t n3 = 1500;
+  int64_t num_variants = 10000;
+  int64_t num_covariates = 3;
+  uint64_t seed = 0;
+};
+
+// The §4 demo (our deterministic generator stands in for R's rnorm;
+// seed 0 is the paper's set.seed(0)).
+ScanWorkload MakeRDemoWorkload(const RDemoOptions& options = {});
+
+struct GwasWorkloadOptions {
+  std::vector<int64_t> party_sizes = {1000, 2000, 1500};
+  int64_t num_variants = 5000;
+  int64_t num_covariates = 4;  // includes the intercept column
+  int64_t num_causal = 10;
+  double effect_size = 0.15;
+  double maf_min = 0.05;
+  double maf_max = 0.5;
+  double noise_sd = 1.0;
+  uint64_t seed = 42;
+};
+
+// GWAS-shaped workload with planted causal variants (evenly spaced).
+Result<ScanWorkload> MakeGwasWorkload(const GwasWorkloadOptions& options);
+
+struct ConfoundedWorkloadOptions {
+  std::vector<int64_t> party_sizes = {400, 400, 400};
+  int64_t num_variants = 100;
+  // True within-party effect of variant 0 (0 = pure Simpson's paradox).
+  double within_effect = 0.0;
+  // Phenotype mean shift added per party index.
+  double party_shift = 1.5;
+  // Variant 0's MAF for party p is maf_base + p * maf_gradient.
+  double maf_base = 0.10;
+  double maf_gradient = 0.15;
+  double noise_sd = 1.0;
+  uint64_t seed = 99;
+};
+
+// Party-confounded workload; covariates are a lone intercept, so only
+// per-party handling (centering / batch indicators) removes the
+// confounding.
+Result<ScanWorkload> MakeConfoundedWorkload(
+    const ConfoundedWorkloadOptions& options);
+
+}  // namespace dash
+
+#endif  // DASH_DATA_WORKLOADS_H_

@@ -1,0 +1,37 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+#include <string>
+
+#include "linalg/qr.h"
+
+namespace dash {
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  DASH_CHECK_EQ(a.rows(), a.cols());
+  const int64_t n = a.rows();
+  Matrix l(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (int64_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (d <= 0.0) {
+      return FailedPreconditionError(
+          "matrix is not positive definite at pivot " + std::to_string(j));
+    }
+    l(j, j) = std::sqrt(d);
+    for (int64_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (int64_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return l;
+}
+
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b) {
+  DASH_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  DASH_ASSIGN_OR_RETURN(Vector y, SolveLowerTriangular(l, b));
+  return SolveUpperTriangular(Transpose(l), y);
+}
+
+}  // namespace dash

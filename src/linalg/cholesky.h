@@ -1,0 +1,24 @@
+// Cholesky factorization of symmetric positive-definite matrices.
+//
+// Used by the normal-equations variants (the Cᵀ-compression generalization
+// of §5 solves small K x K Gram systems) and by tests as an independent
+// check on QR-based solvers.
+
+#ifndef DASH_LINALG_CHOLESKY_H_
+#define DASH_LINALG_CHOLESKY_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace dash {
+
+// Lower-triangular L with A = L Lᵀ. Fails (FailedPrecondition) if A is
+// not positive definite within roundoff.
+Result<Matrix> Cholesky(const Matrix& a);
+
+// Solves A x = b for SPD A via Cholesky.
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b);
+
+}  // namespace dash
+
+#endif  // DASH_LINALG_CHOLESKY_H_

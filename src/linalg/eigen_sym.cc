@@ -1,0 +1,92 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dash {
+
+Result<SymmetricEigen> JacobiEigenSymmetric(const Matrix& a_in) {
+  DASH_CHECK_EQ(a_in.rows(), a_in.cols());
+  const int64_t n = a_in.rows();
+  // Symmetrize to absorb roundoff in the caller's Gram computations.
+  Matrix a(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) a(i, j) = 0.5 * (a_in(i, j) + a_in(j, i));
+  }
+  Matrix v = Matrix::Identity(n);
+
+  constexpr int kMaxSweeps = 100;
+  constexpr double kTol = 1e-14;
+
+  double off = 0.0;
+  double diag_norm = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    diag_norm += a(i, i) * a(i, i);
+    for (int64_t j = i + 1; j < n; ++j) off += 2.0 * a(i, j) * a(i, j);
+  }
+  const double scale = std::sqrt(off + diag_norm) + 1e-300;
+
+  int sweep = 0;
+  while (std::sqrt(off) > kTol * scale && sweep < kMaxSweeps) {
+    ++sweep;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (apq == 0.0) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable tangent of the rotation angle.
+        const double t = (theta >= 0.0)
+                             ? 1.0 / (theta + std::sqrt(1.0 + theta * theta))
+                             : 1.0 / (theta - std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        for (int64_t i = 0; i < n; ++i) {
+          const double aip = a(i, p);
+          const double aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (int64_t j = 0; j < n; ++j) {
+          const double apj = a(p, j);
+          const double aqj = a(q, j);
+          a(p, j) = c * apj - s * aqj;
+          a(q, j) = s * apj + c * aqj;
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+    off = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) off += 2.0 * a(i, j) * a(i, j);
+    }
+  }
+  if (sweep >= kMaxSweeps && std::sqrt(off) > kTol * scale * 1e3) {
+    return InternalError("Jacobi eigensolver failed to converge");
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns to match.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&a](int64_t x, int64_t y) { return a(x, x) < a(y, y); });
+
+  SymmetricEigen out;
+  out.eigenvalues.resize(static_cast<size_t>(n));
+  out.eigenvectors = Matrix(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    const int64_t src = order[static_cast<size_t>(j)];
+    out.eigenvalues[static_cast<size_t>(j)] = a(src, src);
+    for (int64_t i = 0; i < n; ++i) out.eigenvectors(i, j) = v(i, src);
+  }
+  return out;
+}
+
+}  // namespace dash

@@ -1,0 +1,30 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Needed by the linear mixed-model generalization (§5): the parties share
+// an eigendecomposition of the kinship kernel K = U diag(s) Uᵀ and rotate
+// their data into the eigenbasis. Jacobi is O(n³) per sweep but robust
+// and accurate, which is the right trade-off for the kernel sizes the
+// examples use (n up to a few hundred).
+
+#ifndef DASH_LINALG_EIGEN_SYM_H_
+#define DASH_LINALG_EIGEN_SYM_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace dash {
+
+struct SymmetricEigen {
+  Vector eigenvalues;  // ascending
+  Matrix eigenvectors; // columns, matching eigenvalue order
+};
+
+// Eigendecomposition of a symmetric matrix. Symmetry is enforced by
+// averaging a with its transpose; convergence failure (which does not
+// happen for finite inputs within the generous sweep cap) reports
+// Internal.
+Result<SymmetricEigen> JacobiEigenSymmetric(const Matrix& a);
+
+}  // namespace dash
+
+#endif  // DASH_LINALG_EIGEN_SYM_H_

@@ -1,0 +1,210 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace dash {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(static_cast<int64_t>(rows.size())), cols_(0) {
+  for (const auto& r : rows) {
+    if (cols_ == 0) cols_ = static_cast<int64_t>(r.size());
+    DASH_CHECK_EQ(static_cast<int64_t>(r.size()), cols_);
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::ColumnVector(const Vector& v) {
+  Matrix m(static_cast<int64_t>(v.size()), 1);
+  for (size_t i = 0; i < v.size(); ++i) m.data_[i] = v[i];
+  return m;
+}
+
+Vector Matrix::Row(int64_t i) const {
+  DASH_CHECK(0 <= i && i < rows_);
+  return Vector(row_data(i), row_data(i) + cols_);
+}
+
+Vector Matrix::Col(int64_t j) const {
+  DASH_CHECK(0 <= j && j < cols_);
+  Vector out(static_cast<size_t>(rows_));
+  for (int64_t i = 0; i < rows_; ++i) out[static_cast<size_t>(i)] = (*this)(i, j);
+  return out;
+}
+
+void Matrix::SetRow(int64_t i, const Vector& v) {
+  DASH_CHECK(0 <= i && i < rows_);
+  DASH_CHECK_EQ(static_cast<int64_t>(v.size()), cols_);
+  for (int64_t j = 0; j < cols_; ++j) (*this)(i, j) = v[static_cast<size_t>(j)];
+}
+
+void Matrix::SetCol(int64_t j, const Vector& v) {
+  DASH_CHECK(0 <= j && j < cols_);
+  DASH_CHECK_EQ(static_cast<int64_t>(v.size()), rows_);
+  for (int64_t i = 0; i < rows_; ++i) (*this)(i, j) = v[static_cast<size_t>(i)];
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  DASH_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  // i-k-j order keeps B and C accesses sequential.
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    double* ci = c.row_data(i);
+    for (int64_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* bk = b.row_data(k);
+      for (int64_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix TransposeMatMul(const Matrix& a, const Matrix& b) {
+  DASH_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (int64_t k = 0; k < a.rows(); ++k) {
+    const double* ak = a.row_data(k);
+    const double* bk = b.row_data(k);
+    for (int64_t i = 0; i < a.cols(); ++i) {
+      const double aki = ak[i];
+      if (aki == 0.0) continue;
+      double* ci = c.row_data(i);
+      for (int64_t j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
+    }
+  }
+  return c;
+}
+
+Vector MatVec(const Matrix& a, const Vector& x) {
+  DASH_CHECK_EQ(a.cols(), static_cast<int64_t>(x.size()));
+  Vector y(static_cast<size_t>(a.rows()), 0.0);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_data(i);
+    double sum = 0.0;
+    for (int64_t j = 0; j < a.cols(); ++j) sum += ai[j] * x[static_cast<size_t>(j)];
+    y[static_cast<size_t>(i)] = sum;
+  }
+  return y;
+}
+
+Vector TransposeMatVec(const Matrix& a, const Vector& x) {
+  DASH_CHECK_EQ(a.rows(), static_cast<int64_t>(x.size()));
+  Vector y(static_cast<size_t>(a.cols()), 0.0);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[static_cast<size_t>(i)];
+    if (xi == 0.0) continue;
+    const double* ai = a.row_data(i);
+    for (int64_t j = 0; j < a.cols(); ++j) y[static_cast<size_t>(j)] += ai[j] * xi;
+  }
+  return y;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+Matrix MatAdd(const Matrix& a, const Matrix& b) {
+  DASH_CHECK_EQ(a.rows(), b.rows());
+  DASH_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] + b.data()[i];
+  return c;
+}
+
+Matrix MatSub(const Matrix& a, const Matrix& b) {
+  DASH_CHECK_EQ(a.rows(), b.rows());
+  DASH_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] - b.data()[i];
+  return c;
+}
+
+Matrix MatScale(double alpha, const Matrix& a) {
+  Matrix c(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) c.data()[i] = alpha * a.data()[i];
+  return c;
+}
+
+Matrix VStack(const std::vector<Matrix>& blocks) {
+  DASH_CHECK(!blocks.empty());
+  const int64_t cols = blocks[0].cols();
+  int64_t rows = 0;
+  for (const auto& b : blocks) {
+    DASH_CHECK_EQ(b.cols(), cols);
+    rows += b.rows();
+  }
+  Matrix out(rows, cols);
+  int64_t r = 0;
+  for (const auto& b : blocks) {
+    for (int64_t i = 0; i < b.rows(); ++i, ++r) {
+      for (int64_t j = 0; j < cols; ++j) out(r, j) = b(i, j);
+    }
+  }
+  return out;
+}
+
+Matrix SliceRows(const Matrix& a, int64_t row_begin, int64_t row_end) {
+  DASH_CHECK(0 <= row_begin && row_begin <= row_end && row_end <= a.rows());
+  Matrix out(row_end - row_begin, a.cols());
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) out(i - row_begin, j) = a(i, j);
+  }
+  return out;
+}
+
+Matrix SliceCols(const Matrix& a, int64_t col_begin, int64_t col_end) {
+  DASH_CHECK(0 <= col_begin && col_begin <= col_end && col_end <= a.cols());
+  Matrix out(a.rows(), col_end - col_begin);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = col_begin; j < col_end; ++j) out(i, j - col_begin) = a(i, j);
+  }
+  return out;
+}
+
+Matrix WithInterceptColumn(const Matrix& a) {
+  Matrix out(a.rows(), a.cols() + 1);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    out(i, 0) = 1.0;
+    for (int64_t j = 0; j < a.cols(); ++j) out(i, j + 1) = a(i, j);
+  }
+  return out;
+}
+
+double FrobeniusNorm(const Matrix& a) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) sum += a.data()[i] * a.data()[i];
+  return std::sqrt(sum);
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  DASH_CHECK_EQ(a.rows(), b.rows());
+  DASH_CHECK_EQ(a.cols(), b.cols());
+  double worst = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const double d = std::fabs(a.data()[i] - b.data()[i]);
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+void CenterColumnsInPlace(Matrix* a) {
+  if (a->rows() == 0) return;
+  for (int64_t j = 0; j < a->cols(); ++j) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < a->rows(); ++i) mean += (*a)(i, j);
+    mean /= static_cast<double>(a->rows());
+    for (int64_t i = 0; i < a->rows(); ++i) (*a)(i, j) -= mean;
+  }
+}
+
+}  // namespace dash

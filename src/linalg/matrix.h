@@ -1,0 +1,127 @@
+// Dense row-major matrix and BLAS-2/3 style kernels.
+//
+// Matrix stores doubles contiguously by row. Shapes use int64_t; element
+// access is DASH_DCHECK-bounds-checked. The kernels here are the ones the
+// association scan, QR, and OLS reference need; they are written for
+// clarity with cache-aware loop orders rather than for peak FLOPS.
+
+#ifndef DASH_LINALG_MATRIX_H_
+#define DASH_LINALG_MATRIX_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace dash {
+
+class Matrix {
+ public:
+  // An empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  // A rows x cols matrix of zeros.
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0) {
+    DASH_CHECK_GE(rows, 0);
+    DASH_CHECK_GE(cols, 0);
+  }
+
+  // Builds from nested initializer lists: Matrix({{1,2},{3,4}}).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  // The n x n identity.
+  static Matrix Identity(int64_t n);
+
+  // A matrix whose single column is `v`.
+  static Matrix ColumnVector(const Vector& v);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(int64_t i, int64_t j) {
+    DASH_DCHECK(0 <= i && i < rows_ && 0 <= j && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+  double operator()(int64_t i, int64_t j) const {
+    DASH_DCHECK(0 <= i && i < rows_ && 0 <= j && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+
+  // Raw row-major storage.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  // Pointer to the start of row i.
+  double* row_data(int64_t i) { return data_.data() + i * cols_; }
+  const double* row_data(int64_t i) const { return data_.data() + i * cols_; }
+
+  // Copies of a row / column.
+  Vector Row(int64_t i) const;
+  Vector Col(int64_t j) const;
+
+  // Overwrites a row / column.
+  void SetRow(int64_t i, const Vector& v);
+  void SetCol(int64_t j, const Vector& v);
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+// C = A * B.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// C = Aᵀ * B (computed without materializing Aᵀ).
+Matrix TransposeMatMul(const Matrix& a, const Matrix& b);
+
+// y = A * x.
+Vector MatVec(const Matrix& a, const Vector& x);
+
+// y = Aᵀ * x.
+Vector TransposeMatVec(const Matrix& a, const Vector& x);
+
+// Explicit transpose.
+Matrix Transpose(const Matrix& a);
+
+// Element-wise sum / difference; shapes must match.
+Matrix MatAdd(const Matrix& a, const Matrix& b);
+Matrix MatSub(const Matrix& a, const Matrix& b);
+
+// B = alpha * A.
+Matrix MatScale(double alpha, const Matrix& a);
+
+// Stacks blocks vertically; all must share a column count.
+Matrix VStack(const std::vector<Matrix>& blocks);
+
+// Copies rows [row_begin, row_end) into a new matrix.
+Matrix SliceRows(const Matrix& a, int64_t row_begin, int64_t row_end);
+
+// Copies columns [col_begin, col_end) into a new matrix.
+Matrix SliceCols(const Matrix& a, int64_t col_begin, int64_t col_end);
+
+// Appends a column of ones (intercept covariate).
+Matrix WithInterceptColumn(const Matrix& a);
+
+// sqrt(sum of squared entries).
+double FrobeniusNorm(const Matrix& a);
+
+// max |a_ij - b_ij|; shapes must match.
+double MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+// Centers every column to mean zero, in place.
+void CenterColumnsInPlace(Matrix* a);
+
+}  // namespace dash
+
+#endif  // DASH_LINALG_MATRIX_H_

@@ -1,0 +1,190 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace dash {
+namespace {
+
+// Relative tolerance under which a Householder column or triangular pivot
+// counts as zero (rank deficiency).
+constexpr double kRankTolerance = 1e-12;
+
+// Applies the Householder reflections in place. On return `a` holds R in
+// its upper triangle and the reflector vectors below the diagonal;
+// `taus[k]` holds 2/vᵀv for reflector k (0 when the column was already
+// triangular). Returns FailedPrecondition on rank deficiency.
+Status HouseholderFactor(Matrix* a, Vector* taus, Vector* diag) {
+  const int64_t n = a->rows();
+  const int64_t k_cols = a->cols();
+  taus->assign(static_cast<size_t>(k_cols), 0.0);
+  diag->assign(static_cast<size_t>(k_cols), 0.0);
+
+  // Rank deficiency is judged per column: the residual after projecting
+  // out earlier columns must be non-negligible relative to the column's
+  // own original norm (columns may legitimately differ in scale by many
+  // orders of magnitude, e.g. intercept vs. principal components).
+  Vector original_norms(static_cast<size_t>(k_cols), 0.0);
+  for (int64_t k = 0; k < k_cols; ++k) {
+    double norm2 = 0.0;
+    for (int64_t i = 0; i < n; ++i) norm2 += (*a)(i, k) * (*a)(i, k);
+    original_norms[static_cast<size_t>(k)] = std::sqrt(norm2);
+  }
+
+  for (int64_t k = 0; k < k_cols; ++k) {
+    // sigma = ||a[k:, k]||.
+    double sigma2 = 0.0;
+    for (int64_t i = k; i < n; ++i) sigma2 += (*a)(i, k) * (*a)(i, k);
+    const double sigma = std::sqrt(sigma2);
+    const double scale = original_norms[static_cast<size_t>(k)];
+    if (sigma <= kRankTolerance * (scale > 0 ? scale : 1.0)) {
+      return FailedPreconditionError(
+          "matrix is rank deficient at column " + std::to_string(k));
+    }
+    const double akk = (*a)(k, k);
+    const double alpha = (akk >= 0.0) ? -sigma : sigma;
+    // v = a[k:, k] with v[0] -= alpha, stored in place below the diagonal.
+    (*a)(k, k) = akk - alpha;
+    double vtv = 0.0;
+    for (int64_t i = k; i < n; ++i) vtv += (*a)(i, k) * (*a)(i, k);
+    const double tau = (vtv == 0.0) ? 0.0 : 2.0 / vtv;
+    (*taus)[static_cast<size_t>(k)] = tau;
+    (*diag)[static_cast<size_t>(k)] = alpha;
+    if (tau != 0.0) {
+      for (int64_t j = k + 1; j < k_cols; ++j) {
+        double s = 0.0;
+        for (int64_t i = k; i < n; ++i) s += (*a)(i, k) * (*a)(i, j);
+        s *= tau;
+        for (int64_t i = k; i < n; ++i) (*a)(i, j) -= s * (*a)(i, k);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// Extracts R (with the reflected diagonal) from the factored storage.
+Matrix ExtractR(const Matrix& a, const Vector& diag) {
+  const int64_t k_cols = a.cols();
+  Matrix r(k_cols, k_cols);
+  for (int64_t i = 0; i < k_cols; ++i) {
+    r(i, i) = diag[static_cast<size_t>(i)];
+    for (int64_t j = i + 1; j < k_cols; ++j) r(i, j) = a(i, j);
+  }
+  return r;
+}
+
+// Flips signs so diag(R) >= 0; mirrors the flip into Q's columns if given.
+void NormalizeSigns(Matrix* r, Matrix* q) {
+  for (int64_t k = 0; k < r->cols(); ++k) {
+    if ((*r)(k, k) < 0.0) {
+      for (int64_t j = k; j < r->cols(); ++j) (*r)(k, j) = -(*r)(k, j);
+      if (q != nullptr) {
+        for (int64_t i = 0; i < q->rows(); ++i) (*q)(i, k) = -(*q)(i, k);
+      }
+    }
+  }
+}
+
+Status ValidateTallInput(const Matrix& a) {
+  if (a.cols() == 0) return InvalidArgumentError("QR of a matrix with 0 columns");
+  if (a.rows() < a.cols()) {
+    return InvalidArgumentError(
+        "QR requires rows >= cols; got " + std::to_string(a.rows()) + " x " +
+        std::to_string(a.cols()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<QrDecomposition> ThinQr(const Matrix& a) {
+  DASH_RETURN_IF_ERROR(ValidateTallInput(a));
+  Matrix work = a;
+  Vector taus;
+  Vector diag;
+  DASH_RETURN_IF_ERROR(HouseholderFactor(&work, &taus, &diag));
+
+  const int64_t n = a.rows();
+  const int64_t k_cols = a.cols();
+  // Form thin Q by applying H_{K-1} ... H_0 to the first K identity columns.
+  Matrix q(n, k_cols);
+  for (int64_t i = 0; i < k_cols; ++i) q(i, i) = 1.0;
+  for (int64_t k = k_cols - 1; k >= 0; --k) {
+    const double tau = taus[static_cast<size_t>(k)];
+    if (tau == 0.0) continue;
+    for (int64_t j = 0; j < k_cols; ++j) {
+      double s = 0.0;
+      for (int64_t i = k; i < n; ++i) s += work(i, k) * q(i, j);
+      s *= tau;
+      for (int64_t i = k; i < n; ++i) q(i, j) -= s * work(i, k);
+    }
+  }
+
+  QrDecomposition out;
+  out.r = ExtractR(work, diag);
+  out.q = std::move(q);
+  NormalizeSigns(&out.r, &out.q);
+  return out;
+}
+
+Result<Matrix> QrRFactor(const Matrix& a) {
+  DASH_RETURN_IF_ERROR(ValidateTallInput(a));
+  Matrix work = a;
+  Vector taus;
+  Vector diag;
+  DASH_RETURN_IF_ERROR(HouseholderFactor(&work, &taus, &diag));
+  Matrix r = ExtractR(work, diag);
+  NormalizeSigns(&r, nullptr);
+  return r;
+}
+
+Result<Vector> SolveUpperTriangular(const Matrix& r, const Vector& b) {
+  DASH_CHECK_EQ(r.rows(), r.cols());
+  DASH_CHECK_EQ(static_cast<int64_t>(b.size()), r.rows());
+  const int64_t n = r.rows();
+  Vector x(b);
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double sum = x[static_cast<size_t>(i)];
+    for (int64_t j = i + 1; j < n; ++j) sum -= r(i, j) * x[static_cast<size_t>(j)];
+    const double piv = r(i, i);
+    if (std::fabs(piv) < std::numeric_limits<double>::min() * 4) {
+      return FailedPreconditionError("singular triangular system");
+    }
+    x[static_cast<size_t>(i)] = sum / piv;
+  }
+  return x;
+}
+
+Result<Vector> SolveLowerTriangular(const Matrix& l, const Vector& b) {
+  DASH_CHECK_EQ(l.rows(), l.cols());
+  DASH_CHECK_EQ(static_cast<int64_t>(b.size()), l.rows());
+  const int64_t n = l.rows();
+  Vector x(b);
+  for (int64_t i = 0; i < n; ++i) {
+    double sum = x[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < i; ++j) sum -= l(i, j) * x[static_cast<size_t>(j)];
+    const double piv = l(i, i);
+    if (std::fabs(piv) < std::numeric_limits<double>::min() * 4) {
+      return FailedPreconditionError("singular triangular system");
+    }
+    x[static_cast<size_t>(i)] = sum / piv;
+  }
+  return x;
+}
+
+Result<Matrix> InvertUpperTriangular(const Matrix& r) {
+  DASH_CHECK_EQ(r.rows(), r.cols());
+  const int64_t n = r.rows();
+  Matrix inv(n, n);
+  // Solve R * inv[:, j] = e_j column by column.
+  for (int64_t j = 0; j < n; ++j) {
+    Vector e(static_cast<size_t>(n), 0.0);
+    e[static_cast<size_t>(j)] = 1.0;
+    DASH_ASSIGN_OR_RETURN(Vector col, SolveUpperTriangular(r, e));
+    inv.SetCol(j, col);
+  }
+  return inv;
+}
+
+}  // namespace dash

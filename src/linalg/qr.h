@@ -1,0 +1,43 @@
+// Householder QR factorization and triangular kernels.
+//
+// ThinQr factors a tall N x K matrix (N >= K) as A = Q R with Q having
+// orthonormal columns (N x K) and R upper triangular (K x K). We fix the
+// sign convention diag(R) >= 0, which makes R unique for full-column-rank
+// A; this is what lets per-party R factors be compared and combined in
+// TSQR (linalg/tsqr.h).
+//
+// Rank deficiency is reported as FailedPrecondition, mirroring the
+// paper's assumption that each party's permanent covariates have full
+// column rank.
+
+#ifndef DASH_LINALG_QR_H_
+#define DASH_LINALG_QR_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace dash {
+
+struct QrDecomposition {
+  Matrix q;  // N x K, orthonormal columns
+  Matrix r;  // K x K, upper triangular, non-negative diagonal
+};
+
+// Full thin QR of a tall matrix. Requires a.rows() >= a.cols() > 0.
+Result<QrDecomposition> ThinQr(const Matrix& a);
+
+// R factor only (what each party discloses). Cheaper: never forms Q.
+Result<Matrix> QrRFactor(const Matrix& a);
+
+// Solves R x = b for upper-triangular R. Fails on a (near-)zero diagonal.
+Result<Vector> SolveUpperTriangular(const Matrix& r, const Vector& b);
+
+// Solves L x = b for lower-triangular L.
+Result<Vector> SolveLowerTriangular(const Matrix& l, const Vector& b);
+
+// Inverse of an upper-triangular matrix via back substitution.
+Result<Matrix> InvertUpperTriangular(const Matrix& r);
+
+}  // namespace dash
+
+#endif  // DASH_LINALG_QR_H_

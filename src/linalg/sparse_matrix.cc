@@ -1,0 +1,88 @@
+#include "linalg/sparse_matrix.h"
+
+#include "util/check.h"
+
+namespace dash {
+
+SparseColumnMatrix::SparseColumnMatrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols),
+      col_entries_(static_cast<size_t>(cols)) {
+  DASH_CHECK_GE(rows, 0);
+  DASH_CHECK_GE(cols, 0);
+}
+
+SparseColumnMatrix SparseColumnMatrix::FromDense(const Matrix& dense) {
+  SparseColumnMatrix out(dense.rows(), dense.cols());
+  for (int64_t j = 0; j < dense.cols(); ++j) {
+    for (int64_t i = 0; i < dense.rows(); ++i) {
+      const double v = dense(i, j);
+      if (v != 0.0) out.PushEntry(j, i, v);
+    }
+  }
+  return out;
+}
+
+void SparseColumnMatrix::PushEntry(int64_t j, int64_t row, double value) {
+  DASH_CHECK(0 <= j && j < cols_);
+  DASH_CHECK(0 <= row && row < rows_);
+  auto& col = col_entries_[static_cast<size_t>(j)];
+  DASH_DCHECK(col.empty() || col.back().row < row)
+      << "rows must be pushed in increasing order";
+  col.push_back(Entry{row, value});
+}
+
+int64_t SparseColumnMatrix::TotalNnz() const {
+  int64_t total = 0;
+  for (const auto& col : col_entries_) total += static_cast<int64_t>(col.size());
+  return total;
+}
+
+double SparseColumnMatrix::Density() const {
+  const int64_t cells = rows_ * cols_;
+  if (cells == 0) return 0.0;
+  return static_cast<double>(TotalNnz()) / static_cast<double>(cells);
+}
+
+double SparseColumnMatrix::ColumnDot(int64_t j, const Vector& y) const {
+  DASH_CHECK(0 <= j && j < cols_);
+  DASH_CHECK_EQ(static_cast<int64_t>(y.size()), rows_);
+  double sum = 0.0;
+  for (const Entry& e : col_entries_[static_cast<size_t>(j)]) {
+    sum += e.value * y[static_cast<size_t>(e.row)];
+  }
+  return sum;
+}
+
+double SparseColumnMatrix::ColumnSquaredNorm(int64_t j) const {
+  DASH_CHECK(0 <= j && j < cols_);
+  double sum = 0.0;
+  for (const Entry& e : col_entries_[static_cast<size_t>(j)]) {
+    sum += e.value * e.value;
+  }
+  return sum;
+}
+
+Vector SparseColumnMatrix::ColumnProject(int64_t j, const Matrix& q) const {
+  DASH_CHECK(0 <= j && j < cols_);
+  DASH_CHECK_EQ(q.rows(), rows_);
+  Vector acc(static_cast<size_t>(q.cols()), 0.0);
+  for (const Entry& e : col_entries_[static_cast<size_t>(j)]) {
+    const double* qrow = q.row_data(e.row);
+    for (int64_t k = 0; k < q.cols(); ++k) {
+      acc[static_cast<size_t>(k)] += e.value * qrow[k];
+    }
+  }
+  return acc;
+}
+
+Matrix SparseColumnMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int64_t j = 0; j < cols_; ++j) {
+    for (const Entry& e : col_entries_[static_cast<size_t>(j)]) {
+      out(e.row, j) = e.value;
+    }
+  }
+  return out;
+}
+
+}  // namespace dash

@@ -1,0 +1,74 @@
+// Column-compressed sparse matrix for the transient covariates X.
+//
+// Genotype columns are mostly zeros when minor alleles are rare; the
+// paper notes (§2) that packing X sparsely cuts the flop count for QᵀX
+// in proportion to sparsity. SparseColumnMatrix stores, per column, the
+// nonzero (row, value) pairs and exposes exactly the per-column kernels
+// the association scan needs, so the scan's cost per column is
+// O(nnz(X_m) * K) instead of O(N * K).
+
+#ifndef DASH_LINALG_SPARSE_MATRIX_H_
+#define DASH_LINALG_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace dash {
+
+class SparseColumnMatrix {
+ public:
+  // An empty rows x cols matrix.
+  SparseColumnMatrix(int64_t rows, int64_t cols);
+
+  // Compresses a dense matrix, dropping exact zeros.
+  static SparseColumnMatrix FromDense(const Matrix& dense);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  // Appends a nonzero to column j; rows must be added in increasing order
+  // per column (checked in debug builds).
+  void PushEntry(int64_t j, int64_t row, double value);
+
+  // Number of stored nonzeros in column j / overall.
+  int64_t ColumnNnz(int64_t j) const {
+    return static_cast<int64_t>(col_entries_[static_cast<size_t>(j)].size());
+  }
+  int64_t TotalNnz() const;
+
+  // Fraction of entries stored (0 for an empty matrix).
+  double Density() const;
+
+  // X_j . y  for a dense y of length rows().
+  double ColumnDot(int64_t j, const Vector& y) const;
+
+  // X_j . X_j.
+  double ColumnSquaredNorm(int64_t j) const;
+
+  // Qᵀ X_j: accumulates value * Q.row(i) over the column's nonzeros.
+  // q must have rows() rows; the result has q.cols() entries.
+  Vector ColumnProject(int64_t j, const Matrix& q) const;
+
+  // Expands to dense (tests and small examples).
+  Matrix ToDense() const;
+
+  struct Entry {
+    int64_t row;
+    double value;
+  };
+  const std::vector<Entry>& ColumnEntries(int64_t j) const {
+    return col_entries_[static_cast<size_t>(j)];
+  }
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<std::vector<Entry>> col_entries_;
+};
+
+}  // namespace dash
+
+#endif  // DASH_LINALG_SPARSE_MATRIX_H_

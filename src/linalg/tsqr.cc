@@ -1,0 +1,57 @@
+#include "linalg/tsqr.h"
+
+#include <string>
+#include <utility>
+
+#include "linalg/qr.h"
+
+namespace dash {
+namespace {
+
+Status ValidateBlocks(const std::vector<Matrix>& r_factors) {
+  if (r_factors.empty()) {
+    return InvalidArgumentError("no R factors to combine");
+  }
+  const int64_t k = r_factors[0].cols();
+  for (const auto& r : r_factors) {
+    if (r.rows() != k || r.cols() != k) {
+      return InvalidArgumentError(
+          "R factors must all be K x K; got " + std::to_string(r.rows()) +
+          " x " + std::to_string(r.cols()) + " with K=" + std::to_string(k));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Matrix> CombineRFactors(const std::vector<Matrix>& r_factors) {
+  DASH_RETURN_IF_ERROR(ValidateBlocks(r_factors));
+  if (r_factors.size() == 1) return r_factors[0];
+  return QrRFactor(VStack(r_factors));
+}
+
+Result<TreeTsqrResult> TreeCombineRFactors(std::vector<Matrix> r_factors) {
+  DASH_RETURN_IF_ERROR(ValidateBlocks(r_factors));
+  TreeTsqrResult out;
+  while (r_factors.size() > 1) {
+    ++out.rounds;
+    std::vector<Matrix> next;
+    next.reserve((r_factors.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < r_factors.size(); i += 2) {
+      DASH_ASSIGN_OR_RETURN(
+          Matrix merged,
+          QrRFactor(VStack({r_factors[i], r_factors[i + 1]})));
+      next.push_back(std::move(merged));
+      ++out.merges;
+    }
+    if (r_factors.size() % 2 == 1) {
+      next.push_back(std::move(r_factors.back()));
+    }
+    r_factors = std::move(next);
+  }
+  out.r = std::move(r_factors[0]);
+  return out;
+}
+
+}  // namespace dash

@@ -1,0 +1,44 @@
+// Tall-skinny QR (TSQR) combination of per-block R factors.
+//
+// This is the paper's §3 "QR algorithm": each party factors its local
+// covariate block C_p = Q_p^loc R_p, and only the tiny K x K R_p factors
+// are combined. The R of the stacked [R_1; ...; R_P] equals the R of the
+// pooled C (up to the diag(R) >= 0 sign convention, which linalg/qr.h
+// enforces), so each party can recover its rows of the global Q as
+// Q_p = C_p R^{-1}.
+//
+// Two combination strategies are provided:
+//  * CombineRFactors       — stack all R_p and factor once (one round);
+//  * TreeCombineRFactors   — pairwise binary-tree merges, ceil(log2 P)
+//                            rounds, the footnote-3 variant in which each
+//                            party only ever shares a K x K matrix with
+//                            one peer per round.
+
+#ifndef DASH_LINALG_TSQR_H_
+#define DASH_LINALG_TSQR_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace dash {
+
+// R factor of the vertical stack of the given upper-triangular blocks.
+// All blocks must be K x K for the same K.
+Result<Matrix> CombineRFactors(const std::vector<Matrix>& r_factors);
+
+struct TreeTsqrResult {
+  Matrix r;            // final K x K factor
+  int rounds = 0;      // tree depth actually used (= ceil(log2 P))
+  int merges = 0;      // number of pairwise QR merges performed
+};
+
+// Binary-tree pairwise combination. Equivalent to CombineRFactors but
+// exposes the communication structure (rounds/merges) the paper's
+// footnote describes.
+Result<TreeTsqrResult> TreeCombineRFactors(std::vector<Matrix> r_factors);
+
+}  // namespace dash
+
+#endif  // DASH_LINALG_TSQR_H_

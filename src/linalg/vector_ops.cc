@@ -1,0 +1,78 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dash {
+
+double Dot(const Vector& a, const Vector& b) {
+  DASH_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double SquaredNorm(const Vector& v) {
+  double sum = 0.0;
+  for (const double x : v) sum += x * x;
+  return sum;
+}
+
+double Norm(const Vector& v) { return std::sqrt(SquaredNorm(v)); }
+
+void Axpy(double alpha, const Vector& x, Vector* y) {
+  DASH_CHECK_EQ(x.size(), y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vector* v) {
+  for (double& x : *v) x *= alpha;
+}
+
+Vector Add(const Vector& a, const Vector& b) {
+  DASH_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Sub(const Vector& a, const Vector& b) {
+  DASH_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+double Mean(const Vector& v) {
+  DASH_CHECK(!v.empty());
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+void CenterInPlace(Vector* v) {
+  const double m = Mean(*v);
+  for (double& x : *v) x -= m;
+}
+
+double MaxAbsDiff(const Vector& a, const Vector& b) {
+  DASH_CHECK_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = std::fabs(a[i] - b[i]);
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+double MaxAbs(const Vector& v) {
+  double worst = 0.0;
+  for (const double x : v) {
+    const double d = std::fabs(x);
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+}  // namespace dash

@@ -1,0 +1,50 @@
+// Dense vector primitives.
+//
+// The library represents vectors as std::vector<double> (alias
+// dash::Vector) and provides the handful of BLAS-1 style kernels the
+// association scan needs. All functions DASH_CHECK dimension agreement.
+
+#ifndef DASH_LINALG_VECTOR_OPS_H_
+#define DASH_LINALG_VECTOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dash {
+
+using Vector = std::vector<double>;
+
+// Dot product a.b; requires equal sizes.
+double Dot(const Vector& a, const Vector& b);
+
+// Squared Euclidean norm v.v (the paper's `dot(x)` helper).
+double SquaredNorm(const Vector& v);
+
+// Euclidean norm.
+double Norm(const Vector& v);
+
+// y += alpha * x.
+void Axpy(double alpha, const Vector& x, Vector* y);
+
+// v *= alpha.
+void Scale(double alpha, Vector* v);
+
+// Element-wise a + b / a - b.
+Vector Add(const Vector& a, const Vector& b);
+Vector Sub(const Vector& a, const Vector& b);
+
+// Arithmetic mean; requires non-empty input.
+double Mean(const Vector& v);
+
+// Subtracts the mean in place (the paper's intercept-as-centering trick).
+void CenterInPlace(Vector* v);
+
+// Largest |a[i] - b[i]|; requires equal sizes.
+double MaxAbsDiff(const Vector& a, const Vector& b);
+
+// Largest |v[i]|.
+double MaxAbs(const Vector& v);
+
+}  // namespace dash
+
+#endif  // DASH_LINALG_VECTOR_OPS_H_

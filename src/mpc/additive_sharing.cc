@@ -1,0 +1,58 @@
+#include "mpc/additive_sharing.h"
+
+#include "util/check.h"
+
+namespace dash {
+
+std::vector<uint64_t> AdditiveShare(uint64_t value, int n, Rng* rng) {
+  DASH_CHECK_GE(n, 1);
+  std::vector<uint64_t> shares(static_cast<size_t>(n));
+  uint64_t acc = 0;
+  for (int i = 1; i < n; ++i) {
+    shares[static_cast<size_t>(i)] = rng->NextU64();
+    acc += shares[static_cast<size_t>(i)];
+  }
+  shares[0] = value - acc;  // wrapping
+  return shares;
+}
+
+uint64_t AdditiveReconstruct(const std::vector<uint64_t>& shares) {
+  uint64_t sum = 0;
+  for (const uint64_t s : shares) sum += s;
+  return sum;
+}
+
+std::vector<std::vector<uint64_t>> AdditiveShareVector(
+    const std::vector<uint64_t>& values, int n, Rng* rng) {
+  DASH_CHECK_GE(n, 1);
+  std::vector<std::vector<uint64_t>> out(
+      static_cast<size_t>(n), std::vector<uint64_t>(values.size()));
+  for (size_t i = 0; i < values.size(); ++i) {
+    uint64_t acc = 0;
+    for (int j = 1; j < n; ++j) {
+      const uint64_t s = rng->NextU64();
+      out[static_cast<size_t>(j)][i] = s;
+      acc += s;
+    }
+    out[0][i] = values[i] - acc;
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> AdditiveReconstructVector(
+    const std::vector<std::vector<uint64_t>>& share_vectors) {
+  if (share_vectors.empty()) {
+    return InvalidArgumentError("no share vectors to reconstruct");
+  }
+  const size_t len = share_vectors[0].size();
+  std::vector<uint64_t> out(len, 0);
+  for (const auto& shares : share_vectors) {
+    if (shares.size() != len) {
+      return InvalidArgumentError("share vectors disagree in length");
+    }
+    for (size_t i = 0; i < len; ++i) out[i] += shares[i];
+  }
+  return out;
+}
+
+}  // namespace dash

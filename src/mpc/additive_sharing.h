@@ -1,0 +1,37 @@
+// Additive secret sharing over the ring Z_2^64.
+//
+// A value v is split into n shares s_1..s_n, uniformly random subject to
+// s_1 + ... + s_n = v (mod 2^64). Any n-1 shares are jointly uniform and
+// carry no information about v; only the full set reconstructs it. This
+// is the "simple secret sharing on tiny data" the paper's §3 invokes for
+// the secure sums.
+
+#ifndef DASH_MPC_ADDITIVE_SHARING_H_
+#define DASH_MPC_ADDITIVE_SHARING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dash {
+
+// Splits `value` into `n` ring shares. Requires n >= 1.
+std::vector<uint64_t> AdditiveShare(uint64_t value, int n, Rng* rng);
+
+// Sum of all shares (mod 2^64).
+uint64_t AdditiveReconstruct(const std::vector<uint64_t>& shares);
+
+// Element-wise sharing of a vector: result[j] is the j-th party's share
+// vector, result[j][i] a share of values[i]. Requires n >= 1.
+std::vector<std::vector<uint64_t>> AdditiveShareVector(
+    const std::vector<uint64_t>& values, int n, Rng* rng);
+
+// Element-wise reconstruction; all share vectors must have equal length.
+Result<std::vector<uint64_t>> AdditiveReconstructVector(
+    const std::vector<std::vector<uint64_t>>& share_vectors);
+
+}  // namespace dash
+
+#endif  // DASH_MPC_ADDITIVE_SHARING_H_

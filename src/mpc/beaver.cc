@@ -1,0 +1,36 @@
+#include "mpc/beaver.h"
+
+#include "mpc/additive_sharing.h"
+#include "util/check.h"
+
+namespace dash {
+
+DealerTripleProvider::DealerTripleProvider(int num_parties, uint64_t seed)
+    : num_parties_(num_parties), rng_(seed) {
+  DASH_CHECK_GE(num_parties, 1);
+}
+
+std::vector<std::vector<BeaverTripleShare>> DealerTripleProvider::Deal(
+    int64_t count) {
+  DASH_CHECK_GE(count, 0);
+  std::vector<std::vector<BeaverTripleShare>> shares(
+      static_cast<size_t>(num_parties_),
+      std::vector<BeaverTripleShare>(static_cast<size_t>(count)));
+  for (int64_t i = 0; i < count; ++i) {
+    const uint64_t a = rng_.NextU64();
+    const uint64_t b = rng_.NextU64();
+    const uint64_t c = a * b;  // ring product
+    const auto sa = AdditiveShare(a, num_parties_, &rng_);
+    const auto sb = AdditiveShare(b, num_parties_, &rng_);
+    const auto sc = AdditiveShare(c, num_parties_, &rng_);
+    for (int p = 0; p < num_parties_; ++p) {
+      shares[static_cast<size_t>(p)][static_cast<size_t>(i)] =
+          BeaverTripleShare{sa[static_cast<size_t>(p)],
+                            sb[static_cast<size_t>(p)],
+                            sc[static_cast<size_t>(p)]};
+    }
+  }
+  return shares;
+}
+
+}  // namespace dash

@@ -1,0 +1,68 @@
+// Beaver multiplication triples over the ring Z_2^64.
+//
+// A triple is an additive sharing of (a, b, c = a*b) with a, b uniform.
+// Holding shares [x], [y], parties open the masked values d = x - a and
+// e = y - b (each uniform, so nothing leaks) and locally form
+//
+//   [x*y] = d*e + d*[b] + e*[a] + [c]       (d*e added by one party)
+//
+// which is an additive sharing of the product. This is the workhorse of
+// the paper's "more sophisticated SMC algorithm to only share ... two
+// dot products of K-vectors for each m" (§3): with multiplication on
+// shares, the parties never reveal QᵀX or Qᵀy themselves, only the
+// final projected scalars.
+//
+// Triples are produced by a trusted-dealer simulation (the standard
+// "offline phase" abstraction; production systems generate them with OT
+// or homomorphic encryption, which is orthogonal to the protocol above).
+
+#ifndef DASH_MPC_BEAVER_H_
+#define DASH_MPC_BEAVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dash {
+
+struct BeaverTripleShare {
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+};
+
+// Dealer-simulated triple source: Deal(n) returns, for each party, n
+// triple shares such that the per-index share sums satisfy c = a * b
+// (mod 2^64) with a, b uniform.
+class DealerTripleProvider {
+ public:
+  // num_parties >= 1; seed drives the dealer's randomness.
+  DealerTripleProvider(int num_parties, uint64_t seed);
+
+  // shares[p][i] is party p's share of triple i.
+  std::vector<std::vector<BeaverTripleShare>> Deal(int64_t count);
+
+  int num_parties() const { return num_parties_; }
+
+ private:
+  int num_parties_;
+  Rng rng_;
+};
+
+// Local Beaver reconstruction step: given the OPENED d and e and this
+// party's triple share, returns the party's additive share of x*y.
+// `include_de` must be true for exactly one party (it contributes the
+// public d*e term).
+inline uint64_t BeaverProductShare(uint64_t d, uint64_t e,
+                                   const BeaverTripleShare& t,
+                                   bool include_de) {
+  uint64_t share = d * t.b + e * t.a + t.c;
+  if (include_de) share += d * e;
+  return share;
+}
+
+}  // namespace dash
+
+#endif  // DASH_MPC_BEAVER_H_

@@ -1,0 +1,28 @@
+#include "mpc/key_exchange.h"
+
+#include "mpc/prime_field.h"
+
+namespace dash {
+
+uint64_t DiffieHellman::GeneratePrivate(Rng* rng) {
+  for (;;) {
+    const uint64_t a = FieldUniform(rng);
+    if (a >= 1 && a < kFieldPrime - 1) return a;
+  }
+}
+
+uint64_t DiffieHellman::PublicValue(uint64_t private_key) {
+  return FieldPow(kGenerator, private_key);
+}
+
+uint64_t DiffieHellman::SharedSecret(uint64_t private_key,
+                                     uint64_t peer_public) {
+  return FieldPow(peer_public, private_key);
+}
+
+ChaCha20Rng::Key DiffieHellman::DeriveKey(uint64_t shared_secret) {
+  // SplitMix expansion of the group element into 256 bits.
+  return ChaCha20Rng::KeyFromSeed(shared_secret);
+}
+
+}  // namespace dash

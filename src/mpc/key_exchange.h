@@ -1,0 +1,41 @@
+// Pairwise key agreement for the masked-aggregation secure sum.
+//
+// Classic Diffie-Hellman over the multiplicative group of F_p,
+// p = 2^61 - 1, generator 3: each party publishes g^a; a pair (i, j)
+// derives the shared ChaCha20 key from (g^{a_j})^{a_i} = g^{a_i a_j}.
+//
+// NOTE on security level: a 61-bit group is appropriate for this
+// simulation substrate (it exercises the real protocol flow and byte
+// costs); a production deployment would swap in X25519. The protocol
+// layers above are agnostic to the key-agreement mechanism.
+
+#ifndef DASH_MPC_KEY_EXCHANGE_H_
+#define DASH_MPC_KEY_EXCHANGE_H_
+
+#include <cstdint>
+
+#include "util/chacha20.h"
+#include "util/random.h"
+
+namespace dash {
+
+class DiffieHellman {
+ public:
+  static constexpr uint64_t kGenerator = 3;
+
+  // Samples a private exponent in [1, p-1).
+  static uint64_t GeneratePrivate(Rng* rng);
+
+  // g^private mod p.
+  static uint64_t PublicValue(uint64_t private_key);
+
+  // (peer_public)^private mod p.
+  static uint64_t SharedSecret(uint64_t private_key, uint64_t peer_public);
+
+  // Expands the shared group element into a 256-bit ChaCha20 key.
+  static ChaCha20Rng::Key DeriveKey(uint64_t shared_secret);
+};
+
+}  // namespace dash
+
+#endif  // DASH_MPC_KEY_EXCHANGE_H_

@@ -1,0 +1,27 @@
+#include "mpc/masked_aggregation.h"
+
+#include "util/check.h"
+
+namespace dash {
+
+std::vector<uint64_t> ApplyPairwiseMasks(
+    int party_index, const std::vector<uint64_t>& values,
+    const std::vector<ChaCha20Rng::Key>& pairwise_keys, uint64_t round_nonce) {
+  const int num_parties = static_cast<int>(pairwise_keys.size());
+  DASH_CHECK(0 <= party_index && party_index < num_parties);
+  std::vector<uint64_t> out = values;
+  for (int q = 0; q < num_parties; ++q) {
+    if (q == party_index) continue;
+    // Both endpoints derive the same stream from the shared key and the
+    // round nonce; the lower-indexed party adds, the higher subtracts.
+    ChaCha20Rng prg(pairwise_keys[static_cast<size_t>(q)], round_nonce);
+    if (party_index < q) {
+      for (auto& v : out) v += prg.NextU64();
+    } else {
+      for (auto& v : out) v -= prg.NextU64();
+    }
+  }
+  return out;
+}
+
+}  // namespace dash

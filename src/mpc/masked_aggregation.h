@@ -1,0 +1,36 @@
+// Pairwise-masked aggregation (Bonawitz et al. style secure sum).
+//
+// Each ordered pair (i, j), i < j, shares a ChaCha20 key k_ij. Party i
+// adds PRG(k_ij) to its ring-encoded contribution and party j subtracts
+// the identical stream, so all masks cancel in the sum:
+//
+//   masked_p = v_p + sum_{q > p} PRG(k_pq) - sum_{q < p} PRG(k_qp)
+//   sum_p masked_p = sum_p v_p  (mod 2^64)
+//
+// A single broadcast of masked_p per party then reveals only the total —
+// one message per party per sum, the cheapest of the secure modes.
+//
+// `round_nonce` must change between protocol invocations that reuse the
+// same pairwise keys; it selects a fresh ChaCha20 stream so masks are
+// never reused.
+
+#ifndef DASH_MPC_MASKED_AGGREGATION_H_
+#define DASH_MPC_MASKED_AGGREGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/chacha20.h"
+
+namespace dash {
+
+// Applies party `party_index`'s masks for one aggregation round.
+// pairwise_keys[q] is the key shared with party q (entry `party_index`
+// itself is ignored). Returns values + masks (wrapping).
+std::vector<uint64_t> ApplyPairwiseMasks(
+    int party_index, const std::vector<uint64_t>& values,
+    const std::vector<ChaCha20Rng::Key>& pairwise_keys, uint64_t round_nonce);
+
+}  // namespace dash
+
+#endif  // DASH_MPC_MASKED_AGGREGATION_H_

@@ -1,0 +1,208 @@
+#include "mpc/secure_projection.h"
+
+#include <cmath>
+#include <string>
+
+#include "net/serialization.h"
+#include "util/check.h"
+
+namespace dash {
+namespace {
+
+// Encodes a double with `frac_bits` fractional bits into the ring.
+inline uint64_t RingEncode(double v, double scale) {
+  return static_cast<uint64_t>(static_cast<int64_t>(std::llround(v * scale)));
+}
+
+// Decodes a ring value carrying 2*frac_bits fractional bits.
+inline double RingDecodeProduct(uint64_t v, double inv_scale2) {
+  return static_cast<double>(static_cast<int64_t>(v)) * inv_scale2;
+}
+
+}  // namespace
+
+SecureProjectedAggregation::SecureProjectedAggregation(
+    Network* network, const SecureProjectionOptions& options)
+    : network_(network), options_(options),
+      dealer_(network->num_parties(), options.seed) {
+  DASH_CHECK(network != nullptr);
+  DASH_CHECK(options.frac_bits >= 1 && options.frac_bits <= 30)
+      << "frac_bits=" << options.frac_bits;
+}
+
+Result<ProjectedStats> SecureProjectedAggregation::Run(
+    const std::vector<Vector>& qty_summands,
+    const std::vector<Matrix>& qtx_summands) {
+  const int p = network_->num_parties();
+  if (static_cast<int>(qty_summands.size()) != p ||
+      static_cast<int>(qtx_summands.size()) != p) {
+    return InvalidArgumentError("expected one summand per party");
+  }
+  const int64_t k = static_cast<int64_t>(qty_summands[0].size());
+  const int64_t m = qtx_summands[0].cols();
+  for (int i = 0; i < p; ++i) {
+    if (static_cast<int64_t>(qty_summands[static_cast<size_t>(i)].size()) != k ||
+        qtx_summands[static_cast<size_t>(i)].rows() != k ||
+        qtx_summands[static_cast<size_t>(i)].cols() != m) {
+      return InvalidArgumentError("summand shapes disagree across parties");
+    }
+  }
+  if (k == 0) {
+    ProjectedStats empty;
+    empty.qtx_qty.assign(static_cast<size_t>(m), 0.0);
+    empty.qtx_qtx.assign(static_cast<size_t>(m), 0.0);
+    return empty;
+  }
+
+  // Headroom: the opened products sum K terms of (P * bound)^2 * 2^(2f);
+  // require the worst case to stay inside the signed 63-bit range.
+  const double scale = std::ldexp(1.0, options_.frac_bits);
+  const double inv_scale2 = std::ldexp(1.0, -2 * options_.frac_bits);
+  const double bound =
+      std::sqrt(std::ldexp(1.0, 62 - 2 * options_.frac_bits) /
+                static_cast<double>(k)) /
+      static_cast<double>(p);
+  for (int i = 0; i < p; ++i) {
+    double worst = MaxAbs(qty_summands[static_cast<size_t>(i)]);
+    for (int64_t e = 0; e < qtx_summands[static_cast<size_t>(i)].size(); ++e) {
+      worst = std::max(worst,
+                       std::fabs(qtx_summands[static_cast<size_t>(i)].data()[e]));
+    }
+    if (!(worst <= bound)) {
+      return OutOfRangeError(
+          "projected summand magnitude " + std::to_string(worst) +
+          " exceeds Beaver fixed-point headroom " + std::to_string(bound) +
+          "; lower frac_bits");
+    }
+  }
+
+  // Multiplication layout (all element-wise, summed locally afterwards):
+  //   [0, K)                   : qty_k   * qty_k
+  //   [K + m*2K, K + m*2K + K) : qtx_km  * qty_k
+  //   [... + K, ... + 2K)      : qtx_km  * qtx_km
+  const int64_t total_mults = k + 2 * k * m;
+  const auto triples = dealer_.Deal(total_mults);
+
+  // Per-party ring encodings of the (x, y) operands per multiplication.
+  const auto operands_for = [&](int party, int64_t mult,
+                                uint64_t* x, uint64_t* y) {
+    const Vector& qty = qty_summands[static_cast<size_t>(party)];
+    const Matrix& qtx = qtx_summands[static_cast<size_t>(party)];
+    if (mult < k) {
+      const uint64_t u = RingEncode(qty[static_cast<size_t>(mult)], scale);
+      *x = u;
+      *y = u;
+      return;
+    }
+    const int64_t rem = mult - k;
+    const int64_t col = rem / (2 * k);
+    const int64_t within = rem % (2 * k);
+    if (within < k) {
+      *x = RingEncode(qtx(within, col), scale);
+      *y = RingEncode(qty[static_cast<size_t>(within)], scale);
+    } else {
+      const uint64_t v = RingEncode(qtx(within - k, col), scale);
+      *x = v;
+      *y = v;
+    }
+  };
+
+  // Round 1: every party broadcasts its shares of d = x - a, e = y - b.
+  network_->BeginRound();
+  std::vector<std::vector<uint64_t>> de_shares(
+      static_cast<size_t>(p),
+      std::vector<uint64_t>(static_cast<size_t>(2 * total_mults)));
+  for (int i = 0; i < p; ++i) {
+    auto& mine = de_shares[static_cast<size_t>(i)];
+    for (int64_t t = 0; t < total_mults; ++t) {
+      uint64_t x = 0;
+      uint64_t y = 0;
+      operands_for(i, t, &x, &y);
+      const BeaverTripleShare& share =
+          triples[static_cast<size_t>(i)][static_cast<size_t>(t)];
+      mine[static_cast<size_t>(2 * t)] = x - share.a;
+      mine[static_cast<size_t>(2 * t + 1)] = y - share.b;
+    }
+    ByteWriter w;
+    w.PutU64Vector(mine);
+    DASH_RETURN_IF_ERROR(
+        network_->Broadcast(i, MessageTag::kMaskedValue, w.Take()));
+  }
+  // Open d, e (every party computes the same sums; we drain symmetric
+  // copies after computing the canonical view).
+  std::vector<uint64_t> opened(static_cast<size_t>(2 * total_mults), 0);
+  for (int i = 0; i < p; ++i) {
+    const auto& mine = de_shares[static_cast<size_t>(i)];
+    for (size_t e = 0; e < opened.size(); ++e) opened[e] += mine[e];
+  }
+  for (int to = 0; to < p; ++to) {
+    for (int from = 0; from < p; ++from) {
+      if (from == to) continue;
+      DASH_RETURN_IF_ERROR(
+          network_->Receive(to, from, MessageTag::kMaskedValue).status());
+    }
+  }
+
+  // Local: product shares, folded into each party's share of the three
+  // result families.
+  const size_t result_len = static_cast<size_t>(2 * m + 1);
+  std::vector<std::vector<uint64_t>> result_shares(
+      static_cast<size_t>(p), std::vector<uint64_t>(result_len, 0));
+  for (int i = 0; i < p; ++i) {
+    auto& mine = result_shares[static_cast<size_t>(i)];
+    const bool adds_de = (i == 0);
+    for (int64_t t = 0; t < total_mults; ++t) {
+      const uint64_t d = opened[static_cast<size_t>(2 * t)];
+      const uint64_t e = opened[static_cast<size_t>(2 * t + 1)];
+      const uint64_t prod = BeaverProductShare(
+          d, e, triples[static_cast<size_t>(i)][static_cast<size_t>(t)],
+          adds_de);
+      size_t slot;
+      if (t < k) {
+        slot = 0;  // qty.qty
+      } else {
+        const int64_t rem = t - k;
+        const int64_t col = rem / (2 * k);
+        slot = (rem % (2 * k) < k) ? static_cast<size_t>(1 + col)
+                                   : static_cast<size_t>(1 + m + col);
+      }
+      mine[slot] += prod;
+    }
+  }
+
+  // Round 2: open the results.
+  network_->BeginRound();
+  for (int i = 0; i < p; ++i) {
+    ByteWriter w;
+    w.PutU64Vector(result_shares[static_cast<size_t>(i)]);
+    DASH_RETURN_IF_ERROR(
+        network_->Broadcast(i, MessageTag::kPartialSum, w.Take()));
+  }
+  std::vector<uint64_t> totals(result_len, 0);
+  for (int i = 0; i < p; ++i) {
+    for (size_t e = 0; e < result_len; ++e) {
+      totals[e] += result_shares[static_cast<size_t>(i)][e];
+    }
+  }
+  for (int to = 0; to < p; ++to) {
+    for (int from = 0; from < p; ++from) {
+      if (from == to) continue;
+      DASH_RETURN_IF_ERROR(
+          network_->Receive(to, from, MessageTag::kPartialSum).status());
+    }
+  }
+
+  ProjectedStats out;
+  out.qty_qty = RingDecodeProduct(totals[0], inv_scale2);
+  out.qtx_qty.resize(static_cast<size_t>(m));
+  out.qtx_qtx.resize(static_cast<size_t>(m));
+  for (int64_t j = 0; j < m; ++j) {
+    out.qtx_qty[static_cast<size_t>(j)] =
+        RingDecodeProduct(totals[static_cast<size_t>(1 + j)], inv_scale2);
+    out.qtx_qtx[static_cast<size_t>(j)] =
+        RingDecodeProduct(totals[static_cast<size_t>(1 + m + j)], inv_scale2);
+  }
+  return out;
+}
+
+}  // namespace dash

@@ -1,0 +1,407 @@
+#include "mpc/secure_sum.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "mpc/additive_sharing.h"
+#include "mpc/key_exchange.h"
+#include "mpc/masked_aggregation.h"
+#include "mpc/prime_field.h"
+#include "mpc/shamir.h"
+#include "net/serialization.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace dash {
+
+const char* AggregationModeName(AggregationMode mode) {
+  switch (mode) {
+    case AggregationMode::kPublicShare:
+      return "public";
+    case AggregationMode::kAdditive:
+      return "additive";
+    case AggregationMode::kMasked:
+      return "masked";
+    case AggregationMode::kShamir:
+      return "shamir";
+  }
+  return "unknown";
+}
+
+SecureVectorSum::SecureVectorSum(Network* network,
+                                 const SecureSumOptions& options)
+    : network_(network), options_(options), codec_(options.frac_bits) {
+  DASH_CHECK(network != nullptr);
+  const int p = network->num_parties();
+  party_rngs_.reserve(static_cast<size_t>(p));
+  uint64_t seed_state = options.seed;
+  for (int i = 0; i < p; ++i) {
+    party_rngs_.emplace_back(SplitMix64(&seed_state));
+  }
+}
+
+Status SecureVectorSum::Setup() {
+  if (setup_done_) return Status::Ok();
+  const int p = network_->num_parties();
+  if (options_.mode == AggregationMode::kMasked && p > 1) {
+    // Diffie-Hellman: every party broadcasts g^a_p, then derives one key
+    // per peer. One 8-byte message per ordered pair.
+    network_->BeginRound();
+    std::vector<uint64_t> privates(static_cast<size_t>(p));
+    for (int i = 0; i < p; ++i) {
+      privates[static_cast<size_t>(i)] =
+          DiffieHellman::GeneratePrivate(&party_rngs_[static_cast<size_t>(i)]);
+      ByteWriter w;
+      w.PutU64(DiffieHellman::PublicValue(privates[static_cast<size_t>(i)]));
+      DASH_RETURN_IF_ERROR(
+          network_->Broadcast(i, MessageTag::kPublicKey, w.Take()));
+    }
+    pairwise_keys_.assign(
+        static_cast<size_t>(p),
+        std::vector<ChaCha20Rng::Key>(static_cast<size_t>(p)));
+    for (int i = 0; i < p; ++i) {
+      for (int q = 0; q < p; ++q) {
+        if (q == i) continue;
+        DASH_ASSIGN_OR_RETURN(Message msg,
+                              network_->Receive(i, q, MessageTag::kPublicKey));
+        ByteReader r(msg.payload);
+        DASH_ASSIGN_OR_RETURN(uint64_t peer_public, r.GetU64());
+        const uint64_t shared = DiffieHellman::SharedSecret(
+            privates[static_cast<size_t>(i)], peer_public);
+        pairwise_keys_[static_cast<size_t>(i)][static_cast<size_t>(q)] =
+            DiffieHellman::DeriveKey(shared);
+      }
+    }
+    DASH_LOG(Info) << "masked-aggregation key agreement complete for " << p
+                   << " parties";
+  }
+  setup_done_ = true;
+  return Status::Ok();
+}
+
+Status SecureVectorSum::ValidateInputs(
+    const std::vector<Vector>& inputs) const {
+  if (static_cast<int>(inputs.size()) != network_->num_parties()) {
+    return InvalidArgumentError(
+        "expected one input vector per party (" +
+        std::to_string(network_->num_parties()) + "), got " +
+        std::to_string(inputs.size()));
+  }
+  for (const auto& v : inputs) {
+    if (v.size() != inputs[0].size()) {
+      return InvalidArgumentError("party inputs disagree in length");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Vector> SecureVectorSum::Run(const std::vector<Vector>& inputs) {
+  DASH_RETURN_IF_ERROR(Setup());
+  DASH_RETURN_IF_ERROR(ValidateInputs(inputs));
+  if (network_->num_parties() == 1) return inputs[0];
+  ++round_nonce_;
+  switch (options_.mode) {
+    case AggregationMode::kPublicShare:
+      return RunPublic(inputs);
+    case AggregationMode::kAdditive:
+      return RunAdditive(inputs);
+    case AggregationMode::kMasked:
+      return RunMasked(inputs);
+    case AggregationMode::kShamir:
+      return RunShamir(inputs);
+  }
+  return InternalError("unknown aggregation mode");
+}
+
+Result<double> SecureVectorSum::RunScalar(const std::vector<double>& inputs) {
+  std::vector<Vector> wrapped(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) wrapped[i] = Vector{inputs[i]};
+  DASH_ASSIGN_OR_RETURN(Vector total, Run(wrapped));
+  return total[0];
+}
+
+Result<Vector> SecureVectorSum::RunPublic(const std::vector<Vector>& inputs) {
+  const int p = network_->num_parties();
+  network_->BeginRound();
+  for (int i = 0; i < p; ++i) {
+    ByteWriter w;
+    w.PutDoubleVector(inputs[static_cast<size_t>(i)]);
+    DASH_RETURN_IF_ERROR(
+        network_->Broadcast(i, MessageTag::kPlainStats, w.Take()));
+  }
+  // Every party computes the identical total; we return party 0's view.
+  Vector total = inputs[0];
+  for (int q = 1; q < p; ++q) {
+    DASH_ASSIGN_OR_RETURN(Message msg,
+                          network_->Receive(0, q, MessageTag::kPlainStats));
+    ByteReader r(msg.payload);
+    DASH_ASSIGN_OR_RETURN(Vector v, r.GetDoubleVector());
+    if (v.size() != total.size()) {
+      return InternalError("public-share length mismatch");
+    }
+    for (size_t e = 0; e < total.size(); ++e) total[e] += v[e];
+  }
+  // Drain the symmetric copies the other parties received.
+  for (int i = 1; i < p; ++i) {
+    for (int q = 0; q < p; ++q) {
+      if (q == i) continue;
+      DASH_RETURN_IF_ERROR(
+          network_->Receive(i, q, MessageTag::kPlainStats).status());
+    }
+  }
+  return total;
+}
+
+Result<Vector> SecureVectorSum::RunAdditive(const std::vector<Vector>& inputs) {
+  const int p = network_->num_parties();
+  const size_t len = inputs[0].size();
+
+  // Phase 1: share distribution. Party i keeps its own share and sends
+  // share j to party j.
+  network_->BeginRound();
+  std::vector<std::vector<uint64_t>> kept(static_cast<size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> encoded,
+                          codec_.EncodeVector(inputs[static_cast<size_t>(i)]));
+    auto shares =
+        AdditiveShareVector(encoded, p, &party_rngs_[static_cast<size_t>(i)]);
+    kept[static_cast<size_t>(i)] = std::move(shares[static_cast<size_t>(i)]);
+    for (int j = 0; j < p; ++j) {
+      if (j == i) continue;
+      ByteWriter w;
+      w.PutU64Vector(shares[static_cast<size_t>(j)]);
+      DASH_RETURN_IF_ERROR(
+          network_->Send(i, j, MessageTag::kAdditiveShare, w.Take()));
+    }
+  }
+
+  // Phase 2: each party sums the shares it holds and broadcasts the
+  // partial; partials are uniformly random individually.
+  network_->BeginRound();
+  std::vector<std::vector<uint64_t>> partials(static_cast<size_t>(p));
+  for (int j = 0; j < p; ++j) {
+    std::vector<uint64_t> partial = std::move(kept[static_cast<size_t>(j)]);
+    for (int i = 0; i < p; ++i) {
+      if (i == j) continue;
+      DASH_ASSIGN_OR_RETURN(
+          Message msg, network_->Receive(j, i, MessageTag::kAdditiveShare));
+      ByteReader r(msg.payload);
+      DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> share, r.GetU64Vector());
+      if (share.size() != len) {
+        return InternalError("additive share length mismatch");
+      }
+      for (size_t e = 0; e < len; ++e) partial[e] += share[e];
+    }
+    ByteWriter w;
+    w.PutU64Vector(partial);
+    DASH_RETURN_IF_ERROR(
+        network_->Broadcast(j, MessageTag::kPartialSum, w.Take()));
+    partials[static_cast<size_t>(j)] = std::move(partial);
+  }
+
+  // Phase 3: everyone sums the partials; we return party 0's view and
+  // drain the symmetric messages.
+  std::vector<uint64_t> total = partials[0];
+  for (int q = 1; q < p; ++q) {
+    DASH_ASSIGN_OR_RETURN(Message msg,
+                          network_->Receive(0, q, MessageTag::kPartialSum));
+    ByteReader r(msg.payload);
+    DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> partial, r.GetU64Vector());
+    for (size_t e = 0; e < len; ++e) total[e] += partial[e];
+  }
+  for (int i = 1; i < p; ++i) {
+    for (int q = 0; q < p; ++q) {
+      if (q == i) continue;
+      DASH_RETURN_IF_ERROR(
+          network_->Receive(i, q, MessageTag::kPartialSum).status());
+    }
+  }
+  return codec_.DecodeVector(total);
+}
+
+Result<Vector> SecureVectorSum::RunMasked(const std::vector<Vector>& inputs) {
+  const int p = network_->num_parties();
+  const size_t len = inputs[0].size();
+
+  // Single round: broadcast masked contributions.
+  network_->BeginRound();
+  for (int i = 0; i < p; ++i) {
+    DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> encoded,
+                          codec_.EncodeVector(inputs[static_cast<size_t>(i)]));
+    std::vector<uint64_t> masked = ApplyPairwiseMasks(
+        i, encoded, pairwise_keys_[static_cast<size_t>(i)], round_nonce_);
+    ByteWriter w;
+    w.PutU64Vector(masked);
+    DASH_RETURN_IF_ERROR(
+        network_->Broadcast(i, MessageTag::kMaskedValue, w.Take()));
+  }
+
+  // Every party sums all P masked vectors (its own included); the masks
+  // cancel pairwise. Party 0's view is returned, the rest drained.
+  DASH_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> own,
+      codec_.EncodeVector(inputs[0]));
+  std::vector<uint64_t> total =
+      ApplyPairwiseMasks(0, own, pairwise_keys_[0], round_nonce_);
+  for (int q = 1; q < p; ++q) {
+    DASH_ASSIGN_OR_RETURN(Message msg,
+                          network_->Receive(0, q, MessageTag::kMaskedValue));
+    ByteReader r(msg.payload);
+    DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> masked, r.GetU64Vector());
+    if (masked.size() != len) {
+      return InternalError("masked vector length mismatch");
+    }
+    for (size_t e = 0; e < len; ++e) total[e] += masked[e];
+  }
+  for (int i = 1; i < p; ++i) {
+    for (int q = 0; q < p; ++q) {
+      if (q == i) continue;
+      DASH_RETURN_IF_ERROR(
+          network_->Receive(i, q, MessageTag::kMaskedValue).status());
+    }
+  }
+  return codec_.DecodeVector(total);
+}
+
+Result<Vector> SecureVectorSum::RunShamir(const std::vector<Vector>& inputs) {
+  const int p = network_->num_parties();
+  const size_t len = inputs[0].size();
+  const int threshold =
+      (options_.shamir_threshold >= 0) ? options_.shamir_threshold
+                                       : (p - 1) / 2;
+  if (threshold >= p) {
+    return InvalidArgumentError("Shamir threshold must be < num parties");
+  }
+  // The 61-bit field offers less headroom than the 64-bit ring.
+  const double field_max =
+      std::ldexp(1.0, 60 - options_.frac_bits) / static_cast<double>(p);
+  for (const auto& v : inputs) {
+    for (const double x : v) {
+      if (!(x > -field_max && x < field_max)) {
+        return OutOfRangeError(
+            "input exceeds Shamir field headroom; lower frac_bits");
+      }
+    }
+  }
+
+  // Phase 1: distribute shares (party j gets the evaluation at x = j+1).
+  network_->BeginRound();
+  std::vector<std::vector<uint64_t>> held(
+      static_cast<size_t>(p), std::vector<uint64_t>(len, 0));
+  for (int i = 0; i < p; ++i) {
+    // Field-encode the fixed-point quantization of each element.
+    std::vector<uint64_t> encoded(len);
+    for (size_t e = 0; e < len; ++e) {
+      DASH_ASSIGN_OR_RETURN(uint64_t ring,
+                            codec_.TryEncode(inputs[static_cast<size_t>(i)][e]));
+      encoded[e] = FieldEncodeSigned(static_cast<int64_t>(ring));
+    }
+    DASH_ASSIGN_OR_RETURN(
+        auto shares,
+        ShamirSplitVector(encoded, p, threshold,
+                          &party_rngs_[static_cast<size_t>(i)]));
+    for (int j = 0; j < p; ++j) {
+      std::vector<uint64_t> ys(len);
+      for (size_t e = 0; e < len; ++e) ys[e] = shares[static_cast<size_t>(j)][e].y;
+      if (j == i) {
+        for (size_t e = 0; e < len; ++e) {
+          held[static_cast<size_t>(j)][e] =
+              FieldAdd(held[static_cast<size_t>(j)][e], ys[e]);
+        }
+      } else {
+        ByteWriter w;
+        w.PutU64Vector(ys);
+        DASH_RETURN_IF_ERROR(
+            network_->Send(i, j, MessageTag::kShamirShare, w.Take()));
+      }
+    }
+  }
+
+  // Fault injection: the last `dropouts` parties crash here — after
+  // their inputs were share-distributed, before contributing sum shares.
+  const int dropouts = options_.simulate_shamir_dropouts;
+  if (dropouts < 0 || (dropouts > 0 && p - dropouts < threshold + 1)) {
+    return InvalidArgumentError(
+        "cannot drop " + std::to_string(dropouts) + " of " +
+        std::to_string(p) + " parties at threshold " +
+        std::to_string(threshold) + "; need >= t+1 survivors");
+  }
+  const int survivors = p - dropouts;
+
+  // Phase 2: each surviving party sums the shares it holds (a share of
+  // the total by linearity) and broadcasts it to the other survivors.
+  network_->BeginRound();
+  for (int j = 0; j < survivors; ++j) {
+    for (int i = 0; i < p; ++i) {
+      if (i == j) continue;
+      DASH_ASSIGN_OR_RETURN(Message msg,
+                            network_->Receive(j, i, MessageTag::kShamirShare));
+      ByteReader r(msg.payload);
+      DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> ys, r.GetU64Vector());
+      if (ys.size() != len) return InternalError("Shamir share length mismatch");
+      for (size_t e = 0; e < len; ++e) {
+        held[static_cast<size_t>(j)][e] =
+            FieldAdd(held[static_cast<size_t>(j)][e], ys[e]);
+      }
+    }
+    ByteWriter w;
+    w.PutU64Vector(held[static_cast<size_t>(j)]);
+    const std::vector<uint8_t> payload = w.Take();
+    for (int to = 0; to < survivors; ++to) {
+      if (to == j) continue;
+      DASH_RETURN_IF_ERROR(
+          network_->Send(j, to, MessageTag::kPartialSum, payload));
+    }
+  }
+  // Crashed parties' queued incoming shares are abandoned, as they would
+  // be on a real network; drain them so the simulation's bookkeeping
+  // stays clean.
+  for (int j = survivors; j < p; ++j) {
+    for (int i = 0; i < p; ++i) {
+      if (i == j) continue;
+      while (network_->HasPending(j, i)) {
+        DASH_RETURN_IF_ERROR(
+            network_->Receive(j, i, MessageTag::kShamirShare).status());
+      }
+    }
+  }
+
+  // Phase 3: survivors reconstruct at x = 0 from their own evaluation
+  // points. The crashed parties' INPUTS are still in the total: every
+  // survivor's sum share already includes the shares those parties
+  // distributed in phase 1.
+  std::vector<uint64_t> xs(static_cast<size_t>(survivors));
+  for (int j = 0; j < survivors; ++j) xs[static_cast<size_t>(j)] = static_cast<uint64_t>(j) + 1;
+  DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> weights, LagrangeWeightsAtZero(xs));
+
+  std::vector<std::vector<uint64_t>> sum_shares(static_cast<size_t>(survivors));
+  sum_shares[0] = held[0];
+  for (int q = 1; q < survivors; ++q) {
+    DASH_ASSIGN_OR_RETURN(Message msg,
+                          network_->Receive(0, q, MessageTag::kPartialSum));
+    ByteReader r(msg.payload);
+    DASH_ASSIGN_OR_RETURN(sum_shares[static_cast<size_t>(q)], r.GetU64Vector());
+  }
+  for (int i = 1; i < survivors; ++i) {
+    for (int q = 0; q < survivors; ++q) {
+      if (q == i) continue;
+      DASH_RETURN_IF_ERROR(
+          network_->Receive(i, q, MessageTag::kPartialSum).status());
+    }
+  }
+
+  Vector result(len);
+  for (size_t e = 0; e < len; ++e) {
+    uint64_t acc = 0;
+    for (int j = 0; j < survivors; ++j) {
+      acc = FieldAdd(acc, FieldMul(weights[static_cast<size_t>(j)],
+                                   sum_shares[static_cast<size_t>(j)][e]));
+    }
+    const int64_t signed_ring = FieldDecodeSigned(acc);
+    result[e] = codec_.Decode(static_cast<uint64_t>(signed_ring));
+  }
+  return result;
+}
+
+}  // namespace dash

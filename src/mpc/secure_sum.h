@@ -1,0 +1,111 @@
+// Secure multi-party vector summation over the simulated network.
+//
+// This is the protocol the paper's §3 invokes to combine the parties'
+// sufficient-statistic summands "by computing their internal summands and
+// either sharing them to sum or by applying an SMC sum protocol which
+// only reveals the overall sum". Four interchangeable modes:
+//
+//  * kPublicShare — every party broadcasts its plaintext contribution;
+//    not secure, exact in doubles; the baseline the secure modes are
+//    measured against ("sharing them to sum").
+//  * kAdditive — each party additively secret-shares its fixed-point
+//    contribution among all parties; parties broadcast their share sums;
+//    only the total is revealed. Two vector rounds.
+//  * kMasked — pairwise ChaCha20 masks that cancel in the total
+//    (Bonawitz-style); one vector round after a one-time key agreement.
+//  * kShamir — Shamir sharing over F_(2^61-1) with threshold
+//    floor((P-1)/2); tolerates dropouts; two vector rounds.
+//
+// All modes reveal exactly the element-wise sum to every party and cost
+// O(length) bytes per link, independent of the per-party sample counts —
+// the communication property experiment E3 verifies.
+
+#ifndef DASH_MPC_SECURE_SUM_H_
+#define DASH_MPC_SECURE_SUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+#include "mpc/fixed_point.h"
+#include "net/network.h"
+#include "util/chacha20.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dash {
+
+enum class AggregationMode {
+  kPublicShare = 0,
+  kAdditive = 1,
+  kMasked = 2,
+  kShamir = 3,
+};
+
+// Stable name, e.g. "masked".
+const char* AggregationModeName(AggregationMode mode);
+
+struct SecureSumOptions {
+  AggregationMode mode = AggregationMode::kMasked;
+
+  // Fixed-point fractional bits for the ring/field encodings. Note the
+  // Shamir field is 61 bits wide, so its headroom is 2^(60 - frac_bits)
+  // rather than 2^(63 - frac_bits).
+  int frac_bits = FixedPointCodec::kDefaultFracBits;
+
+  // Shamir reconstruction threshold; -1 selects floor((P-1)/2).
+  int shamir_threshold = -1;
+
+  // Fault-injection: this many parties (the highest-indexed ones) crash
+  // after distributing their input shares but before broadcasting their
+  // sum shares. Shamir mode still recovers the full total — including
+  // the crashed parties' inputs — as long as
+  // P - dropouts >= threshold + 1; other modes cannot tolerate any.
+  int simulate_shamir_dropouts = 0;
+
+  // Seed for the per-party randomness (shares, masks, DH exponents).
+  uint64_t seed = 0xda5b;
+};
+
+// Drives all parties of the sum protocol in-process over `network`.
+// The object owns per-party state (RNGs, pairwise keys) so repeated
+// Run() calls reuse the one-time setup, as a long-lived deployment would.
+class SecureVectorSum {
+ public:
+  // `network` must outlive this object.
+  SecureVectorSum(Network* network, const SecureSumOptions& options);
+
+  // One-time setup. For kMasked this runs the Diffie-Hellman pairwise
+  // key agreement over the network; other modes are no-ops. Idempotent.
+  Status Setup();
+
+  // inputs[p] is party p's contribution; all must share one length.
+  // Returns the element-wise total, as revealed to every party.
+  // Runs Setup() on first use if the caller did not.
+  Result<Vector> Run(const std::vector<Vector>& inputs);
+
+  // Scalar convenience.
+  Result<double> RunScalar(const std::vector<double>& inputs);
+
+  const SecureSumOptions& options() const { return options_; }
+
+ private:
+  Status ValidateInputs(const std::vector<Vector>& inputs) const;
+  Result<Vector> RunPublic(const std::vector<Vector>& inputs);
+  Result<Vector> RunAdditive(const std::vector<Vector>& inputs);
+  Result<Vector> RunMasked(const std::vector<Vector>& inputs);
+  Result<Vector> RunShamir(const std::vector<Vector>& inputs);
+
+  Network* network_;
+  SecureSumOptions options_;
+  FixedPointCodec codec_;
+  std::vector<Rng> party_rngs_;
+  // pairwise_keys_[p][q]: key party p shares with party q (kMasked only).
+  std::vector<std::vector<ChaCha20Rng::Key>> pairwise_keys_;
+  uint64_t round_nonce_ = 0;
+  bool setup_done_ = false;
+};
+
+}  // namespace dash
+
+#endif  // DASH_MPC_SECURE_SUM_H_

@@ -1,0 +1,51 @@
+// Shamir secret sharing over F_p, p = 2^61 - 1.
+//
+// A secret s becomes the constant term of a uniformly random degree-t
+// polynomial f; party i (1-indexed evaluation point) receives f(i). Any
+// t+1 shares reconstruct s by Lagrange interpolation at 0; any t shares
+// reveal nothing. Compared with additive sharing this tolerates up to
+// n - (t+1) dropouts, at the cost of field arithmetic — experiment E8
+// measures the difference.
+
+#ifndef DASH_MPC_SHAMIR_H_
+#define DASH_MPC_SHAMIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dash {
+
+struct ShamirShare {
+  uint64_t x = 0;  // evaluation point (party index + 1), in F_p
+  uint64_t y = 0;  // polynomial value, in F_p
+};
+
+// Splits `secret` (an F_p element) into n shares with threshold t:
+// any t+1 shares reconstruct. Requires 0 <= t < n and secret < p.
+Result<std::vector<ShamirShare>> ShamirSplit(uint64_t secret, int n, int t,
+                                             Rng* rng);
+
+// Lagrange interpolation at 0 over the given shares (all x distinct,
+// at least one share). The caller must supply >= t+1 honest shares for a
+// correct result; the math itself only needs the points given.
+Result<uint64_t> ShamirReconstruct(const std::vector<ShamirShare>& shares);
+
+// Vector forms: result[j] holds party j's share of every element.
+Result<std::vector<std::vector<ShamirShare>>> ShamirSplitVector(
+    const std::vector<uint64_t>& secrets, int n, int t, Rng* rng);
+
+Result<std::vector<uint64_t>> ShamirReconstructVector(
+    const std::vector<std::vector<ShamirShare>>& share_vectors);
+
+// Lagrange basis weights at 0 for fixed evaluation points (all distinct,
+// nonzero): reconstruct(y) = sum_i weights[i] * y[i]. Precomputing these
+// turns per-element reconstruction into one multiply-add per share.
+Result<std::vector<uint64_t>> LagrangeWeightsAtZero(
+    const std::vector<uint64_t>& xs);
+
+}  // namespace dash
+
+#endif  // DASH_MPC_SHAMIR_H_

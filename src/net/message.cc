@@ -1,0 +1,29 @@
+#include "net/message.h"
+
+namespace dash {
+
+const char* MessageTagName(MessageTag tag) {
+  switch (tag) {
+    case MessageTag::kRFactor:
+      return "RFactor";
+    case MessageTag::kPlainStats:
+      return "PlainStats";
+    case MessageTag::kAdditiveShare:
+      return "AdditiveShare";
+    case MessageTag::kPartialSum:
+      return "PartialSum";
+    case MessageTag::kMaskedValue:
+      return "MaskedValue";
+    case MessageTag::kShamirShare:
+      return "ShamirShare";
+    case MessageTag::kPublicKey:
+      return "PublicKey";
+    case MessageTag::kAggregate:
+      return "Aggregate";
+    case MessageTag::kTreeR:
+      return "TreeR";
+  }
+  return "Unknown";
+}
+
+}  // namespace dash

@@ -1,0 +1,47 @@
+// Protocol message: a tagged byte payload between two parties.
+//
+// Tags disambiguate protocol phases so a mis-sequenced protocol fails
+// loudly (Receive checks the expected tag) instead of silently
+// misinterpreting bytes.
+
+#ifndef DASH_NET_MESSAGE_H_
+#define DASH_NET_MESSAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dash {
+
+// Wire-visible message tags used by the protocols in this library.
+enum class MessageTag : uint32_t {
+  kRFactor = 1,          // a party's K x K local R factor
+  kPlainStats = 2,       // plaintext sufficient-statistic contribution
+  kAdditiveShare = 3,    // one additive share of a secret vector
+  kPartialSum = 4,       // partial (share) sum during reveal
+  kMaskedValue = 5,      // PRG-masked contribution (masked aggregation)
+  kShamirShare = 6,      // Shamir share vector
+  kPublicKey = 7,        // Diffie-Hellman public value
+  kAggregate = 8,        // aggregated result broadcast
+  kTreeR = 9,            // tree-TSQR intermediate R factor
+};
+
+struct Message {
+  int from = -1;
+  int to = -1;
+  MessageTag tag = MessageTag::kPlainStats;
+  std::vector<uint8_t> payload;
+
+  // Bytes a real wire would carry: payload plus a fixed 16-byte header
+  // (from, to, tag, length).
+  size_t WireSize() const { return payload.size() + kHeaderBytes; }
+
+  static constexpr size_t kHeaderBytes = 16;
+};
+
+// Human-readable tag name for diagnostics.
+const char* MessageTagName(MessageTag tag);
+
+}  // namespace dash
+
+#endif  // DASH_NET_MESSAGE_H_

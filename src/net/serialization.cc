@@ -1,0 +1,104 @@
+#include "net/serialization.h"
+
+#include <bit>
+#include <cstring>
+#include <string>
+
+namespace dash {
+
+void ByteWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+void ByteWriter::PutDouble(double v) { PutU64(std::bit_cast<uint64_t>(v)); }
+
+void ByteWriter::PutU64Vector(const std::vector<uint64_t>& v) {
+  PutU64(v.size());
+  for (const uint64_t x : v) PutU64(x);
+}
+
+void ByteWriter::PutDoubleVector(const Vector& v) {
+  PutU64(v.size());
+  for (const double x : v) PutDouble(x);
+}
+
+void ByteWriter::PutMatrix(const Matrix& m) {
+  PutI64(m.rows());
+  PutI64(m.cols());
+  for (int64_t i = 0; i < m.size(); ++i) PutDouble(m.data()[i]);
+}
+
+Status ByteReader::Need(size_t n) const {
+  if (pos_ + n > buffer_.size()) {
+    return InvalidArgumentError("truncated message: need " +
+                                std::to_string(n) + " bytes, have " +
+                                std::to_string(buffer_.size() - pos_));
+  }
+  return Status::Ok();
+}
+
+Result<uint32_t> ByteReader::GetU32() {
+  DASH_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(buffer_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::GetU64() {
+  DASH_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buffer_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> ByteReader::GetI64() {
+  DASH_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ByteReader::GetDouble() {
+  DASH_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return std::bit_cast<double>(v);
+}
+
+Result<std::vector<uint64_t>> ByteReader::GetU64Vector() {
+  DASH_ASSIGN_OR_RETURN(uint64_t n, GetU64());
+  DASH_RETURN_IF_ERROR(Need(8 * n));
+  std::vector<uint64_t> out(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    out[i] = GetU64().value();
+  }
+  return out;
+}
+
+Result<Vector> ByteReader::GetDoubleVector() {
+  DASH_ASSIGN_OR_RETURN(uint64_t n, GetU64());
+  DASH_RETURN_IF_ERROR(Need(8 * n));
+  Vector out(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    out[i] = GetDouble().value();
+  }
+  return out;
+}
+
+Result<Matrix> ByteReader::GetMatrix() {
+  DASH_ASSIGN_OR_RETURN(int64_t rows, GetI64());
+  DASH_ASSIGN_OR_RETURN(int64_t cols, GetI64());
+  if (rows < 0 || cols < 0 || (cols > 0 && rows > (1LL << 40) / cols)) {
+    return InvalidArgumentError("implausible matrix shape in message");
+  }
+  DASH_RETURN_IF_ERROR(Need(8 * static_cast<size_t>(rows * cols)));
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = GetDouble().value();
+  return m;
+}
+
+}  // namespace dash

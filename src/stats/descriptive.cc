@@ -1,0 +1,39 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dash {
+
+double SampleVariance(const Vector& v) {
+  DASH_CHECK_GE(v.size(), 2u);
+  const double m = Mean(v);
+  double ss = 0.0;
+  for (const double x : v) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(v.size() - 1);
+}
+
+double SampleStdDev(const Vector& v) { return std::sqrt(SampleVariance(v)); }
+
+double PearsonCorrelation(const Vector& a, const Vector& b) {
+  DASH_CHECK_EQ(a.size(), b.size());
+  DASH_CHECK_GE(a.size(), 2u);
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  double sab = 0.0;
+  double saa = 0.0;
+  double sbb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  DASH_CHECK_GT(saa, 0.0);
+  DASH_CHECK_GT(sbb, 0.0);
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace dash

@@ -1,0 +1,21 @@
+// Descriptive statistics used by the workload generators and benches.
+
+#ifndef DASH_STATS_DESCRIPTIVE_H_
+#define DASH_STATS_DESCRIPTIVE_H_
+
+#include "linalg/vector_ops.h"
+
+namespace dash {
+
+// Unbiased sample variance (n-1 denominator). Requires size >= 2.
+double SampleVariance(const Vector& v);
+
+// sqrt(SampleVariance).
+double SampleStdDev(const Vector& v);
+
+// Pearson correlation; requires equal sizes >= 2 and nonzero variance.
+double PearsonCorrelation(const Vector& a, const Vector& b);
+
+}  // namespace dash
+
+#endif  // DASH_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,97 @@
+#include "stats/meta_analysis.h"
+
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace dash {
+namespace {
+
+Status ValidateInputs(const Vector& betas, const Vector& ses) {
+  if (betas.empty()) return InvalidArgumentError("no studies to combine");
+  if (betas.size() != ses.size()) {
+    return InvalidArgumentError("betas and standard errors disagree in size");
+  }
+  for (const double se : ses) {
+    if (!(se > 0.0) || !std::isfinite(se)) {
+      return InvalidArgumentError("standard errors must be finite and > 0");
+    }
+  }
+  return Status::Ok();
+}
+
+// Core inverse-variance combine with an optional between-study variance.
+MetaAnalysisResult Combine(const Vector& betas, const Vector& ses,
+                           double tau2) {
+  double wsum = 0.0;
+  double wbsum = 0.0;
+  for (size_t i = 0; i < betas.size(); ++i) {
+    const double w = 1.0 / (ses[i] * ses[i] + tau2);
+    wsum += w;
+    wbsum += w * betas[i];
+  }
+  MetaAnalysisResult out;
+  out.beta = wbsum / wsum;
+  out.se = std::sqrt(1.0 / wsum);
+  out.z = out.beta / out.se;
+  out.p_value = NormalTwoSidedPValue(out.z);
+  out.tau2 = tau2;
+  return out;
+}
+
+double CochranQ(const Vector& betas, const Vector& ses, double pooled_beta) {
+  double q = 0.0;
+  for (size_t i = 0; i < betas.size(); ++i) {
+    const double w = 1.0 / (ses[i] * ses[i]);
+    const double d = betas[i] - pooled_beta;
+    q += w * d * d;
+  }
+  return q;
+}
+
+}  // namespace
+
+Result<MetaAnalysisResult> FixedEffectMeta(const Vector& betas,
+                                           const Vector& standard_errors) {
+  DASH_RETURN_IF_ERROR(ValidateInputs(betas, standard_errors));
+  MetaAnalysisResult out = Combine(betas, standard_errors, /*tau2=*/0.0);
+  out.cochran_q = CochranQ(betas, standard_errors, out.beta);
+  const size_t p = betas.size();
+  out.q_p_value = (p > 1)
+                      ? ChiSquareSf(out.cochran_q, static_cast<double>(p - 1))
+                      : 1.0;
+  return out;
+}
+
+Result<MetaAnalysisResult> RandomEffectsMeta(const Vector& betas,
+                                             const Vector& standard_errors) {
+  DASH_RETURN_IF_ERROR(ValidateInputs(betas, standard_errors));
+  const size_t p = betas.size();
+  MetaAnalysisResult fixed = Combine(betas, standard_errors, /*tau2=*/0.0);
+  const double q = CochranQ(betas, standard_errors, fixed.beta);
+
+  // DerSimonian-Laird moment estimator of the between-study variance.
+  double tau2 = 0.0;
+  if (p > 1) {
+    double wsum = 0.0;
+    double w2sum = 0.0;
+    for (const double se : standard_errors) {
+      const double w = 1.0 / (se * se);
+      wsum += w;
+      w2sum += w * w;
+    }
+    const double denom = wsum - w2sum / wsum;
+    if (denom > 0.0) {
+      tau2 = (q - static_cast<double>(p - 1)) / denom;
+      if (tau2 < 0.0) tau2 = 0.0;
+    }
+  }
+
+  MetaAnalysisResult out = Combine(betas, standard_errors, tau2);
+  out.cochran_q = q;
+  out.q_p_value =
+      (p > 1) ? ChiSquareSf(q, static_cast<double>(p - 1)) : 1.0;
+  return out;
+}
+
+}  // namespace dash

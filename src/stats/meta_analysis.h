@@ -1,0 +1,41 @@
+// Meta-analysis of per-party estimates: the status-quo baseline.
+//
+// The paper motivates DASH by noting that without secure pooling,
+// "analysts typically have no recourse but to meta-analyze within-party
+// estimates, with loss of power due to noisy standard errors as well as
+// between-group heterogeneity (c.f. Simpson's paradox)". This module
+// implements that baseline so experiment E5 can quantify the gap:
+//  * fixed-effect inverse-variance weighting,
+//  * Cochran's Q heterogeneity statistic and its chi-square p-value,
+//  * DerSimonian-Laird random-effects as the standard remedy.
+
+#ifndef DASH_STATS_META_ANALYSIS_H_
+#define DASH_STATS_META_ANALYSIS_H_
+
+#include "linalg/vector_ops.h"
+#include "util/status.h"
+
+namespace dash {
+
+struct MetaAnalysisResult {
+  double beta = 0.0;      // combined effect estimate
+  double se = 0.0;        // standard error of the combined estimate
+  double z = 0.0;         // beta / se
+  double p_value = 0.0;   // two-sided normal p-value
+  double cochran_q = 0.0; // heterogeneity statistic (fixed-effect only)
+  double q_p_value = 1.0; // chi-square p-value of Q with P-1 dof
+  double tau2 = 0.0;      // between-study variance (random-effects only)
+};
+
+// Fixed-effect inverse-variance meta-analysis of per-party (beta_p, se_p).
+// Requires >= 1 study and strictly positive standard errors.
+Result<MetaAnalysisResult> FixedEffectMeta(const Vector& betas,
+                                           const Vector& standard_errors);
+
+// DerSimonian-Laird random-effects meta-analysis.
+Result<MetaAnalysisResult> RandomEffectsMeta(const Vector& betas,
+                                             const Vector& standard_errors);
+
+}  // namespace dash
+
+#endif  // DASH_STATS_META_ANALYSIS_H_

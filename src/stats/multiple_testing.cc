@@ -1,0 +1,87 @@
+#include "stats/multiple_testing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/distributions.h"
+#include "stats/special_functions.h"
+#include "util/check.h"
+
+namespace dash {
+
+Vector BonferroniAdjust(const Vector& p_values) {
+  int64_t m = 0;
+  for (const double p : p_values) m += !std::isnan(p);
+  Vector out(p_values.size());
+  for (size_t i = 0; i < p_values.size(); ++i) {
+    out[i] = std::isnan(p_values[i])
+                 ? p_values[i]
+                 : std::min(1.0, static_cast<double>(m) * p_values[i]);
+  }
+  return out;
+}
+
+Vector BenjaminiHochbergAdjust(const Vector& p_values) {
+  std::vector<size_t> finite;
+  for (size_t i = 0; i < p_values.size(); ++i) {
+    if (!std::isnan(p_values[i])) finite.push_back(i);
+  }
+  const double m = static_cast<double>(finite.size());
+  // Sort finite indices by p ascending.
+  std::sort(finite.begin(), finite.end(),
+            [&](size_t a, size_t b) { return p_values[a] < p_values[b]; });
+  Vector out(p_values.size(), std::nan(""));
+  // Step-up: adjusted[k] = min over j >= k of p_(j) * m / (j+1).
+  double running_min = 1.0;
+  for (size_t rank = finite.size(); rank-- > 0;) {
+    const size_t idx = finite[rank];
+    const double candidate =
+        p_values[idx] * m / static_cast<double>(rank + 1);
+    running_min = std::min(running_min, candidate);
+    out[idx] = std::min(1.0, running_min);
+  }
+  return out;
+}
+
+std::vector<int64_t> SignificantAt(const Vector& adjusted_p, double alpha) {
+  std::vector<int64_t> hits;
+  for (size_t i = 0; i < adjusted_p.size(); ++i) {
+    if (!std::isnan(adjusted_p[i]) && adjusted_p[i] < alpha) {
+      hits.push_back(static_cast<int64_t>(i));
+    }
+  }
+  return hits;
+}
+
+double StudentTQuantile(double p, double dof) {
+  DASH_CHECK(p > 0.0 && p < 1.0) << "p=" << p;
+  DASH_CHECK_GT(dof, 0.0);
+  if (p == 0.5) return 0.0;
+  // Normal start, then Newton on the exact CDF. The t density is
+  // log-concave, so this converges fast and monotonically near the root.
+  double x = NormalQuantile(p);
+  for (int iter = 0; iter < 100; ++iter) {
+    const double f = StudentTCdf(x, dof) - p;
+    // t density at x.
+    const double log_density =
+        LogGamma(0.5 * (dof + 1.0)) - LogGamma(0.5 * dof) -
+        0.5 * std::log(dof * M_PI) -
+        0.5 * (dof + 1.0) * std::log1p(x * x / dof);
+    const double density = std::exp(log_density);
+    const double step = f / density;
+    x -= step;
+    if (std::fabs(step) < 1e-13 * (1.0 + std::fabs(x))) break;
+  }
+  return x;
+}
+
+double ConfidenceHalfWidth(double se, int64_t dof, double level) {
+  DASH_CHECK(level > 0.0 && level < 1.0) << "level=" << level;
+  DASH_CHECK_GT(dof, 0);
+  const double t_crit =
+      StudentTQuantile(0.5 * (1.0 + level), static_cast<double>(dof));
+  return t_crit * se;
+}
+
+}  // namespace dash

@@ -1,0 +1,34 @@
+// Multiple-testing corrections for scan output: an M-variant scan is an
+// M-fold testing problem. Bonferroni family-wise control and
+// Benjamini-Hochberg FDR, plus the t quantile used for per-variant Wald
+// confidence intervals. NaN p-values (untestable variants) pass through
+// as NaN.
+
+#ifndef DASH_STATS_MULTIPLE_TESTING_H_
+#define DASH_STATS_MULTIPLE_TESTING_H_
+
+#include "linalg/vector_ops.h"
+#include "util/status.h"
+
+namespace dash {
+
+// min(1, m * p) per entry, m = number of finite p-values.
+Vector BonferroniAdjust(const Vector& p_values);
+
+// Benjamini-Hochberg step-up adjusted p-values (monotone, capped at 1).
+Vector BenjaminiHochbergAdjust(const Vector& p_values);
+
+// Indices with adjusted p < alpha (NaNs never selected).
+std::vector<int64_t> SignificantAt(const Vector& adjusted_p, double alpha);
+
+// Inverse CDF of Student t with `dof` degrees of freedom; p in (0, 1).
+// Newton iteration on the exact CDF from a normal-quantile start.
+double StudentTQuantile(double p, double dof);
+
+// Two-sided Wald interval half-width at the given confidence level
+// (e.g. 0.95): t_{(1+level)/2, dof} * se.
+double ConfidenceHalfWidth(double se, int64_t dof, double level);
+
+}  // namespace dash
+
+#endif  // DASH_STATS_MULTIPLE_TESTING_H_

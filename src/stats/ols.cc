@@ -1,0 +1,84 @@
+#include "stats/ols.h"
+
+#include <cmath>
+#include <string>
+
+#include "linalg/qr.h"
+#include "stats/distributions.h"
+
+namespace dash {
+
+Result<OlsFit> FitOls(const Matrix& design, const Vector& y) {
+  const int64_t n = design.rows();
+  const int64_t p = design.cols();
+  if (n != static_cast<int64_t>(y.size())) {
+    return InvalidArgumentError("design has " + std::to_string(n) +
+                                " rows but y has " +
+                                std::to_string(y.size()) + " entries");
+  }
+  if (n <= p) {
+    return InvalidArgumentError(
+        "OLS needs more observations than coefficients (n=" +
+        std::to_string(n) + ", p=" + std::to_string(p) + ")");
+  }
+
+  DASH_ASSIGN_OR_RETURN(QrDecomposition qr, ThinQr(design));
+  const Vector qty = TransposeMatVec(qr.q, y);
+  DASH_ASSIGN_OR_RETURN(Vector coef, SolveUpperTriangular(qr.r, qty));
+
+  // Residuals: y - Q Qᵀ y has the same norm as the residual because the
+  // fitted values are Q Qᵀ y.
+  const Vector fitted = MatVec(qr.q, qty);
+  double rss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double r = y[static_cast<size_t>(i)] - fitted[static_cast<size_t>(i)];
+    rss += r * r;
+  }
+
+  OlsFit fit;
+  fit.dof = n - p;
+  fit.rss = rss;
+  fit.sigma2 = rss / static_cast<double>(fit.dof);
+  fit.coefficients = std::move(coef);
+
+  // (AᵀA)^{-1} = R^{-1} R^{-T}; its diagonal entries are the squared row
+  // norms of R^{-1}.
+  DASH_ASSIGN_OR_RETURN(Matrix rinv, InvertUpperTriangular(qr.r));
+  fit.standard_errors.resize(static_cast<size_t>(p));
+  fit.t_statistics.resize(static_cast<size_t>(p));
+  fit.p_values.resize(static_cast<size_t>(p));
+  for (int64_t j = 0; j < p; ++j) {
+    double row_norm2 = 0.0;
+    for (int64_t k = j; k < p; ++k) row_norm2 += rinv(j, k) * rinv(j, k);
+    const double se = std::sqrt(fit.sigma2 * row_norm2);
+    const double t = fit.coefficients[static_cast<size_t>(j)] / se;
+    fit.standard_errors[static_cast<size_t>(j)] = se;
+    fit.t_statistics[static_cast<size_t>(j)] = t;
+    fit.p_values[static_cast<size_t>(j)] =
+        StudentTTwoSidedPValue(t, static_cast<double>(fit.dof));
+  }
+  return fit;
+}
+
+Result<SingleCoefficientFit> FitTransientCoefficient(const Vector& x,
+                                                     const Matrix& c,
+                                                     const Vector& y) {
+  if (static_cast<int64_t>(x.size()) != c.rows()) {
+    return InvalidArgumentError("x and C disagree on sample count");
+  }
+  Matrix design(c.rows(), c.cols() + 1);
+  for (int64_t i = 0; i < c.rows(); ++i) {
+    design(i, 0) = x[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < c.cols(); ++j) design(i, j + 1) = c(i, j);
+  }
+  DASH_ASSIGN_OR_RETURN(OlsFit fit, FitOls(design, y));
+  SingleCoefficientFit out;
+  out.beta = fit.coefficients[0];
+  out.standard_error = fit.standard_errors[0];
+  out.t_statistic = fit.t_statistics[0];
+  out.p_value = fit.p_values[0];
+  out.dof = fit.dof;
+  return out;
+}
+
+}  // namespace dash

@@ -1,0 +1,48 @@
+// Full multiple-regression OLS via QR: the "primary analysis" reference.
+//
+// This is the C++ analogue of the paper's §4 ground truth
+// `lm(y ~ X[,m] + C - 1)`: a dense least-squares fit returning per-
+// coefficient estimates, standard errors, t-statistics, and two-sided
+// p-values. The association scan is validated against it
+// coefficient-for-coefficient.
+
+#ifndef DASH_STATS_OLS_H_
+#define DASH_STATS_OLS_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace dash {
+
+struct OlsFit {
+  Vector coefficients;     // length p
+  Vector standard_errors;  // length p
+  Vector t_statistics;     // length p
+  Vector p_values;         // length p
+  double sigma2 = 0.0;     // residual variance estimate (RSS / dof)
+  double rss = 0.0;        // residual sum of squares
+  int64_t dof = 0;         // N - p
+};
+
+// Fits y ~ design (no implicit intercept; include a ones column if you
+// want one). Requires design.rows() == y.size(), rows > cols, and full
+// column rank; otherwise returns InvalidArgument / FailedPrecondition.
+Result<OlsFit> FitOls(const Matrix& design, const Vector& y);
+
+// Convenience used throughout tests: fits y ~ [x, C] and returns the fit
+// restricted to the x coefficient (index 0), matching the paper's scan
+// semantics for transient covariate x.
+struct SingleCoefficientFit {
+  double beta = 0.0;
+  double standard_error = 0.0;
+  double t_statistic = 0.0;
+  double p_value = 0.0;
+  int64_t dof = 0;
+};
+Result<SingleCoefficientFit> FitTransientCoefficient(const Vector& x,
+                                                     const Matrix& c,
+                                                     const Vector& y);
+
+}  // namespace dash
+
+#endif  // DASH_STATS_OLS_H_

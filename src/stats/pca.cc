@@ -1,0 +1,93 @@
+#include "stats/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "linalg/qr.h"
+#include "util/random.h"
+
+namespace dash {
+
+Result<PcaResult> TopPrincipalComponents(const Matrix& kernel, int64_t k,
+                                         const PcaOptions& options) {
+  const int64_t n = kernel.rows();
+  if (kernel.cols() != n) {
+    return InvalidArgumentError("kernel must be square");
+  }
+  if (k < 1 || k > n) {
+    return InvalidArgumentError("need 1 <= k <= N, got k=" + std::to_string(k));
+  }
+
+  // Random start with orthonormal columns.
+  Rng rng(options.seed);
+  Matrix v(n, k);
+  for (int64_t i = 0; i < v.size(); ++i) v.data()[i] = rng.Gaussian();
+  {
+    DASH_ASSIGN_OR_RETURN(QrDecomposition qr, ThinQr(v));
+    v = std::move(qr.q);
+  }
+
+  Vector prev(static_cast<size_t>(k), 0.0);
+  PcaResult out;
+  out.eigenvalues.assign(static_cast<size_t>(k), 0.0);
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    Matrix w = MatMul(kernel, v);
+    // Rayleigh quotients before re-orthonormalization.
+    for (int64_t j = 0; j < k; ++j) {
+      double num = 0.0;
+      for (int64_t i = 0; i < n; ++i) num += v(i, j) * w(i, j);
+      out.eigenvalues[static_cast<size_t>(j)] = num;
+    }
+    DASH_ASSIGN_OR_RETURN(QrDecomposition qr, ThinQr(w));
+    v = std::move(qr.q);
+    out.iterations = iter;
+
+    double worst_rel = 0.0;
+    for (int64_t j = 0; j < k; ++j) {
+      const double cur = out.eigenvalues[static_cast<size_t>(j)];
+      const double rel = std::fabs(cur - prev[static_cast<size_t>(j)]) /
+                         (std::fabs(cur) + 1e-30);
+      worst_rel = std::max(worst_rel, rel);
+    }
+    prev = out.eigenvalues;
+    if (worst_rel < options.tolerance) {
+      out.components = std::move(v);
+      // Descending eigenvalue order (subspace iteration converges that
+      // way already; enforce for safety).
+      for (int64_t a = 0; a < k; ++a) {
+        for (int64_t b = a + 1; b < k; ++b) {
+          if (out.eigenvalues[static_cast<size_t>(b)] >
+              out.eigenvalues[static_cast<size_t>(a)]) {
+            std::swap(out.eigenvalues[static_cast<size_t>(a)],
+                      out.eigenvalues[static_cast<size_t>(b)]);
+            for (int64_t i = 0; i < n; ++i) {
+              std::swap(out.components(i, a), out.components(i, b));
+            }
+          }
+        }
+      }
+      return out;
+    }
+  }
+  return InternalError("PCA subspace iteration did not converge");
+}
+
+double GenomicControlLambda(const Vector& t_statistics) {
+  // Median of chi-square with 1 dof.
+  constexpr double kChi1Median = 0.45493642311957185;
+  Vector chis;
+  chis.reserve(t_statistics.size());
+  for (const double t : t_statistics) {
+    if (!std::isnan(t)) chis.push_back(t * t);
+  }
+  DASH_CHECK(!chis.empty()) << "no finite t-statistics";
+  std::sort(chis.begin(), chis.end());
+  const size_t n = chis.size();
+  const double median = (n % 2 == 1)
+                            ? chis[n / 2]
+                            : 0.5 * (chis[n / 2 - 1] + chis[n / 2]);
+  return median / kChi1Median;
+}
+
+}  // namespace dash

@@ -1,0 +1,49 @@
+// Top-k principal components of a symmetric kernel (GRM / kinship).
+//
+// The paper's preface positions DASH as the regression half of secure
+// GWAS, with secure multiparty PCA (Cho, Wu, Berger 2018) supplying the
+// ancestry components used as permanent covariates. This module is the
+// plaintext PCA substitute for that substrate: subspace (block power)
+// iteration with QR re-orthonormalization, which is exactly the kind of
+// matrix iteration the secure PCA literature implements under MPC.
+//
+// Also provides the genomic-control inflation factor lambda_GC, the
+// standard diagnostic the population-structure experiment (example
+// `population_structure`) uses to show PCs de-confound the scan.
+
+#ifndef DASH_STATS_PCA_H_
+#define DASH_STATS_PCA_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace dash {
+
+struct PcaResult {
+  Vector eigenvalues;  // descending, length k
+  Matrix components;   // N x k, orthonormal columns
+  int iterations = 0;
+};
+
+struct PcaOptions {
+  int max_iterations = 500;
+  double tolerance = 1e-10;  // relative eigenvalue change per sweep
+  uint64_t seed = 0x9ca;
+};
+
+// Computes the k dominant eigenpairs of a symmetric PSD kernel.
+// Requires 1 <= k <= kernel.rows(). Reports Internal if the iteration
+// fails to converge within max_iterations (pathological spectra only).
+Result<PcaResult> TopPrincipalComponents(const Matrix& kernel, int64_t k,
+                                         const PcaOptions& options = {});
+
+// Genomic-control inflation factor: median(t²) / median(chi²_1).
+// ~1 for a calibrated scan, > 1 under confounding. NaN t-statistics are
+// skipped; requires at least one finite entry.
+double GenomicControlLambda(const Vector& t_statistics);
+
+}  // namespace dash
+
+#endif  // DASH_STATS_PCA_H_

@@ -1,0 +1,41 @@
+// ChaCha20 stream cipher (RFC 8439 block function) used as a
+// cryptographic PRG for pairwise masks in the secure-sum protocols.
+//
+// Two parties that share a 32-byte key derive identical mask streams, so
+// masks added by one party and subtracted by the other cancel exactly in
+// an aggregate. Key agreement is provided by mpc/key_exchange.h.
+
+#ifndef DASH_UTIL_CHACHA20_H_
+#define DASH_UTIL_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+
+namespace dash {
+
+// Deterministic cryptographic pseudo-random stream from a 256-bit key and
+// 64-bit stream id (mapped into the ChaCha20 nonce).
+class ChaCha20Rng {
+ public:
+  using Key = std::array<uint8_t, 32>;
+
+  ChaCha20Rng(const Key& key, uint64_t stream_id);
+
+  // Derives a Key from a 64-bit seed (for tests and simulations where a
+  // full key-exchange is not under test).
+  static Key KeyFromSeed(uint64_t seed);
+
+  // Next 64 pseudo-random bits of the keystream.
+  uint64_t NextU64();
+
+ private:
+  void Refill();
+
+  std::array<uint32_t, 16> state_;
+  std::array<uint32_t, 16> block_;
+  int next_word_ = 16;  // forces Refill on first use
+};
+
+}  // namespace dash
+
+#endif  // DASH_UTIL_CHACHA20_H_

@@ -1,0 +1,96 @@
+// Abort-on-failure assertion macros for programmer errors.
+//
+// DASH_CHECK and friends are always on; DASH_DCHECK compiles away in
+// NDEBUG builds. Failures print the condition, optional streamed message,
+// and source location, then abort. Use Status (util/status.h) for
+// recoverable errors instead.
+
+#ifndef DASH_UTIL_CHECK_H_
+#define DASH_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace dash {
+namespace internal_check {
+
+// Accumulates the streamed message and aborts on destruction.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* condition, const char* file, int line) {
+    stream_ << "DASH_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when the check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Lets the ternary in DASH_CHECK produce void on both branches while the
+// streamed message still binds (<< has higher precedence than &).
+class Voidify {
+ public:
+  void operator&(const CheckFailStream&) {}
+};
+
+}  // namespace internal_check
+}  // namespace dash
+
+#define DASH_CHECK(cond)                                   \
+  (cond) ? (void)0                                         \
+         : ::dash::internal_check::Voidify() &             \
+               ::dash::internal_check::CheckFailStream(    \
+                   #cond, __FILE__, __LINE__)
+
+// Binary comparison checks; evaluate operands once.
+#define DASH_CHECK_OP_(name, op, a, b)                                     \
+  do {                                                                     \
+    auto&& _dash_a = (a);                                                  \
+    auto&& _dash_b = (b);                                                  \
+    if (!(_dash_a op _dash_b)) {                                           \
+      ::dash::internal_check::CheckFailStream(#a " " #op " " #b, __FILE__, \
+                                              __LINE__)                    \
+          << "(" << _dash_a << " vs " << _dash_b << ") ";                  \
+    }                                                                      \
+  } while (false)
+
+#define DASH_CHECK_EQ(a, b) DASH_CHECK_OP_(EQ, ==, a, b)
+#define DASH_CHECK_NE(a, b) DASH_CHECK_OP_(NE, !=, a, b)
+#define DASH_CHECK_LT(a, b) DASH_CHECK_OP_(LT, <, a, b)
+#define DASH_CHECK_LE(a, b) DASH_CHECK_OP_(LE, <=, a, b)
+#define DASH_CHECK_GT(a, b) DASH_CHECK_OP_(GT, >, a, b)
+#define DASH_CHECK_GE(a, b) DASH_CHECK_OP_(GE, >=, a, b)
+
+#ifdef NDEBUG
+#define DASH_DCHECK(cond) \
+  while (false) ::dash::internal_check::NullStream()
+#define DASH_DCHECK_EQ(a, b) DASH_DCHECK((a) == (b))
+#define DASH_DCHECK_LT(a, b) DASH_DCHECK((a) < (b))
+#define DASH_DCHECK_LE(a, b) DASH_DCHECK((a) <= (b))
+#else
+#define DASH_DCHECK(cond) DASH_CHECK(cond)
+#define DASH_DCHECK_EQ(a, b) DASH_CHECK_EQ(a, b)
+#define DASH_DCHECK_LT(a, b) DASH_CHECK_LT(a, b)
+#define DASH_DCHECK_LE(a, b) DASH_CHECK_LE(a, b)
+#endif
+
+#endif  // DASH_UTIL_CHECK_H_

@@ -1,0 +1,45 @@
+// Leveled logging to stderr. Quiet by default (warnings and errors);
+// set SetLogLevel(LogLevel::kInfo) or DASH_LOG_LEVEL=info to see
+// protocol progress from the scan drivers.
+
+#ifndef DASH_UTIL_LOGGING_H_
+#define DASH_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dash {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets / reads the global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_log {
+
+// Emits on destruction if `level` passes the global threshold.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace dash
+
+#define DASH_LOG(level)                                          \
+  ::dash::internal_log::LogMessage(::dash::LogLevel::k##level,   \
+                                   __FILE__, __LINE__)
+
+#endif  // DASH_UTIL_LOGGING_H_

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation.
+//
+// Rng is a xoshiro256** generator (Blackman & Vigna) seeded through
+// SplitMix64, with helpers for the distributions the library needs.
+// It is fast and statistically strong but NOT cryptographic; secure
+// masking in src/mpc uses ChaCha20 (util/chacha20.h) instead.
+//
+// All generators are deterministic given their seed, which keeps tests,
+// benches, and the paper's seed-0 demo reproducible.
+
+#ifndef DASH_UTIL_RANDOM_H_
+#define DASH_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace dash {
+
+// Mixes a 64-bit value; used for seeding and hashing small integers.
+uint64_t SplitMix64(uint64_t* state);
+
+// xoshiro256** pseudo-random generator with distribution helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Raw 64 uniform bits.
+  uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double UniformDouble();
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  // Standard normal via Box-Muller (caches the second variate).
+  double Gaussian();
+
+  // Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Gamma(shape, 1) via Marsaglia-Tsang; requires shape > 0.
+  double Gamma(double shape);
+
+  // Beta(a, b) via two Gamma draws; requires a, b > 0. Used by the
+  // Balding-Nichols ancestry model in data/population_structure.h.
+  double Beta(double a, double b);
+
+  // Creates an independent generator derived from this one's stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace dash
+
+#endif  // DASH_UTIL_RANDOM_H_

@@ -1,0 +1,146 @@
+// Error model for the DASH library.
+//
+// The library does not use C++ exceptions. Recoverable errors (bad user
+// input, dimension mismatches, I/O failures) are reported through
+// dash::Status and dash::Result<T>; programmer errors abort through the
+// DASH_CHECK macros in util/check.h.
+//
+// Example:
+//   dash::Result<ScanResult> r = SecureScan::Run(parties, opts);
+//   if (!r.ok()) return r.status();
+//   Use(r.value());
+
+#ifndef DASH_UTIL_STATUS_H_
+#define DASH_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dash {
+
+// Canonical error codes, loosely following absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kFailedPrecondition = 2,
+  kOutOfRange = 3,
+  kNotFound = 4,
+  kAlreadyExists = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIoError = 8,
+};
+
+// Returns a stable human-readable name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+// A Status is either OK or carries an error code plus a message.
+// Statuses are cheap to copy and compare equal iff code and message match.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors mirroring absl.
+Status InvalidArgumentError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status IoError(std::string message);
+
+// Result<T> is a value-or-Status union (a minimal absl::StatusOr).
+// Accessing value() on an error result aborts via DASH_CHECK.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit so functions can `return value;` or
+  // `return SomeError(...);` without ceremony.
+  Result(T value) : status_(), value_(std::move(value)), has_value_(true) {}
+  Result(Status status) : status_(std::move(status)), has_value_(false) {
+    DASH_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DASH_CHECK(has_value_) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    DASH_CHECK(has_value_) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    DASH_CHECK(has_value_) << "Result::value() on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+  bool has_value_;
+};
+
+// Propagates an error Status from an expression, mirroring
+// RETURN_IF_ERROR in Google codebases.
+#define DASH_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::dash::Status _dash_status = (expr);            \
+    if (!_dash_status.ok()) return _dash_status;     \
+  } while (false)
+
+// Assigns the value of a Result expression or propagates its error:
+//   DASH_ASSIGN_OR_RETURN(auto q, ComputeQr(c));
+#define DASH_ASSIGN_OR_RETURN(lhs, expr)                        \
+  DASH_ASSIGN_OR_RETURN_IMPL_(                                  \
+      DASH_STATUS_CONCAT_(_dash_result, __LINE__), lhs, expr)
+
+#define DASH_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#define DASH_STATUS_CONCAT_INNER_(a, b) a##b
+#define DASH_STATUS_CONCAT_(a, b) DASH_STATUS_CONCAT_INNER_(a, b)
+
+}  // namespace dash
+
+#endif  // DASH_UTIL_STATUS_H_

@@ -1,0 +1,31 @@
+// Wall-clock timing for benches and protocol cost accounting.
+
+#ifndef DASH_UTIL_STOPWATCH_H_
+#define DASH_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dash {
+
+// Measures elapsed wall time from construction or the last Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dash
+
+#endif  // DASH_UTIL_STOPWATCH_H_

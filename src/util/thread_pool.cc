@@ -1,0 +1,83 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dash {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  DASH_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads - 1);
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push(std::move(fn));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  DASH_CHECK_LE(begin, end);
+  const int64_t total = end - begin;
+  if (total == 0) return;
+  const int64_t shards = std::min<int64_t>(num_threads_, total);
+  if (shards == 1) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t chunk = (total + shards - 1) / shards;
+  // The calling thread runs the first shard itself; the rest go to workers.
+  for (int64_t s = 1; s < shards; ++s) {
+    const int64_t lo = begin + s * chunk;
+    const int64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) continue;
+    Schedule([&fn, lo, hi] { fn(lo, hi); });
+  }
+  fn(begin, std::min(end, begin + chunk));
+  Wait();
+}
+
+}  // namespace dash

@@ -1,0 +1,62 @@
+// A fixed-size worker pool with a blocking ParallelFor.
+//
+// The association scan parallelizes over the M columns of X; ParallelFor
+// shards [begin, end) into contiguous chunks so each worker touches a
+// contiguous column range (cache friendly, matches the paper's
+// "columns of X distributed across machines with C total cores").
+//
+// A pool with num_threads == 1 runs everything inline on the caller,
+// which keeps single-core environments free of thread overhead.
+
+#ifndef DASH_UTIL_THREAD_POOL_H_
+#define DASH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dash {
+
+class ThreadPool {
+ public:
+  // Spawns num_threads - 1 workers (the calling thread participates in
+  // ParallelFor). Requires num_threads >= 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs fn(range_begin, range_end) over a partition of [begin, end) into
+  // at most num_threads contiguous chunks and blocks until all complete.
+  // fn must be safe to invoke concurrently on disjoint ranges.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  // Schedules fn on a worker; used by protocol drivers. Wait() joins all
+  // outstanding scheduled work.
+  void Schedule(std::function<void()> fn);
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::queue<std::function<void()>> queue_;
+  int64_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dash
+
+#endif  // DASH_UTIL_THREAD_POOL_H_

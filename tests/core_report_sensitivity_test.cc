@@ -1,0 +1,146 @@
+// Scan reports and leave-one-party-out sensitivity analysis.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/association_scan.h"
+#include "core/scan_report.h"
+#include "core/sensitivity.h"
+#include "data/genotype_generator.h"
+#include "util/random.h"
+
+namespace dash {
+namespace {
+
+ScanResult MakeScan(uint64_t seed, double effect = 0.6) {
+  Rng rng(seed);
+  const Matrix x = GaussianMatrix(300, 25, &rng);
+  const Matrix c = WithInterceptColumn(GaussianMatrix(300, 1, &rng));
+  Vector y(300);
+  for (int64_t i = 0; i < 300; ++i) {
+    y[static_cast<size_t>(i)] = effect * x(i, 7) + rng.Gaussian();
+  }
+  return AssociationScan(x, y, c).value();
+}
+
+TEST(ScanReportTest, ContainsTheEssentials) {
+  const ScanResult scan = MakeScan(1);
+  const std::string report = RenderScanReport(scan);
+  EXPECT_NE(report.find("variants tested : 25 of 25"), std::string::npos);
+  EXPECT_NE(report.find("degrees of freedom : 297"), std::string::npos);
+  EXPECT_NE(report.find("genomic control lambda"), std::string::npos);
+  EXPECT_NE(report.find("Bonferroni"), std::string::npos);
+  EXPECT_NE(report.find("top 10 hits"), std::string::npos);
+  // The planted hit leads the table.
+  const size_t table = report.find("top 10 hits");
+  const size_t first_row = report.find('\n', report.find("p (BH)"));
+  const std::string row = report.substr(first_row + 1, 12);
+  EXPECT_NE(row.find("7"), std::string::npos) << report;
+  (void)table;
+}
+
+TEST(ScanReportTest, CountsUntestableVariants) {
+  Rng rng(2);
+  Matrix x = GaussianMatrix(100, 5, &rng);
+  const Matrix c = WithInterceptColumn(GaussianMatrix(100, 1, &rng));
+  for (int64_t i = 0; i < 100; ++i) x(i, 2) = 1.0;  // constant vs intercept
+  const Vector y = GaussianVector(100, &rng);
+  const ScanResult scan = AssociationScan(x, y, c).value();
+  const std::string report = RenderScanReport(scan);
+  EXPECT_NE(report.find("4 of 5"), std::string::npos);
+  EXPECT_NE(report.find("(1 untestable)"), std::string::npos);
+}
+
+TEST(ScanReportTest, WritesToFile) {
+  const ScanResult scan = MakeScan(3);
+  const std::string path = testing::TempDir() + "/report.txt";
+  ASSERT_TRUE(WriteScanReport(scan, path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("DASH association scan report"),
+            std::string::npos);
+  std::remove(path.c_str());
+  EXPECT_FALSE(WriteScanReport(scan, "/no/such/dir/report.txt").ok());
+}
+
+struct Cohorts {
+  std::vector<CompressedStudy> accumulators;
+  Matrix x;
+  Vector y;
+  Matrix c;
+};
+
+// Three cohorts; the effect on variant 0 exists ONLY in cohort 2.
+Cohorts MakeDrivenCohorts(uint64_t seed) {
+  Rng rng(seed);
+  Cohorts out;
+  std::vector<Matrix> xs, cs;
+  for (int p = 0; p < 3; ++p) {
+    const int64_t n = 150;
+    Matrix x = GaussianMatrix(n, 8, &rng);
+    Matrix c(n, 1);
+    Vector y(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      c(i, 0) = 1.0;
+      const double effect = (p == 2) ? 1.0 : 0.0;
+      y[static_cast<size_t>(i)] = effect * x(i, 0) + rng.Gaussian();
+    }
+    out.accumulators.push_back(
+        CompressedStudy::Compress(x, Matrix::ColumnVector(y), c).value());
+    xs.push_back(x);
+    cs.push_back(c);
+    out.y.insert(out.y.end(), y.begin(), y.end());
+  }
+  out.x = VStack(xs);
+  out.c = VStack(cs);
+  return out;
+}
+
+TEST(LeaveOneOutTest, MatchesDirectScans) {
+  const Cohorts cohorts = MakeDrivenCohorts(4);
+  const LeaveOneOutResult loo =
+      LeaveOnePartyOut(cohorts.accumulators, 0, {0}).value();
+  ASSERT_EQ(loo.leave_out.size(), 3u);
+
+  // All-party scan matches direct.
+  const ScanResult direct =
+      AssociationScan(cohorts.x, cohorts.y, cohorts.c).value();
+  EXPECT_LT(MaxAbsDiff(loo.all_parties.beta, direct.beta), 1e-9);
+
+  // Leave-out-0 matches scanning cohorts 1+2 directly.
+  const Matrix x12 = SliceRows(cohorts.x, 150, 450);
+  const Matrix c12 = SliceRows(cohorts.c, 150, 450);
+  const Vector y12(cohorts.y.begin() + 150, cohorts.y.end());
+  const ScanResult direct12 = AssociationScan(x12, y12, c12).value();
+  EXPECT_LT(MaxAbsDiff(loo.leave_out[0].beta, direct12.beta), 1e-9);
+  EXPECT_EQ(loo.leave_out[0].dof, direct12.dof);
+}
+
+TEST(LeaveOneOutTest, IdentifiesTheDrivingCohort) {
+  const Cohorts cohorts = MakeDrivenCohorts(5);
+  const LeaveOneOutResult loo =
+      LeaveOnePartyOut(cohorts.accumulators, 0, {0}).value();
+  // Removing cohort 2 (the only one carrying the effect) moves beta[0]
+  // by far the most.
+  EXPECT_EQ(loo.MostInfluentialParty(0), 2);
+  EXPECT_GT(loo.Influence(2, 0), 3.0);
+  EXPECT_LT(loo.Influence(0, 0), loo.Influence(2, 0));
+  // A null variant has no standout cohort at that magnitude.
+  for (size_t p = 0; p < 3; ++p) {
+    EXPECT_LT(loo.Influence(p, 5), 3.0);
+  }
+}
+
+TEST(LeaveOneOutTest, Validation) {
+  const Cohorts cohorts = MakeDrivenCohorts(6);
+  EXPECT_FALSE(LeaveOnePartyOut({cohorts.accumulators[0]}, 0, {0}).ok());
+  EXPECT_FALSE(LeaveOnePartyOut(cohorts.accumulators, 9, {0}).ok());
+}
+
+}  // namespace
+}  // namespace dash

@@ -1,0 +1,128 @@
+#include "core/suff_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "data/genotype_generator.h"
+#include "linalg/qr.h"
+#include "util/random.h"
+
+namespace dash {
+namespace {
+
+struct Fixture {
+  Matrix x;
+  Vector y;
+  Matrix q;
+};
+
+Fixture MakeFixture(int64_t n, int64_t m, int64_t k, uint64_t seed) {
+  Rng rng(seed);
+  Fixture f;
+  f.x = GaussianMatrix(n, m, &rng);
+  f.y = GaussianVector(n, &rng);
+  f.q = ThinQr(GaussianMatrix(n, k, &rng)).value().q;
+  return f;
+}
+
+TEST(SuffStatsTest, MatchesDirectComputation) {
+  const Fixture f = MakeFixture(30, 8, 3, 1);
+  const ScanSufficientStats s = ComputeLocalStats(f.x, f.y, f.q);
+  EXPECT_EQ(s.num_samples, 30);
+  EXPECT_NEAR(s.yy, SquaredNorm(f.y), 1e-12);
+  EXPECT_LT(MaxAbsDiff(s.qty, TransposeMatVec(f.q, f.y)), 1e-12);
+  for (int64_t j = 0; j < 8; ++j) {
+    const Vector xj = f.x.Col(j);
+    EXPECT_NEAR(s.xy[static_cast<size_t>(j)], Dot(xj, f.y), 1e-12);
+    EXPECT_NEAR(s.xx[static_cast<size_t>(j)], SquaredNorm(xj), 1e-12);
+    const Vector qtxj = TransposeMatVec(f.q, xj);
+    for (int64_t kk = 0; kk < 3; ++kk) {
+      EXPECT_NEAR(s.qtx(kk, j), qtxj[static_cast<size_t>(kk)], 1e-12);
+    }
+  }
+}
+
+TEST(SuffStatsTest, SparseMatchesDense) {
+  GenotypeOptions geno;
+  geno.num_samples = 60;
+  geno.num_variants = 25;
+  geno.maf_min = 0.02;
+  geno.maf_max = 0.2;
+  geno.seed = 2;
+  const Matrix dense = GenerateGenotypes(geno);
+  const SparseColumnMatrix sparse = SparseColumnMatrix::FromDense(dense);
+  Rng rng(3);
+  const Vector y = GaussianVector(60, &rng);
+  const Matrix q = ThinQr(GaussianMatrix(60, 4, &rng)).value().q;
+
+  const ScanSufficientStats a = ComputeLocalStats(dense, y, q);
+  const ScanSufficientStats b = ComputeLocalStatsSparse(sparse, y, q);
+  EXPECT_EQ(a.num_samples, b.num_samples);
+  EXPECT_NEAR(a.yy, b.yy, 1e-12);
+  EXPECT_LT(MaxAbsDiff(a.qty, b.qty), 1e-12);
+  EXPECT_LT(MaxAbsDiff(a.xy, b.xy), 1e-12);
+  EXPECT_LT(MaxAbsDiff(a.xx, b.xx), 1e-12);
+  EXPECT_LT(MaxAbsDiff(a.qtx, b.qtx), 1e-12);
+}
+
+TEST(SuffStatsTest, ThreadedMatchesSerial) {
+  const Fixture f = MakeFixture(40, 33, 2, 4);
+  const ScanSufficientStats serial = ComputeLocalStats(f.x, f.y, f.q);
+  ThreadPool pool(4);
+  const ScanSufficientStats threaded = ComputeLocalStats(f.x, f.y, f.q, &pool);
+  EXPECT_LT(MaxAbsDiff(serial.xy, threaded.xy), 0.0 + 1e-15);
+  EXPECT_LT(MaxAbsDiff(serial.xx, threaded.xx), 0.0 + 1e-15);
+  EXPECT_LT(MaxAbsDiff(serial.qtx, threaded.qtx), 0.0 + 1e-15);
+}
+
+TEST(SuffStatsTest, AddAccumulatesAcrossBlocks) {
+  const Fixture a = MakeFixture(20, 5, 2, 5);
+  const Fixture b = MakeFixture(30, 5, 2, 6);
+  ScanSufficientStats sa = ComputeLocalStats(a.x, a.y, a.q);
+  const ScanSufficientStats sb = ComputeLocalStats(b.x, b.y, b.q);
+  const double yy_expected = sa.yy + sb.yy;
+  sa.Add(sb);
+  EXPECT_EQ(sa.num_samples, 50);
+  EXPECT_NEAR(sa.yy, yy_expected, 1e-12);
+}
+
+TEST(SuffStatsTest, AddIntoEmptyCopies) {
+  const Fixture a = MakeFixture(10, 4, 2, 7);
+  const ScanSufficientStats sa = ComputeLocalStats(a.x, a.y, a.q);
+  ScanSufficientStats acc;
+  acc.Add(sa);
+  EXPECT_EQ(acc.num_samples, sa.num_samples);
+  EXPECT_LT(MaxAbsDiff(acc.xy, sa.xy), 0.0 + 1e-15);
+}
+
+TEST(SuffStatsTest, FlattenUnflattenRoundTrips) {
+  const Fixture f = MakeFixture(15, 6, 3, 8);
+  const ScanSufficientStats s = ComputeLocalStats(f.x, f.y, f.q);
+  const Vector flat = FlattenStats(s);
+  EXPECT_EQ(flat.size(), static_cast<size_t>(1 + 3 + 2 * 6 + 3 * 6));
+  ScanSufficientStats back = UnflattenStats(flat, 6, 3).value();
+  back.num_samples = s.num_samples;
+  EXPECT_NEAR(back.yy, s.yy, 0.0);
+  EXPECT_LT(MaxAbsDiff(back.qty, s.qty), 0.0 + 1e-15);
+  EXPECT_LT(MaxAbsDiff(back.xy, s.xy), 0.0 + 1e-15);
+  EXPECT_LT(MaxAbsDiff(back.xx, s.xx), 0.0 + 1e-15);
+  EXPECT_LT(MaxAbsDiff(back.qtx, s.qtx), 0.0 + 1e-15);
+}
+
+TEST(SuffStatsTest, UnflattenRejectsWrongLength) {
+  EXPECT_FALSE(UnflattenStats(Vector(10), 6, 3).ok());
+}
+
+TEST(SuffStatsTest, ZeroCovariateCase) {
+  Rng rng(9);
+  const Matrix x = GaussianMatrix(10, 3, &rng);
+  const Vector y = GaussianVector(10, &rng);
+  const Matrix q(10, 0);
+  const ScanSufficientStats s = ComputeLocalStats(x, y, q);
+  EXPECT_EQ(s.num_covariates(), 0);
+  EXPECT_EQ(s.qtx.rows(), 0);
+  const Vector flat = FlattenStats(s);
+  EXPECT_TRUE(UnflattenStats(flat, 3, 0).ok());
+}
+
+}  // namespace
+}  // namespace dash

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/genotype_generator.h"
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+#include "linalg/qr.h"
+#include "util/random.h"
+
+namespace dash {
+namespace {
+
+Matrix RandomSpd(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  const Matrix a = GaussianMatrix(n + 5, n, &rng);
+  Matrix spd = TransposeMatMul(a, a);
+  // Nudge the diagonal to keep the spectrum well away from zero.
+  for (int64_t i = 0; i < n; ++i) spd(i, i) += 0.5;
+  return spd;
+}
+
+TEST(CholeskyTest, FactorsKnownMatrix) {
+  const Matrix a = {{4.0, 2.0}, {2.0, 5.0}};
+  const Matrix l = Cholesky(a).value();
+  EXPECT_DOUBLE_EQ(l(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(l(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(l(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(l(0, 1), 0.0);
+}
+
+TEST(CholeskyTest, ReconstructsRandomSpd) {
+  const Matrix a = RandomSpd(8, 1);
+  const Matrix l = Cholesky(a).value();
+  EXPECT_LT(MaxAbsDiff(MatMul(l, Transpose(l)), a), 1e-10);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  const Matrix a = {{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_EQ(Cholesky(a).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CholeskyTest, SolveSpdMatchesQrSolve) {
+  const Matrix a = RandomSpd(6, 2);
+  Rng rng(3);
+  const Vector b = GaussianVector(6, &rng);
+  const Vector x = SolveSpd(a, b).value();
+  const Vector ax = MatVec(a, x);
+  EXPECT_LT(MaxAbsDiff(ax, b), 1e-9);
+}
+
+TEST(CholeskyRelatesQrTest, RtREqualsGram) {
+  // RᵀR = AᵀA links the QR route and the Cholesky route; the online scan
+  // depends on this identity.
+  Rng rng(4);
+  const Matrix a = GaussianMatrix(20, 4, &rng);
+  const Matrix r = QrRFactor(a).value();
+  const Matrix gram = TransposeMatMul(a, a);
+  EXPECT_LT(MaxAbsDiff(TransposeMatMul(r, r), gram), 1e-10);
+  // And chol(AᵀA)ᵀ equals R thanks to the positive-diagonal convention.
+  const Matrix l = Cholesky(gram).value();
+  EXPECT_LT(MaxAbsDiff(Transpose(l), r), 1e-9);
+}
+
+TEST(JacobiEigenTest, DiagonalMatrixIsItsOwnSpectrum) {
+  Matrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const SymmetricEigen e = JacobiEigenSymmetric(a).value();
+  EXPECT_DOUBLE_EQ(e.eigenvalues[0], 1.0);
+  EXPECT_DOUBLE_EQ(e.eigenvalues[1], 2.0);
+  EXPECT_DOUBLE_EQ(e.eigenvalues[2], 3.0);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  const Matrix a = {{2.0, 1.0}, {1.0, 2.0}};  // eigenvalues 1 and 3
+  const SymmetricEigen e = JacobiEigenSymmetric(a).value();
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(JacobiEigenTest, ReconstructsRandomSymmetric) {
+  const Matrix a = RandomSpd(10, 5);
+  const SymmetricEigen e = JacobiEigenSymmetric(a).value();
+  // U diag(s) Uᵀ == A.
+  Matrix usu(10, 10);
+  for (int64_t i = 0; i < 10; ++i) {
+    for (int64_t j = 0; j < 10; ++j) {
+      double acc = 0.0;
+      for (int64_t k = 0; k < 10; ++k) {
+        acc += e.eigenvectors(i, k) * e.eigenvalues[static_cast<size_t>(k)] *
+               e.eigenvectors(j, k);
+      }
+      usu(i, j) = acc;
+    }
+  }
+  EXPECT_LT(MaxAbsDiff(usu, a), 1e-9);
+  // Eigenvectors orthonormal.
+  EXPECT_LT(MaxAbsDiff(TransposeMatMul(e.eigenvectors, e.eigenvectors),
+                       Matrix::Identity(10)),
+            1e-10);
+  // Sorted ascending.
+  for (size_t i = 1; i < e.eigenvalues.size(); ++i) {
+    EXPECT_LE(e.eigenvalues[i - 1], e.eigenvalues[i]);
+  }
+}
+
+TEST(JacobiEigenTest, SymmetrizesInput) {
+  // Mildly asymmetric input is treated as (A + Aᵀ)/2.
+  const Matrix a = {{1.0, 0.5 + 1e-13}, {0.5 - 1e-13, 1.0}};
+  const SymmetricEigen e = JacobiEigenSymmetric(a).value();
+  EXPECT_NEAR(e.eigenvalues[0], 0.5, 1e-9);
+  EXPECT_NEAR(e.eigenvalues[1], 1.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace dash

@@ -1,0 +1,179 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "data/genotype_generator.h"
+#include "linalg/vector_ops.h"
+#include "util/random.h"
+
+namespace dash {
+namespace {
+
+TEST(VectorOpsTest, DotAndNorms) {
+  const Vector a = {1.0, 2.0, 3.0};
+  const Vector b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(a), 14.0);
+  EXPECT_DOUBLE_EQ(Norm({3.0, 4.0}), 5.0);
+}
+
+TEST(VectorOpsTest, AxpyScaleAddSub) {
+  Vector y = {1.0, 1.0};
+  Axpy(2.0, {3.0, 4.0}, &y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+  Scale(0.5, &y);
+  EXPECT_DOUBLE_EQ(y[0], 3.5);
+  const Vector s = Add({1.0, 2.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s[1], 6.0);
+  const Vector d = Sub({1.0, 2.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(d[0], -2.0);
+}
+
+TEST(VectorOpsTest, MeanAndCenter) {
+  Vector v = {1.0, 2.0, 3.0, 6.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 3.0);
+  CenterInPlace(&v);
+  EXPECT_DOUBLE_EQ(Mean(v), 0.0);
+  EXPECT_DOUBLE_EQ(v[3], 3.0);
+}
+
+TEST(VectorOpsTest, MaxAbsDiff) {
+  const Vector a = {1.0, 2.0};
+  const Vector b = {1.5, 1.0};
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(MaxAbs({-3.0, 2.0}), 3.0);
+}
+
+TEST(MatrixTest, InitializerListAndAccess) {
+  const Matrix m = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+  EXPECT_EQ(m.Row(1), (Vector{3.0, 4.0}));
+  EXPECT_EQ(m.Col(0), (Vector{1.0, 3.0, 5.0}));
+}
+
+TEST(MatrixTest, SettersWork) {
+  Matrix m(2, 2);
+  m.SetRow(0, {1.0, 2.0});
+  m.SetCol(1, {7.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 8.0);
+}
+
+TEST(MatrixTest, IdentityAndEquality) {
+  const Matrix i = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 2), 0.0);
+  EXPECT_TRUE(i == Matrix::Identity(3));
+  EXPECT_FALSE(i == Matrix(3, 3));
+}
+
+TEST(MatrixTest, MatMulAgainstHandComputation) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, TransposeMatMulMatchesExplicit) {
+  Rng rng(3);
+  const Matrix a = GaussianMatrix(7, 4, &rng);
+  const Matrix b = GaussianMatrix(7, 5, &rng);
+  const Matrix direct = TransposeMatMul(a, b);
+  const Matrix via_transpose = MatMul(Transpose(a), b);
+  EXPECT_LT(MaxAbsDiff(direct, via_transpose), 1e-12);
+}
+
+TEST(MatrixTest, MatVecAndTransposeMatVec) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Vector x = {1.0, -1.0};
+  const Vector ax = MatVec(a, x);
+  EXPECT_EQ(ax, (Vector{-1.0, -1.0, -1.0}));
+  const Vector y = {1.0, 0.0, 2.0};
+  const Vector aty = TransposeMatVec(a, y);
+  EXPECT_EQ(aty, (Vector{11.0, 14.0}));
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(5);
+  const Matrix a = GaussianMatrix(6, 3, &rng);
+  EXPECT_LT(MaxAbsDiff(Transpose(Transpose(a)), a), 0.0 + 1e-15);
+}
+
+TEST(MatrixTest, AddSubScale) {
+  const Matrix a = {{1.0, 2.0}};
+  const Matrix b = {{3.0, 5.0}};
+  EXPECT_DOUBLE_EQ(MatAdd(a, b)(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(MatSub(a, b)(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(MatScale(2.0, a)(0, 1), 4.0);
+}
+
+TEST(MatrixTest, VStackAndSlices) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = {{5.0, 6.0}};
+  const Matrix s = VStack({a, b});
+  EXPECT_EQ(s.rows(), 3);
+  EXPECT_DOUBLE_EQ(s(2, 0), 5.0);
+  const Matrix top = SliceRows(s, 0, 2);
+  EXPECT_TRUE(top == a);
+  const Matrix right = SliceCols(s, 1, 2);
+  EXPECT_EQ(right.cols(), 1);
+  EXPECT_DOUBLE_EQ(right(2, 0), 6.0);
+}
+
+TEST(MatrixTest, WithInterceptColumn) {
+  const Matrix a = {{2.0}, {3.0}};
+  const Matrix w = WithInterceptColumn(a);
+  EXPECT_EQ(w.cols(), 2);
+  EXPECT_DOUBLE_EQ(w(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(w(1, 1), 3.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  const Matrix a = {{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(FrobeniusNorm(a), 5.0);
+}
+
+TEST(MatrixTest, CenterColumns) {
+  Matrix a = {{1.0, 10.0}, {3.0, 30.0}};
+  CenterColumnsInPlace(&a);
+  EXPECT_DOUBLE_EQ(a(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 10.0);
+}
+
+TEST(MatrixTest, ColumnVector) {
+  const Matrix m = Matrix::ColumnVector({1.0, 2.0});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 1);
+  EXPECT_DOUBLE_EQ(m(1, 0), 2.0);
+}
+
+// Property sweep: (AB)C == A(BC) across shapes.
+class MatMulAssociativityTest
+    : public testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(MatMulAssociativityTest, Associative) {
+  const auto [n, m, k, l] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 1000 + m * 100 + k * 10 + l));
+  const Matrix a = GaussianMatrix(n, m, &rng);
+  const Matrix b = GaussianMatrix(m, k, &rng);
+  const Matrix c = GaussianMatrix(k, l, &rng);
+  EXPECT_LT(MaxAbsDiff(MatMul(MatMul(a, b), c), MatMul(a, MatMul(b, c))),
+            1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatMulAssociativityTest,
+                         testing::Values(std::make_tuple(1, 1, 1, 1),
+                                         std::make_tuple(3, 4, 5, 2),
+                                         std::make_tuple(10, 1, 7, 3),
+                                         std::make_tuple(6, 6, 6, 6),
+                                         std::make_tuple(2, 9, 4, 8)));
+
+}  // namespace
+}  // namespace dash

@@ -1,0 +1,133 @@
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/genotype_generator.h"
+#include "util/random.h"
+
+namespace dash {
+namespace {
+
+// ||QᵀQ − I||_max
+double OrthonormalityError(const Matrix& q) {
+  const Matrix qtq = TransposeMatMul(q, q);
+  return MaxAbsDiff(qtq, Matrix::Identity(q.cols()));
+}
+
+TEST(ThinQrTest, ReconstructsKnownMatrix) {
+  const Matrix a = {{1.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}};
+  const QrDecomposition qr = ThinQr(a).value();
+  EXPECT_EQ(qr.q.rows(), 3);
+  EXPECT_EQ(qr.q.cols(), 2);
+  EXPECT_LT(MaxAbsDiff(MatMul(qr.q, qr.r), a), 1e-13);
+  EXPECT_LT(OrthonormalityError(qr.q), 1e-13);
+}
+
+TEST(ThinQrTest, RIsUpperTriangularWithPositiveDiagonal) {
+  Rng rng(1);
+  const Matrix a = GaussianMatrix(20, 5, &rng);
+  const Matrix r = ThinQr(a).value().r;
+  for (int64_t i = 0; i < r.rows(); ++i) {
+    EXPECT_GT(r(i, i), 0.0);
+    for (int64_t j = 0; j < i; ++j) EXPECT_DOUBLE_EQ(r(i, j), 0.0);
+  }
+}
+
+TEST(ThinQrTest, RFactorOnlyMatchesFullDecomposition) {
+  Rng rng(2);
+  const Matrix a = GaussianMatrix(30, 4, &rng);
+  const Matrix r_full = ThinQr(a).value().r;
+  const Matrix r_only = QrRFactor(a).value();
+  EXPECT_LT(MaxAbsDiff(r_full, r_only), 1e-12);
+}
+
+TEST(ThinQrTest, RejectsWideMatrix) {
+  const auto result = ThinQr(Matrix(2, 5));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ThinQrTest, RejectsZeroColumns) {
+  EXPECT_FALSE(ThinQr(Matrix(5, 0)).ok());
+}
+
+TEST(ThinQrTest, DetectsRankDeficiency) {
+  // Second column is twice the first.
+  Matrix a(5, 2);
+  for (int64_t i = 0; i < 5; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * static_cast<double>(i + 1);
+  }
+  const auto result = ThinQr(a);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ThinQrTest, RUniquenessUnderRowOrthogonalTransform) {
+  // R depends only on AᵀA, so any reordering of rows leaves it fixed.
+  Rng rng(3);
+  const Matrix a = GaussianMatrix(12, 3, &rng);
+  Matrix shuffled(12, 3);
+  // Reverse the rows.
+  for (int64_t i = 0; i < 12; ++i) {
+    for (int64_t j = 0; j < 3; ++j) shuffled(i, j) = a(11 - i, j);
+  }
+  EXPECT_LT(MaxAbsDiff(QrRFactor(a).value(), QrRFactor(shuffled).value()),
+            1e-12);
+}
+
+TEST(TriangularSolveTest, UpperSolveKnownSystem) {
+  const Matrix r = {{2.0, 1.0}, {0.0, 4.0}};
+  const Vector x = SolveUpperTriangular(r, {5.0, 8.0}).value();
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[0], 1.5);
+}
+
+TEST(TriangularSolveTest, LowerSolveKnownSystem) {
+  const Matrix l = {{2.0, 0.0}, {1.0, 4.0}};
+  const Vector x = SolveLowerTriangular(l, {4.0, 10.0}).value();
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(TriangularSolveTest, SingularSystemsFail) {
+  const Matrix r = {{1.0, 1.0}, {0.0, 0.0}};
+  EXPECT_EQ(SolveUpperTriangular(r, {1.0, 1.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+  const Matrix l = {{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_FALSE(SolveLowerTriangular(l, {1.0, 1.0}).ok());
+}
+
+TEST(InvertUpperTriangularTest, ProducesInverse) {
+  Rng rng(4);
+  const Matrix a = GaussianMatrix(10, 4, &rng);
+  const Matrix r = QrRFactor(a).value();
+  const Matrix rinv = InvertUpperTriangular(r).value();
+  EXPECT_LT(MaxAbsDiff(MatMul(r, rinv), Matrix::Identity(4)), 1e-12);
+  EXPECT_LT(MaxAbsDiff(MatMul(rinv, r), Matrix::Identity(4)), 1e-12);
+}
+
+// Property sweep over shapes: QR reproduces A, Q orthonormal, and
+// lifting C by R⁻¹ recovers Q (the party-local step of the protocol).
+class QrPropertyTest
+    : public testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(QrPropertyTest, DecompositionInvariants) {
+  const auto [n, k, seed] = GetParam();
+  Rng rng(seed);
+  const Matrix a = GaussianMatrix(n, k, &rng);
+  const QrDecomposition qr = ThinQr(a).value();
+  EXPECT_LT(MaxAbsDiff(MatMul(qr.q, qr.r), a), 1e-11);
+  EXPECT_LT(OrthonormalityError(qr.q), 1e-12);
+  const Matrix rinv = InvertUpperTriangular(qr.r).value();
+  EXPECT_LT(MaxAbsDiff(MatMul(a, rinv), qr.q), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrPropertyTest,
+    testing::Combine(testing::Values(5, 17, 64, 200),
+                     testing::Values(1, 2, 5),
+                     testing::Values(11u, 29u)));
+
+}  // namespace
+}  // namespace dash

@@ -1,0 +1,84 @@
+#include "linalg/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "data/genotype_generator.h"
+#include "util/random.h"
+
+namespace dash {
+namespace {
+
+TEST(SparseMatrixTest, FromDenseToDenseRoundTrip) {
+  const Matrix dense = {{0.0, 1.0, 0.0}, {2.0, 0.0, 0.0}, {0.0, 3.0, 4.0}};
+  const SparseColumnMatrix sparse = SparseColumnMatrix::FromDense(dense);
+  EXPECT_EQ(sparse.TotalNnz(), 4);
+  EXPECT_TRUE(sparse.ToDense() == dense);
+}
+
+TEST(SparseMatrixTest, DensityAndCounts) {
+  const Matrix dense = {{0.0, 1.0}, {2.0, 0.0}};
+  const SparseColumnMatrix sparse = SparseColumnMatrix::FromDense(dense);
+  EXPECT_DOUBLE_EQ(sparse.Density(), 0.5);
+  EXPECT_EQ(sparse.ColumnNnz(0), 1);
+  EXPECT_EQ(sparse.ColumnNnz(1), 1);
+  EXPECT_DOUBLE_EQ(SparseColumnMatrix(0, 0).Density(), 0.0);
+}
+
+TEST(SparseMatrixTest, ColumnKernelsMatchDense) {
+  GenotypeOptions opts;
+  opts.num_samples = 50;
+  opts.num_variants = 20;
+  opts.maf_min = 0.02;
+  opts.maf_max = 0.3;
+  opts.seed = 5;
+  const Matrix dense = GenerateGenotypes(opts);
+  const SparseColumnMatrix sparse = SparseColumnMatrix::FromDense(dense);
+
+  Rng rng(6);
+  const Vector y = GaussianVector(50, &rng);
+  const Matrix q = GaussianMatrix(50, 3, &rng);
+  for (int64_t j = 0; j < 20; ++j) {
+    EXPECT_NEAR(sparse.ColumnDot(j, y), Dot(dense.Col(j), y), 1e-12);
+    EXPECT_NEAR(sparse.ColumnSquaredNorm(j), SquaredNorm(dense.Col(j)), 1e-12);
+    const Vector proj = sparse.ColumnProject(j, q);
+    const Vector dense_proj = TransposeMatVec(q, dense.Col(j));
+    EXPECT_LT(MaxAbsDiff(proj, dense_proj), 1e-12);
+  }
+}
+
+TEST(SparseMatrixTest, GeneratedSparseMatchesDistribution) {
+  GenotypeOptions opts;
+  opts.num_samples = 2000;
+  opts.num_variants = 50;
+  opts.maf_min = 0.05;
+  opts.maf_max = 0.05;  // fixed MAF: expected density = 1 - (1-p)^2 ≈ 0.0975
+  opts.seed = 7;
+  const SparseColumnMatrix g = GenerateSparseGenotypes(opts);
+  EXPECT_NEAR(g.Density(), 0.0975, 0.01);
+  for (int64_t j = 0; j < g.cols(); ++j) {
+    for (const auto& e : g.ColumnEntries(j)) {
+      EXPECT_TRUE(e.value == 1.0 || e.value == 2.0);
+    }
+  }
+}
+
+TEST(SparseMatrixTest, SameSeedSparseAndDenseGeneratorsAgree) {
+  GenotypeOptions opts;
+  opts.num_samples = 40;
+  opts.num_variants = 10;
+  opts.seed = 11;
+  const Matrix dense = GenerateGenotypes(opts);
+  const SparseColumnMatrix sparse = GenerateSparseGenotypes(opts);
+  EXPECT_TRUE(sparse.ToDense() == dense);
+}
+
+TEST(SparseMatrixTest, PushEntryValidatesIndices) {
+  SparseColumnMatrix m(3, 2);
+  m.PushEntry(0, 1, 5.0);
+  EXPECT_EQ(m.ColumnNnz(0), 1);
+  EXPECT_DEATH(m.PushEntry(5, 0, 1.0), "DASH_CHECK");
+  EXPECT_DEATH(m.PushEntry(0, 9, 1.0), "DASH_CHECK");
+}
+
+}  // namespace
+}  // namespace dash

@@ -1,0 +1,105 @@
+#include "linalg/tsqr.h"
+
+#include <gtest/gtest.h>
+
+#include "data/genotype_generator.h"
+#include "linalg/qr.h"
+#include "util/random.h"
+
+namespace dash {
+namespace {
+
+// Generates per-party blocks and returns (blocks, pooled matrix).
+std::pair<std::vector<Matrix>, Matrix> MakeBlocks(
+    const std::vector<int64_t>& sizes, int64_t k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Matrix> blocks;
+  for (const int64_t n : sizes) blocks.push_back(GaussianMatrix(n, k, &rng));
+  return {blocks, VStack(blocks)};
+}
+
+TEST(TsqrTest, StackedRFactorsMatchPooledQr) {
+  const auto [blocks, pooled] = MakeBlocks({10, 25, 7}, 3, 5);
+  std::vector<Matrix> rs;
+  for (const auto& b : blocks) rs.push_back(QrRFactor(b).value());
+  const Matrix combined = CombineRFactors(rs).value();
+  const Matrix direct = QrRFactor(pooled).value();
+  EXPECT_LT(MaxAbsDiff(combined, direct), 1e-11);
+}
+
+TEST(TsqrTest, SingleBlockPassesThrough) {
+  const auto [blocks, pooled] = MakeBlocks({12}, 2, 6);
+  const Matrix r = QrRFactor(blocks[0]).value();
+  EXPECT_LT(MaxAbsDiff(CombineRFactors({r}).value(), r), 1e-15);
+}
+
+TEST(TsqrTest, RejectsEmptyAndMismatched) {
+  EXPECT_FALSE(CombineRFactors({}).ok());
+  EXPECT_FALSE(CombineRFactors({Matrix(2, 2), Matrix(3, 3)}).ok());
+  EXPECT_FALSE(TreeCombineRFactors({Matrix(2, 2), Matrix(3, 3)}).ok());
+}
+
+TEST(TsqrTest, TreeMatchesStacked) {
+  const auto [blocks, pooled] = MakeBlocks({8, 9, 10, 11, 12}, 4, 7);
+  std::vector<Matrix> rs;
+  for (const auto& b : blocks) rs.push_back(QrRFactor(b).value());
+  const Matrix stacked = CombineRFactors(rs).value();
+  const TreeTsqrResult tree = TreeCombineRFactors(rs).value();
+  EXPECT_LT(MaxAbsDiff(tree.r, stacked), 1e-11);
+  EXPECT_EQ(tree.rounds, 3);  // ceil(log2 5)
+  EXPECT_EQ(tree.merges, 4);  // P - 1 pairwise merges
+}
+
+TEST(TsqrTest, TreeRoundsAreLogarithmic) {
+  for (const int p : {1, 2, 3, 4, 7, 8, 16, 33}) {
+    std::vector<int64_t> sizes(static_cast<size_t>(p), 6);
+    const auto [blocks, pooled] = MakeBlocks(sizes, 2, 100 + static_cast<uint64_t>(p));
+    std::vector<Matrix> rs;
+    for (const auto& b : blocks) rs.push_back(QrRFactor(b).value());
+    const TreeTsqrResult tree = TreeCombineRFactors(rs).value();
+    int expected_rounds = 0;
+    int cover = 1;
+    while (cover < p) {
+      cover *= 2;
+      ++expected_rounds;
+    }
+    EXPECT_EQ(tree.rounds, expected_rounds) << "P=" << p;
+    EXPECT_EQ(tree.merges, p - 1) << "P=" << p;
+    // And correctness against the pooled factorization.
+    EXPECT_LT(MaxAbsDiff(tree.r, QrRFactor(pooled).value()), 1e-10);
+  }
+}
+
+// The protocol-critical property: each party can lift its block with the
+// combined R⁻¹ and the stacked lifts form an orthonormal global Q.
+TEST(TsqrTest, LiftedBlocksFormGlobalQ) {
+  const auto [blocks, pooled] = MakeBlocks({15, 20, 25}, 3, 8);
+  std::vector<Matrix> rs;
+  for (const auto& b : blocks) rs.push_back(QrRFactor(b).value());
+  const Matrix r = CombineRFactors(rs).value();
+  const Matrix rinv = InvertUpperTriangular(r).value();
+  std::vector<Matrix> qs;
+  for (const auto& b : blocks) qs.push_back(MatMul(b, rinv));
+  const Matrix q = VStack(qs);
+  EXPECT_LT(MaxAbsDiff(TransposeMatMul(q, q), Matrix::Identity(3)), 1e-12);
+  EXPECT_LT(MaxAbsDiff(MatMul(q, r), pooled), 1e-11);
+}
+
+// Party permutation does not change the combined R (Gram invariance).
+class TsqrPermutationTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(TsqrPermutationTest, OrderInvariant) {
+  const auto [blocks, pooled] = MakeBlocks({9, 14, 6, 21}, 3, GetParam());
+  std::vector<Matrix> rs;
+  for (const auto& b : blocks) rs.push_back(QrRFactor(b).value());
+  const Matrix forward = CombineRFactors(rs).value();
+  std::vector<Matrix> reversed(rs.rbegin(), rs.rend());
+  const Matrix backward = CombineRFactors(reversed).value();
+  EXPECT_LT(MaxAbsDiff(forward, backward), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TsqrPermutationTest,
+                         testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace dash

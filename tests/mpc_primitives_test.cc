@@ -1,0 +1,288 @@
+// Fixed point, prime field, additive & Shamir sharing, DH, masking.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpc/additive_sharing.h"
+#include "mpc/fixed_point.h"
+#include "mpc/key_exchange.h"
+#include "mpc/masked_aggregation.h"
+#include "mpc/prime_field.h"
+#include "mpc/shamir.h"
+#include "util/random.h"
+
+namespace dash {
+namespace {
+
+TEST(FixedPointTest, RoundTripsWithinResolution) {
+  const FixedPointCodec codec(40);
+  for (const double v : {0.0, 1.0, -1.0, 3.141592653589793, -1234.5678,
+                         1e-9, -1e-9, 8.0e6, -8.0e6}) {
+    EXPECT_NEAR(codec.Decode(codec.Encode(v)), v, codec.Resolution());
+  }
+}
+
+TEST(FixedPointTest, ResolutionAndHeadroom) {
+  const FixedPointCodec codec(40);
+  EXPECT_DOUBLE_EQ(codec.Resolution(), std::ldexp(1.0, -40));
+  EXPECT_DOUBLE_EQ(codec.MaxMagnitude(), std::ldexp(1.0, 23));
+  const FixedPointCodec coarse(16);
+  EXPECT_DOUBLE_EQ(coarse.MaxMagnitude(), std::ldexp(1.0, 47));
+}
+
+TEST(FixedPointTest, RingAdditionMatchesRealAddition) {
+  const FixedPointCodec codec(32);
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double a = rng.Uniform(-1000.0, 1000.0);
+    const double b = rng.Uniform(-1000.0, 1000.0);
+    const uint64_t ra = codec.Encode(a);
+    const uint64_t rb = codec.Encode(b);
+    EXPECT_NEAR(codec.Decode(RingAdd(ra, rb)), a + b, 2 * codec.Resolution());
+    EXPECT_NEAR(codec.Decode(RingSub(ra, rb)), a - b, 2 * codec.Resolution());
+  }
+}
+
+TEST(FixedPointTest, OutOfRangeAndNonFiniteRejected) {
+  const FixedPointCodec codec(40);
+  EXPECT_EQ(codec.TryEncode(1e10).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(codec.TryEncode(std::nan("")).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(codec.TryEncode(std::numeric_limits<double>::infinity()).ok());
+}
+
+TEST(FixedPointTest, VectorRoundTrip) {
+  const FixedPointCodec codec(30);
+  const Vector v = {1.5, -2.25, 0.0, 100.125};
+  const auto encoded = codec.EncodeVector(v).value();
+  const Vector back = codec.DecodeVector(encoded);
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(back[i], v[i], codec.Resolution());
+  }
+  EXPECT_FALSE(codec.EncodeVector({1e30}).ok());
+}
+
+TEST(PrimeFieldTest, BasicIdentities) {
+  EXPECT_EQ(FieldAdd(kFieldPrime - 1, 1), 0u);
+  EXPECT_EQ(FieldSub(0, 1), kFieldPrime - 1);
+  EXPECT_EQ(FieldMul(2, 3), 6u);
+  EXPECT_EQ(FieldReduce(kFieldPrime), 0u);
+  EXPECT_EQ(FieldReduce(kFieldPrime + 5), 5u);
+}
+
+TEST(PrimeFieldTest, MulMatchesBigIntegerReference) {
+  Rng rng(2);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const uint64_t a = FieldUniform(&rng);
+    const uint64_t b = FieldUniform(&rng);
+    const unsigned __int128 ref =
+        static_cast<unsigned __int128>(a) * b % kFieldPrime;
+    EXPECT_EQ(FieldMul(a, b), static_cast<uint64_t>(ref));
+  }
+}
+
+TEST(PrimeFieldTest, FermatInverse) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const uint64_t a = FieldUniform(&rng);
+    if (a == 0) continue;
+    EXPECT_EQ(FieldMul(a, FieldInv(a)), 1u);
+  }
+  EXPECT_EQ(FieldPow(5, 0), 1u);
+  EXPECT_EQ(FieldPow(5, 1), 5u);
+}
+
+TEST(PrimeFieldTest, MersenneStructure) {
+  // 2^61 ≡ 1 (mod 2^61 - 1).
+  EXPECT_EQ(FieldPow(2, 61), 1u);
+}
+
+TEST(PrimeFieldTest, SignedEmbeddingRoundTrips) {
+  for (const int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1},
+                          int64_t{123456789}, int64_t{-987654321}}) {
+    EXPECT_EQ(FieldDecodeSigned(FieldEncodeSigned(v)), v);
+  }
+  // Sums of signed values embed linearly.
+  const uint64_t a = FieldEncodeSigned(-500);
+  const uint64_t b = FieldEncodeSigned(123);
+  EXPECT_EQ(FieldDecodeSigned(FieldAdd(a, b)), -377);
+}
+
+TEST(AdditiveSharingTest, SharesReconstruct) {
+  Rng rng(4);
+  for (const int n : {1, 2, 3, 8}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const uint64_t secret = rng.NextU64();
+      const auto shares = AdditiveShare(secret, n, &rng);
+      EXPECT_EQ(static_cast<int>(shares.size()), n);
+      EXPECT_EQ(AdditiveReconstruct(shares), secret);
+    }
+  }
+}
+
+TEST(AdditiveSharingTest, PartialSharesLookUniform) {
+  // With the secret fixed, individual shares should still cover the
+  // space: collect the top bit of share 1 across many sharings.
+  Rng rng(5);
+  int ones = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const auto shares = AdditiveShare(42, 3, &rng);
+    ones += (shares[1] >> 63) & 1;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / trials, 0.5, 0.05);
+}
+
+TEST(AdditiveSharingTest, VectorSharesReconstruct) {
+  Rng rng(6);
+  const std::vector<uint64_t> secrets = {1, 2, 3, 0xffffffffffffffffULL};
+  const auto shares = AdditiveShareVector(secrets, 4, &rng);
+  EXPECT_EQ(shares.size(), 4u);
+  EXPECT_EQ(AdditiveReconstructVector(shares).value(), secrets);
+  EXPECT_FALSE(AdditiveReconstructVector({}).ok());
+  EXPECT_FALSE(AdditiveReconstructVector({{1, 2}, {1}}).ok());
+}
+
+TEST(ShamirTest, ThresholdReconstruction) {
+  Rng rng(7);
+  const uint64_t secret = 123456789;
+  const auto shares = ShamirSplit(secret, 5, 2, &rng).value();
+  ASSERT_EQ(shares.size(), 5u);
+  // Any 3 shares (t+1) reconstruct.
+  EXPECT_EQ(ShamirReconstruct({shares[0], shares[2], shares[4]}).value(),
+            secret);
+  EXPECT_EQ(ShamirReconstruct({shares[1], shares[2], shares[3]}).value(),
+            secret);
+  // All 5 also reconstruct.
+  EXPECT_EQ(ShamirReconstruct(shares).value(), secret);
+}
+
+TEST(ShamirTest, BelowThresholdRevealsNothingUseful) {
+  // 2 shares of a degree-2 polynomial interpolate to the wrong constant
+  // almost surely; check it differs across secrets with the same shares
+  // prefix is impossible, so instead check mismatch from the secret.
+  Rng rng(8);
+  int wrong = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const uint64_t secret = FieldUniform(&rng);
+    const auto shares = ShamirSplit(secret, 5, 2, &rng).value();
+    const uint64_t guess =
+        ShamirReconstruct({shares[0], shares[1]}).value();
+    wrong += (guess != secret);
+  }
+  EXPECT_GE(wrong, 45);
+}
+
+TEST(ShamirTest, LinearityOfShares) {
+  // Pointwise sums of shares are shares of the sum — the property the
+  // secure sum protocol exploits.
+  Rng rng(9);
+  const uint64_t s1 = 111111;
+  const uint64_t s2 = 222222;
+  const auto sh1 = ShamirSplit(s1, 4, 1, &rng).value();
+  const auto sh2 = ShamirSplit(s2, 4, 1, &rng).value();
+  std::vector<ShamirShare> sum(4);
+  for (int i = 0; i < 4; ++i) {
+    sum[static_cast<size_t>(i)] =
+        ShamirShare{sh1[static_cast<size_t>(i)].x,
+                    FieldAdd(sh1[static_cast<size_t>(i)].y,
+                             sh2[static_cast<size_t>(i)].y)};
+  }
+  EXPECT_EQ(ShamirReconstruct(sum).value(), FieldAdd(s1, s2));
+}
+
+TEST(ShamirTest, ParameterValidation) {
+  Rng rng(10);
+  EXPECT_FALSE(ShamirSplit(1, 0, 0, &rng).ok());
+  EXPECT_FALSE(ShamirSplit(1, 3, 3, &rng).ok());
+  EXPECT_FALSE(ShamirSplit(1, 3, -1, &rng).ok());
+  EXPECT_FALSE(ShamirSplit(kFieldPrime, 3, 1, &rng).ok());
+  EXPECT_FALSE(ShamirReconstruct({}).ok());
+  EXPECT_FALSE(ShamirReconstruct({{1, 5}, {1, 6}}).ok());  // duplicate x
+}
+
+TEST(ShamirTest, VectorSplitReconstruct) {
+  Rng rng(11);
+  const std::vector<uint64_t> secrets = {5, 10, kFieldPrime - 1};
+  const auto shares = ShamirSplitVector(secrets, 3, 1, &rng).value();
+  EXPECT_EQ(ShamirReconstructVector(shares).value(), secrets);
+}
+
+TEST(ShamirTest, LagrangeWeightsMatchFullReconstruction) {
+  Rng rng(12);
+  const uint64_t secret = 987654321;
+  const auto shares = ShamirSplit(secret, 4, 1, &rng).value();
+  const auto weights = LagrangeWeightsAtZero({1, 2, 3, 4}).value();
+  uint64_t acc = 0;
+  for (int i = 0; i < 4; ++i) {
+    acc = FieldAdd(acc, FieldMul(weights[static_cast<size_t>(i)],
+                                 shares[static_cast<size_t>(i)].y));
+  }
+  EXPECT_EQ(acc, secret);
+  EXPECT_FALSE(LagrangeWeightsAtZero({1, 1}).ok());
+  EXPECT_FALSE(LagrangeWeightsAtZero({0, 1}).ok());
+  EXPECT_FALSE(LagrangeWeightsAtZero({}).ok());
+}
+
+TEST(DiffieHellmanTest, SharedSecretsAgree) {
+  Rng rng(13);
+  const uint64_t a = DiffieHellman::GeneratePrivate(&rng);
+  const uint64_t b = DiffieHellman::GeneratePrivate(&rng);
+  const uint64_t pub_a = DiffieHellman::PublicValue(a);
+  const uint64_t pub_b = DiffieHellman::PublicValue(b);
+  const uint64_t shared_ab = DiffieHellman::SharedSecret(a, pub_b);
+  const uint64_t shared_ba = DiffieHellman::SharedSecret(b, pub_a);
+  EXPECT_EQ(shared_ab, shared_ba);
+  EXPECT_EQ(DiffieHellman::DeriveKey(shared_ab),
+            DiffieHellman::DeriveKey(shared_ba));
+  // A third party's secret differs.
+  const uint64_t c = DiffieHellman::GeneratePrivate(&rng);
+  EXPECT_NE(DiffieHellman::SharedSecret(c, pub_b), shared_ab);
+}
+
+TEST(MaskedAggregationTest, MasksCancelInTheSum) {
+  const int p = 4;
+  const size_t len = 16;
+  // Symmetric pairwise keys.
+  std::vector<std::vector<ChaCha20Rng::Key>> keys(
+      p, std::vector<ChaCha20Rng::Key>(p));
+  uint64_t seed = 77;
+  for (int i = 0; i < p; ++i) {
+    for (int j = i + 1; j < p; ++j) {
+      const auto key = ChaCha20Rng::KeyFromSeed(SplitMix64(&seed));
+      keys[static_cast<size_t>(i)][static_cast<size_t>(j)] = key;
+      keys[static_cast<size_t>(j)][static_cast<size_t>(i)] = key;
+    }
+  }
+  Rng rng(14);
+  std::vector<std::vector<uint64_t>> inputs(p, std::vector<uint64_t>(len));
+  std::vector<uint64_t> expected(len, 0);
+  for (int i = 0; i < p; ++i) {
+    for (size_t e = 0; e < len; ++e) {
+      inputs[static_cast<size_t>(i)][e] = rng.NextU64();
+      expected[e] += inputs[static_cast<size_t>(i)][e];
+    }
+  }
+  std::vector<uint64_t> total(len, 0);
+  for (int i = 0; i < p; ++i) {
+    const auto masked = ApplyPairwiseMasks(i, inputs[static_cast<size_t>(i)],
+                                           keys[static_cast<size_t>(i)], 3);
+    // Masked vectors differ from the raw inputs (the point of masking).
+    EXPECT_NE(masked, inputs[static_cast<size_t>(i)]);
+    for (size_t e = 0; e < len; ++e) total[e] += masked[e];
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST(MaskedAggregationTest, DifferentNoncesProduceDifferentMasks) {
+  std::vector<ChaCha20Rng::Key> keys(2);
+  keys[1] = ChaCha20Rng::KeyFromSeed(5);
+  const std::vector<uint64_t> zero(8, 0);
+  const auto round1 = ApplyPairwiseMasks(0, zero, keys, 1);
+  const auto round2 = ApplyPairwiseMasks(0, zero, keys, 2);
+  EXPECT_NE(round1, round2);
+}
+
+}  // namespace
+}  // namespace dash

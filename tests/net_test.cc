@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "net/message.h"
+#include "net/network.h"
+#include "net/serialization.h"
+
+namespace dash {
+namespace {
+
+TEST(SerializationTest, ScalarRoundTrips) {
+  ByteWriter w;
+  w.PutU32(0xdeadbeefu);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI64(-42);
+  w.PutDouble(3.25);
+  const auto bytes = w.Take();
+  EXPECT_EQ(bytes.size(), 4u + 8u + 8u + 8u);
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.GetU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetI64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), 3.25);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializationTest, VectorsRoundTrip) {
+  ByteWriter w;
+  w.PutU64Vector({1, 2, 3});
+  w.PutDoubleVector({-1.5, 2.5});
+  const auto bytes = w.Take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.GetU64Vector().value(), (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(r.GetDoubleVector().value(), (Vector{-1.5, 2.5}));
+}
+
+TEST(SerializationTest, MatrixRoundTrips) {
+  const Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  ByteWriter w;
+  w.PutMatrix(m);
+  const auto bytes = w.Take();
+  ByteReader r(bytes);
+  EXPECT_TRUE(r.GetMatrix().value() == m);
+}
+
+TEST(SerializationTest, SpecialDoublesSurvive) {
+  ByteWriter w;
+  w.PutDouble(-0.0);
+  w.PutDouble(std::numeric_limits<double>::infinity());
+  w.PutDouble(std::numeric_limits<double>::denorm_min());
+  const auto bytes = w.Take();
+  ByteReader r(bytes);
+  EXPECT_EQ(std::signbit(r.GetDouble().value()), true);
+  EXPECT_TRUE(std::isinf(r.GetDouble().value()));
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(),
+                   std::numeric_limits<double>::denorm_min());
+}
+
+TEST(SerializationTest, TruncationIsAnError) {
+  ByteWriter w;
+  w.PutU64(7);
+  auto bytes = w.Take();
+  bytes.pop_back();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.GetU64().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, TruncatedVectorIsAnError) {
+  ByteWriter w;
+  w.PutU64(1000);  // claims 1000 elements, provides none
+  const auto bytes = w.Take();
+  ByteReader r(bytes);
+  EXPECT_FALSE(r.GetU64Vector().ok());
+  ByteWriter w2;
+  w2.PutI64(1 << 20);
+  w2.PutI64(1 << 20);  // absurd matrix shape
+  const auto bytes2 = w2.Take();
+  ByteReader r2(bytes2);
+  EXPECT_FALSE(r2.GetMatrix().ok());
+}
+
+TEST(NetworkTest, SendReceiveFifoOrder) {
+  Network net(3);
+  ASSERT_TRUE(net.Send(0, 1, MessageTag::kPlainStats, {1}).ok());
+  ASSERT_TRUE(net.Send(0, 1, MessageTag::kPlainStats, {2}).ok());
+  const Message first = net.Receive(1, 0, MessageTag::kPlainStats).value();
+  const Message second = net.Receive(1, 0, MessageTag::kPlainStats).value();
+  EXPECT_EQ(first.payload[0], 1);
+  EXPECT_EQ(second.payload[0], 2);
+  EXPECT_EQ(first.from, 0);
+  EXPECT_EQ(first.to, 1);
+}
+
+TEST(NetworkTest, ReceiveOnEmptyQueueFails) {
+  Network net(2);
+  EXPECT_EQ(net.Receive(0, 1, MessageTag::kPlainStats).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(NetworkTest, TagMismatchIsProtocolDesync) {
+  Network net(2);
+  ASSERT_TRUE(net.Send(0, 1, MessageTag::kRFactor, {}).ok());
+  const auto r = net.Receive(1, 0, MessageTag::kPlainStats);
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NetworkTest, InvalidEndpointsRejected) {
+  Network net(2);
+  EXPECT_FALSE(net.Send(0, 0, MessageTag::kPlainStats, {}).ok());
+  EXPECT_FALSE(net.Send(0, 5, MessageTag::kPlainStats, {}).ok());
+  EXPECT_FALSE(net.Send(-1, 0, MessageTag::kPlainStats, {}).ok());
+  EXPECT_FALSE(net.Receive(9, 0, MessageTag::kPlainStats).ok());
+}
+
+TEST(NetworkTest, BroadcastReachesEveryoneElse) {
+  Network net(4);
+  ASSERT_TRUE(net.Broadcast(2, MessageTag::kAggregate, {9}).ok());
+  for (int to = 0; to < 4; ++to) {
+    if (to == 2) {
+      EXPECT_FALSE(net.HasPending(to, 2));
+    } else {
+      ASSERT_TRUE(net.HasPending(to, 2));
+      EXPECT_EQ(net.Receive(to, 2, MessageTag::kAggregate).value().payload[0],
+                9);
+    }
+  }
+}
+
+TEST(NetworkTest, MetricsCountWireBytes) {
+  Network net(3);
+  const std::vector<uint8_t> payload(100, 0);
+  ASSERT_TRUE(net.Send(0, 1, MessageTag::kPlainStats, payload).ok());
+  const int64_t per_msg = 100 + static_cast<int64_t>(Message::kHeaderBytes);
+  EXPECT_EQ(net.metrics().total_bytes(), per_msg);
+  EXPECT_EQ(net.metrics().total_messages(), 1);
+  EXPECT_EQ(net.metrics().LinkBytes(0, 1), per_msg);
+  EXPECT_EQ(net.metrics().LinkBytes(1, 0), 0);
+
+  ASSERT_TRUE(net.Broadcast(1, MessageTag::kPlainStats, payload).ok());
+  EXPECT_EQ(net.metrics().total_messages(), 3);
+  EXPECT_EQ(net.metrics().BytesSentBy(1), 2 * per_msg);
+  EXPECT_EQ(net.metrics().MaxLinkBytes(), per_msg);
+
+  net.BeginRound();
+  EXPECT_EQ(net.metrics().rounds(), 1);
+  net.metrics().Reset();
+  EXPECT_EQ(net.metrics().total_bytes(), 0);
+  EXPECT_EQ(net.metrics().rounds(), 0);
+}
+
+TEST(NetworkTest, CostModelCombinesRoundsAndBytes) {
+  Network net(2);
+  ASSERT_TRUE(net.Send(0, 1, MessageTag::kPlainStats,
+                       std::vector<uint8_t>(84, 0)).ok());  // 100 wire bytes
+  net.BeginRound();
+  net.BeginRound();
+  LinkCostModel model;
+  model.latency_seconds = 0.05;
+  model.bandwidth_bytes_per_second = 1000.0;
+  EXPECT_NEAR(model.EstimateSeconds(net.metrics()), 2 * 0.05 + 0.1, 1e-12);
+}
+
+TEST(MessageTest, TagNamesAreStable) {
+  EXPECT_STREQ(MessageTagName(MessageTag::kRFactor), "RFactor");
+  EXPECT_STREQ(MessageTagName(MessageTag::kShamirShare), "ShamirShare");
+}
+
+}  // namespace
+}  // namespace dash

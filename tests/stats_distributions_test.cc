@@ -1,0 +1,147 @@
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/special_functions.h"
+
+namespace dash {
+namespace {
+
+TEST(IncompleteBetaTest, ClosedFormSpecialCases) {
+  // I_x(1, b) = 1 - (1-x)^b  and  I_x(a, 1) = x^a.
+  for (const double x : {0.1, 0.3, 0.7, 0.95}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 3.0, x),
+                1.0 - std::pow(1.0 - x, 3.0), 1e-12);
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 1.0, x), std::pow(x, 2.5),
+                1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, BoundaryAndSymmetry) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+  for (const double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 5.0, x),
+                1.0 - RegularizedIncompleteBeta(5.0, 2.0, 1.0 - x), 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double v = RegularizedIncompleteBeta(3.0, 4.0, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(IncompleteGammaTest, ClosedFormExponential) {
+  // P(1, x) = 1 - exp(-x).
+  for (const double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(RegularizedLowerGamma(1.0, x), 1.0 - std::exp(-x), 1e-12);
+    EXPECT_NEAR(RegularizedUpperGamma(1.0, x), std::exp(-x), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(RegularizedLowerGamma(2.5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedUpperGamma(2.5, 0.0), 1.0);
+}
+
+TEST(IncompleteGammaTest, ComplementsSum) {
+  for (const double a : {0.5, 2.0, 7.5}) {
+    for (const double x : {0.2, 1.0, 5.0, 20.0}) {
+      EXPECT_NEAR(RegularizedLowerGamma(a, x) + RegularizedUpperGamma(a, x),
+                  1.0, 1e-12);
+    }
+  }
+}
+
+TEST(StudentTTest, CauchyCaseIsExact) {
+  // df = 1 is Cauchy: CDF(t) = 1/2 + atan(t)/pi.
+  for (const double t : {-5.0, -1.0, 0.0, 0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(StudentTCdf(t, 1.0), 0.5 + std::atan(t) / M_PI, 1e-12);
+  }
+}
+
+TEST(StudentTTest, TwoDofClosedForm) {
+  // df = 2: CDF(t) = 1/2 + t / (2 sqrt(2 + t^2)).
+  for (const double t : {-3.0, -0.5, 0.0, 1.0, 4.0}) {
+    EXPECT_NEAR(StudentTCdf(t, 2.0),
+                0.5 + t / (2.0 * std::sqrt(2.0 + t * t)), 1e-12);
+  }
+}
+
+TEST(StudentTTest, CriticalValues) {
+  // t_{0.975, 10} = 2.2281388520 → two-sided p = 0.05.
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.2281388520, 10.0), 0.05, 1e-8);
+  // t_{0.975, 1} = 12.7062047364.
+  EXPECT_NEAR(StudentTTwoSidedPValue(12.7062047364, 1.0), 0.05, 1e-8);
+  // Symmetric in the sign of t.
+  EXPECT_DOUBLE_EQ(StudentTTwoSidedPValue(-3.0, 7.0),
+                   StudentTTwoSidedPValue(3.0, 7.0));
+}
+
+TEST(StudentTTest, CdfSfComplement) {
+  for (const double t : {-2.0, 0.0, 1.5}) {
+    for (const double dof : {3.0, 30.0, 300.0}) {
+      EXPECT_NEAR(StudentTCdf(t, dof) + StudentTSf(t, dof), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(StudentTTest, ApproachesNormalForLargeDof) {
+  for (const double t : {-2.5, -1.0, 0.7, 2.0}) {
+    EXPECT_NEAR(StudentTCdf(t, 1e7), NormalCdf(t), 1e-6);
+  }
+}
+
+TEST(StudentTTest, ExtremeArguments) {
+  EXPECT_DOUBLE_EQ(StudentTTwoSidedPValue(
+                       std::numeric_limits<double>::infinity(), 5.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(StudentTCdf(std::numeric_limits<double>::infinity(), 5.0),
+                   1.0);
+  EXPECT_TRUE(std::isnan(StudentTTwoSidedPValue(std::nan(""), 5.0)));
+  EXPECT_DOUBLE_EQ(StudentTTwoSidedPValue(0.0, 5.0), 1.0);
+}
+
+TEST(NormalTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(NormalCdf(0.0), 0.5);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-14);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-12);
+  EXPECT_NEAR(NormalSf(1.0), 1.0 - 0.8413447460685429, 1e-14);
+  EXPECT_NEAR(NormalTwoSidedPValue(1.959963984540054), 0.05, 1e-12);
+}
+
+TEST(NormalQuantileTest, InvertsCdf) {
+  for (const double p : {1e-10, 1e-4, 0.01, 0.3, 0.5, 0.8, 0.999, 1 - 1e-9}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-12) << "p=" << p;
+  }
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_DOUBLE_EQ(NormalQuantile(0.5), 0.0);
+}
+
+TEST(ChiSquareTest, TwoDofIsExponential) {
+  for (const double x : {0.5, 2.0, 7.0}) {
+    EXPECT_NEAR(ChiSquareCdf(x, 2.0), 1.0 - std::exp(-x / 2.0), 1e-12);
+    EXPECT_NEAR(ChiSquareSf(x, 2.0), std::exp(-x / 2.0), 1e-12);
+  }
+}
+
+TEST(ChiSquareTest, OneDofViaNormal) {
+  // P(X <= x) = 2 Phi(sqrt(x)) - 1 for one degree of freedom.
+  for (const double x : {0.1, 1.0, 3.84}) {
+    EXPECT_NEAR(ChiSquareCdf(x, 1.0), 2.0 * NormalCdf(std::sqrt(x)) - 1.0,
+                1e-10);
+  }
+  // 95th percentile of chi2(1) is 3.841458821.
+  EXPECT_NEAR(ChiSquareSf(3.841458821, 1.0), 0.05, 1e-8);
+}
+
+TEST(ChiSquareTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(ChiSquareCdf(0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquareSf(-1.0, 3.0), 1.0);
+}
+
+}  // namespace
+}  // namespace dash

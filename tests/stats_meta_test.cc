@@ -1,0 +1,107 @@
+#include "stats/meta_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/random.h"
+
+namespace dash {
+namespace {
+
+TEST(FixedEffectMetaTest, HandComputedTwoStudies) {
+  // betas (1, 3), ses (1, 1): beta = 2, se = 1/sqrt(2), Q = 2.
+  const MetaAnalysisResult r = FixedEffectMeta({1.0, 3.0}, {1.0, 1.0}).value();
+  EXPECT_DOUBLE_EQ(r.beta, 2.0);
+  EXPECT_NEAR(r.se, 1.0 / std::sqrt(2.0), 1e-14);
+  EXPECT_NEAR(r.z, 2.0 * std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(r.cochran_q, 2.0);
+  EXPECT_NEAR(r.q_p_value, 0.15729920705028511, 1e-9);  // chi2 sf(2, 1)
+}
+
+TEST(FixedEffectMetaTest, UnequalWeights) {
+  // Weights 4 and 1 (ses 0.5 and 1): beta = (4*1 + 1*6)/5 = 2.
+  const MetaAnalysisResult r = FixedEffectMeta({1.0, 6.0}, {0.5, 1.0}).value();
+  EXPECT_DOUBLE_EQ(r.beta, 2.0);
+  EXPECT_NEAR(r.se, std::sqrt(1.0 / 5.0), 1e-14);
+}
+
+TEST(FixedEffectMetaTest, SingleStudyPassesThrough) {
+  const MetaAnalysisResult r = FixedEffectMeta({1.7}, {0.3}).value();
+  EXPECT_DOUBLE_EQ(r.beta, 1.7);
+  EXPECT_DOUBLE_EQ(r.se, 0.3);
+  EXPECT_NEAR(r.cochran_q, 0.0, 1e-25);
+  EXPECT_DOUBLE_EQ(r.q_p_value, 1.0);
+}
+
+TEST(FixedEffectMetaTest, IdenticalStudiesHaveZeroQ) {
+  const MetaAnalysisResult r =
+      FixedEffectMeta({2.0, 2.0, 2.0}, {0.5, 0.5, 0.5}).value();
+  EXPECT_DOUBLE_EQ(r.beta, 2.0);
+  EXPECT_DOUBLE_EQ(r.cochran_q, 0.0);
+  EXPECT_NEAR(r.se, 0.5 / std::sqrt(3.0), 1e-14);
+}
+
+TEST(FixedEffectMetaTest, InputValidation) {
+  EXPECT_FALSE(FixedEffectMeta({}, {}).ok());
+  EXPECT_FALSE(FixedEffectMeta({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(FixedEffectMeta({1.0}, {0.0}).ok());
+  EXPECT_FALSE(FixedEffectMeta({1.0}, {-1.0}).ok());
+  EXPECT_FALSE(
+      FixedEffectMeta({1.0}, {std::numeric_limits<double>::infinity()}).ok());
+}
+
+TEST(RandomEffectsMetaTest, HandComputedTauSquared) {
+  // betas (1, 3), ses (1, 1): Q = 2, tau2 = (2-1)/(2 - 2/2) = 1;
+  // RE weights 1/(1+1) each -> beta = 2, se = 1/sqrt(1) = 1.
+  const MetaAnalysisResult r = RandomEffectsMeta({1.0, 3.0}, {1.0, 1.0}).value();
+  EXPECT_DOUBLE_EQ(r.tau2, 1.0);
+  EXPECT_DOUBLE_EQ(r.beta, 2.0);
+  EXPECT_DOUBLE_EQ(r.se, 1.0);
+}
+
+TEST(RandomEffectsMetaTest, HomogeneousReducesToFixed) {
+  const MetaAnalysisResult fe =
+      FixedEffectMeta({1.0, 1.02, 0.98}, {1.0, 1.0, 1.0}).value();
+  const MetaAnalysisResult re =
+      RandomEffectsMeta({1.0, 1.02, 0.98}, {1.0, 1.0, 1.0}).value();
+  EXPECT_DOUBLE_EQ(re.tau2, 0.0);  // Q < dof -> clipped to zero
+  EXPECT_DOUBLE_EQ(re.beta, fe.beta);
+  EXPECT_DOUBLE_EQ(re.se, fe.se);
+}
+
+TEST(RandomEffectsMetaTest, WidensUnderHeterogeneity) {
+  const MetaAnalysisResult fe =
+      FixedEffectMeta({0.0, 4.0, -3.0, 5.0}, {0.5, 0.5, 0.5, 0.5}).value();
+  const MetaAnalysisResult re =
+      RandomEffectsMeta({0.0, 4.0, -3.0, 5.0}, {0.5, 0.5, 0.5, 0.5}).value();
+  EXPECT_GT(re.tau2, 0.0);
+  EXPECT_GT(re.se, fe.se);
+}
+
+TEST(DescriptiveTest, VarianceAndCorrelation) {
+  const Vector v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(SampleVariance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(SampleStdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+  // Perfect linear relation -> correlation ±1.
+  const Vector a = {1.0, 2.0, 3.0, 4.0};
+  const Vector b = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  const Vector c = {-2.0, -4.0, -6.0, -8.0};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(DescriptiveTest, CorrelationOfIndependentDrawsIsSmall) {
+  Rng rng(12);
+  Vector a(5000);
+  Vector b(5000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = rng.Gaussian();
+  }
+  EXPECT_LT(std::fabs(PearsonCorrelation(a, b)), 0.05);
+}
+
+}  // namespace
+}  // namespace dash

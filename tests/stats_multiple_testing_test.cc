@@ -1,0 +1,93 @@
+#include "stats/multiple_testing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace dash {
+namespace {
+
+TEST(BonferroniTest, ScalesAndCaps) {
+  const Vector adjusted = BonferroniAdjust({0.01, 0.2, 0.5});
+  EXPECT_DOUBLE_EQ(adjusted[0], 0.03);
+  EXPECT_DOUBLE_EQ(adjusted[1], 0.6);
+  EXPECT_DOUBLE_EQ(adjusted[2], 1.0);
+}
+
+TEST(BonferroniTest, NansPassThroughAndDoNotCount) {
+  const Vector adjusted = BonferroniAdjust({0.02, std::nan(""), 0.03});
+  EXPECT_DOUBLE_EQ(adjusted[0], 0.04);  // m = 2 finite values
+  EXPECT_TRUE(std::isnan(adjusted[1]));
+  EXPECT_DOUBLE_EQ(adjusted[2], 0.06);
+}
+
+TEST(BenjaminiHochbergTest, MatchesHandComputedExample) {
+  // Classic example: p = (0.01, 0.04, 0.03, 0.005), m = 4.
+  // sorted: 0.005, 0.01, 0.03, 0.04
+  // raw:    0.02,  0.02, 0.04, 0.04 ; step-up mins applied from the top.
+  const Vector adjusted =
+      BenjaminiHochbergAdjust({0.01, 0.04, 0.03, 0.005});
+  EXPECT_NEAR(adjusted[3], 0.02, 1e-12);  // p=0.005
+  EXPECT_NEAR(adjusted[0], 0.02, 1e-12);  // p=0.01
+  EXPECT_NEAR(adjusted[2], 0.04, 1e-12);  // p=0.03
+  EXPECT_NEAR(adjusted[1], 0.04, 1e-12);  // p=0.04
+}
+
+TEST(BenjaminiHochbergTest, MonotoneAndBounded) {
+  const Vector p = {0.001, 0.3, 0.02, 0.9, 0.0004, 0.07};
+  const Vector adjusted = BenjaminiHochbergAdjust(p);
+  for (size_t i = 0; i < p.size(); ++i) {
+    EXPECT_GE(adjusted[i], p[i]);
+    EXPECT_LE(adjusted[i], 1.0);
+  }
+  // Order preserved: smaller raw p -> no larger adjusted p.
+  EXPECT_LE(adjusted[4], adjusted[0]);
+  EXPECT_LE(adjusted[0], adjusted[2]);
+}
+
+TEST(BenjaminiHochbergTest, BhNeverStricterThanBonferroni) {
+  const Vector p = {0.001, 0.01, 0.02, 0.04, 0.2, 0.5};
+  const Vector bh = BenjaminiHochbergAdjust(p);
+  const Vector bonf = BonferroniAdjust(p);
+  for (size_t i = 0; i < p.size(); ++i) EXPECT_LE(bh[i], bonf[i] + 1e-15);
+}
+
+TEST(SignificantAtTest, SelectsBelowAlpha) {
+  const auto hits = SignificantAt({0.01, std::nan(""), 0.2, 0.04}, 0.05);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 0);
+  EXPECT_EQ(hits[1], 3);
+}
+
+TEST(StudentTQuantileTest, InvertsCdf) {
+  for (const double dof : {1.0, 2.0, 5.0, 30.0, 500.0}) {
+    for (const double p : {0.001, 0.025, 0.3, 0.5, 0.8, 0.975, 0.9999}) {
+      const double q = StudentTQuantile(p, dof);
+      EXPECT_NEAR(StudentTCdf(q, dof), p, 1e-10)
+          << "dof=" << dof << " p=" << p;
+    }
+  }
+}
+
+TEST(StudentTQuantileTest, KnownCriticalValues) {
+  EXPECT_NEAR(StudentTQuantile(0.975, 10.0), 2.2281388520, 1e-8);
+  EXPECT_NEAR(StudentTQuantile(0.975, 1.0), 12.7062047364, 1e-6);
+  EXPECT_DOUBLE_EQ(StudentTQuantile(0.5, 7.0), 0.0);
+  // Symmetry.
+  EXPECT_NEAR(StudentTQuantile(0.1, 6.0), -StudentTQuantile(0.9, 6.0), 1e-10);
+}
+
+TEST(ConfidenceHalfWidthTest, MatchesCriticalValueTimesSe) {
+  const double hw = ConfidenceHalfWidth(0.5, 10, 0.95);
+  EXPECT_NEAR(hw, 2.2281388520 * 0.5, 1e-7);
+  // Wider level -> wider interval; more dof -> narrower.
+  EXPECT_GT(ConfidenceHalfWidth(1.0, 10, 0.99),
+            ConfidenceHalfWidth(1.0, 10, 0.95));
+  EXPECT_GT(ConfidenceHalfWidth(1.0, 5, 0.95),
+            ConfidenceHalfWidth(1.0, 500, 0.95));
+}
+
+}  // namespace
+}  // namespace dash

@@ -1,0 +1,147 @@
+#include "stats/ols.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/genotype_generator.h"
+#include "stats/distributions.h"
+#include "util/random.h"
+
+namespace dash {
+namespace {
+
+// Textbook simple regression (y ~ a + b x) for cross-validation.
+struct SimpleFit {
+  double intercept;
+  double slope;
+  double slope_se;
+};
+
+SimpleFit TextbookSimpleRegression(const Vector& x, const Vector& y) {
+  const size_t n = x.size();
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+  }
+  const double slope = sxy / sxx;
+  const double intercept = my - slope * mx;
+  double rss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double r = y[i] - intercept - slope * x[i];
+    rss += r * r;
+  }
+  const double sigma2 = rss / static_cast<double>(n - 2);
+  return {intercept, slope, std::sqrt(sigma2 / sxx)};
+}
+
+TEST(OlsTest, MatchesTextbookSimpleRegression) {
+  Rng rng(1);
+  const int64_t n = 50;
+  Vector x(static_cast<size_t>(n));
+  Vector y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    x[static_cast<size_t>(i)] = rng.Gaussian();
+    y[static_cast<size_t>(i)] =
+        1.5 + 2.0 * x[static_cast<size_t>(i)] + rng.Gaussian(0.0, 0.7);
+  }
+  Matrix design(n, 2);
+  for (int64_t i = 0; i < n; ++i) {
+    design(i, 0) = 1.0;
+    design(i, 1) = x[static_cast<size_t>(i)];
+  }
+  const OlsFit fit = FitOls(design, y).value();
+  const SimpleFit ref = TextbookSimpleRegression(x, y);
+  EXPECT_NEAR(fit.coefficients[0], ref.intercept, 1e-10);
+  EXPECT_NEAR(fit.coefficients[1], ref.slope, 1e-10);
+  EXPECT_NEAR(fit.standard_errors[1], ref.slope_se, 1e-10);
+  EXPECT_EQ(fit.dof, n - 2);
+  // t and p consistent with the estimates.
+  EXPECT_NEAR(fit.t_statistics[1], fit.coefficients[1] / fit.standard_errors[1],
+              1e-12);
+  EXPECT_NEAR(fit.p_values[1],
+              StudentTTwoSidedPValue(fit.t_statistics[1],
+                                     static_cast<double>(fit.dof)),
+              1e-15);
+}
+
+TEST(OlsTest, ExactFitRecoversCoefficients) {
+  // Noiseless y = 3 x0 - 2 x1: RSS ~ 0, coefficients exact.
+  Rng rng(2);
+  const Matrix design = GaussianMatrix(20, 2, &rng);
+  Vector y(20);
+  for (int64_t i = 0; i < 20; ++i) {
+    y[static_cast<size_t>(i)] = 3.0 * design(i, 0) - 2.0 * design(i, 1);
+  }
+  const OlsFit fit = FitOls(design, y).value();
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-10);
+  EXPECT_NEAR(fit.coefficients[1], -2.0, 1e-10);
+  EXPECT_LT(fit.rss, 1e-20);
+}
+
+TEST(OlsTest, OrthogonalDesignDecouples) {
+  // With orthogonal columns each coefficient is an independent projection.
+  Matrix design(4, 2);
+  design(0, 0) = 1.0;
+  design(1, 0) = 1.0;
+  design(2, 0) = -1.0;
+  design(3, 0) = -1.0;
+  design(0, 1) = 1.0;
+  design(1, 1) = -1.0;
+  design(2, 1) = 1.0;
+  design(3, 1) = -1.0;
+  const Vector y = {2.0, 0.0, 1.0, -3.0};
+  const OlsFit fit = FitOls(design, y).value();
+  EXPECT_NEAR(fit.coefficients[0], Dot(design.Col(0), y) / 4.0, 1e-12);
+  EXPECT_NEAR(fit.coefficients[1], Dot(design.Col(1), y) / 4.0, 1e-12);
+}
+
+TEST(OlsTest, InputValidation) {
+  EXPECT_EQ(FitOls(Matrix(3, 2), Vector(4)).status().code(),
+            StatusCode::kInvalidArgument);
+  // n == p: no residual degrees of freedom.
+  EXPECT_FALSE(FitOls(Matrix::Identity(2), Vector(2)).ok());
+  // Rank-deficient design.
+  Matrix collinear(5, 2);
+  for (int64_t i = 0; i < 5; ++i) {
+    collinear(i, 0) = static_cast<double>(i);
+    collinear(i, 1) = 2.0 * static_cast<double>(i);
+  }
+  EXPECT_EQ(FitOls(collinear, Vector(5, 1.0)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(OlsTest, FitTransientCoefficientMatchesFullFit) {
+  Rng rng(3);
+  const Matrix c = GaussianMatrix(40, 3, &rng);
+  const Vector x = GaussianVector(40, &rng);
+  Vector y(40);
+  for (int64_t i = 0; i < 40; ++i) {
+    y[static_cast<size_t>(i)] =
+        0.5 * x[static_cast<size_t>(i)] + c(i, 0) - c(i, 2) + rng.Gaussian();
+  }
+  const SingleCoefficientFit single = FitTransientCoefficient(x, c, y).value();
+
+  Matrix design(40, 4);
+  for (int64_t i = 0; i < 40; ++i) {
+    design(i, 0) = x[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < 3; ++j) design(i, j + 1) = c(i, j);
+  }
+  const OlsFit full = FitOls(design, y).value();
+  EXPECT_NEAR(single.beta, full.coefficients[0], 1e-12);
+  EXPECT_NEAR(single.standard_error, full.standard_errors[0], 1e-12);
+  EXPECT_NEAR(single.t_statistic, full.t_statistics[0], 1e-10);
+  EXPECT_NEAR(single.p_value, full.p_values[0], 1e-12);
+  EXPECT_EQ(single.dof, 36);
+}
+
+TEST(OlsTest, TransientCoefficientValidatesShapes) {
+  EXPECT_FALSE(FitTransientCoefficient(Vector(3), Matrix(4, 2), Vector(4)).ok());
+}
+
+}  // namespace
+}  // namespace dash

@@ -1,0 +1,179 @@
+// PCA substrate, genomic control, and the structured-population workload.
+
+#include "stats/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/association_scan.h"
+#include "core/mixed_model.h"
+#include "data/genotype_generator.h"
+#include "data/population_structure.h"
+#include "linalg/eigen_sym.h"
+#include "util/random.h"
+
+namespace dash {
+namespace {
+
+Matrix RandomPsd(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  const Matrix a = GaussianMatrix(n, n + 3, &rng);
+  return MatMul(a, Transpose(a));
+}
+
+TEST(PcaTest, RecoversDominantEigenpairsOfRandomPsd) {
+  const Matrix kernel = RandomPsd(25, 1);
+  const SymmetricEigen full = JacobiEigenSymmetric(kernel).value();
+  const PcaResult pca = TopPrincipalComponents(kernel, 3).value();
+  // Jacobi sorts ascending; PCA descending.
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(pca.eigenvalues[static_cast<size_t>(j)],
+                full.eigenvalues[static_cast<size_t>(24 - j)],
+                1e-6 * std::fabs(full.eigenvalues[24]));
+  }
+  // Components orthonormal and satisfy the eigen relation.
+  EXPECT_LT(MaxAbsDiff(TransposeMatMul(pca.components, pca.components),
+                       Matrix::Identity(3)),
+            1e-9);
+  for (int64_t j = 0; j < 3; ++j) {
+    const Vector v = pca.components.Col(j);
+    const Vector kv = MatVec(kernel, v);
+    Vector lv = v;
+    Scale(pca.eigenvalues[static_cast<size_t>(j)], &lv);
+    EXPECT_LT(MaxAbsDiff(kv, lv),
+              1e-5 * std::fabs(pca.eigenvalues[0]));
+  }
+}
+
+TEST(PcaTest, FullRankRequestMatchesJacobi) {
+  const Matrix kernel = RandomPsd(8, 2);
+  const SymmetricEigen full = JacobiEigenSymmetric(kernel).value();
+  const PcaResult pca = TopPrincipalComponents(kernel, 8).value();
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(pca.eigenvalues[static_cast<size_t>(j)],
+                full.eigenvalues[static_cast<size_t>(7 - j)], 1e-6);
+  }
+}
+
+TEST(PcaTest, Validation) {
+  EXPECT_FALSE(TopPrincipalComponents(Matrix(3, 4), 1).ok());
+  EXPECT_FALSE(TopPrincipalComponents(Matrix::Identity(3), 0).ok());
+  EXPECT_FALSE(TopPrincipalComponents(Matrix::Identity(3), 4).ok());
+}
+
+TEST(PcaTest, SeparatesStructuredSubpopulations) {
+  StructuredPopulationOptions opts;
+  opts.subpop_sizes = {60, 60};
+  opts.num_variants = 400;
+  opts.fst = 0.1;
+  opts.pheno_shift = 0.0;
+  opts.seed = 3;
+  const ScanWorkload w = MakeStructuredWorkload(opts).value();
+  const PooledData pooled = PoolParties(w.parties).value();
+  const Matrix grm = ComputeGrm(pooled.x);
+  const PcaResult pca = TopPrincipalComponents(grm, 1).value();
+  // PC1 separates the two subpopulations: means differ strongly.
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (int64_t i = 0; i < 60; ++i) mean_a += pca.components(i, 0);
+  for (int64_t i = 60; i < 120; ++i) mean_b += pca.components(i, 0);
+  mean_a /= 60.0;
+  mean_b /= 60.0;
+  EXPECT_GT(std::fabs(mean_a - mean_b), 0.05);
+}
+
+TEST(GenomicControlTest, CalibratedScanHasLambdaNearOne) {
+  Rng rng(4);
+  const Matrix x = GaussianMatrix(600, 400, &rng);
+  const Matrix c = WithInterceptColumn(GaussianMatrix(600, 1, &rng));
+  const Vector y = GaussianVector(600, &rng);
+  const ScanResult scan = AssociationScan(x, y, c).value();
+  EXPECT_NEAR(GenomicControlLambda(scan.tstat), 1.0, 0.2);
+}
+
+TEST(GenomicControlTest, StructuredNullIsInflatedUntilAdjusted) {
+  StructuredPopulationOptions opts;
+  opts.subpop_sizes = {120, 120};
+  opts.num_variants = 400;
+  opts.fst = 0.08;
+  opts.pheno_shift = 0.8;
+  opts.seed = 5;
+  const ScanWorkload w = MakeStructuredWorkload(opts).value();
+  const PooledData pooled = PoolParties(w.parties).value();
+  const ScanResult naive =
+      AssociationScan(pooled.x, pooled.y, pooled.c).value();
+  const double lambda_naive = GenomicControlLambda(naive.tstat);
+  EXPECT_GT(lambda_naive, 1.5);
+
+  const Matrix grm = ComputeGrm(pooled.x);
+  const PcaResult pca = TopPrincipalComponents(grm, 2).value();
+  const auto adjusted =
+      AppendComponentCovariates(w.parties, pca.components).value();
+  const PooledData adj_pooled = PoolParties(adjusted).value();
+  const ScanResult corrected =
+      AssociationScan(adj_pooled.x, adj_pooled.y, adj_pooled.c).value();
+  const double lambda_adj = GenomicControlLambda(corrected.tstat);
+  EXPECT_LT(lambda_adj, 1.3);
+  EXPECT_LT(lambda_adj, lambda_naive);
+}
+
+TEST(GenomicControlTest, SkipsNans) {
+  EXPECT_NEAR(GenomicControlLambda({std::nan(""), 0.6745, std::nan("")}),
+              1.0, 1e-3);
+}
+
+TEST(StructuredWorkloadTest, Validation) {
+  StructuredPopulationOptions opts;
+  opts.fst = 0.0;
+  EXPECT_FALSE(MakeStructuredWorkload(opts).ok());
+  opts.fst = 0.05;
+  opts.subpop_sizes = {};
+  EXPECT_FALSE(MakeStructuredWorkload(opts).ok());
+  opts.subpop_sizes = {10};
+  opts.maf_min = 0.0;
+  EXPECT_FALSE(MakeStructuredWorkload(opts).ok());
+}
+
+TEST(StructuredWorkloadTest, AppendComponentsValidatesShape) {
+  StructuredPopulationOptions opts;
+  opts.subpop_sizes = {20, 20};
+  opts.num_variants = 10;
+  opts.seed = 6;
+  const ScanWorkload w = MakeStructuredWorkload(opts).value();
+  EXPECT_FALSE(AppendComponentCovariates(w.parties, Matrix(39, 2)).ok());
+  const auto ok = AppendComponentCovariates(w.parties, Matrix(40, 2));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value()[0].c.cols(), 3);  // intercept + 2 PCs
+}
+
+TEST(GammaBetaSamplingTest, MomentsMatch) {
+  Rng rng(7);
+  // Gamma(3): mean 3, var 3.
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gamma(3.0);
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+  EXPECT_NEAR(sum2 / n - (sum / n) * (sum / n), 3.0, 0.15);
+  // Gamma with shape < 1.
+  double small_sum = 0.0;
+  for (int i = 0; i < n; ++i) small_sum += rng.Gamma(0.4);
+  EXPECT_NEAR(small_sum / n, 0.4, 0.02);
+  // Beta(2, 5): mean 2/7.
+  double beta_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double b = rng.Beta(2.0, 5.0);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+    beta_sum += b;
+  }
+  EXPECT_NEAR(beta_sum / n, 2.0 / 7.0, 0.01);
+}
+
+}  // namespace
+}  // namespace dash

@@ -1,0 +1,134 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/chacha20.h"
+
+namespace dash {
+namespace {
+
+TEST(SplitMix64Test, KnownSequence) {
+  // Reference values for seed 0 (standard SplitMix64).
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(&state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(SplitMix64(&state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(SplitMix64(&state), 0x06c45d188009454fULL);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(7), 7u);
+  }
+  EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  bool seen[5] = {false, false, false, false, false};
+  for (int i = 0; i < 1000; ++i) seen[rng.UniformInt(5)] = true;
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RngTest, GaussianMomentsAreSane) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParamsScales) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentButDeterministic) {
+  Rng a(21);
+  Rng b(21);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fa.NextU64(), fb.NextU64());
+}
+
+TEST(ChaCha20Test, DeterministicPerKeyAndStream) {
+  const auto key = ChaCha20Rng::KeyFromSeed(42);
+  ChaCha20Rng a(key, 5);
+  ChaCha20Rng b(key, 5);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(ChaCha20Test, DifferentStreamsDiffer) {
+  const auto key = ChaCha20Rng::KeyFromSeed(42);
+  ChaCha20Rng a(key, 1);
+  ChaCha20Rng b(key, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LE(same, 1);
+}
+
+TEST(ChaCha20Test, DifferentKeysDiffer) {
+  ChaCha20Rng a(ChaCha20Rng::KeyFromSeed(1), 0);
+  ChaCha20Rng b(ChaCha20Rng::KeyFromSeed(2), 0);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LE(same, 1);
+}
+
+TEST(ChaCha20Test, OutputLooksUniform) {
+  ChaCha20Rng rng(ChaCha20Rng::KeyFromSeed(99), 0);
+  const int n = 100000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) ones += __builtin_popcountll(rng.NextU64());
+  // 64n/2 expected one-bits, ~0.1% tolerance.
+  EXPECT_NEAR(static_cast<double>(ones) / (64.0 * n), 0.5, 0.002);
+}
+
+}  // namespace
+}  // namespace dash
