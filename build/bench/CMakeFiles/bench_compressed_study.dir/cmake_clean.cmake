@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compressed_study.dir/bench_compressed_study.cpp.o"
+  "CMakeFiles/bench_compressed_study.dir/bench_compressed_study.cpp.o.d"
+  "bench_compressed_study"
+  "bench_compressed_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compressed_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

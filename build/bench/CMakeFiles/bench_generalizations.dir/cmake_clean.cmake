@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generalizations.dir/bench_generalizations.cpp.o"
+  "CMakeFiles/bench_generalizations.dir/bench_generalizations.cpp.o.d"
+  "bench_generalizations"
+  "bench_generalizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generalizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_meta_vs_dash.dir/bench_meta_vs_dash.cpp.o"
+  "CMakeFiles/bench_meta_vs_dash.dir/bench_meta_vs_dash.cpp.o.d"
+  "bench_meta_vs_dash"
+  "bench_meta_vs_dash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_meta_vs_dash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpc_modes.dir/bench_mpc_modes.cpp.o"
+  "CMakeFiles/bench_mpc_modes.dir/bench_mpc_modes.cpp.o.d"
+  "bench_mpc_modes"
+  "bench_mpc_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpc_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plaintext_speed.dir/bench_plaintext_speed.cpp.o"
+  "CMakeFiles/bench_plaintext_speed.dir/bench_plaintext_speed.cpp.o.d"
+  "bench_plaintext_speed"
+  "bench_plaintext_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plaintext_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_projection_security.dir/bench_projection_security.cpp.o"
+  "CMakeFiles/bench_projection_security.dir/bench_projection_security.cpp.o.d"
+  "bench_projection_security"
+  "bench_projection_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_projection_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r_demo.dir/bench_r_demo.cpp.o"
+  "CMakeFiles/bench_r_demo.dir/bench_r_demo.cpp.o.d"
+  "bench_r_demo"
+  "bench_r_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scan_scaling.dir/bench_scan_scaling.cpp.o"
+  "CMakeFiles/bench_scan_scaling.dir/bench_scan_scaling.cpp.o.d"
+  "bench_scan_scaling"
+  "bench_scan_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scan_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

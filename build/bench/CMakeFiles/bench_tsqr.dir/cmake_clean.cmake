@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tsqr.dir/bench_tsqr.cpp.o"
+  "CMakeFiles/bench_tsqr.dir/bench_tsqr.cpp.o.d"
+  "bench_tsqr"
+  "bench_tsqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tsqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consortium_workflow.dir/consortium_workflow.cpp.o"
+  "CMakeFiles/consortium_workflow.dir/consortium_workflow.cpp.o.d"
+  "consortium_workflow"
+  "consortium_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consortium_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_scan_cli.dir/dash_scan_cli.cpp.o"
+  "CMakeFiles/dash_scan_cli.dir/dash_scan_cli.cpp.o.d"
+  "dash_scan_cli"
+  "dash_scan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_scan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

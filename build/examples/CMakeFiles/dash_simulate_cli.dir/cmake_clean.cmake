@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_simulate_cli.dir/dash_simulate_cli.cpp.o"
+  "CMakeFiles/dash_simulate_cli.dir/dash_simulate_cli.cpp.o.d"
+  "dash_simulate_cli"
+  "dash_simulate_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_simulate_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

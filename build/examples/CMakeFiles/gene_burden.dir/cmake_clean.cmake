@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gene_burden.dir/gene_burden.cpp.o"
+  "CMakeFiles/gene_burden.dir/gene_burden.cpp.o.d"
+  "gene_burden"
+  "gene_burden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gene_burden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

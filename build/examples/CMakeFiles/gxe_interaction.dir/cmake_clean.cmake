@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gxe_interaction.dir/gxe_interaction.cpp.o"
+  "CMakeFiles/gxe_interaction.dir/gxe_interaction.cpp.o.d"
+  "gxe_interaction"
+  "gxe_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gxe_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_vs_dash.dir/meta_vs_dash.cpp.o"
+  "CMakeFiles/meta_vs_dash.dir/meta_vs_dash.cpp.o.d"
+  "meta_vs_dash"
+  "meta_vs_dash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_vs_dash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_gwas.dir/online_gwas.cpp.o"
+  "CMakeFiles/online_gwas.dir/online_gwas.cpp.o.d"
+  "online_gwas"
+  "online_gwas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_gwas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_structure.dir/population_structure.cpp.o"
+  "CMakeFiles/population_structure.dir/population_structure.cpp.o.d"
+  "population_structure"
+  "population_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_gwas.dir/secure_gwas.cpp.o"
+  "CMakeFiles/secure_gwas.dir/secure_gwas.cpp.o.d"
+  "secure_gwas"
+  "secure_gwas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_gwas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

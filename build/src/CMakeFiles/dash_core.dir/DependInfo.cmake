@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/association_scan.cc" "src/CMakeFiles/dash_core.dir/core/association_scan.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/association_scan.cc.o.d"
+  "/root/repo/src/core/burden_scan.cc" "src/CMakeFiles/dash_core.dir/core/burden_scan.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/burden_scan.cc.o.d"
+  "/root/repo/src/core/compressed_study.cc" "src/CMakeFiles/dash_core.dir/core/compressed_study.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/compressed_study.cc.o.d"
+  "/root/repo/src/core/distributed_qr.cc" "src/CMakeFiles/dash_core.dir/core/distributed_qr.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/distributed_qr.cc.o.d"
+  "/root/repo/src/core/grouped_scan.cc" "src/CMakeFiles/dash_core.dir/core/grouped_scan.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/grouped_scan.cc.o.d"
+  "/root/repo/src/core/imputation.cc" "src/CMakeFiles/dash_core.dir/core/imputation.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/imputation.cc.o.d"
+  "/root/repo/src/core/meta_scan.cc" "src/CMakeFiles/dash_core.dir/core/meta_scan.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/meta_scan.cc.o.d"
+  "/root/repo/src/core/mixed_model.cc" "src/CMakeFiles/dash_core.dir/core/mixed_model.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/mixed_model.cc.o.d"
+  "/root/repo/src/core/multi_phenotype_scan.cc" "src/CMakeFiles/dash_core.dir/core/multi_phenotype_scan.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/multi_phenotype_scan.cc.o.d"
+  "/root/repo/src/core/online_scan.cc" "src/CMakeFiles/dash_core.dir/core/online_scan.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/online_scan.cc.o.d"
+  "/root/repo/src/core/party_local.cc" "src/CMakeFiles/dash_core.dir/core/party_local.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/party_local.cc.o.d"
+  "/root/repo/src/core/scan_report.cc" "src/CMakeFiles/dash_core.dir/core/scan_report.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/scan_report.cc.o.d"
+  "/root/repo/src/core/scan_result.cc" "src/CMakeFiles/dash_core.dir/core/scan_result.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/scan_result.cc.o.d"
+  "/root/repo/src/core/secure_online_scan.cc" "src/CMakeFiles/dash_core.dir/core/secure_online_scan.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/secure_online_scan.cc.o.d"
+  "/root/repo/src/core/secure_scan.cc" "src/CMakeFiles/dash_core.dir/core/secure_scan.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/secure_scan.cc.o.d"
+  "/root/repo/src/core/sensitivity.cc" "src/CMakeFiles/dash_core.dir/core/sensitivity.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/sensitivity.cc.o.d"
+  "/root/repo/src/core/suff_stats.cc" "src/CMakeFiles/dash_core.dir/core/suff_stats.cc.o" "gcc" "src/CMakeFiles/dash_core.dir/core/suff_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dash_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dash_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dash_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dash_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dash_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/genotype_generator.cc" "src/CMakeFiles/dash_data.dir/data/genotype_generator.cc.o" "gcc" "src/CMakeFiles/dash_data.dir/data/genotype_generator.cc.o.d"
+  "/root/repo/src/data/matrix_io.cc" "src/CMakeFiles/dash_data.dir/data/matrix_io.cc.o" "gcc" "src/CMakeFiles/dash_data.dir/data/matrix_io.cc.o.d"
+  "/root/repo/src/data/missing_data.cc" "src/CMakeFiles/dash_data.dir/data/missing_data.cc.o" "gcc" "src/CMakeFiles/dash_data.dir/data/missing_data.cc.o.d"
+  "/root/repo/src/data/party_split.cc" "src/CMakeFiles/dash_data.dir/data/party_split.cc.o" "gcc" "src/CMakeFiles/dash_data.dir/data/party_split.cc.o.d"
+  "/root/repo/src/data/phenotype_simulator.cc" "src/CMakeFiles/dash_data.dir/data/phenotype_simulator.cc.o" "gcc" "src/CMakeFiles/dash_data.dir/data/phenotype_simulator.cc.o.d"
+  "/root/repo/src/data/population_structure.cc" "src/CMakeFiles/dash_data.dir/data/population_structure.cc.o" "gcc" "src/CMakeFiles/dash_data.dir/data/population_structure.cc.o.d"
+  "/root/repo/src/data/workloads.cc" "src/CMakeFiles/dash_data.dir/data/workloads.cc.o" "gcc" "src/CMakeFiles/dash_data.dir/data/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dash_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dash_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

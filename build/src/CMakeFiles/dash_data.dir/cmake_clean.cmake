@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_data.dir/data/genotype_generator.cc.o"
+  "CMakeFiles/dash_data.dir/data/genotype_generator.cc.o.d"
+  "CMakeFiles/dash_data.dir/data/matrix_io.cc.o"
+  "CMakeFiles/dash_data.dir/data/matrix_io.cc.o.d"
+  "CMakeFiles/dash_data.dir/data/missing_data.cc.o"
+  "CMakeFiles/dash_data.dir/data/missing_data.cc.o.d"
+  "CMakeFiles/dash_data.dir/data/party_split.cc.o"
+  "CMakeFiles/dash_data.dir/data/party_split.cc.o.d"
+  "CMakeFiles/dash_data.dir/data/phenotype_simulator.cc.o"
+  "CMakeFiles/dash_data.dir/data/phenotype_simulator.cc.o.d"
+  "CMakeFiles/dash_data.dir/data/population_structure.cc.o"
+  "CMakeFiles/dash_data.dir/data/population_structure.cc.o.d"
+  "CMakeFiles/dash_data.dir/data/workloads.cc.o"
+  "CMakeFiles/dash_data.dir/data/workloads.cc.o.d"
+  "libdash_data.a"
+  "libdash_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

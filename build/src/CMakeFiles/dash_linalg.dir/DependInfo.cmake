@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cc" "src/CMakeFiles/dash_linalg.dir/linalg/cholesky.cc.o" "gcc" "src/CMakeFiles/dash_linalg.dir/linalg/cholesky.cc.o.d"
+  "/root/repo/src/linalg/eigen_sym.cc" "src/CMakeFiles/dash_linalg.dir/linalg/eigen_sym.cc.o" "gcc" "src/CMakeFiles/dash_linalg.dir/linalg/eigen_sym.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/dash_linalg.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/dash_linalg.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/qr.cc" "src/CMakeFiles/dash_linalg.dir/linalg/qr.cc.o" "gcc" "src/CMakeFiles/dash_linalg.dir/linalg/qr.cc.o.d"
+  "/root/repo/src/linalg/sparse_matrix.cc" "src/CMakeFiles/dash_linalg.dir/linalg/sparse_matrix.cc.o" "gcc" "src/CMakeFiles/dash_linalg.dir/linalg/sparse_matrix.cc.o.d"
+  "/root/repo/src/linalg/tsqr.cc" "src/CMakeFiles/dash_linalg.dir/linalg/tsqr.cc.o" "gcc" "src/CMakeFiles/dash_linalg.dir/linalg/tsqr.cc.o.d"
+  "/root/repo/src/linalg/vector_ops.cc" "src/CMakeFiles/dash_linalg.dir/linalg/vector_ops.cc.o" "gcc" "src/CMakeFiles/dash_linalg.dir/linalg/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_linalg.dir/linalg/cholesky.cc.o"
+  "CMakeFiles/dash_linalg.dir/linalg/cholesky.cc.o.d"
+  "CMakeFiles/dash_linalg.dir/linalg/eigen_sym.cc.o"
+  "CMakeFiles/dash_linalg.dir/linalg/eigen_sym.cc.o.d"
+  "CMakeFiles/dash_linalg.dir/linalg/matrix.cc.o"
+  "CMakeFiles/dash_linalg.dir/linalg/matrix.cc.o.d"
+  "CMakeFiles/dash_linalg.dir/linalg/qr.cc.o"
+  "CMakeFiles/dash_linalg.dir/linalg/qr.cc.o.d"
+  "CMakeFiles/dash_linalg.dir/linalg/sparse_matrix.cc.o"
+  "CMakeFiles/dash_linalg.dir/linalg/sparse_matrix.cc.o.d"
+  "CMakeFiles/dash_linalg.dir/linalg/tsqr.cc.o"
+  "CMakeFiles/dash_linalg.dir/linalg/tsqr.cc.o.d"
+  "CMakeFiles/dash_linalg.dir/linalg/vector_ops.cc.o"
+  "CMakeFiles/dash_linalg.dir/linalg/vector_ops.cc.o.d"
+  "libdash_linalg.a"
+  "libdash_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpc/additive_sharing.cc" "src/CMakeFiles/dash_mpc.dir/mpc/additive_sharing.cc.o" "gcc" "src/CMakeFiles/dash_mpc.dir/mpc/additive_sharing.cc.o.d"
+  "/root/repo/src/mpc/beaver.cc" "src/CMakeFiles/dash_mpc.dir/mpc/beaver.cc.o" "gcc" "src/CMakeFiles/dash_mpc.dir/mpc/beaver.cc.o.d"
+  "/root/repo/src/mpc/fixed_point.cc" "src/CMakeFiles/dash_mpc.dir/mpc/fixed_point.cc.o" "gcc" "src/CMakeFiles/dash_mpc.dir/mpc/fixed_point.cc.o.d"
+  "/root/repo/src/mpc/key_exchange.cc" "src/CMakeFiles/dash_mpc.dir/mpc/key_exchange.cc.o" "gcc" "src/CMakeFiles/dash_mpc.dir/mpc/key_exchange.cc.o.d"
+  "/root/repo/src/mpc/masked_aggregation.cc" "src/CMakeFiles/dash_mpc.dir/mpc/masked_aggregation.cc.o" "gcc" "src/CMakeFiles/dash_mpc.dir/mpc/masked_aggregation.cc.o.d"
+  "/root/repo/src/mpc/prime_field.cc" "src/CMakeFiles/dash_mpc.dir/mpc/prime_field.cc.o" "gcc" "src/CMakeFiles/dash_mpc.dir/mpc/prime_field.cc.o.d"
+  "/root/repo/src/mpc/secure_projection.cc" "src/CMakeFiles/dash_mpc.dir/mpc/secure_projection.cc.o" "gcc" "src/CMakeFiles/dash_mpc.dir/mpc/secure_projection.cc.o.d"
+  "/root/repo/src/mpc/secure_sum.cc" "src/CMakeFiles/dash_mpc.dir/mpc/secure_sum.cc.o" "gcc" "src/CMakeFiles/dash_mpc.dir/mpc/secure_sum.cc.o.d"
+  "/root/repo/src/mpc/shamir.cc" "src/CMakeFiles/dash_mpc.dir/mpc/shamir.cc.o" "gcc" "src/CMakeFiles/dash_mpc.dir/mpc/shamir.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dash_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dash_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_mpc.dir/mpc/additive_sharing.cc.o"
+  "CMakeFiles/dash_mpc.dir/mpc/additive_sharing.cc.o.d"
+  "CMakeFiles/dash_mpc.dir/mpc/beaver.cc.o"
+  "CMakeFiles/dash_mpc.dir/mpc/beaver.cc.o.d"
+  "CMakeFiles/dash_mpc.dir/mpc/fixed_point.cc.o"
+  "CMakeFiles/dash_mpc.dir/mpc/fixed_point.cc.o.d"
+  "CMakeFiles/dash_mpc.dir/mpc/key_exchange.cc.o"
+  "CMakeFiles/dash_mpc.dir/mpc/key_exchange.cc.o.d"
+  "CMakeFiles/dash_mpc.dir/mpc/masked_aggregation.cc.o"
+  "CMakeFiles/dash_mpc.dir/mpc/masked_aggregation.cc.o.d"
+  "CMakeFiles/dash_mpc.dir/mpc/prime_field.cc.o"
+  "CMakeFiles/dash_mpc.dir/mpc/prime_field.cc.o.d"
+  "CMakeFiles/dash_mpc.dir/mpc/secure_projection.cc.o"
+  "CMakeFiles/dash_mpc.dir/mpc/secure_projection.cc.o.d"
+  "CMakeFiles/dash_mpc.dir/mpc/secure_sum.cc.o"
+  "CMakeFiles/dash_mpc.dir/mpc/secure_sum.cc.o.d"
+  "CMakeFiles/dash_mpc.dir/mpc/shamir.cc.o"
+  "CMakeFiles/dash_mpc.dir/mpc/shamir.cc.o.d"
+  "libdash_mpc.a"
+  "libdash_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

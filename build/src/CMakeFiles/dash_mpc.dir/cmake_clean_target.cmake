@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdash_mpc.a"
+)

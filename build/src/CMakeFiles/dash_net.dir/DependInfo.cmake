@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/message.cc" "src/CMakeFiles/dash_net.dir/net/message.cc.o" "gcc" "src/CMakeFiles/dash_net.dir/net/message.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/dash_net.dir/net/network.cc.o" "gcc" "src/CMakeFiles/dash_net.dir/net/network.cc.o.d"
+  "/root/repo/src/net/serialization.cc" "src/CMakeFiles/dash_net.dir/net/serialization.cc.o" "gcc" "src/CMakeFiles/dash_net.dir/net/serialization.cc.o.d"
+  "/root/repo/src/net/trace.cc" "src/CMakeFiles/dash_net.dir/net/trace.cc.o" "gcc" "src/CMakeFiles/dash_net.dir/net/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

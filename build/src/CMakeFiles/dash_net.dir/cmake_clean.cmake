@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_net.dir/net/message.cc.o"
+  "CMakeFiles/dash_net.dir/net/message.cc.o.d"
+  "CMakeFiles/dash_net.dir/net/network.cc.o"
+  "CMakeFiles/dash_net.dir/net/network.cc.o.d"
+  "CMakeFiles/dash_net.dir/net/serialization.cc.o"
+  "CMakeFiles/dash_net.dir/net/serialization.cc.o.d"
+  "CMakeFiles/dash_net.dir/net/trace.cc.o"
+  "CMakeFiles/dash_net.dir/net/trace.cc.o.d"
+  "libdash_net.a"
+  "libdash_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/dash_stats.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/dash_stats.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/CMakeFiles/dash_stats.dir/stats/distributions.cc.o" "gcc" "src/CMakeFiles/dash_stats.dir/stats/distributions.cc.o.d"
+  "/root/repo/src/stats/meta_analysis.cc" "src/CMakeFiles/dash_stats.dir/stats/meta_analysis.cc.o" "gcc" "src/CMakeFiles/dash_stats.dir/stats/meta_analysis.cc.o.d"
+  "/root/repo/src/stats/multiple_testing.cc" "src/CMakeFiles/dash_stats.dir/stats/multiple_testing.cc.o" "gcc" "src/CMakeFiles/dash_stats.dir/stats/multiple_testing.cc.o.d"
+  "/root/repo/src/stats/ols.cc" "src/CMakeFiles/dash_stats.dir/stats/ols.cc.o" "gcc" "src/CMakeFiles/dash_stats.dir/stats/ols.cc.o.d"
+  "/root/repo/src/stats/pca.cc" "src/CMakeFiles/dash_stats.dir/stats/pca.cc.o" "gcc" "src/CMakeFiles/dash_stats.dir/stats/pca.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/CMakeFiles/dash_stats.dir/stats/special_functions.cc.o" "gcc" "src/CMakeFiles/dash_stats.dir/stats/special_functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dash_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

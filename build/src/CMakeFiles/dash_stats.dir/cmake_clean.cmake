@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_stats.dir/stats/descriptive.cc.o"
+  "CMakeFiles/dash_stats.dir/stats/descriptive.cc.o.d"
+  "CMakeFiles/dash_stats.dir/stats/distributions.cc.o"
+  "CMakeFiles/dash_stats.dir/stats/distributions.cc.o.d"
+  "CMakeFiles/dash_stats.dir/stats/meta_analysis.cc.o"
+  "CMakeFiles/dash_stats.dir/stats/meta_analysis.cc.o.d"
+  "CMakeFiles/dash_stats.dir/stats/multiple_testing.cc.o"
+  "CMakeFiles/dash_stats.dir/stats/multiple_testing.cc.o.d"
+  "CMakeFiles/dash_stats.dir/stats/ols.cc.o"
+  "CMakeFiles/dash_stats.dir/stats/ols.cc.o.d"
+  "CMakeFiles/dash_stats.dir/stats/pca.cc.o"
+  "CMakeFiles/dash_stats.dir/stats/pca.cc.o.d"
+  "CMakeFiles/dash_stats.dir/stats/special_functions.cc.o"
+  "CMakeFiles/dash_stats.dir/stats/special_functions.cc.o.d"
+  "libdash_stats.a"
+  "libdash_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/chacha20.cc" "src/CMakeFiles/dash_util.dir/util/chacha20.cc.o" "gcc" "src/CMakeFiles/dash_util.dir/util/chacha20.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/dash_util.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/dash_util.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/dash_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/dash_util.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/dash_util.dir/util/random.cc.o" "gcc" "src/CMakeFiles/dash_util.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/dash_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/dash_util.dir/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/dash_util.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/dash_util.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/dash_util.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/dash_util.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_util.dir/util/chacha20.cc.o"
+  "CMakeFiles/dash_util.dir/util/chacha20.cc.o.d"
+  "CMakeFiles/dash_util.dir/util/csv.cc.o"
+  "CMakeFiles/dash_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/dash_util.dir/util/logging.cc.o"
+  "CMakeFiles/dash_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/dash_util.dir/util/random.cc.o"
+  "CMakeFiles/dash_util.dir/util/random.cc.o.d"
+  "CMakeFiles/dash_util.dir/util/status.cc.o"
+  "CMakeFiles/dash_util.dir/util/status.cc.o.d"
+  "CMakeFiles/dash_util.dir/util/strings.cc.o"
+  "CMakeFiles/dash_util.dir/util/strings.cc.o.d"
+  "CMakeFiles/dash_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/dash_util.dir/util/thread_pool.cc.o.d"
+  "libdash_util.a"
+  "libdash_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_compressed_study_test.dir/core_compressed_study_test.cc.o"
+  "CMakeFiles/core_compressed_study_test.dir/core_compressed_study_test.cc.o.d"
+  "core_compressed_study_test"
+  "core_compressed_study_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_compressed_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_grouped_scan_test.dir/core_grouped_scan_test.cc.o"
+  "CMakeFiles/core_grouped_scan_test.dir/core_grouped_scan_test.cc.o.d"
+  "core_grouped_scan_test"
+  "core_grouped_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_grouped_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_imputation_test.dir/core_imputation_test.cc.o"
+  "CMakeFiles/core_imputation_test.dir/core_imputation_test.cc.o.d"
+  "core_imputation_test"
+  "core_imputation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_imputation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

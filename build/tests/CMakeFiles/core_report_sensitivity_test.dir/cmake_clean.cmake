@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_report_sensitivity_test.dir/core_report_sensitivity_test.cc.o"
+  "CMakeFiles/core_report_sensitivity_test.dir/core_report_sensitivity_test.cc.o.d"
+  "core_report_sensitivity_test"
+  "core_report_sensitivity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_report_sensitivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

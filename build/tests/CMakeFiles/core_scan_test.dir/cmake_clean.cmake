@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scan_test.dir/core_scan_test.cc.o"
+  "CMakeFiles/core_scan_test.dir/core_scan_test.cc.o.d"
+  "core_scan_test"
+  "core_scan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_secure_online_test.dir/core_secure_online_test.cc.o"
+  "CMakeFiles/core_secure_online_test.dir/core_secure_online_test.cc.o.d"
+  "core_secure_online_test"
+  "core_secure_online_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_secure_online_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

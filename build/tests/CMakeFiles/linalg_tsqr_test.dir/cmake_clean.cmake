@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_tsqr_test.dir/linalg_tsqr_test.cc.o"
+  "CMakeFiles/linalg_tsqr_test.dir/linalg_tsqr_test.cc.o.d"
+  "linalg_tsqr_test"
+  "linalg_tsqr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_tsqr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_beaver_test.dir/mpc_beaver_test.cc.o"
+  "CMakeFiles/mpc_beaver_test.dir/mpc_beaver_test.cc.o.d"
+  "mpc_beaver_test"
+  "mpc_beaver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_beaver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_leakage_test.dir/mpc_leakage_test.cc.o"
+  "CMakeFiles/mpc_leakage_test.dir/mpc_leakage_test.cc.o.d"
+  "mpc_leakage_test"
+  "mpc_leakage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_leakage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

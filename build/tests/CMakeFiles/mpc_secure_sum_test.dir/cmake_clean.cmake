@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_secure_sum_test.dir/mpc_secure_sum_test.cc.o"
+  "CMakeFiles/mpc_secure_sum_test.dir/mpc_secure_sum_test.cc.o.d"
+  "mpc_secure_sum_test"
+  "mpc_secure_sum_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_secure_sum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

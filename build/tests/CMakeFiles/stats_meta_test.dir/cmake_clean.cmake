@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_meta_test.dir/stats_meta_test.cc.o"
+  "CMakeFiles/stats_meta_test.dir/stats_meta_test.cc.o.d"
+  "stats_meta_test"
+  "stats_meta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_meta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_multiple_testing_test.dir/stats_multiple_testing_test.cc.o"
+  "CMakeFiles/stats_multiple_testing_test.dir/stats_multiple_testing_test.cc.o.d"
+  "stats_multiple_testing_test"
+  "stats_multiple_testing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_multiple_testing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
