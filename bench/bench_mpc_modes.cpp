@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "mpc/secure_sum.h"
+#include "net/network.h"
 #include "util/random.h"
 
 namespace {

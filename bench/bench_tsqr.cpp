@@ -14,6 +14,7 @@
 #include "data/genotype_generator.h"
 #include "linalg/qr.h"
 #include "linalg/tsqr.h"
+#include "net/network.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
 

@@ -110,6 +110,21 @@ Result<CompressedStudy::SecureOutput> CompressedStudy::SecureAggregate(
     const std::vector<CompressedStudy>& locals,
     const SecureScanOptions& options) {
   if (locals.empty()) return InvalidArgumentError("no parties given");
+  InProcessTransport transport(static_cast<int>(locals.size()));
+  return SecureAggregate(locals, options, &transport);
+}
+
+Result<CompressedStudy::SecureOutput> CompressedStudy::SecureAggregate(
+    const std::vector<CompressedStudy>& locals,
+    const SecureScanOptions& options, Transport* transport) {
+  DASH_CHECK(transport != nullptr);
+  if (locals.empty()) return InvalidArgumentError("no parties given");
+  if (transport->num_parties() != static_cast<int>(locals.size()) ||
+      transport->local_party() != -1) {
+    return InvalidArgumentError(
+        "SecureAggregate needs an in-process transport with one slot per "
+        "accumulator");
+  }
   const int64_t m = locals[0].m_;
   const int64_t k = locals[0].k_;
   const int64_t t = locals[0].t_;
@@ -124,7 +139,7 @@ Result<CompressedStudy::SecureOutput> CompressedStudy::SecureAggregate(
     total += locals[p].n_;
   }
 
-  Network network(static_cast<int>(locals.size()));
+  Transport& network = *transport;
   if (options.trace != nullptr) network.AttachTrace(options.trace);
   SecureSumOptions sum_options;
   sum_options.mode = options.aggregation;

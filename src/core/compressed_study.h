@@ -53,6 +53,12 @@ class CompressedStudy {
       const std::vector<CompressedStudy>& locals,
       const SecureScanOptions& options = {});
 
+  // Same, over a caller-supplied in-process transport (one slot per
+  // accumulator); the default overload creates a private one.
+  static Result<SecureOutput> SecureAggregate(
+      const std::vector<CompressedStudy>& locals,
+      const SecureScanOptions& options, Transport* transport);
+
   int64_t num_samples() const { return n_; }
   int64_t num_variants() const { return m_; }
   int64_t num_covariates() const { return k_; }

@@ -10,7 +10,7 @@
 namespace dash {
 namespace {
 
-Status ValidateInputs(Network* network, const std::vector<Matrix>& local_r) {
+Status ValidateInputs(Transport* network, const std::vector<Matrix>& local_r) {
   if (static_cast<int>(local_r.size()) != network->num_parties()) {
     return InvalidArgumentError("one R factor per party required");
   }
@@ -24,7 +24,7 @@ Status ValidateInputs(Network* network, const std::vector<Matrix>& local_r) {
 }
 
 Result<DistributedQrResult> RunBroadcastStack(
-    Network* network, const std::vector<Matrix>& local_r) {
+    Transport* network, const std::vector<Matrix>& local_r) {
   const int p = network->num_parties();
   network->BeginRound();
   for (int i = 0; i < p; ++i) {
@@ -57,7 +57,7 @@ Result<DistributedQrResult> RunBroadcastStack(
   return out;
 }
 
-Result<DistributedQrResult> RunBinaryTree(Network* network,
+Result<DistributedQrResult> RunBinaryTree(Transport* network,
                                           const std::vector<Matrix>& local_r) {
   const int p = network->num_parties();
   // active[i] is party i's current merged factor; parties drop out as
@@ -125,7 +125,7 @@ const char* RCombineModeName(RCombineMode mode) {
 }
 
 Result<DistributedQrResult> CombineRFactorsOverNetwork(
-    Network* network, const std::vector<Matrix>& local_r, RCombineMode mode) {
+    Transport* network, const std::vector<Matrix>& local_r, RCombineMode mode) {
   DASH_RETURN_IF_ERROR(ValidateInputs(network, local_r));
   if (network->num_parties() == 1) {
     DistributedQrResult out;

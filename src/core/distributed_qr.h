@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
-#include "net/network.h"
+#include "transport/transport.h"
 #include "util/status.h"
 
 namespace dash {
@@ -40,7 +40,7 @@ struct DistributedQrResult {
 // Runs the combination over `network`; local_r[p] is party p's R factor.
 // All factors must be K x K and the network must have one slot per party.
 Result<DistributedQrResult> CombineRFactorsOverNetwork(
-    Network* network, const std::vector<Matrix>& local_r, RCombineMode mode);
+    Transport* network, const std::vector<Matrix>& local_r, RCombineMode mode);
 
 }  // namespace dash
 

@@ -9,6 +9,7 @@
 #include "core/party_local.h"
 #include "linalg/cholesky.h"
 #include "linalg/qr.h"
+#include "net/network.h"
 #include "stats/distributions.h"
 #include "util/thread_pool.h"
 

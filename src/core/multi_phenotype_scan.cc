@@ -7,6 +7,7 @@
 #include "core/distributed_qr.h"
 #include "core/party_local.h"
 #include "linalg/qr.h"
+#include "net/network.h"
 #include "util/thread_pool.h"
 
 namespace dash {

@@ -6,6 +6,8 @@
 
 #include "core/party_local.h"
 #include "mpc/secure_projection.h"
+#include "net/network.h"
+#include "net/serialization.h"
 #include "core/suff_stats.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -38,6 +40,27 @@ Result<ScanResult> FinalizeScanWithAbsorbedParams(
 Result<SecureScanOutput> SecureAssociationScan::Run(
     const std::vector<PartyData>& input_parties) const {
   DASH_RETURN_IF_ERROR(ValidateParties(input_parties));
+  InProcessTransport transport(static_cast<int>(input_parties.size()));
+  return Run(input_parties, &transport);
+}
+
+Result<SecureScanOutput> SecureAssociationScan::Run(
+    const std::vector<PartyData>& input_parties, Transport* transport) const {
+  DASH_CHECK(transport != nullptr);
+  DASH_RETURN_IF_ERROR(ValidateParties(input_parties));
+  if (transport->local_party() != -1) {
+    return InvalidArgumentError(
+        "SecureAssociationScan::Run drives all parties and needs an "
+        "in-process transport; party-bound transports go through "
+        "RunPartySecureScan (transport/party_runner.h)");
+  }
+  if (transport->num_parties() != static_cast<int>(input_parties.size())) {
+    return InvalidArgumentError("transport has " +
+                                std::to_string(transport->num_parties()) +
+                                " party slots for " +
+                                std::to_string(input_parties.size()) +
+                                " parties");
+  }
   const int num_parties = static_cast<int>(input_parties.size());
   const int64_t m = input_parties[0].x.cols();
   const int64_t k = input_parties[0].c.cols();
@@ -68,12 +91,44 @@ Result<SecureScanOutput> SecureAssociationScan::Run(
     absorbed_params = num_parties;
   }
 
-  Network network(num_parties);
+  Transport& network = *transport;
   if (options_.trace != nullptr) network.AttachTrace(options_.trace);
   Stopwatch protocol_timer;
   double local_seconds = 0.0;
   double protocol_seconds = 0.0;
   Stopwatch local_timer;
+
+  // Stage 0 (network): exchange the public per-party sample counts. The
+  // pooled N enters the revealed output (degrees of freedom), so a real
+  // deployment has to communicate it; keeping it on the wire here makes
+  // the in-process and TCP message patterns identical.
+  int64_t total_samples = 0;
+  if (num_parties > 1) {
+    network.BeginRound();
+    for (int i = 0; i < num_parties; ++i) {
+      ByteWriter w;
+      w.PutI64((*parties)[static_cast<size_t>(i)].num_samples());
+      DASH_RETURN_IF_ERROR(
+          network.Broadcast(i, MessageTag::kSampleCount, w.Take()));
+    }
+    total_samples = (*parties)[0].num_samples();
+    for (int q = 1; q < num_parties; ++q) {
+      DASH_ASSIGN_OR_RETURN(Message msg,
+                            network.Receive(0, q, MessageTag::kSampleCount));
+      ByteReader r(msg.payload);
+      DASH_ASSIGN_OR_RETURN(int64_t n_q, r.GetI64());
+      total_samples += n_q;
+    }
+    for (int i = 1; i < num_parties; ++i) {
+      for (int q = 0; q < num_parties; ++q) {
+        if (q == i) continue;
+        DASH_RETURN_IF_ERROR(
+            network.Receive(i, q, MessageTag::kSampleCount).status());
+      }
+    }
+  } else {
+    total_samples = (*parties)[0].num_samples();
+  }
 
   // Stage 1 (local): K x K R factors.
   std::vector<Matrix> local_r;
@@ -107,12 +162,10 @@ Result<SecureScanOutput> SecureAssociationScan::Run(
   }
   std::vector<ScanSufficientStats> party_stats;
   party_stats.reserve(static_cast<size_t>(num_parties));
-  int64_t total_samples = 0;
   for (const auto& p : *parties) {
     const Matrix q_p = (k > 0) ? PartyLocalQ(p, r_inverse)
                                : Matrix(p.num_samples(), 0);
     party_stats.push_back(PartyLocalStats(p, q_p, pool.get()));
-    total_samples += party_stats.back().num_samples;
   }
   local_seconds += local_timer.ElapsedSeconds();
 

@@ -96,9 +96,18 @@ class SecureAssociationScan {
  public:
   explicit SecureAssociationScan(const SecureScanOptions& options = {});
 
-  // Runs the full protocol across all parties in-process and returns the
-  // revealed scan (identical at every party) plus cost metrics.
+  // Runs the full protocol across all parties in-process (over a private
+  // InProcessTransport) and returns the revealed scan (identical at
+  // every party) plus cost metrics.
   Result<SecureScanOutput> Run(const std::vector<PartyData>& parties) const;
+
+  // Same, but over a caller-supplied transport, so callers can inspect
+  // per-link metrics or attach a trace at the transport level. The
+  // transport must carry all parties in-process (local_party() == -1)
+  // and have one slot per party; to run ONE party of the protocol over a
+  // real network, use RunPartySecureScan (transport/party_runner.h).
+  Result<SecureScanOutput> Run(const std::vector<PartyData>& parties,
+                               Transport* transport) const;
 
   const SecureScanOptions& options() const { return options_; }
 

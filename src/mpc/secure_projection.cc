@@ -22,7 +22,7 @@ inline double RingDecodeProduct(uint64_t v, double inv_scale2) {
 }  // namespace
 
 SecureProjectedAggregation::SecureProjectedAggregation(
-    Network* network, const SecureProjectionOptions& options)
+    Transport* network, const SecureProjectionOptions& options)
     : network_(network), options_(options),
       dealer_(network->num_parties(), options.seed) {
   DASH_CHECK(network != nullptr);

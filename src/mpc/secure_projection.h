@@ -32,7 +32,7 @@
 
 #include "linalg/matrix.h"
 #include "mpc/beaver.h"
-#include "net/network.h"
+#include "transport/transport.h"
 #include "util/status.h"
 
 namespace dash {
@@ -54,7 +54,7 @@ struct ProjectedStats {
 class SecureProjectedAggregation {
  public:
   // `network` must outlive this object; one slot per party.
-  SecureProjectedAggregation(Network* network,
+  SecureProjectedAggregation(Transport* network,
                              const SecureProjectionOptions& options);
 
   // qty_summands[p] is party p's K-vector summand of Qᵀy;
@@ -65,7 +65,7 @@ class SecureProjectedAggregation {
                              const std::vector<Matrix>& qtx_summands);
 
  private:
-  Network* network_;
+  Transport* network_;
   SecureProjectionOptions options_;
   DealerTripleProvider dealer_;
 };

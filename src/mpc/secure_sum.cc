@@ -29,7 +29,7 @@ const char* AggregationModeName(AggregationMode mode) {
   return "unknown";
 }
 
-SecureVectorSum::SecureVectorSum(Network* network,
+SecureVectorSum::SecureVectorSum(Transport* network,
                                  const SecureSumOptions& options)
     : network_(network), options_(options), codec_(options.frac_bits) {
   DASH_CHECK(network != nullptr);

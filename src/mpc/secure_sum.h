@@ -28,7 +28,7 @@
 
 #include "linalg/vector_ops.h"
 #include "mpc/fixed_point.h"
-#include "net/network.h"
+#include "transport/transport.h"
 #include "util/chacha20.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -73,7 +73,7 @@ struct SecureSumOptions {
 class SecureVectorSum {
  public:
   // `network` must outlive this object.
-  SecureVectorSum(Network* network, const SecureSumOptions& options);
+  SecureVectorSum(Transport* network, const SecureSumOptions& options);
 
   // One-time setup. For kMasked this runs the Diffie-Hellman pairwise
   // key agreement over the network; other modes are no-ops. Idempotent.
@@ -96,7 +96,7 @@ class SecureVectorSum {
   Result<Vector> RunMasked(const std::vector<Vector>& inputs);
   Result<Vector> RunShamir(const std::vector<Vector>& inputs);
 
-  Network* network_;
+  Transport* network_;
   SecureSumOptions options_;
   FixedPointCodec codec_;
   std::vector<Rng> party_rngs_;

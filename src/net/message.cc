@@ -22,6 +22,8 @@ const char* MessageTagName(MessageTag tag) {
       return "Aggregate";
     case MessageTag::kTreeR:
       return "TreeR";
+    case MessageTag::kSampleCount:
+      return "SampleCount";
   }
   return "Unknown";
 }

@@ -24,6 +24,7 @@ enum class MessageTag : uint32_t {
   kPublicKey = 7,        // Diffie-Hellman public value
   kAggregate = 8,        // aggregated result broadcast
   kTreeR = 9,            // tree-TSQR intermediate R factor
+  kSampleCount = 10,     // a party's public per-party sample count N_p
 };
 
 struct Message {

@@ -1,15 +1,20 @@
-// In-process simulated network between P parties.
+// In-process simulated network between P parties — the InProcessTransport
+// backend of transport/transport.h.
 //
-// The Network is the only channel through which party-local protocol code
-// exchanges data, which makes the privacy boundary explicit in the code:
-// anything a party learns, it learned from a Message. Every message is
-// counted, so benches can report exact per-link and total traffic — the
-// quantity behind the paper's O(M) inter-party communication claim.
+// The transport is the only channel through which party-local protocol
+// code exchanges data, which makes the privacy boundary explicit in the
+// code: anything a party learns, it learned from a Message. Every message
+// is counted, so benches can report exact per-link and total traffic —
+// the quantity behind the paper's O(M) inter-party communication claim.
 //
-// Delivery is FIFO per ordered (from, to) pair. The protocols in this
-// library are synchronous-round protocols driven from a single thread, so
-// Receive on an empty queue is a protocol bug and reports
-// FailedPrecondition rather than blocking.
+// Delivery is FIFO per ordered (from, to) pair. This backend is
+// SINGLE-THREAD SYNCHRONOUS: it keeps no locks, and all P parties'
+// protocol code must be driven from one thread in protocol order.
+// Receive on an empty queue is therefore a protocol bug and reports
+// FailedPrecondition rather than blocking. For genuinely concurrent
+// parties (one OS process each), use TcpTransport
+// (transport/tcp_transport.h), whose Receive blocks with a deadline and
+// whose counters are mutex-guarded.
 //
 // A LinkCostModel converts counted traffic into modeled wall-clock time
 // for WAN settings (benches only; it never affects protocol results).
@@ -22,41 +27,10 @@
 #include <vector>
 
 #include "net/message.h"
+#include "transport/transport.h"
 #include "util/status.h"
 
 namespace dash {
-class ProtocolTrace;
-}  // namespace dash
-
-namespace dash {
-
-// Cumulative traffic counters kept by the Network.
-class TrafficMetrics {
- public:
-  explicit TrafficMetrics(int num_parties);
-
-  void Record(const Message& msg);
-  void BumpRound() { ++rounds_; }
-  void Reset();
-
-  int64_t total_bytes() const { return total_bytes_; }
-  int64_t total_messages() const { return total_messages_; }
-  int rounds() const { return rounds_; }
-  int64_t LinkBytes(int from, int to) const;
-
-  // Largest bytes sent over any single directed link.
-  int64_t MaxLinkBytes() const;
-
-  // Bytes sent by one party over all its outgoing links.
-  int64_t BytesSentBy(int party) const;
-
- private:
-  int num_parties_;
-  int64_t total_bytes_ = 0;
-  int64_t total_messages_ = 0;
-  int rounds_ = 0;
-  std::vector<int64_t> link_bytes_;  // num_parties^2, row-major [from][to]
-};
 
 // Latency/bandwidth cost model: time = rounds * latency + bytes/bandwidth.
 struct LinkCostModel {
@@ -69,49 +43,32 @@ struct LinkCostModel {
   }
 };
 
-class Network {
+class Network : public Transport {
  public:
   // A network among parties 0..num_parties-1. Requires num_parties >= 1.
   explicit Network(int num_parties);
 
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
-
-  int num_parties() const { return num_parties_; }
+  // Carries every party in-process (see transport/transport.h).
+  int local_party() const override { return -1; }
 
   // Queues a message; from/to must be distinct valid party ids.
-  Status Send(int from, int to, MessageTag tag, std::vector<uint8_t> payload);
-
-  // Sends the same payload to every other party.
-  Status Broadcast(int from, MessageTag tag,
-                   const std::vector<uint8_t>& payload);
+  Status Send(int from, int to, MessageTag tag,
+              std::vector<uint8_t> payload) override;
 
   // Pops the next message queued from -> to; fails if the queue is empty
   // or the tag does not match the protocol's expectation.
-  Result<Message> Receive(int to, int from, MessageTag expected_tag);
+  Result<Message> Receive(int to, int from, MessageTag expected_tag) override;
 
   // True if a message from -> to is waiting.
-  bool HasPending(int to, int from) const;
-
-  // Marks the start of a new synchronous protocol round (metrics only).
-  void BeginRound() { metrics_.BumpRound(); }
-
-  // Attaches a transcript recorder (net/trace.h); nullptr detaches. The
-  // recorder must outlive the network or be detached first.
-  void AttachTrace(ProtocolTrace* trace) { trace_ = trace; }
-
-  TrafficMetrics& metrics() { return metrics_; }
-  const TrafficMetrics& metrics() const { return metrics_; }
+  bool HasPending(int to, int from) override;
 
  private:
-  Status ValidateParty(int id, const char* what) const;
-
-  int num_parties_;
-  // queues_[from * num_parties_ + to]
+  // queues_[from * num_parties() + to]
   std::vector<std::deque<Message>> queues_;
-  TrafficMetrics metrics_;
-  ProtocolTrace* trace_ = nullptr;
 };
+
+// The name the transport layer knows this backend by.
+using InProcessTransport = Network;
 
 }  // namespace dash
 

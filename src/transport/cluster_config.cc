@@ -1,0 +1,108 @@
+#include "transport/cluster_config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace dash {
+namespace {
+
+Result<PartyEndpoint> ParseEndpoint(std::string_view text) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == text.size()) {
+    return InvalidArgumentError("endpoint '" + std::string(text) +
+                                "' is not host:port");
+  }
+  DASH_ASSIGN_OR_RETURN(int64_t port,
+                        ParseInt64(StripWhitespace(text.substr(colon + 1))));
+  if (port < 1 || port > 65535) {
+    return InvalidArgumentError("port " + std::to_string(port) +
+                                " out of range [1, 65535]");
+  }
+  PartyEndpoint ep;
+  ep.host = std::string(StripWhitespace(text.substr(0, colon)));
+  ep.port = static_cast<uint16_t>(port);
+  return ep;
+}
+
+}  // namespace
+
+std::string ClusterConfig::ToString() const {
+  std::ostringstream out;
+  out << "# dash cluster: one \"host:port\" per party, line order = party "
+         "id\n";
+  for (const auto& ep : endpoints) {
+    out << ep.host << ":" << ep.port << "\n";
+  }
+  return out.str();
+}
+
+Result<ClusterConfig> ParseClusterConfig(const std::string& text) {
+  ClusterConfig config;
+  size_t line_number = 0;
+  for (const std::string& raw : StrSplit(text, '\n')) {
+    ++line_number;
+    std::string_view line = StripWhitespace(raw);
+    if (const size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = StripWhitespace(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+    // Optional explicit "<party> host:port" prefix.
+    if (const size_t space = line.find_first_of(" \t");
+        space != std::string_view::npos) {
+      DASH_ASSIGN_OR_RETURN(int64_t party,
+                            ParseInt64(line.substr(0, space)));
+      if (party != config.num_parties()) {
+        return InvalidArgumentError(
+            "line " + std::to_string(line_number) + " labels party " +
+            std::to_string(party) + " but is in position " +
+            std::to_string(config.num_parties()));
+      }
+      line = StripWhitespace(line.substr(space + 1));
+    }
+    auto endpoint = ParseEndpoint(line);
+    if (!endpoint.ok()) {
+      return InvalidArgumentError("line " + std::to_string(line_number) +
+                                  ": " + endpoint.status().message());
+    }
+    config.endpoints.push_back(std::move(endpoint).value());
+  }
+  if (config.endpoints.empty()) {
+    return InvalidArgumentError("cluster config names no parties");
+  }
+  return config;
+}
+
+Result<ClusterConfig> LoadClusterConfig(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return IoError("cannot open cluster config '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseClusterConfig(text.str());
+}
+
+Result<ClusterConfig> ParseClusterList(const std::string& list) {
+  ClusterConfig config;
+  for (const std::string& item : StrSplit(list, ',')) {
+    DASH_ASSIGN_OR_RETURN(PartyEndpoint ep,
+                          ParseEndpoint(StripWhitespace(item)));
+    config.endpoints.push_back(std::move(ep));
+  }
+  if (config.endpoints.empty()) {
+    return InvalidArgumentError("cluster list names no parties");
+  }
+  return config;
+}
+
+ClusterConfig LoopbackCluster(int num_parties, uint16_t base_port) {
+  ClusterConfig config;
+  for (int p = 0; p < num_parties; ++p) {
+    config.endpoints.push_back(
+        {"127.0.0.1", static_cast<uint16_t>(base_port + p)});
+  }
+  return config;
+}
+
+}  // namespace dash

@@ -1,0 +1,55 @@
+// Party endpoint directory for multi-process deployments.
+//
+// A ClusterConfig names where every party listens; the line index IS the
+// party id, so all parties must be handed the same file (ordering
+// included). Format, one endpoint per line:
+//
+//   # dash cluster: one "host:port" per party, line order = party id
+//   127.0.0.1:7001
+//   127.0.0.1:7002
+//   127.0.0.1:7003
+//
+// Blank lines and '#' comments are ignored. An optional leading
+// "<party> " index per line is accepted (and validated against the line
+// position) so configs can be made self-describing.
+
+#ifndef DASH_TRANSPORT_CLUSTER_CONFIG_H_
+#define DASH_TRANSPORT_CLUSTER_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dash {
+
+struct PartyEndpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+struct ClusterConfig {
+  std::vector<PartyEndpoint> endpoints;  // index == party id
+
+  int num_parties() const { return static_cast<int>(endpoints.size()); }
+
+  // Renders the config in the file format above.
+  std::string ToString() const;
+};
+
+// Parses the file format above from text.
+Result<ClusterConfig> ParseClusterConfig(const std::string& text);
+
+// Reads and parses a config file.
+Result<ClusterConfig> LoadClusterConfig(const std::string& path);
+
+// Parses a compact "host:port,host:port,..." list (the --cluster flag).
+Result<ClusterConfig> ParseClusterList(const std::string& list);
+
+// All-loopback cluster on ports base_port .. base_port+num_parties-1.
+ClusterConfig LoopbackCluster(int num_parties, uint16_t base_port);
+
+}  // namespace dash
+
+#endif  // DASH_TRANSPORT_CLUSTER_CONFIG_H_

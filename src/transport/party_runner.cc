@@ -1,0 +1,540 @@
+#include "transport/party_runner.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/party_local.h"
+#include "core/suff_stats.h"
+#include "linalg/qr.h"
+#include "linalg/tsqr.h"
+#include "mpc/additive_sharing.h"
+#include "mpc/fixed_point.h"
+#include "mpc/key_exchange.h"
+#include "mpc/masked_aggregation.h"
+#include "mpc/prime_field.h"
+#include "mpc/shamir.h"
+#include "net/serialization.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace dash {
+namespace {
+
+// Party-local projection of SecureVectorSum (mpc/secure_sum.cc): performs
+// the sends party `local` makes and the receives addressed to it, in the
+// same per-link order and round structure. The bit-identity argument per
+// mode:
+//  * public     — every party sums the plaintext vectors in ascending
+//                 party order, matching the in-process reduction;
+//  * additive   — Z_2^64 wrapping adds are commutative/associative, so
+//                 receive order cannot change the total;
+//  * masked     — same ring argument after the pairwise masks cancel;
+//  * shamir     — F_(2^61-1) adds are exact; reconstruction weights are
+//                 a deterministic function of the fixed points 1..P.
+class PartySecureVectorSum {
+ public:
+  PartySecureVectorSum(Transport* transport, const SecureSumOptions& options)
+      : net_(transport),
+        local_(transport->local_party()),
+        options_(options),
+        codec_(options.frac_bits),
+        rng_([&] {
+          // Party i's randomness is the i-th output of the SplitMix64
+          // chain over the shared seed — the exact seeding the in-process
+          // driver applies to its per-party RNG array.
+          uint64_t seed_state = options.seed;
+          uint64_t seed = SplitMix64(&seed_state);
+          for (int i = 0; i < transport->local_party(); ++i) {
+            seed = SplitMix64(&seed_state);
+          }
+          return Rng(seed);
+        }()) {}
+
+  Result<Vector> Run(const Vector& input) {
+    DASH_RETURN_IF_ERROR(Setup());
+    if (net_->num_parties() == 1) return input;
+    ++round_nonce_;
+    switch (options_.mode) {
+      case AggregationMode::kPublicShare:
+        return RunPublic(input);
+      case AggregationMode::kAdditive:
+        return RunAdditive(input);
+      case AggregationMode::kMasked:
+        return RunMasked(input);
+      case AggregationMode::kShamir:
+        return RunShamir(input);
+    }
+    return InternalError("unknown aggregation mode");
+  }
+
+ private:
+  Status Setup() {
+    if (setup_done_) return Status::Ok();
+    const int p = net_->num_parties();
+    if (options_.mode == AggregationMode::kMasked && p > 1) {
+      net_->BeginRound();
+      const uint64_t private_key = DiffieHellman::GeneratePrivate(&rng_);
+      ByteWriter w;
+      w.PutU64(DiffieHellman::PublicValue(private_key));
+      DASH_RETURN_IF_ERROR(
+          net_->Broadcast(local_, MessageTag::kPublicKey, w.Take()));
+      pairwise_keys_.assign(static_cast<size_t>(p), ChaCha20Rng::Key{});
+      for (int q = 0; q < p; ++q) {
+        if (q == local_) continue;
+        DASH_ASSIGN_OR_RETURN(
+            Message msg, net_->Receive(local_, q, MessageTag::kPublicKey));
+        ByteReader r(msg.payload);
+        DASH_ASSIGN_OR_RETURN(uint64_t peer_public, r.GetU64());
+        pairwise_keys_[static_cast<size_t>(q)] = DiffieHellman::DeriveKey(
+            DiffieHellman::SharedSecret(private_key, peer_public));
+      }
+    }
+    setup_done_ = true;
+    return Status::Ok();
+  }
+
+  Result<Vector> RunPublic(const Vector& input) {
+    const int p = net_->num_parties();
+    net_->BeginRound();
+    ByteWriter w;
+    w.PutDoubleVector(input);
+    DASH_RETURN_IF_ERROR(
+        net_->Broadcast(local_, MessageTag::kPlainStats, w.Take()));
+    // Sum in ascending party order — float addition is order-sensitive
+    // and the in-process reduction goes 0, 1, ..., P-1.
+    Vector total;
+    for (int q = 0; q < p; ++q) {
+      Vector v;
+      if (q == local_) {
+        v = input;
+      } else {
+        DASH_ASSIGN_OR_RETURN(
+            Message msg, net_->Receive(local_, q, MessageTag::kPlainStats));
+        ByteReader r(msg.payload);
+        DASH_ASSIGN_OR_RETURN(v, r.GetDoubleVector());
+      }
+      if (q == 0) {
+        total = std::move(v);
+      } else {
+        if (v.size() != total.size()) {
+          return InternalError("public-share length mismatch");
+        }
+        for (size_t e = 0; e < total.size(); ++e) total[e] += v[e];
+      }
+    }
+    return total;
+  }
+
+  Result<Vector> RunAdditive(const Vector& input) {
+    const int p = net_->num_parties();
+    const size_t len = input.size();
+
+    net_->BeginRound();
+    DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> encoded,
+                          codec_.EncodeVector(input));
+    auto shares = AdditiveShareVector(encoded, p, &rng_);
+    std::vector<uint64_t> partial = std::move(shares[static_cast<size_t>(local_)]);
+    for (int j = 0; j < p; ++j) {
+      if (j == local_) continue;
+      ByteWriter w;
+      w.PutU64Vector(shares[static_cast<size_t>(j)]);
+      DASH_RETURN_IF_ERROR(
+          net_->Send(local_, j, MessageTag::kAdditiveShare, w.Take()));
+    }
+
+    net_->BeginRound();
+    for (int i = 0; i < p; ++i) {
+      if (i == local_) continue;
+      DASH_ASSIGN_OR_RETURN(
+          Message msg, net_->Receive(local_, i, MessageTag::kAdditiveShare));
+      ByteReader r(msg.payload);
+      DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> share, r.GetU64Vector());
+      if (share.size() != len) {
+        return InternalError("additive share length mismatch");
+      }
+      for (size_t e = 0; e < len; ++e) partial[e] += share[e];
+    }
+    ByteWriter w;
+    w.PutU64Vector(partial);
+    DASH_RETURN_IF_ERROR(
+        net_->Broadcast(local_, MessageTag::kPartialSum, w.Take()));
+
+    std::vector<uint64_t> total = std::move(partial);
+    for (int q = 0; q < p; ++q) {
+      if (q == local_) continue;
+      DASH_ASSIGN_OR_RETURN(Message msg,
+                            net_->Receive(local_, q, MessageTag::kPartialSum));
+      ByteReader r(msg.payload);
+      DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> peer, r.GetU64Vector());
+      if (peer.size() != len) {
+        return InternalError("partial sum length mismatch");
+      }
+      for (size_t e = 0; e < len; ++e) total[e] += peer[e];
+    }
+    return codec_.DecodeVector(total);
+  }
+
+  Result<Vector> RunMasked(const Vector& input) {
+    const int p = net_->num_parties();
+    const size_t len = input.size();
+
+    net_->BeginRound();
+    DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> encoded,
+                          codec_.EncodeVector(input));
+    std::vector<uint64_t> masked =
+        ApplyPairwiseMasks(local_, encoded, pairwise_keys_, round_nonce_);
+    ByteWriter w;
+    w.PutU64Vector(masked);
+    DASH_RETURN_IF_ERROR(
+        net_->Broadcast(local_, MessageTag::kMaskedValue, w.Take()));
+
+    std::vector<uint64_t> total = std::move(masked);
+    for (int q = 0; q < p; ++q) {
+      if (q == local_) continue;
+      DASH_ASSIGN_OR_RETURN(Message msg,
+                            net_->Receive(local_, q, MessageTag::kMaskedValue));
+      ByteReader r(msg.payload);
+      DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> peer, r.GetU64Vector());
+      if (peer.size() != len) {
+        return InternalError("masked vector length mismatch");
+      }
+      for (size_t e = 0; e < len; ++e) total[e] += peer[e];
+    }
+    return codec_.DecodeVector(total);
+  }
+
+  Result<Vector> RunShamir(const Vector& input) {
+    const int p = net_->num_parties();
+    const size_t len = input.size();
+    if (options_.simulate_shamir_dropouts != 0) {
+      return UnimplementedError(
+          "Shamir dropout simulation is an in-process experiment; real "
+          "dropouts surface as transport errors");
+    }
+    const int threshold = (options_.shamir_threshold >= 0)
+                              ? options_.shamir_threshold
+                              : (p - 1) / 2;
+    if (threshold >= p) {
+      return InvalidArgumentError("Shamir threshold must be < num parties");
+    }
+    const double field_max =
+        std::ldexp(1.0, 60 - options_.frac_bits) / static_cast<double>(p);
+    for (const double x : input) {
+      if (!(x > -field_max && x < field_max)) {
+        return OutOfRangeError(
+            "input exceeds Shamir field headroom; lower frac_bits");
+      }
+    }
+
+    // Phase 1: distribute shares of our input; accumulate what we hold.
+    net_->BeginRound();
+    std::vector<uint64_t> encoded(len);
+    for (size_t e = 0; e < len; ++e) {
+      DASH_ASSIGN_OR_RETURN(uint64_t ring, codec_.TryEncode(input[e]));
+      encoded[e] = FieldEncodeSigned(static_cast<int64_t>(ring));
+    }
+    DASH_ASSIGN_OR_RETURN(auto shares,
+                          ShamirSplitVector(encoded, p, threshold, &rng_));
+    std::vector<uint64_t> held(len, 0);
+    for (int j = 0; j < p; ++j) {
+      std::vector<uint64_t> ys(len);
+      for (size_t e = 0; e < len; ++e) {
+        ys[e] = shares[static_cast<size_t>(j)][e].y;
+      }
+      if (j == local_) {
+        for (size_t e = 0; e < len; ++e) held[e] = FieldAdd(held[e], ys[e]);
+      } else {
+        ByteWriter w;
+        w.PutU64Vector(ys);
+        DASH_RETURN_IF_ERROR(
+            net_->Send(local_, j, MessageTag::kShamirShare, w.Take()));
+      }
+    }
+
+    // Phase 2: sum the shares we hold; exchange sum shares.
+    net_->BeginRound();
+    for (int i = 0; i < p; ++i) {
+      if (i == local_) continue;
+      DASH_ASSIGN_OR_RETURN(Message msg,
+                            net_->Receive(local_, i, MessageTag::kShamirShare));
+      ByteReader r(msg.payload);
+      DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> ys, r.GetU64Vector());
+      if (ys.size() != len) {
+        return InternalError("Shamir share length mismatch");
+      }
+      for (size_t e = 0; e < len; ++e) held[e] = FieldAdd(held[e], ys[e]);
+    }
+    {
+      ByteWriter w;
+      w.PutU64Vector(held);
+      const std::vector<uint8_t> payload = w.Take();
+      for (int to = 0; to < p; ++to) {
+        if (to == local_) continue;
+        DASH_RETURN_IF_ERROR(
+            net_->Send(local_, to, MessageTag::kPartialSum, payload));
+      }
+    }
+
+    // Phase 3: reconstruct at x = 0 from all P sum shares.
+    std::vector<uint64_t> xs(static_cast<size_t>(p));
+    for (int j = 0; j < p; ++j) xs[static_cast<size_t>(j)] = static_cast<uint64_t>(j) + 1;
+    DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> weights,
+                          LagrangeWeightsAtZero(xs));
+    std::vector<std::vector<uint64_t>> sum_shares(static_cast<size_t>(p));
+    sum_shares[static_cast<size_t>(local_)] = std::move(held);
+    for (int q = 0; q < p; ++q) {
+      if (q == local_) continue;
+      DASH_ASSIGN_OR_RETURN(Message msg,
+                            net_->Receive(local_, q, MessageTag::kPartialSum));
+      ByteReader r(msg.payload);
+      DASH_ASSIGN_OR_RETURN(sum_shares[static_cast<size_t>(q)],
+                            r.GetU64Vector());
+      if (sum_shares[static_cast<size_t>(q)].size() != len) {
+        return InternalError("Shamir sum share length mismatch");
+      }
+    }
+
+    Vector result(len);
+    for (size_t e = 0; e < len; ++e) {
+      uint64_t acc = 0;
+      for (int j = 0; j < p; ++j) {
+        acc = FieldAdd(acc, FieldMul(weights[static_cast<size_t>(j)],
+                                     sum_shares[static_cast<size_t>(j)][e]));
+      }
+      const int64_t signed_ring = FieldDecodeSigned(acc);
+      result[e] = codec_.Decode(static_cast<uint64_t>(signed_ring));
+    }
+    return result;
+  }
+
+  Transport* net_;
+  int local_;
+  SecureSumOptions options_;
+  FixedPointCodec codec_;
+  Rng rng_;
+  std::vector<ChaCha20Rng::Key> pairwise_keys_;  // [q] = key with party q
+  uint64_t round_nonce_ = 0;
+  bool setup_done_ = false;
+};
+
+// Party-local projection of CombineRFactorsOverNetwork (broadcast-stack
+// mode): every party ends up factoring the identical stack.
+Result<Matrix> CombineBroadcastStack(Transport* net, int local,
+                                     const Matrix& own_r) {
+  const int p = net->num_parties();
+  net->BeginRound();
+  ByteWriter w;
+  w.PutMatrix(own_r);
+  DASH_RETURN_IF_ERROR(net->Broadcast(local, MessageTag::kRFactor, w.Take()));
+  std::vector<Matrix> stack(static_cast<size_t>(p));
+  stack[static_cast<size_t>(local)] = own_r;
+  for (int q = 0; q < p; ++q) {
+    if (q == local) continue;
+    DASH_ASSIGN_OR_RETURN(Message msg,
+                          net->Receive(local, q, MessageTag::kRFactor));
+    ByteReader r(msg.payload);
+    DASH_ASSIGN_OR_RETURN(stack[static_cast<size_t>(q)], r.GetMatrix());
+  }
+  return CombineRFactors(stack);
+}
+
+// Party-local projection of the binary tree: the merge schedule is a
+// deterministic function of (P, stride), so each party can replay the
+// full activity pattern locally and only perform its own sends/receives.
+Result<Matrix> CombineBinaryTree(Transport* net, int local,
+                                 const Matrix& own_r) {
+  const int p = net->num_parties();
+  Matrix current = own_r;
+  std::vector<bool> active(static_cast<size_t>(p), true);
+  for (int stride = 1; stride < p; stride *= 2) {
+    net->BeginRound();
+    if (active[static_cast<size_t>(local)] && (local / stride) % 2 == 1 &&
+        local - stride >= 0) {
+      ByteWriter w;
+      w.PutMatrix(current);
+      DASH_RETURN_IF_ERROR(
+          net->Send(local, local - stride, MessageTag::kTreeR, w.Take()));
+    } else if (active[static_cast<size_t>(local)] && local + stride < p &&
+               active[static_cast<size_t>(local + stride)]) {
+      DASH_ASSIGN_OR_RETURN(
+          Message msg, net->Receive(local, local + stride, MessageTag::kTreeR));
+      ByteReader r(msg.payload);
+      DASH_ASSIGN_OR_RETURN(Matrix peer, r.GetMatrix());
+      DASH_ASSIGN_OR_RETURN(current, QrRFactor(VStack({current, peer})));
+    }
+    // Replay the round's deactivations for every party.
+    for (int i = 0; i < p; ++i) {
+      if (active[static_cast<size_t>(i)] && (i / stride) % 2 == 1 &&
+          i - stride >= 0) {
+        active[static_cast<size_t>(i)] = false;
+      }
+    }
+  }
+  // Party 0 broadcasts the pooled R.
+  net->BeginRound();
+  if (local == 0) {
+    ByteWriter w;
+    w.PutMatrix(current);
+    DASH_RETURN_IF_ERROR(net->Broadcast(0, MessageTag::kRFactor, w.Take()));
+    return current;
+  }
+  DASH_ASSIGN_OR_RETURN(Message msg,
+                        net->Receive(local, 0, MessageTag::kRFactor));
+  ByteReader r(msg.payload);
+  return r.GetMatrix();
+}
+
+}  // namespace
+
+Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
+                                            const PartyData& input_party,
+                                            const SecureScanOptions& options) {
+  DASH_CHECK(transport != nullptr);
+  const int local = transport->local_party();
+  if (local < 0) {
+    return InvalidArgumentError(
+        "RunPartySecureScan needs a party-bound transport "
+        "(local_party() >= 0); in-process simulations go through "
+        "SecureAssociationScan::Run");
+  }
+  const int num_parties = transport->num_parties();
+  if (options.projection == ProjectionSecurity::kBeaverDotProducts) {
+    return UnimplementedError(
+        "Beaver-triple projection is not wired for party-bound transports "
+        "yet; use ProjectionSecurity::kRevealProjectedSums");
+  }
+  DASH_RETURN_IF_ERROR(ValidateParties({input_party}));
+  if (options.trace != nullptr) transport->AttachTrace(options.trace);
+
+  // Per-party preprocessing: centering is a within-party operation, so
+  // the single-element call reproduces the in-process preprocessing of
+  // this slice exactly.
+  const PartyData* party = &input_party;
+  std::vector<PartyData> centered;
+  int64_t absorbed_params = 0;
+  if (options.center_per_party) {
+    for (int64_t j = 0; j < input_party.c.cols(); ++j) {
+      bool constant = input_party.c.rows() > 0;
+      for (int64_t i = 1; i < input_party.c.rows() && constant; ++i) {
+        constant = (input_party.c(i, j) == input_party.c(0, j));
+      }
+      if (constant && input_party.c.rows() > 0) {
+        return InvalidArgumentError(
+            "center_per_party absorbs the intercept; remove constant "
+            "column " + std::to_string(j) + " from C");
+      }
+    }
+    centered.push_back(input_party);
+    CenterPerParty(&centered);
+    party = &centered[0];
+    absorbed_params = num_parties;
+  }
+
+  const int64_t m = party->x.cols();
+  const int64_t k = party->c.cols();
+  Stopwatch protocol_timer;
+  Stopwatch local_timer;
+  double local_seconds = 0.0;
+  double protocol_seconds = 0.0;
+
+  // Stage 0 (network): exchange the public per-party sample counts.
+  int64_t total_samples = 0;
+  protocol_timer.Reset();
+  if (num_parties > 1) {
+    transport->BeginRound();
+    ByteWriter w;
+    w.PutI64(party->num_samples());
+    DASH_RETURN_IF_ERROR(
+        transport->Broadcast(local, MessageTag::kSampleCount, w.Take()));
+    for (int q = 0; q < num_parties; ++q) {
+      if (q == local) {
+        total_samples += party->num_samples();
+        continue;
+      }
+      DASH_ASSIGN_OR_RETURN(
+          Message msg, transport->Receive(local, q, MessageTag::kSampleCount));
+      ByteReader r(msg.payload);
+      DASH_ASSIGN_OR_RETURN(int64_t n_q, r.GetI64());
+      total_samples += n_q;
+    }
+  } else {
+    total_samples = party->num_samples();
+  }
+  protocol_seconds += protocol_timer.ElapsedSeconds();
+
+  // Stage 1 (local): our K x K R factor.
+  local_timer.Reset();
+  Matrix local_r(0, 0);
+  if (k > 0) {
+    DASH_ASSIGN_OR_RETURN(local_r, PartyLocalRFactor(*party));
+  }
+  local_seconds += local_timer.ElapsedSeconds();
+
+  // Stage 2 (network): combine R factors; we learn R⁻¹.
+  Matrix r_inverse(0, 0);
+  protocol_timer.Reset();
+  if (k > 0) {
+    Matrix r(0, 0);
+    if (num_parties == 1) {
+      r = local_r;
+    } else if (options.r_combine == RCombineMode::kBroadcastStack) {
+      DASH_ASSIGN_OR_RETURN(r, CombineBroadcastStack(transport, local, local_r));
+    } else {
+      DASH_ASSIGN_OR_RETURN(r, CombineBinaryTree(transport, local, local_r));
+    }
+    DASH_ASSIGN_OR_RETURN(r_inverse, InvertUpperTriangular(r));
+  }
+  protocol_seconds += protocol_timer.ElapsedSeconds();
+
+  // Stage 3 (local): our Q_p rows and sufficient-statistic summand.
+  local_timer.Reset();
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+  const Matrix q_p = (k > 0) ? PartyLocalQ(*party, r_inverse)
+                             : Matrix(party->num_samples(), 0);
+  const ScanSufficientStats stats = PartyLocalStats(*party, q_p, pool.get());
+  local_seconds += local_timer.ElapsedSeconds();
+
+  // Stage 4 (network): one secure-sum aggregation of everything.
+  SecureSumOptions sum_options;
+  sum_options.mode = options.aggregation;
+  sum_options.frac_bits = options.frac_bits;
+  sum_options.seed = options.seed;
+  PartySecureVectorSum secure_sum(transport, sum_options);
+  protocol_timer.Reset();
+  DASH_ASSIGN_OR_RETURN(Vector flat_totals, secure_sum.Run(FlattenStats(stats)));
+  protocol_seconds += protocol_timer.ElapsedSeconds();
+
+  // Stage 5 (local, public): Lemma 2.1 finalization.
+  local_timer.Reset();
+  DASH_ASSIGN_OR_RETURN(ScanSufficientStats totals,
+                        UnflattenStats(flat_totals, m, k));
+  totals.num_samples = total_samples;
+  DASH_ASSIGN_OR_RETURN(ScanResult result,
+                        FinalizeScanWithAbsorbedParams(totals, absorbed_params));
+  local_seconds += local_timer.ElapsedSeconds();
+
+  SecureScanOutput out;
+  out.result = std::move(result);
+  out.metrics.total_bytes = transport->metrics().total_bytes();
+  out.metrics.total_messages = transport->metrics().total_messages();
+  out.metrics.max_link_bytes = transport->metrics().MaxLinkBytes();
+  out.metrics.rounds = transport->metrics().rounds();
+  out.metrics.local_compute_seconds = local_seconds;
+  out.metrics.protocol_seconds = protocol_seconds;
+  DASH_LOG(Info) << "party " << local << "/" << num_parties
+                 << " secure scan: N=" << total_samples << " M=" << m
+                 << " K=" << k << " mode="
+                 << AggregationModeName(options.aggregation)
+                 << " sent_bytes=" << out.metrics.total_bytes;
+  return out;
+}
+
+}  // namespace dash

@@ -1,0 +1,47 @@
+// One party's end of the secure association scan, for party-bound
+// transports (one OS process per party, e.g. TcpTransport).
+//
+// SecureAssociationScan::Run drives ALL parties in one address space,
+// which is ideal for simulation but impossible over a real network.
+// RunPartySecureScan is the per-party projection of exactly the same
+// protocol: it performs the sends party `transport->local_party()` would
+// perform and consumes the messages addressed to it, in the same
+// per-link order, with the same round structure, so
+//
+//   * the revealed ScanResult matches the in-process scan bit for bit
+//     (ring/field sums are order-independent; the public mode and all
+//     plaintext reductions fix party-index summation order; doubles
+//     travel as exact IEEE-754 bit patterns), and
+//   * the union of the parties' per-link traffic equals the in-process
+//     trace as a multiset of (round, from, to, tag, bytes).
+//
+// Protocol randomness is replicated from the shared options.seed: party
+// i draws its share/mask/DH randomness from the i-th output of the
+// SplitMix64 seed chain, exactly as the in-process driver seeds its
+// per-party RNGs — so two deployments with equal seeds exchange
+// identical ciphertexts.
+//
+// Not supported per-party (returns Unimplemented):
+// ProjectionSecurity::kBeaverDotProducts and Shamir dropout simulation,
+// both of which only exist for in-process experiments.
+
+#ifndef DASH_TRANSPORT_PARTY_RUNNER_H_
+#define DASH_TRANSPORT_PARTY_RUNNER_H_
+
+#include "core/secure_scan.h"
+#include "data/party_split.h"
+#include "transport/transport.h"
+
+namespace dash {
+
+// Runs the scan as party transport->local_party() (which must be >= 0,
+// i.e. a party-bound transport) holding rows `party`. Blocks until the
+// protocol completes; every party returns the identical revealed result.
+// Metrics cover this party's sends only.
+Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
+                                            const PartyData& party,
+                                            const SecureScanOptions& options);
+
+}  // namespace dash
+
+#endif  // DASH_TRANSPORT_PARTY_RUNNER_H_

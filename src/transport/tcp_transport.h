@@ -1,0 +1,137 @@
+// TCP transport: one process per party, full mesh over POSIX sockets.
+//
+// Connection establishment tolerates parties starting in ANY order:
+// every party first opens its own listening socket, then actively dials
+// every lower-numbered party (retrying with exponential backoff plus
+// jitter while the peer's listener is not up yet) and accepts
+// connections from every higher-numbered party. Both sides of each link
+// exchange a hello frame naming their party id and cluster size, so a
+// stray or stale connection (e.g. from a party killed mid-handshake and
+// restarted) is identified and discarded without poisoning the mesh. A
+// peer that never appears within connect_timeout_ms yields
+// DeadlineExceeded, not a hang.
+//
+// Data flow is single-threaded and poll-driven: Send frames the message
+// (transport/frame.h) and writes it to the peer's socket, draining any
+// inbound frames whenever the outbound buffer is full — this is what
+// prevents the classic all-parties-broadcast deadlock where every
+// kernel buffer fills while every process is blocked in write(). Receive
+// returns the next queued frame from the requested peer, blocking up to
+// receive_timeout_ms (then DeadlineExceeded). Tag mismatches are
+// FailedPrecondition, exactly as on the in-process backend.
+//
+// Threading: all protocol calls (Send/Receive/Broadcast/BeginRound) must
+// come from one thread, like every Transport. Because the socket reader
+// runs inside Send/Receive on that same thread, TrafficMetrics updates
+// are already serialized; they are additionally guarded by a mutex so a
+// separate monitoring thread may call metrics()/wire_stats() while the
+// protocol runs — this is the one concurrency the backend supports.
+//
+// Accounting: TrafficMetrics counts logical Message::WireSize() bytes at
+// the sender, identically to the in-process backend, so the O(M) claim
+// is checked on the same numbers. The physical truth (frame headers
+// included, both directions) is reported by wire_stats().
+
+#ifndef DASH_TRANSPORT_TCP_TRANSPORT_H_
+#define DASH_TRANSPORT_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "transport/cluster_config.h"
+#include "transport/transport.h"
+
+namespace dash {
+
+struct TcpTransportOptions {
+  // Overall deadline for establishing the full mesh.
+  int connect_timeout_ms = 20000;
+
+  // Deadline for one Receive (and for draining one Send).
+  int receive_timeout_ms = 30000;
+
+  // Exponential backoff between reconnect attempts while a peer's
+  // listener is not up yet; each sleep is uniformly jittered in
+  // [backoff/2, backoff] so restarted parties do not dial in lockstep.
+  int backoff_initial_ms = 25;
+  int backoff_max_ms = 1000;
+};
+
+// Physical byte counters (frame headers included), both directions.
+struct TcpWireStats {
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+  int64_t frames_sent = 0;
+  int64_t frames_received = 0;
+};
+
+class TcpTransport : public Transport {
+ public:
+  // Establishes the mesh for `local_party` per `cluster`; blocks until
+  // every link is up (any start order) or the connect deadline expires.
+  static Result<std::unique_ptr<TcpTransport>> Connect(
+      const ClusterConfig& cluster, int local_party,
+      const TcpTransportOptions& options = {});
+
+  ~TcpTransport() override;
+
+  int local_party() const override { return local_party_; }
+
+  // `from` must be the local party (a TCP endpoint can only speak for
+  // itself); `to` must be a distinct valid party.
+  Status Send(int from, int to, MessageTag tag,
+              std::vector<uint8_t> payload) override;
+
+  // `to` must be the local party. Blocks up to receive_timeout_ms.
+  Result<Message> Receive(int to, int from, MessageTag expected_tag) override;
+
+  // True if a frame from -> local is already buffered or readable now.
+  bool HasPending(int to, int from) override;
+
+  TcpWireStats wire_stats() const;
+
+  const TcpTransportOptions& options() const { return options_; }
+
+ private:
+  struct Peer {
+    int fd = -1;
+    std::vector<uint8_t> rx;        // unparsed bytes off the socket
+    size_t rx_consumed = 0;         // parsed prefix of rx
+    std::deque<Message> inbox;      // complete frames awaiting Receive
+    bool closed = false;
+  };
+
+  TcpTransport(const ClusterConfig& cluster, int local_party,
+               const TcpTransportOptions& options);
+
+  Status EstablishMesh();
+  Status DialPeer(int peer, int64_t deadline_ms);
+  Status AcceptPeers(int64_t deadline_ms);
+  Status FinishHandshake(int fd, int expected_peer, int64_t deadline_ms,
+                         int* hello_party);
+
+  // Drains whatever is readable on every open peer socket into the
+  // inboxes, waiting at most `timeout_ms` for the first byte.
+  Status Pump(int timeout_ms);
+  Status ReadAvailable(int peer);
+  Status ParseFrames(int peer);
+
+  void RecordSendLocked(const Message& msg, size_t frame_bytes);
+  void CloseAll();
+
+  ClusterConfig cluster_;
+  int local_party_;
+  TcpTransportOptions options_;
+  int listen_fd_ = -1;
+  std::vector<Peer> peers_;  // index == party id; slot local_party_ unused
+
+  mutable std::mutex stats_mutex_;  // guards metrics() + wire_stats_
+  TcpWireStats wire_stats_;
+};
+
+}  // namespace dash
+
+#endif  // DASH_TRANSPORT_TCP_TRANSPORT_H_

@@ -1,0 +1,81 @@
+#include "transport/transport.h"
+
+#include <algorithm>
+#include <string>
+
+#include "net/trace.h"
+#include "util/check.h"
+
+namespace dash {
+
+TrafficMetrics::TrafficMetrics(int num_parties)
+    : num_parties_(num_parties),
+      link_bytes_(static_cast<size_t>(num_parties) * num_parties, 0) {}
+
+void TrafficMetrics::Record(const Message& msg) {
+  total_bytes_ += static_cast<int64_t>(msg.WireSize());
+  total_messages_ += 1;
+  link_bytes_[static_cast<size_t>(msg.from) * num_parties_ + msg.to] +=
+      static_cast<int64_t>(msg.WireSize());
+}
+
+void TrafficMetrics::Reset() {
+  total_bytes_ = 0;
+  total_messages_ = 0;
+  rounds_ = 0;
+  std::fill(link_bytes_.begin(), link_bytes_.end(), 0);
+}
+
+int64_t TrafficMetrics::LinkBytes(int from, int to) const {
+  DASH_CHECK(0 <= from && from < num_parties_);
+  DASH_CHECK(0 <= to && to < num_parties_);
+  return link_bytes_[static_cast<size_t>(from) * num_parties_ + to];
+}
+
+int64_t TrafficMetrics::MaxLinkBytes() const {
+  int64_t best = 0;
+  for (const int64_t b : link_bytes_) best = std::max(best, b);
+  return best;
+}
+
+int64_t TrafficMetrics::BytesSentBy(int party) const {
+  DASH_CHECK(0 <= party && party < num_parties_);
+  int64_t sum = 0;
+  for (int to = 0; to < num_parties_; ++to) {
+    sum += link_bytes_[static_cast<size_t>(party) * num_parties_ + to];
+  }
+  return sum;
+}
+
+Transport::Transport(int num_parties)
+    : num_parties_(num_parties), metrics_(num_parties) {
+  DASH_CHECK_GE(num_parties, 1);
+}
+
+Transport::~Transport() = default;
+
+Status Transport::Broadcast(int from, MessageTag tag,
+                            const std::vector<uint8_t>& payload) {
+  DASH_RETURN_IF_ERROR(ValidateParty(from, "sender"));
+  for (int to = 0; to < num_parties_; ++to) {
+    if (to == from) continue;
+    DASH_RETURN_IF_ERROR(Send(from, to, tag, payload));
+  }
+  return Status::Ok();
+}
+
+void Transport::RecordSend(const Message& msg) {
+  metrics_.Record(msg);
+  if (trace_ != nullptr) trace_->Record(metrics_.rounds(), msg);
+}
+
+Status Transport::ValidateParty(int id, const char* what) const {
+  if (id < 0 || id >= num_parties_) {
+    return InvalidArgumentError(std::string(what) + " party id " +
+                                std::to_string(id) + " out of range [0, " +
+                                std::to_string(num_parties_) + ")");
+  }
+  return Status::Ok();
+}
+
+}  // namespace dash

@@ -1,0 +1,136 @@
+// Abstract message transport between P parties.
+//
+// Transport is the seam between the protocol layer and the bytes-moving
+// layer. Protocol code (distributed QR, secure sums, the secure scan
+// drivers) talks only to this interface, so the same protocol runs
+// unchanged over
+//
+//  * the in-process simulated network (net/network.h, the historical
+//    `Network`, now one Transport implementation) — all P parties live
+//    in one process and one thread; and
+//  * a real TCP mesh (transport/tcp_transport.h) — this process is ONE
+//    party and every Send/Receive crosses a socket.
+//
+// Accounting is part of the interface contract: every message is counted
+// once, BY ITS SENDER, with Message::WireSize() bytes (payload + the
+// 16-byte logical header). Both backends therefore report identical
+// TrafficMetrics and ProtocolTrace entries for the same protocol run,
+// which is what keeps the paper's O(M) communication claim verifiable on
+// real wire bytes (a TCP party's metrics are its outgoing half of the
+// global picture; union over parties == the in-process view).
+//
+// Threading: a Transport instance is single-threaded — all calls must
+// come from one thread. Distinct instances (e.g. several TcpTransport
+// endpoints in one test process) are independent. See net/network.h and
+// transport/tcp_transport.h for backend-specific notes.
+
+#ifndef DASH_TRANSPORT_TRANSPORT_H_
+#define DASH_TRANSPORT_TRANSPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.h"
+#include "util/status.h"
+
+namespace dash {
+
+class ProtocolTrace;
+
+// Cumulative traffic counters kept by every Transport. Counters are
+// logical: each message contributes Message::WireSize() once, attributed
+// to its sender, regardless of backend (physical framing overhead is
+// reported separately by backends that have any; see
+// TcpTransport::wire_stats).
+class TrafficMetrics {
+ public:
+  explicit TrafficMetrics(int num_parties);
+
+  void Record(const Message& msg);
+  void BumpRound() { ++rounds_; }
+  void Reset();
+
+  int64_t total_bytes() const { return total_bytes_; }
+  int64_t total_messages() const { return total_messages_; }
+  int rounds() const { return rounds_; }
+  int64_t LinkBytes(int from, int to) const;
+
+  // Largest bytes sent over any single directed link.
+  int64_t MaxLinkBytes() const;
+
+  // Bytes sent by one party over all its outgoing links.
+  int64_t BytesSentBy(int party) const;
+
+ private:
+  int num_parties_;
+  int64_t total_bytes_ = 0;
+  int64_t total_messages_ = 0;
+  int rounds_ = 0;
+  std::vector<int64_t> link_bytes_;  // num_parties^2, row-major [from][to]
+};
+
+class Transport {
+ public:
+  // A transport among parties 0..num_parties-1. Requires num_parties >= 1.
+  explicit Transport(int num_parties);
+  virtual ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  int num_parties() const { return num_parties_; }
+
+  // The party this endpoint acts for, or -1 when the transport carries
+  // every party in-process (the simulation backend). Backends bound to
+  // one party reject Send with a foreign `from` and Receive with a
+  // foreign `to`.
+  virtual int local_party() const { return -1; }
+
+  // Queues/transmits a message; from/to must be distinct valid party ids.
+  virtual Status Send(int from, int to, MessageTag tag,
+                      std::vector<uint8_t> payload) = 0;
+
+  // Sends the same payload to every other party.
+  virtual Status Broadcast(int from, MessageTag tag,
+                           const std::vector<uint8_t>& payload);
+
+  // Delivers the next message queued from -> to. Backend semantics
+  // differ only in how "not there yet" is reported: the in-process
+  // backend fails immediately with FailedPrecondition (an absent message
+  // is a protocol bug when every party runs in one thread), while the
+  // TCP backend blocks up to its configured timeout and then fails with
+  // DeadlineExceeded. A tag mismatch is FailedPrecondition on every
+  // backend (protocol desync).
+  virtual Result<Message> Receive(int to, int from,
+                                  MessageTag expected_tag) = 0;
+
+  // True if a message from -> to is already deliverable without blocking.
+  virtual bool HasPending(int to, int from) = 0;
+
+  // Marks the start of a new synchronous protocol round (metrics only).
+  void BeginRound() { metrics_.BumpRound(); }
+
+  // Attaches a transcript recorder (net/trace.h); nullptr detaches. The
+  // recorder must outlive the transport or be detached first.
+  void AttachTrace(ProtocolTrace* trace) { trace_ = trace; }
+
+  TrafficMetrics& metrics() { return metrics_; }
+  const TrafficMetrics& metrics() const { return metrics_; }
+
+ protected:
+  // Sender-side accounting shared by all backends: counts the message in
+  // the metrics and appends it to the attached trace, tagged with the
+  // current round.
+  void RecordSend(const Message& msg);
+
+  Status ValidateParty(int id, const char* what) const;
+
+ private:
+  int num_parties_;
+  TrafficMetrics metrics_;
+  ProtocolTrace* trace_ = nullptr;
+};
+
+}  // namespace dash
+
+#endif  // DASH_TRANSPORT_TRANSPORT_H_

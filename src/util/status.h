@@ -33,6 +33,7 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kIoError = 8,
+  kDeadlineExceeded = 9,
 };
 
 // Returns a stable human-readable name for `code`, e.g. "InvalidArgument".
@@ -79,6 +80,7 @@ Status AlreadyExistsError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status IoError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // Result<T> is a value-or-Status union (a minimal absl::StatusOr).
 // Accessing value() on an error result aborts via DASH_CHECK.

@@ -5,6 +5,7 @@
 #include "core/party_local.h"
 #include "data/genotype_generator.h"
 #include "linalg/qr.h"
+#include "net/network.h"
 #include "util/random.h"
 
 namespace dash {

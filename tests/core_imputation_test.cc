@@ -11,6 +11,7 @@
 #include "data/genotype_generator.h"
 #include "data/missing_data.h"
 #include "mpc/secure_sum.h"
+#include "net/network.h"
 #include "util/random.h"
 
 namespace dash {

@@ -261,15 +261,16 @@ TEST(SecureScanTest, RoundsCountedPerMode) {
   masked.aggregation = AggregationMode::kMasked;
   masked.r_combine = RCombineMode::kBroadcastStack;
   const auto m = SecureAssociationScan(masked).Run(w.parties).value().metrics;
-  // 1 R round + 1 DH setup round + 1 masked broadcast round.
-  EXPECT_EQ(m.rounds, 3);
+  // 1 sample-count round + 1 R round + 1 DH setup round + 1 masked
+  // broadcast round.
+  EXPECT_EQ(m.rounds, 4);
 
   SecureScanOptions additive;
   additive.aggregation = AggregationMode::kAdditive;
   const auto a =
       SecureAssociationScan(additive).Run(w.parties).value().metrics;
-  // 1 R round + 2 additive rounds.
-  EXPECT_EQ(a.rounds, 3);
+  // 1 sample-count round + 1 R round + 2 additive rounds.
+  EXPECT_EQ(a.rounds, 4);
 }
 
 }  // namespace

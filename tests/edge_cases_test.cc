@@ -13,6 +13,7 @@
 #include "linalg/sparse_matrix.h"
 #include "linalg/tsqr.h"
 #include "mpc/secure_sum.h"
+#include "net/network.h"
 #include "stats/ols.h"
 #include "util/random.h"
 

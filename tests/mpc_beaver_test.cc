@@ -13,6 +13,7 @@
 #include "mpc/additive_sharing.h"
 #include "mpc/beaver.h"
 #include "mpc/secure_projection.h"
+#include "net/network.h"
 #include "util/random.h"
 
 namespace dash {

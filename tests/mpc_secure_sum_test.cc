@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "net/network.h"
 #include "util/random.h"
 
 namespace dash {
