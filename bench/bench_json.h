@@ -1,0 +1,55 @@
+// Machine-readable bench output (bench/compare_bench.py reads these).
+//
+// Schema: {"bench": <suite>, "entries": [{"name", "n", "m", "k", "p",
+// "ns", "gb_per_s", "checksum"}, ...]}. `ns` is wall nanoseconds for
+// one run (best of reps), `gb_per_s` the effective streaming rate over
+// the primary operand, `checksum` the FNV-1a hex of the result's wire
+// image so two bench runs can be compared for bit-identity as well as
+// speed.
+
+#ifndef DASH_BENCH_BENCH_JSON_H_
+#define DASH_BENCH_BENCH_JSON_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dash_bench {
+
+struct BenchEntry {
+  std::string name;
+  int64_t n = 0;
+  int64_t m = 0;
+  int64_t k = 0;
+  int64_t p = 1;
+  double ns = 0.0;
+  double gb_per_s = 0.0;
+  uint64_t checksum = 0;
+};
+
+inline bool WriteBenchJson(const std::string& path, const std::string& suite,
+                           const std::vector<BenchEntry>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"entries\": [\n",
+               suite.c_str());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const BenchEntry& e = entries[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"n\": %" PRId64 ", \"m\": %" PRId64
+                 ", \"k\": %" PRId64 ", \"p\": %" PRId64
+                 ", \"ns\": %.1f, \"gb_per_s\": %.3f, "
+                 "\"checksum\": \"%016" PRIx64 "\"}%s\n",
+                 e.name.c_str(), e.n, e.m, e.k, e.p, e.ns, e.gb_per_s,
+                 e.checksum, i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace dash_bench
+
+#endif  // DASH_BENCH_BENCH_JSON_H_

@@ -1,23 +1,46 @@
 // E2 / Figure 1 — "at plaintext speed": secure-vs-plaintext runtime
-// ratio as N and M grow, per aggregation mode.
+// ratio as N and M grow, per aggregation mode — plus the scan-kernel
+// micro-bench behind it (--kernel-bench).
 //
 // The paper's claim is that DASH's secure scan costs essentially the
 // same as the plaintext distributed scan: per-party compute is identical
 // and the SMC layer touches only O(M) aggregates, independent of N. The
-// series below should show the ratio tending to ~1 as N grows (compute
-// dominates) for every mode.
+// E2 series should show the ratio tending to ~1 as N grows.
+//
+// --kernel-bench times the sufficient-statistics kernels themselves:
+// the original scalar kernel (ComputeLocalStatsScalar) against the
+// cache-blocked kernel (ComputeLocalStats) and its zero-copy arena form
+// (ComputeLocalStatsFlat), on a dense Gaussian design and on an HWE
+// genotype design, plus the sparse-storage kernels. Every variant's
+// result checksum is asserted equal to the scalar kernel's — the bench
+// doubles as a bit-identity smoke test. With --json PATH the numbers
+// are written in the bench_json.h schema for bench/compare_bench.py.
+//
+// Usage:
+//   bench_plaintext_speed                      # E2 ratio series
+//   bench_plaintext_speed --kernel-bench
+//     [--n 100000] [--m 10000] [--k 10] [--reps 1] [--json BENCH_scan.json]
 
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/association_scan.h"
 #include "core/secure_scan.h"
+#include "core/suff_stats.h"
+#include "data/genotype_generator.h"
 #include "data/workloads.h"
 #include "util/stopwatch.h"
 
 namespace {
 
 using namespace dash;
+
+// ---------------------------------------------------------------- E2 --
 
 struct Row {
   int64_t n;
@@ -82,7 +105,7 @@ Row Measure(int64_t n, int64_t m, uint64_t seed) {
   return row;
 }
 
-int RealMain() {
+int RunE2() {
   std::printf("=== E2 (Figure 1): secure/plaintext runtime ratio ===\n");
   std::printf("P = 3 parties, K = 4; ratio = secure wall / plaintext wall\n\n");
 
@@ -106,6 +129,164 @@ int RealMain() {
   return 0;
 }
 
+// ------------------------------------------------------ kernel bench --
+
+struct KernelArgs {
+  int64_t n = 100000;
+  int64_t m = 10000;
+  int64_t k = 10;
+  int reps = 1;
+  std::string json_path;
+};
+
+// Best-of-reps wall time for one kernel invocation; the result checksum
+// of the last run is returned through *checksum.
+template <typename Fn>
+double TimeBest(int reps, uint64_t* checksum, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch timer;
+    *checksum = fn();
+    const double s = timer.ElapsedSeconds();
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+void AddEntry(std::vector<dash_bench::BenchEntry>* entries,
+              const KernelArgs& a, const std::string& name, double seconds,
+              uint64_t checksum) {
+  dash_bench::BenchEntry e;
+  e.name = name;
+  e.n = a.n;
+  e.m = a.m;
+  e.k = a.k;
+  e.ns = seconds * 1e9;
+  // Effective streaming rate over the N x M design sweep.
+  e.gb_per_s = static_cast<double>(a.n) * static_cast<double>(a.m) * 8.0 /
+               (seconds * 1e9);
+  e.checksum = checksum;
+  entries->push_back(e);
+  std::printf("  %-24s %10.3f s  %8.2f GB/s  checksum %016" PRIx64 "\n",
+              name.c_str(), seconds, e.gb_per_s, checksum);
+}
+
+// Times scalar vs blocked vs zero-copy-flat on one dense design and
+// asserts all three produce the identical wire image.
+void BenchDense(const KernelArgs& a, const std::string& dataset,
+                const Matrix& x, const Vector& y, const Matrix& q,
+                std::vector<dash_bench::BenchEntry>* entries) {
+  std::printf("-- %s (N=%lld M=%lld K=%lld) --\n", dataset.c_str(),
+              static_cast<long long>(a.n), static_cast<long long>(a.m),
+              static_cast<long long>(a.k));
+  uint64_t scalar_sum = 0;
+  uint64_t blocked_sum = 0;
+  uint64_t flat_sum = 0;
+  const double scalar_s = TimeBest(a.reps, &scalar_sum, [&] {
+    return StatsChecksum(ComputeLocalStatsScalar(x, y, q));
+  });
+  AddEntry(entries, a, "scalar/" + dataset, scalar_s, scalar_sum);
+  const double blocked_s = TimeBest(a.reps, &blocked_sum, [&] {
+    return StatsChecksum(ComputeLocalStats(x, y, q));
+  });
+  AddEntry(entries, a, "blocked/" + dataset, blocked_s, blocked_sum);
+  const double flat_s = TimeBest(a.reps, &flat_sum, [&] {
+    return WireChecksum(ComputeLocalStatsFlat(x, y, q));
+  });
+  AddEntry(entries, a, "flat/" + dataset, flat_s, flat_sum);
+  DASH_CHECK(scalar_sum == blocked_sum)
+      << "blocked kernel diverged from scalar on " << dataset;
+  DASH_CHECK(scalar_sum == flat_sum)
+      << "flat kernel diverged from scalar on " << dataset;
+  std::printf("  speedup blocked/scalar: %.2fx, flat/scalar: %.2fx\n\n",
+              scalar_s / blocked_s, scalar_s / flat_s);
+}
+
+int RunKernelBench(const KernelArgs& a) {
+#ifndef __OPTIMIZE__
+  std::printf(
+      "WARNING: unoptimized build — kernel numbers are meaningless; "
+      "configure with -DDASH_RELEASE_FLAGS=\"-O3 -DNDEBUG\" and "
+      "-DCMAKE_BUILD_TYPE=Release.\n\n");
+#endif
+  std::printf("=== scan-kernel bench: scalar vs blocked/zero-copy ===\n\n");
+  std::vector<dash_bench::BenchEntry> entries;
+  Rng rng(0xbe9c5);
+  const Vector y = GaussianVector(a.n, &rng);
+  const Matrix q = GaussianMatrix(a.n, a.k, &rng);
+
+  {
+    const Matrix x = GaussianMatrix(a.n, a.m, &rng);
+    BenchDense(a, "gaussian", x, y, q, &entries);
+  }
+
+  GenotypeOptions gopts;
+  gopts.num_samples = a.n;
+  gopts.num_variants = a.m;
+  gopts.seed = 0x9e107;
+  const Matrix x_geno = GenerateGenotypes(gopts);
+  BenchDense(a, "genotype", x_geno, y, q, &entries);
+
+  // Sparse-storage kernels on the same genotype draw.
+  const SparseColumnMatrix x_sparse = SparseColumnMatrix::FromDense(x_geno);
+  std::printf("-- genotype, sparse storage (density %.2f) --\n",
+              x_sparse.Density());
+  uint64_t sp_scalar_sum = 0;
+  uint64_t sp_blocked_sum = 0;
+  const double sp_scalar_s = TimeBest(a.reps, &sp_scalar_sum, [&] {
+    return StatsChecksum(ComputeLocalStatsSparseScalar(x_sparse, y, q));
+  });
+  AddEntry(&entries, a, "sparse_scalar/genotype", sp_scalar_s, sp_scalar_sum);
+  const double sp_blocked_s = TimeBest(a.reps, &sp_blocked_sum, [&] {
+    return StatsChecksum(ComputeLocalStatsSparse(x_sparse, y, q));
+  });
+  AddEntry(&entries, a, "sparse_blocked/genotype", sp_blocked_s,
+           sp_blocked_sum);
+  DASH_CHECK(sp_scalar_sum == sp_blocked_sum)
+      << "sparse blocked kernel diverged from sparse scalar";
+  std::printf("  speedup sparse blocked/scalar: %.2fx\n\n",
+              sp_scalar_s / sp_blocked_s);
+
+  if (!a.json_path.empty()) {
+    if (!dash_bench::WriteBenchJson(a.json_path, "scan_kernels", entries)) {
+      std::fprintf(stderr, "failed to write %s\n", a.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", a.json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() { return RealMain(); }
+int main(int argc, char** argv) {
+  bool kernel_bench = false;
+  KernelArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_i64 = [&](int64_t* out) {
+      DASH_CHECK(i + 1 < argc) << arg << " needs a value";
+      *out = std::strtoll(argv[++i], nullptr, 10);
+    };
+    if (arg == "--kernel-bench") {
+      kernel_bench = true;
+    } else if (arg == "--n") {
+      next_i64(&args.n);
+    } else if (arg == "--m") {
+      next_i64(&args.m);
+    } else if (arg == "--k") {
+      next_i64(&args.k);
+    } else if (arg == "--reps") {
+      int64_t r = 1;
+      next_i64(&r);
+      args.reps = static_cast<int>(r);
+    } else if (arg == "--json") {
+      DASH_CHECK(i + 1 < argc) << "--json needs a path";
+      args.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  return kernel_bench ? RunKernelBench(args) : RunE2();
+}

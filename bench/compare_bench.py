@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare two machine-readable bench JSON files (bench/bench_json.h schema).
+
+Usage:
+  compare_bench.py CANDIDATE.json                      # pretty-print one file
+  compare_bench.py BASELINE.json CANDIDATE.json        # compare, ratio table
+  compare_bench.py BASELINE.json CANDIDATE.json --max-regression 1.10
+
+Entries are matched by name. In compare mode the exit code is non-zero
+when any matched entry got slower than baseline by more than
+--max-regression (wall-time ratio candidate/baseline), or when matched
+entries disagree on their result checksum at equal shape — bit-identity
+is part of the contract, not just speed.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {e["name"]: e for e in doc.get("entries", [])}
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return "%.3f s" % (ns / 1e9)
+    if ns >= 1e6:
+        return "%.2f ms" % (ns / 1e6)
+    return "%.1f us" % (ns / 1e3)
+
+
+def show(entries):
+    print("%-28s %10s %10s  %s" % ("name", "time", "GB/s", "checksum"))
+    for name in sorted(entries):
+        e = entries[name]
+        print("%-28s %10s %10.2f  %s"
+              % (name, fmt_ns(e["ns"]), e["gb_per_s"], e["checksum"]))
+
+
+def same_shape(a, b):
+    return all(a.get(key) == b.get(key) for key in ("n", "m", "k", "p"))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate", nargs="?")
+    parser.add_argument("--max-regression", type=float, default=1.10,
+                        help="fail when candidate/baseline wall time exceeds "
+                             "this ratio (default 1.10)")
+    args = parser.parse_args()
+
+    if args.candidate is None:
+        show(load(args.baseline))
+        return 0
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    names = sorted(set(base) & set(cand))
+    if not names:
+        print("no common entries between %s and %s"
+              % (args.baseline, args.candidate), file=sys.stderr)
+        return 2
+
+    failures = []
+    print("%-28s %10s %10s %8s  %s"
+          % ("name", "baseline", "candidate", "ratio", "checksum"))
+    for name in names:
+        b, c = base[name], cand[name]
+        ratio = c["ns"] / b["ns"] if b["ns"] > 0 else float("inf")
+        if same_shape(b, c):
+            check = "ok" if b["checksum"] == c["checksum"] else "MISMATCH"
+            if check == "MISMATCH":
+                failures.append("%s: checksum drift (%s -> %s)"
+                                % (name, b["checksum"], c["checksum"]))
+        else:
+            check = "shape-differs"
+        flag = ""
+        if ratio > args.max_regression:
+            flag = "  <-- regression"
+            failures.append("%s: %.2fx slower than baseline" % (name, ratio))
+        print("%-28s %10s %10s %7.2fx  %s%s"
+              % (name, fmt_ns(b["ns"]), fmt_ns(c["ns"]), ratio, check, flag))
+
+    for name in sorted(set(base) ^ set(cand)):
+        which = "baseline" if name in base else "candidate"
+        print("%-28s (only in %s)" % (name, which))
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print("\nOK: no regressions beyond %.2fx, checksums stable"
+          % args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

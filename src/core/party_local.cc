@@ -17,4 +17,9 @@ ScanSufficientStats PartyLocalStats(const PartyData& party, const Matrix& q_p,
   return ComputeLocalStats(party.x, party.y, q_p, pool);
 }
 
+Vector PartyLocalStatsFlat(const PartyData& party, const Matrix& q_p,
+                           ThreadPool* pool) {
+  return ComputeLocalStatsFlat(party.x, party.y, q_p, pool);
+}
+
 }  // namespace dash

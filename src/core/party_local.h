@@ -27,6 +27,12 @@ Matrix PartyLocalQ(const PartyData& party, const Matrix& r_inverse);
 ScanSufficientStats PartyLocalStats(const PartyData& party, const Matrix& q_p,
                                     ThreadPool* pool = nullptr);
 
+// Stage 3, zero-copy form: the summand computed directly into a
+// wire-order arena (StatsWireLayout over the party's M, K) ready for
+// the secure sum — no FlattenStats copy.
+Vector PartyLocalStatsFlat(const PartyData& party, const Matrix& q_p,
+                           ThreadPool* pool = nullptr);
+
 }  // namespace dash
 
 #endif  // DASH_CORE_PARTY_LOCAL_H_

@@ -1,0 +1,86 @@
+// Block schedule of the pipelined secure scan (compute/communication
+// overlap), shared by the in-process driver (core/secure_scan.cc) and
+// the party-bound runner (transport/party_runner.cc).
+//
+// When SecureScanOptions::pipeline_block_variants > 0, the single
+// sufficient-statistics secure-sum round is replaced by
+//
+//   round 0:        header  [yy | qty(K)]                  (1+K values)
+//   round 1..B:     block b [xy(w) | xx(w) | qtx(K x w)]   ((2+K)*w values)
+//
+// over the variant blocks [b*block, min(M, (b+1)*block)). A party can
+// therefore compute block b+1 with the scan kernel while block b's
+// aggregate is in flight on the transport. Both drivers MUST derive the
+// identical schedule from (M, K, block) — the cross-backend tests pin
+// their traces equal as multisets — which is why the plan lives here.
+//
+// The revealed totals are bit-identical to the one-shot aggregation in
+// every mode: the ring (Z_2^64) and field (F_2^61-1) sums are exact per
+// element and the public mode sums doubles per element in ascending
+// party order, so how elements are grouped into rounds cannot change
+// any total. (Pairwise masks differ per round but cancel exactly.)
+
+#ifndef DASH_CORE_SCAN_PIPELINE_H_
+#define DASH_CORE_SCAN_PIPELINE_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/suff_stats.h"
+#include "linalg/vector_ops.h"
+#include "util/check.h"
+
+namespace dash {
+
+struct PipelinePlan {
+  int64_t m = 0;      // variants
+  int64_t k = 0;      // covariates
+  int64_t block = 0;  // variants per block (> 0)
+
+  int64_t num_blocks() const { return block > 0 ? (m + block - 1) / block : 0; }
+  int64_t begin(int64_t b) const { return b * block; }
+  int64_t end(int64_t b) const { return std::min(m, (b + 1) * block); }
+  int64_t width(int64_t b) const { return end(b) - begin(b); }
+
+  int64_t header_len() const { return 1 + k; }
+  int64_t block_len(int64_t b) const { return (2 + k) * width(b); }
+};
+
+// View of a block buffer laid out [xy(w) | xx(w) | qtx row-major K x w],
+// as the column-range kernels write it. `buf` must hold block_len(b)
+// doubles.
+inline StatsBlockView PipelineBlockView(double* buf, int64_t w) {
+  return StatsBlockView{buf, buf + w, buf + 2 * w, w};
+}
+
+// Scatters a revealed header round into the full wire-order vector.
+inline void ScatterHeaderTotals(const Vector& header, const PipelinePlan& plan,
+                                Vector* flat) {
+  const StatsWireLayout layout{plan.m, plan.k};
+  DASH_CHECK_EQ(static_cast<int64_t>(header.size()), plan.header_len());
+  DASH_CHECK_EQ(static_cast<int64_t>(flat->size()), layout.total_len());
+  (*flat)[static_cast<size_t>(layout.yy_offset())] = header[0];
+  std::copy(header.begin() + 1, header.end(),
+            flat->begin() + layout.qty_offset());
+}
+
+// Scatters a revealed block round into the full wire-order vector.
+inline void ScatterBlockTotals(const Vector& blk, const PipelinePlan& plan,
+                               int64_t b, Vector* flat) {
+  const StatsWireLayout layout{plan.m, plan.k};
+  const int64_t j0 = plan.begin(b);
+  const int64_t w = plan.width(b);
+  DASH_CHECK_EQ(static_cast<int64_t>(blk.size()), plan.block_len(b));
+  std::copy(blk.begin(), blk.begin() + w,
+            flat->begin() + layout.xy_offset() + j0);
+  std::copy(blk.begin() + w, blk.begin() + 2 * w,
+            flat->begin() + layout.xx_offset() + j0);
+  for (int64_t kk = 0; kk < plan.k; ++kk) {
+    std::copy(blk.begin() + (2 + kk) * w, blk.begin() + (3 + kk) * w,
+              flat->begin() + layout.qtx_offset() + kk * plan.m + j0);
+  }
+}
+
+}  // namespace dash
+
+#endif  // DASH_CORE_SCAN_PIPELINE_H_

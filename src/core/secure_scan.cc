@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/party_local.h"
+#include "core/scan_pipeline.h"
 #include "mpc/secure_projection.h"
 #include "net/network.h"
 #include "net/serialization.h"
@@ -60,6 +61,12 @@ Result<SecureScanOutput> SecureAssociationScan::Run(
                                 " party slots for " +
                                 std::to_string(input_parties.size()) +
                                 " parties");
+  }
+  if (options_.pipeline_block_variants > 0 &&
+      options_.projection == ProjectionSecurity::kBeaverDotProducts) {
+    return InvalidArgumentError(
+        "pipeline_block_variants requires kRevealProjectedSums; the Beaver "
+        "projection consumes whole K-vectors and cannot be blocked");
   }
   const int num_parties = static_cast<int>(input_parties.size());
   const int64_t m = input_parties[0].x.cols();
@@ -152,20 +159,19 @@ Result<SecureScanOutput> SecureAssociationScan::Run(
   }
   protocol_seconds += protocol_timer.ElapsedSeconds();
 
-  // Stage 3 (local): Q_p and sufficient-statistic summands. A single
-  // pool is shared across parties; within a real deployment each party
-  // would use its own cores, so this models total core usage.
+  // Stage 3 (local): Q_p rows. A single pool is shared across parties;
+  // within a real deployment each party would use its own cores, so
+  // this models total core usage.
   local_timer.Reset();
   std::unique_ptr<ThreadPool> pool;
   if (options_.num_threads > 1) {
     pool = std::make_unique<ThreadPool>(options_.num_threads);
   }
-  std::vector<ScanSufficientStats> party_stats;
-  party_stats.reserve(static_cast<size_t>(num_parties));
+  std::vector<Matrix> q_ps;
+  q_ps.reserve(static_cast<size_t>(num_parties));
   for (const auto& p : *parties) {
-    const Matrix q_p = (k > 0) ? PartyLocalQ(p, r_inverse)
-                               : Matrix(p.num_samples(), 0);
-    party_stats.push_back(PartyLocalStats(p, q_p, pool.get()));
+    q_ps.push_back((k > 0) ? PartyLocalQ(p, r_inverse)
+                           : Matrix(p.num_samples(), 0));
   }
   local_seconds += local_timer.ElapsedSeconds();
 
@@ -177,15 +183,87 @@ Result<SecureScanOutput> SecureAssociationScan::Run(
 
   ScanResult result;
   if (options_.projection == ProjectionSecurity::kRevealProjectedSums) {
-    // Stage 4 (network): one secure-sum aggregation of everything.
-    protocol_timer.Reset();
-    std::vector<Vector> flattened;
-    flattened.reserve(static_cast<size_t>(num_parties));
-    for (const auto& stats : party_stats) {
-      flattened.push_back(FlattenStats(stats));
+    Vector flat_totals;
+    if (options_.pipeline_block_variants > 0) {
+      // Stage 3+4 (pipelined): header round, then one round per variant
+      // block; block b+1 is computed while block b's aggregate is in
+      // flight (core/scan_pipeline.h). Overlapped compute hides inside
+      // protocol_seconds by construction.
+      const PipelinePlan plan{m, k, options_.pipeline_block_variants};
+      const int64_t num_blocks = plan.num_blocks();
+
+      local_timer.Reset();
+      std::vector<Vector> headers(static_cast<size_t>(num_parties));
+      for (int p = 0; p < num_parties; ++p) {
+        const auto& pd = (*parties)[static_cast<size_t>(p)];
+        Vector h;
+        h.reserve(static_cast<size_t>(plan.header_len()));
+        h.push_back(SquaredNorm(pd.y));
+        const Vector qty = TransposeMatVec(q_ps[static_cast<size_t>(p)], pd.y);
+        h.insert(h.end(), qty.begin(), qty.end());
+        headers[static_cast<size_t>(p)] = std::move(h);
+      }
+      local_seconds += local_timer.ElapsedSeconds();
+
+      protocol_timer.Reset();
+      DASH_ASSIGN_OR_RETURN(Vector header_totals, secure_sum.Run(headers));
+      flat_totals.assign(
+          static_cast<size_t>(StatsWireLayout{m, k}.total_len()), 0.0);
+      ScatterHeaderTotals(header_totals, plan, &flat_totals);
+
+      std::vector<Vector> cur(static_cast<size_t>(num_parties));
+      std::vector<Vector> next(static_cast<size_t>(num_parties));
+      const auto compute_block = [&](int64_t b, std::vector<Vector>* bufs) {
+        const int64_t w = plan.width(b);
+        for (int p = 0; p < num_parties; ++p) {
+          Vector& buf = (*bufs)[static_cast<size_t>(p)];
+          buf.assign(static_cast<size_t>(plan.block_len(b)), 0.0);
+          const auto& pd = (*parties)[static_cast<size_t>(p)];
+          ComputeStatsColumns(pd.x, pd.y, q_ps[static_cast<size_t>(p)],
+                              plan.begin(b), plan.end(b),
+                              PipelineBlockView(buf.data(), w),
+                              /*pool=*/nullptr);
+        }
+      };
+      if (num_blocks > 0) compute_block(0, &cur);
+      for (int64_t b = 0; b < num_blocks; ++b) {
+        const bool has_next = b + 1 < num_blocks;
+        if (has_next) {
+          if (pool != nullptr) {
+            pool->Schedule([&compute_block, &next, b] {
+              compute_block(b + 1, &next);
+            });
+          } else {
+            compute_block(b + 1, &next);
+          }
+        }
+        Result<Vector> block_totals = secure_sum.Run(cur);
+        // Join the in-flight compute before any early return can tear
+        // down the buffers it writes.
+        if (has_next && pool != nullptr) pool->Wait();
+        if (!block_totals.ok()) return block_totals.status();
+        ScatterBlockTotals(block_totals.value(), plan, b, &flat_totals);
+        cur.swap(next);
+      }
+      protocol_seconds += protocol_timer.ElapsedSeconds();
+    } else {
+      // Stage 3 (local): summands, computed directly into wire-order
+      // arenas (zero-copy flatten).
+      local_timer.Reset();
+      std::vector<Vector> flattened;
+      flattened.reserve(static_cast<size_t>(num_parties));
+      for (int p = 0; p < num_parties; ++p) {
+        flattened.push_back(PartyLocalStatsFlat(
+            (*parties)[static_cast<size_t>(p)], q_ps[static_cast<size_t>(p)],
+            pool.get()));
+      }
+      local_seconds += local_timer.ElapsedSeconds();
+
+      // Stage 4 (network): one secure-sum aggregation of everything.
+      protocol_timer.Reset();
+      DASH_ASSIGN_OR_RETURN(flat_totals, secure_sum.Run(flattened));
+      protocol_seconds += protocol_timer.ElapsedSeconds();
     }
-    DASH_ASSIGN_OR_RETURN(Vector flat_totals, secure_sum.Run(flattened));
-    protocol_seconds += protocol_timer.ElapsedSeconds();
 
     // Stage 5 (local, public): Lemma 2.1 finalization.
     local_timer.Reset();
@@ -198,7 +276,18 @@ Result<SecureScanOutput> SecureAssociationScan::Run(
   } else {
     // Beaver variant: the orthogonal statistics (y.y, X.y, X.X) are
     // summed as before, but the projected K-vectors never leave the
-    // parties — only their dot products are opened.
+    // parties — only their dot products are opened. Needs the structured
+    // summands, so no zero-copy arena here.
+    local_timer.Reset();
+    std::vector<ScanSufficientStats> party_stats;
+    party_stats.reserve(static_cast<size_t>(num_parties));
+    for (int p = 0; p < num_parties; ++p) {
+      party_stats.push_back(PartyLocalStats((*parties)[static_cast<size_t>(p)],
+                                            q_ps[static_cast<size_t>(p)],
+                                            pool.get()));
+    }
+    local_seconds += local_timer.ElapsedSeconds();
+
     protocol_timer.Reset();
     std::vector<Vector> plain_parts;
     std::vector<Vector> qty_summands;

@@ -63,6 +63,16 @@ struct SecureScanOptions {
   // Threads for the per-party statistics pass.
   int num_threads = 1;
 
+  // > 0 enables the block-pipelined aggregation (reveal-sums only): the
+  // variants are partitioned into blocks of this many columns and the
+  // single statistics secure-sum is replaced by a header round
+  // [yy, qty] plus one round per block [xy, xx, qtx columns], letting a
+  // party compute block b+1 while block b's aggregate is in flight on
+  // the transport (core/scan_pipeline.h). The revealed result is
+  // bit-identical to the one-shot aggregation in every mode; rounds and
+  // message counts grow with the block count. 0 = one-shot (default).
+  int64_t pipeline_block_variants = 0;
+
   // Center y, C, and X within each party before scanning. Exactly
   // equivalent to adding one batch-indicator covariate per party (the
   // paper's closing §3 note); supply C WITHOUT an intercept column in

@@ -1,13 +1,146 @@
 #include "core/suff_stats.h"
 
+#include <algorithm>
+#include <cstring>
 #include <string>
 
 #include "util/check.h"
 
 namespace dash {
+namespace {
+
+// --- Blocked dense kernel --------------------------------------------
+//
+// One column block owns accumulators for kStatsColBlock columns:
+// xy/xx (w doubles each) plus a QᵀX tile laid out covariate-major
+// [K x w] (tile[kk * w + jj]), so the hot per-row update is K
+// independent length-w axpys over the row's contiguous column slice —
+// long unit-stride FMA loops the compiler vectorizes, with q(i, kk)
+// hoisted to a scalar. The tile lands in the wire-order K x M
+// destination as K contiguous row copies once per block, after the
+// full row sweep.
+//
+// Rows are strip-mined into panels; each panel is dispatched to the
+// branchless dense micro-kernel or the zero-skipping sparse one based
+// on its measured density. Both micro-kernels add to every accumulator
+// element in identical row order (a skipped zero contributes exactly
+// nothing; an added ±0.0 term cannot change an accumulator that starts
+// at +0.0 under IEEE-754 round-to-nearest), so the choice — and the
+// panel boundaries — never change a single output bit.
+
+// Dense micro-kernel: branchless, restrict-qualified, auto-vectorizes.
+// x points at (row, col) = (panel start, block start); stride is the
+// full row length of the parent matrix.
+void DensePanel(const double* DASH_RESTRICT x, int64_t x_stride, int64_t rows,
+                const double* DASH_RESTRICT y, const double* DASH_RESTRICT q,
+                int64_t k, int64_t w, double* DASH_RESTRICT xy,
+                double* DASH_RESTRICT xx, double* DASH_RESTRICT tile) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const double* DASH_RESTRICT xi = x + i * x_stride;
+    const double yi = y[i];
+    for (int64_t jj = 0; jj < w; ++jj) {
+      const double v = xi[jj];
+      xy[jj] += v * yi;
+      xx[jj] += v * v;
+    }
+    const double* DASH_RESTRICT qi = q + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const double qik = qi[kk];
+      double* DASH_RESTRICT t = tile + kk * w;
+      for (int64_t jj = 0; jj < w; ++jj) t[jj] += xi[jj] * qik;
+    }
+  }
+}
+
+// Sparse micro-kernel: skips zeros, so a mostly-zero genotype panel
+// pays O(nnz * K) instead of O(rows * w * K).
+void SparsePanel(const double* DASH_RESTRICT x, int64_t x_stride, int64_t rows,
+                 const double* DASH_RESTRICT y, const double* DASH_RESTRICT q,
+                 int64_t k, int64_t w, double* DASH_RESTRICT xy,
+                 double* DASH_RESTRICT xx, double* DASH_RESTRICT tile) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const double* DASH_RESTRICT xi = x + i * x_stride;
+    const double yi = y[i];
+    const double* DASH_RESTRICT qi = q + i * k;
+    for (int64_t jj = 0; jj < w; ++jj) {
+      const double v = xi[jj];
+      if (v == 0.0) continue;
+      xy[jj] += v * yi;
+      xx[jj] += v * v;
+      // Strided within the tile, but the tile is L1-resident; per
+      // output element the row-ordered add chain matches DensePanel's.
+      for (int64_t kk = 0; kk < k; ++kk) tile[kk * w + jj] += v * qi[kk];
+    }
+  }
+}
+
+// Full row sweep for columns [j0, j1); accumulators stay resident for
+// the whole sweep so every output element sees one unbroken,
+// row-ordered accumulation chain.
+void ComputeColumnBlock(const Matrix& x, const Vector& y, const Matrix& q,
+                        int64_t j0, int64_t j1, int64_t col_begin,
+                        const StatsBlockView& out, double* tile) {
+  const int64_t n = x.rows();
+  const int64_t k = q.cols();
+  const int64_t w = j1 - j0;
+  double xy_blk[kStatsColBlock];
+  double xx_blk[kStatsColBlock];
+  std::fill_n(xy_blk, w, 0.0);
+  std::fill_n(xx_blk, w, 0.0);
+  std::fill_n(tile, w * k, 0.0);
+
+  for (int64_t p0 = 0; p0 < n; p0 += kStatsRowPanel) {
+    const int64_t p1 = std::min(n, p0 + kStatsRowPanel);
+    // Measure the panel's density to pick a micro-kernel. The counting
+    // pass costs one extra streaming read of the panel — ~1/(K+2) of
+    // the compute it steers — and warms the cache for the real pass.
+    int64_t nnz = 0;
+    for (int64_t i = p0; i < p1; ++i) {
+      const double* DASH_RESTRICT xi = x.row_data(i) + j0;
+      for (int64_t jj = 0; jj < w; ++jj) nnz += (xi[jj] != 0.0) ? 1 : 0;
+    }
+    const double* panel_x = x.row_data(p0) + j0;
+    const double* panel_y = y.data() + p0;
+    const double* panel_q = q.data() + p0 * k;
+    const int64_t panel_rows = p1 - p0;
+    // Below ~25% density the zero-skipping scalar kernel beats the
+    // vectorized branchless one (it drops the whole K-loop per zero).
+    if (nnz * 4 >= panel_rows * w) {
+      DensePanel(panel_x, x.cols(), panel_rows, panel_y, panel_q, k, w,
+                 xy_blk, xx_blk, tile);
+    } else {
+      SparsePanel(panel_x, x.cols(), panel_rows, panel_y, panel_q, k, w,
+                  xy_blk, xx_blk, tile);
+    }
+  }
+
+  const int64_t off = j0 - col_begin;
+  std::memcpy(out.xy + off, xy_blk, static_cast<size_t>(w) * sizeof(double));
+  std::memcpy(out.xx + off, xx_blk, static_cast<size_t>(w) * sizeof(double));
+  // The covariate-major tile rows are already wire order: K contiguous
+  // row copies into the K x M destination.
+  for (int64_t kk = 0; kk < k; ++kk) {
+    std::memcpy(out.qtx + kk * out.qtx_stride + off, tile + kk * w,
+                static_cast<size_t>(w) * sizeof(double));
+  }
+}
+
+void FillHeader(const Vector& y, const Matrix& q, double* yy, double* qty) {
+  *yy = SquaredNorm(y);
+  const Vector qty_vec = TransposeMatVec(q, y);
+  std::copy(qty_vec.begin(), qty_vec.end(), qty);
+}
+
+}  // namespace
 
 void ScanSufficientStats::Add(const ScanSufficientStats& other) {
-  if (xy.empty() && qty.empty()) {
+  // Only a never-assigned accumulator (no samples AND no shape) copies;
+  // a genuine M==0 or K==0 summand still carries num_samples/yy and
+  // must accumulate. The old `xy.empty() && qty.empty()` test treated
+  // any M==0 summand chain as "empty" and dropped accumulated state.
+  const bool never_assigned = num_samples == 0 && yy == 0.0 && qty.empty() &&
+                              xy.empty() && xx.empty() && qtx.size() == 0;
+  if (never_assigned) {
     *this = other;
     return;
   }
@@ -21,8 +154,154 @@ void ScanSufficientStats::Add(const ScanSufficientStats& other) {
   for (int64_t i = 0; i < qtx.size(); ++i) qtx.data()[i] += other.qtx.data()[i];
 }
 
+void ComputeStatsColumns(const Matrix& x, const Vector& y, const Matrix& q,
+                         int64_t col_begin, int64_t col_end,
+                         const StatsBlockView& out, ThreadPool* pool) {
+  DASH_CHECK_EQ(static_cast<int64_t>(y.size()), x.rows());
+  DASH_CHECK_EQ(q.rows(), x.rows());
+  DASH_CHECK(0 <= col_begin && col_begin <= col_end && col_end <= x.cols());
+  const int64_t width = col_end - col_begin;
+  if (width == 0) return;
+  const int64_t k = q.cols();
+  const int64_t num_blocks = (width + kStatsColBlock - 1) / kStatsColBlock;
+
+  const auto work = [&](int64_t blk_lo, int64_t blk_hi) {
+    // One tile per task, reused across its blocks.
+    std::vector<double> tile(static_cast<size_t>(kStatsColBlock) *
+                             static_cast<size_t>(std::max<int64_t>(k, 1)));
+    for (int64_t b = blk_lo; b < blk_hi; ++b) {
+      const int64_t j0 = col_begin + b * kStatsColBlock;
+      const int64_t j1 = std::min(col_end, j0 + kStatsColBlock);
+      ComputeColumnBlock(x, y, q, j0, j1, col_begin, out, tile.data());
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && num_blocks > 1) {
+    ParallelForOptions opts;
+    opts.min_chunk = 1;  // one cache block is already a coarse grain
+    opts.chunks_per_thread = 4;
+    pool->ParallelFor(0, num_blocks, opts, work);
+  } else {
+    work(0, num_blocks);
+  }
+}
+
+void ComputeStatsColumnsSparse(const SparseColumnMatrix& x, const Vector& y,
+                               const Matrix& q, int64_t col_begin,
+                               int64_t col_end, const StatsBlockView& out,
+                               ThreadPool* pool) {
+  DASH_CHECK_EQ(static_cast<int64_t>(y.size()), x.rows());
+  DASH_CHECK_EQ(q.rows(), x.rows());
+  DASH_CHECK(0 <= col_begin && col_begin <= col_end && col_end <= x.cols());
+  if (col_end == col_begin) return;
+  const int64_t k = q.cols();
+
+  const auto work = [&](int64_t lo, int64_t hi) {
+    std::vector<double> proj(static_cast<size_t>(std::max<int64_t>(k, 1)));
+    for (int64_t j = lo; j < hi; ++j) {
+      double xyv = 0.0;
+      double xxv = 0.0;
+      std::fill(proj.begin(), proj.end(), 0.0);
+      double* DASH_RESTRICT pr = proj.data();
+      for (const auto& e : x.ColumnEntries(j)) {
+        xyv += e.value * y[static_cast<size_t>(e.row)];
+        xxv += e.value * e.value;
+        const double* DASH_RESTRICT qrow = q.row_data(e.row);
+        for (int64_t kk = 0; kk < k; ++kk) pr[kk] += e.value * qrow[kk];
+      }
+      const int64_t off = j - col_begin;
+      out.xy[off] = xyv;
+      out.xx[off] = xxv;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        out.qtx[kk * out.qtx_stride + off] = proj[static_cast<size_t>(kk)];
+      }
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    // Column nnz varies wildly with allele frequency; oversubscribe the
+    // chunking so the queue load-balances it.
+    ParallelForOptions opts;
+    opts.chunks_per_thread = 8;
+    pool->ParallelFor(col_begin, col_end, opts, work);
+  } else {
+    work(col_begin, col_end);
+  }
+}
+
 ScanSufficientStats ComputeLocalStats(const Matrix& x, const Vector& y,
                                       const Matrix& q, ThreadPool* pool) {
+  const int64_t n = x.rows();
+  const int64_t m = x.cols();
+  const int64_t k = q.cols();
+  DASH_CHECK_EQ(static_cast<int64_t>(y.size()), n);
+  DASH_CHECK_EQ(q.rows(), n);
+
+  ScanSufficientStats s;
+  s.num_samples = n;
+  s.yy = SquaredNorm(y);
+  s.qty = TransposeMatVec(q, y);
+  s.xy.assign(static_cast<size_t>(m), 0.0);
+  s.xx.assign(static_cast<size_t>(m), 0.0);
+  s.qtx = Matrix(k, m);
+  const StatsBlockView out{s.xy.data(), s.xx.data(), s.qtx.data(), m};
+  ComputeStatsColumns(x, y, q, 0, m, out, pool);
+  return s;
+}
+
+ScanSufficientStats ComputeLocalStatsSparse(const SparseColumnMatrix& x,
+                                            const Vector& y, const Matrix& q,
+                                            ThreadPool* pool) {
+  const int64_t n = x.rows();
+  const int64_t m = x.cols();
+  const int64_t k = q.cols();
+  DASH_CHECK_EQ(static_cast<int64_t>(y.size()), n);
+  DASH_CHECK_EQ(q.rows(), n);
+
+  ScanSufficientStats s;
+  s.num_samples = n;
+  s.yy = SquaredNorm(y);
+  s.qty = TransposeMatVec(q, y);
+  s.xy.assign(static_cast<size_t>(m), 0.0);
+  s.xx.assign(static_cast<size_t>(m), 0.0);
+  s.qtx = Matrix(k, m);
+  const StatsBlockView out{s.xy.data(), s.xx.data(), s.qtx.data(), m};
+  ComputeStatsColumnsSparse(x, y, q, 0, m, out, pool);
+  return s;
+}
+
+Vector ComputeLocalStatsFlat(const Matrix& x, const Vector& y, const Matrix& q,
+                             ThreadPool* pool) {
+  const int64_t n = x.rows();
+  DASH_CHECK_EQ(static_cast<int64_t>(y.size()), n);
+  DASH_CHECK_EQ(q.rows(), n);
+  const StatsWireLayout layout{x.cols(), q.cols()};
+  Vector flat(static_cast<size_t>(layout.total_len()), 0.0);
+  FillHeader(y, q, flat.data() + layout.yy_offset(),
+             flat.data() + layout.qty_offset());
+  const StatsBlockView out{flat.data() + layout.xy_offset(),
+                           flat.data() + layout.xx_offset(),
+                           flat.data() + layout.qtx_offset(), layout.m};
+  ComputeStatsColumns(x, y, q, 0, layout.m, out, pool);
+  return flat;
+}
+
+Vector ComputeLocalStatsSparseFlat(const SparseColumnMatrix& x, const Vector& y,
+                                   const Matrix& q, ThreadPool* pool) {
+  const int64_t n = x.rows();
+  DASH_CHECK_EQ(static_cast<int64_t>(y.size()), n);
+  DASH_CHECK_EQ(q.rows(), n);
+  const StatsWireLayout layout{x.cols(), q.cols()};
+  Vector flat(static_cast<size_t>(layout.total_len()), 0.0);
+  FillHeader(y, q, flat.data() + layout.yy_offset(),
+             flat.data() + layout.qty_offset());
+  const StatsBlockView out{flat.data() + layout.xy_offset(),
+                           flat.data() + layout.xx_offset(),
+                           flat.data() + layout.qtx_offset(), layout.m};
+  ComputeStatsColumnsSparse(x, y, q, 0, layout.m, out, pool);
+  return flat;
+}
+
+ScanSufficientStats ComputeLocalStatsScalar(const Matrix& x, const Vector& y,
+                                            const Matrix& q, ThreadPool* pool) {
   const int64_t n = x.rows();
   const int64_t m = x.cols();
   const int64_t k = q.cols();
@@ -60,9 +339,10 @@ ScanSufficientStats ComputeLocalStats(const Matrix& x, const Vector& y,
   return s;
 }
 
-ScanSufficientStats ComputeLocalStatsSparse(const SparseColumnMatrix& x,
-                                            const Vector& y, const Matrix& q,
-                                            ThreadPool* pool) {
+ScanSufficientStats ComputeLocalStatsSparseScalar(const SparseColumnMatrix& x,
+                                                  const Vector& y,
+                                                  const Matrix& q,
+                                                  ThreadPool* pool) {
   const int64_t n = x.rows();
   const int64_t m = x.cols();
   const int64_t k = q.cols();
@@ -102,8 +382,9 @@ ScanSufficientStats ComputeLocalStatsSparse(const SparseColumnMatrix& x,
 Vector FlattenStats(const ScanSufficientStats& stats) {
   const int64_t m = stats.num_variants();
   const int64_t k = stats.num_covariates();
+  const StatsWireLayout layout{m, k};
   Vector flat;
-  flat.reserve(static_cast<size_t>(1 + k + 2 * m + k * m));
+  flat.reserve(static_cast<size_t>(layout.total_len()));
   flat.push_back(stats.yy);
   flat.insert(flat.end(), stats.qty.begin(), stats.qty.end());
   flat.insert(flat.end(), stats.xy.begin(), stats.xy.end());
@@ -115,12 +396,11 @@ Vector FlattenStats(const ScanSufficientStats& stats) {
 Result<ScanSufficientStats> UnflattenStats(const Vector& flat,
                                            int64_t num_variants,
                                            int64_t num_covariates) {
-  const int64_t expected = 1 + num_covariates + 2 * num_variants +
-                           num_covariates * num_variants;
-  if (static_cast<int64_t>(flat.size()) != expected) {
+  const StatsWireLayout layout{num_variants, num_covariates};
+  if (static_cast<int64_t>(flat.size()) != layout.total_len()) {
     return InvalidArgumentError(
         "flattened statistics have length " + std::to_string(flat.size()) +
-        "; expected " + std::to_string(expected));
+        "; expected " + std::to_string(layout.total_len()));
   }
   ScanSufficientStats s;
   size_t pos = 0;
@@ -134,6 +414,23 @@ Result<ScanSufficientStats> UnflattenStats(const Vector& flat,
   s.qtx = Matrix(num_covariates, num_variants);
   for (int64_t i = 0; i < s.qtx.size(); ++i) s.qtx.data()[i] = flat[pos++];
   return s;
+}
+
+uint64_t WireChecksum(const Vector& flat) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (const double d : flat) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      h ^= (bits >> (8 * b)) & 0xff;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  }
+  return h;
+}
+
+uint64_t StatsChecksum(const ScanSufficientStats& stats) {
+  return WireChecksum(FlattenStats(stats));
 }
 
 }  // namespace dash

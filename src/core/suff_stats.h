@@ -13,7 +13,25 @@
 //
 // Flatten/Unflatten pack a party's summand into one contiguous vector of
 // length 1 + K + 2M + K*M so a single secure-sum round aggregates
-// everything.
+// everything. StatsWireLayout fixes the offsets; ComputeLocalStatsFlat
+// computes the summand directly into a wire-order arena so nothing is
+// copied between the kernel and the transport ("zero-copy flatten").
+//
+// Kernels. ComputeLocalStats runs the cache-blocked kernel of
+// ComputeStatsColumns: columns are tiled into blocks of kStatsColBlock,
+// each block's accumulators (X.y, X.X and a covariate-major K×w QᵀX
+// tile, so each row's update is K contiguous length-w axpys) live in
+// L1 for the whole N-row sweep, and rows are strip-mined into panels of
+// kStatsRowPanel that are dispatched to a branchless dense micro-kernel
+// or a zero-skipping sparse micro-kernel depending on the panel's
+// measured density. The scalar reference kernels (the original
+// implementation) are kept as ComputeLocalStatsScalar /
+// ComputeLocalStatsSparseScalar; the blocked kernels are BIT-IDENTICAL
+// to them for finite inputs: every output element is accumulated over
+// rows in the same order, the dense micro-kernel's ±0.0 contributions
+// cannot change an IEEE-754 accumulator that starts at +0.0, and no
+// reduction is ever reassociated (tests/core_kernel_identity_test.cc
+// pins this).
 
 #ifndef DASH_CORE_SUFF_STATS_H_
 #define DASH_CORE_SUFF_STATS_H_
@@ -40,11 +58,65 @@ struct ScanSufficientStats {
   int64_t num_covariates() const { return static_cast<int64_t>(qty.size()); }
 
   // Element-wise accumulation; shapes must agree (or *this be empty).
+  // "Empty" means never-assigned (the default-constructed accumulator):
+  // no samples AND no shape. A real M==0 or K==0 summand still carries
+  // num_samples/yy and accumulates instead of overwriting.
   void Add(const ScanSufficientStats& other);
 };
 
+// --- Wire layout ------------------------------------------------------
+// Offsets of the statistic blocks inside the flattened vector:
+//   [0]                    yy
+//   [1, 1+K)               qty
+//   [1+K, 1+K+M)           xy
+//   [1+K+M, 1+K+2M)        xx
+//   [1+K+2M, 1+K+2M+K*M)   qtx, row-major K x M
+struct StatsWireLayout {
+  int64_t m = 0;  // variants
+  int64_t k = 0;  // covariates
+
+  int64_t yy_offset() const { return 0; }
+  int64_t qty_offset() const { return 1; }
+  int64_t xy_offset() const { return 1 + k; }
+  int64_t xx_offset() const { return 1 + k + m; }
+  int64_t qtx_offset() const { return 1 + k + 2 * m; }
+  int64_t total_len() const { return 1 + k + 2 * m + k * m; }
+};
+
+// Destination slices for the column-range kernels, in wire order.
+// Column j of the range writes xy[j - col_begin], xx[j - col_begin] and
+// qtx[kk * qtx_stride + (j - col_begin)] for each covariate kk.
+struct StatsBlockView {
+  double* xy = nullptr;
+  double* xx = nullptr;
+  double* qtx = nullptr;
+  int64_t qtx_stride = 0;
+};
+
+// Cache-block geometry of the dense kernel. One column block's working
+// set is kStatsColBlock * (K + 2) doubles of accumulators — ~10 KiB for
+// K = 8 — which stays L1-resident across the whole row sweep; row
+// panels of kStatsRowPanel rows are the granularity of the
+// dense/sparse micro-kernel dispatch.
+inline constexpr int64_t kStatsColBlock = 128;
+inline constexpr int64_t kStatsRowPanel = 256;
+
+// Computes xy/xx/qtx for columns [col_begin, col_end) of x into `out`
+// with the blocked kernel. Requires finite inputs for the bit-identity
+// guarantee (no NaN/Inf in x, y, q). `pool` may be null; otherwise
+// column blocks are cost-chunked across its threads.
+void ComputeStatsColumns(const Matrix& x, const Vector& y, const Matrix& q,
+                         int64_t col_begin, int64_t col_end,
+                         const StatsBlockView& out, ThreadPool* pool = nullptr);
+
+// Sparse-X variant: per column costs O(nnz * K) instead of O(N * K).
+void ComputeStatsColumnsSparse(const SparseColumnMatrix& x, const Vector& y,
+                               const Matrix& q, int64_t col_begin,
+                               int64_t col_end, const StatsBlockView& out,
+                               ThreadPool* pool = nullptr);
+
 // Computes one party's summand given its rows of Q. `pool` may be null
-// (serial); otherwise columns of x are sharded across its threads.
+// (serial); otherwise column blocks are sharded across its threads.
 ScanSufficientStats ComputeLocalStats(const Matrix& x, const Vector& y,
                                       const Matrix& q,
                                       ThreadPool* pool = nullptr);
@@ -54,6 +126,26 @@ ScanSufficientStats ComputeLocalStatsSparse(const SparseColumnMatrix& x,
                                             const Vector& y, const Matrix& q,
                                             ThreadPool* pool = nullptr);
 
+// Zero-copy form: the summand computed directly into a contiguous
+// wire-order arena (StatsWireLayout), ready for the secure sum with no
+// intermediate FlattenStats copy. num_samples is public and travels
+// outside the secure sum.
+Vector ComputeLocalStatsFlat(const Matrix& x, const Vector& y, const Matrix& q,
+                             ThreadPool* pool = nullptr);
+Vector ComputeLocalStatsSparseFlat(const SparseColumnMatrix& x, const Vector& y,
+                                   const Matrix& q, ThreadPool* pool = nullptr);
+
+// The original scalar kernels, kept as the bit-identity reference for
+// tests and as the bench baseline. Semantics match ComputeLocalStats /
+// ComputeLocalStatsSparse exactly.
+ScanSufficientStats ComputeLocalStatsScalar(const Matrix& x, const Vector& y,
+                                            const Matrix& q,
+                                            ThreadPool* pool = nullptr);
+ScanSufficientStats ComputeLocalStatsSparseScalar(const SparseColumnMatrix& x,
+                                                  const Vector& y,
+                                                  const Matrix& q,
+                                                  ThreadPool* pool = nullptr);
+
 // Packs [yy, qty, xy, xx, vec(qtx)] into one vector (num_samples is
 // public and travels outside the secure sum).
 Vector FlattenStats(const ScanSufficientStats& stats);
@@ -62,6 +154,12 @@ Vector FlattenStats(const ScanSufficientStats& stats);
 Result<ScanSufficientStats> UnflattenStats(const Vector& flat,
                                            int64_t num_variants,
                                            int64_t num_covariates);
+
+// FNV-1a over the IEEE-754 bytes of a flat vector / a summand's wire
+// image. Equal checksums <=> bit-identical statistics; benches and the
+// kernel-identity tests report these.
+uint64_t WireChecksum(const Vector& flat);
+uint64_t StatsChecksum(const ScanSufficientStats& stats);
 
 }  // namespace dash
 

@@ -52,14 +52,16 @@ void Matrix::SetCol(int64_t j, const Vector& v) {
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   DASH_CHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
-  // i-k-j order keeps B and C accesses sequential.
+  const int64_t cols = b.cols();
+  // i-k-j order keeps B and C accesses sequential; restrict on the row
+  // pointers lets the j loop auto-vectorize (B and C never alias).
   for (int64_t i = 0; i < a.rows(); ++i) {
-    double* ci = c.row_data(i);
+    double* DASH_RESTRICT ci = c.row_data(i);
     for (int64_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
       if (aik == 0.0) continue;
-      const double* bk = b.row_data(k);
-      for (int64_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+      const double* DASH_RESTRICT bk = b.row_data(k);
+      for (int64_t j = 0; j < cols; ++j) ci[j] += aik * bk[j];
     }
   }
   return c;
@@ -68,14 +70,15 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 Matrix TransposeMatMul(const Matrix& a, const Matrix& b) {
   DASH_CHECK_EQ(a.rows(), b.rows());
   Matrix c(a.cols(), b.cols());
+  const int64_t cols = b.cols();
   for (int64_t k = 0; k < a.rows(); ++k) {
     const double* ak = a.row_data(k);
-    const double* bk = b.row_data(k);
+    const double* DASH_RESTRICT bk = b.row_data(k);
     for (int64_t i = 0; i < a.cols(); ++i) {
       const double aki = ak[i];
       if (aki == 0.0) continue;
-      double* ci = c.row_data(i);
-      for (int64_t j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
+      double* DASH_RESTRICT ci = c.row_data(i);
+      for (int64_t j = 0; j < cols; ++j) ci[j] += aki * bk[j];
     }
   }
   return c;
@@ -85,10 +88,7 @@ Vector MatVec(const Matrix& a, const Vector& x) {
   DASH_CHECK_EQ(a.cols(), static_cast<int64_t>(x.size()));
   Vector y(static_cast<size_t>(a.rows()), 0.0);
   for (int64_t i = 0; i < a.rows(); ++i) {
-    const double* ai = a.row_data(i);
-    double sum = 0.0;
-    for (int64_t j = 0; j < a.cols(); ++j) sum += ai[j] * x[static_cast<size_t>(j)];
-    y[static_cast<size_t>(i)] = sum;
+    y[static_cast<size_t>(i)] = DotN(a.row_data(i), x.data(), a.cols());
   }
   return y;
 }
@@ -96,11 +96,13 @@ Vector MatVec(const Matrix& a, const Vector& x) {
 Vector TransposeMatVec(const Matrix& a, const Vector& x) {
   DASH_CHECK_EQ(a.rows(), static_cast<int64_t>(x.size()));
   Vector y(static_cast<size_t>(a.cols()), 0.0);
+  const int64_t cols = a.cols();
   for (int64_t i = 0; i < a.rows(); ++i) {
     const double xi = x[static_cast<size_t>(i)];
     if (xi == 0.0) continue;
-    const double* ai = a.row_data(i);
-    for (int64_t j = 0; j < a.cols(); ++j) y[static_cast<size_t>(j)] += ai[j] * xi;
+    const double* DASH_RESTRICT ai = a.row_data(i);
+    double* DASH_RESTRICT yd = y.data();
+    for (int64_t j = 0; j < cols; ++j) yd[j] += ai[j] * xi;
   }
   return y;
 }

@@ -6,24 +6,38 @@
 
 namespace dash {
 
-double Dot(const Vector& a, const Vector& b) {
-  DASH_CHECK_EQ(a.size(), b.size());
+double DotN(const double* DASH_RESTRICT a, const double* DASH_RESTRICT b,
+            int64_t n) {
   double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  for (int64_t i = 0; i < n; ++i) sum += a[i] * b[i];
   return sum;
 }
 
-double SquaredNorm(const Vector& v) {
+double SquaredNormN(const double* DASH_RESTRICT v, int64_t n) {
   double sum = 0.0;
-  for (const double x : v) sum += x * x;
+  for (int64_t i = 0; i < n; ++i) sum += v[i] * v[i];
   return sum;
+}
+
+void AxpyN(double alpha, const double* DASH_RESTRICT x,
+           double* DASH_RESTRICT y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  DASH_CHECK_EQ(a.size(), b.size());
+  return DotN(a.data(), b.data(), static_cast<int64_t>(a.size()));
+}
+
+double SquaredNorm(const Vector& v) {
+  return SquaredNormN(v.data(), static_cast<int64_t>(v.size()));
 }
 
 double Norm(const Vector& v) { return std::sqrt(SquaredNorm(v)); }
 
 void Axpy(double alpha, const Vector& x, Vector* y) {
   DASH_CHECK_EQ(x.size(), y->size());
-  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+  AxpyN(alpha, x.data(), y->data(), static_cast<int64_t>(x.size()));
 }
 
 void Scale(double alpha, Vector* v) {

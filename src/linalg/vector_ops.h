@@ -3,6 +3,12 @@
 // The library represents vectors as std::vector<double> (alias
 // dash::Vector) and provides the handful of BLAS-1 style kernels the
 // association scan needs. All functions DASH_CHECK dimension agreement.
+//
+// The raw-pointer forms take DASH_RESTRICT-qualified operands so
+// GCC/Clang can prove non-aliasing and auto-vectorize the loops; the
+// Vector overloads forward to them. Reductions (Dot, SquaredNorm) keep
+// strict left-to-right summation order — the bit-identity contract of
+// the secure scan forbids reassociating them.
 
 #ifndef DASH_LINALG_VECTOR_OPS_H_
 #define DASH_LINALG_VECTOR_OPS_H_
@@ -10,9 +16,24 @@
 #include <cstdint>
 #include <vector>
 
+// Non-aliasing qualifier for kernel pointer arguments.
+#if defined(__GNUC__) || defined(__clang__)
+#define DASH_RESTRICT __restrict__
+#else
+#define DASH_RESTRICT
+#endif
+
 namespace dash {
 
 using Vector = std::vector<double>;
+
+// Raw-pointer kernels over n contiguous doubles. Operands must not
+// alias (the DASH_RESTRICT promise the compiler vectorizes against).
+double DotN(const double* DASH_RESTRICT a, const double* DASH_RESTRICT b,
+            int64_t n);
+double SquaredNormN(const double* DASH_RESTRICT v, int64_t n);
+void AxpyN(double alpha, const double* DASH_RESTRICT x,
+           double* DASH_RESTRICT y, int64_t n);
 
 // Dot product a.b; requires equal sizes.
 double Dot(const Vector& a, const Vector& b);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/party_local.h"
+#include "core/scan_pipeline.h"
 #include "core/suff_stats.h"
 #include "linalg/qr.h"
 #include "linalg/tsqr.h"
@@ -491,7 +492,7 @@ Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
   }
   protocol_seconds += protocol_timer.ElapsedSeconds();
 
-  // Stage 3 (local): our Q_p rows and sufficient-statistic summand.
+  // Stage 3 (local): our Q_p rows.
   local_timer.Reset();
   std::unique_ptr<ThreadPool> pool;
   if (options.num_threads > 1) {
@@ -499,18 +500,77 @@ Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
   }
   const Matrix q_p = (k > 0) ? PartyLocalQ(*party, r_inverse)
                              : Matrix(party->num_samples(), 0);
-  const ScanSufficientStats stats = PartyLocalStats(*party, q_p, pool.get());
   local_seconds += local_timer.ElapsedSeconds();
 
-  // Stage 4 (network): one secure-sum aggregation of everything.
   SecureSumOptions sum_options;
   sum_options.mode = options.aggregation;
   sum_options.frac_bits = options.frac_bits;
   sum_options.seed = options.seed;
   PartySecureVectorSum secure_sum(transport, sum_options);
-  protocol_timer.Reset();
-  DASH_ASSIGN_OR_RETURN(Vector flat_totals, secure_sum.Run(FlattenStats(stats)));
-  protocol_seconds += protocol_timer.ElapsedSeconds();
+
+  Vector flat_totals;
+  if (options.pipeline_block_variants > 0) {
+    // Stage 3+4 (pipelined): the round schedule of core/scan_pipeline.h,
+    // identical to the in-process driver's — header round, then one
+    // round per variant block, with block b+1 computed while block b's
+    // aggregate is in flight on the transport.
+    const PipelinePlan plan{m, k, options.pipeline_block_variants};
+    const int64_t num_blocks = plan.num_blocks();
+
+    local_timer.Reset();
+    Vector header;
+    header.reserve(static_cast<size_t>(plan.header_len()));
+    header.push_back(SquaredNorm(party->y));
+    const Vector qty = TransposeMatVec(q_p, party->y);
+    header.insert(header.end(), qty.begin(), qty.end());
+    local_seconds += local_timer.ElapsedSeconds();
+
+    protocol_timer.Reset();
+    DASH_ASSIGN_OR_RETURN(Vector header_totals, secure_sum.Run(header));
+    flat_totals.assign(static_cast<size_t>(StatsWireLayout{m, k}.total_len()),
+                       0.0);
+    ScatterHeaderTotals(header_totals, plan, &flat_totals);
+
+    Vector cur;
+    Vector next;
+    const auto compute_block = [&](int64_t b, Vector* buf) {
+      const int64_t w = plan.width(b);
+      buf->assign(static_cast<size_t>(plan.block_len(b)), 0.0);
+      ComputeStatsColumns(party->x, party->y, q_p, plan.begin(b), plan.end(b),
+                          PipelineBlockView(buf->data(), w), /*pool=*/nullptr);
+    };
+    if (num_blocks > 0) compute_block(0, &cur);
+    for (int64_t b = 0; b < num_blocks; ++b) {
+      const bool has_next = b + 1 < num_blocks;
+      if (has_next) {
+        if (pool != nullptr) {
+          pool->Schedule(
+              [&compute_block, &next, b] { compute_block(b + 1, &next); });
+        } else {
+          compute_block(b + 1, &next);
+        }
+      }
+      Result<Vector> block_totals = secure_sum.Run(cur);
+      // Join the in-flight compute before any early return can tear down
+      // the buffer it writes.
+      if (has_next && pool != nullptr) pool->Wait();
+      if (!block_totals.ok()) return block_totals.status();
+      ScatterBlockTotals(block_totals.value(), plan, b, &flat_totals);
+      cur.swap(next);
+    }
+    protocol_seconds += protocol_timer.ElapsedSeconds();
+  } else {
+    // Stage 3 (local): our summand, computed directly into a wire-order
+    // arena (zero-copy flatten).
+    local_timer.Reset();
+    const Vector flat = PartyLocalStatsFlat(*party, q_p, pool.get());
+    local_seconds += local_timer.ElapsedSeconds();
+
+    // Stage 4 (network): one secure-sum aggregation of everything.
+    protocol_timer.Reset();
+    DASH_ASSIGN_OR_RETURN(flat_totals, secure_sum.Run(flat));
+    protocol_seconds += protocol_timer.ElapsedSeconds();
+  }
 
   // Stage 5 (local, public): Lemma 2.1 finalization.
   local_timer.Reset();

@@ -5,6 +5,13 @@
 #include "util/check.h"
 
 namespace dash {
+namespace {
+
+// The pool whose WorkerLoop the current thread is running, if any.
+// Worker threads belong to exactly one pool for their whole lifetime.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   DASH_CHECK_GE(num_threads, 1);
@@ -23,7 +30,12 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::InWorkerThread() const {
+  return current_worker_pool == this;
+}
+
 void ThreadPool::WorkerLoop() {
+  current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -45,6 +57,12 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::Schedule(std::function<void()> fn) {
+  // No workers to drain the queue: run inline so a later Wait() cannot
+  // hang on work nobody will ever execute.
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push(std::move(fn));
@@ -54,21 +72,41 @@ void ThreadPool::Schedule(std::function<void()> fn) {
 }
 
 void ThreadPool::Wait() {
+  DASH_CHECK(!InWorkerThread())
+      << "ThreadPool::Wait() called from one of the pool's own workers; "
+         "the caller's task is still in flight, so this would deadlock. "
+         "Restructure so only the owning thread joins scheduled work.";
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
 void ThreadPool::ParallelFor(int64_t begin, int64_t end,
                              const std::function<void(int64_t, int64_t)>& fn) {
-  DASH_CHECK_LE(begin, end);
+  ParallelFor(begin, end, ParallelForOptions{}, fn);
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const ParallelForOptions& options,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
   const int64_t total = end - begin;
-  if (total == 0) return;
-  const int64_t shards = std::min<int64_t>(num_threads_, total);
+  // Nested ParallelFor from a worker runs inline: blocking in Wait()
+  // here would deadlock (the worker's own task never retires while the
+  // worker is parked inside it).
+  if (num_threads_ == 1 || InWorkerThread()) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t min_chunk = std::max<int64_t>(1, options.min_chunk);
+  const int64_t target_chunks =
+      std::max<int64_t>(1, options.chunks_per_thread) * num_threads_;
+  const int64_t chunk =
+      std::max(min_chunk, (total + target_chunks - 1) / target_chunks);
+  const int64_t shards = (total + chunk - 1) / chunk;
   if (shards == 1) {
     fn(begin, end);
     return;
   }
-  const int64_t chunk = (total + shards - 1) / shards;
   // The calling thread runs the first shard itself; the rest go to workers.
   for (int64_t s = 1; s < shards; ++s) {
     const int64_t lo = begin + s * chunk;

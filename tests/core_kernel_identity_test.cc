@@ -1,0 +1,245 @@
+// Pins the blocked/zero-copy/pipelined kernels to the original scalar
+// kernel BIT FOR BIT. The blocked kernel reorders memory traffic, never
+// arithmetic: every output element accumulates over rows in the same
+// order, so for finite inputs the wire images must be identical — any
+// single-bit drift here is a bug, not tolerance noise.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/scan_pipeline.h"
+#include "core/secure_scan.h"
+#include "core/suff_stats.h"
+#include "data/genotype_generator.h"
+#include "data/workloads.h"
+#include "linalg/qr.h"
+#include "util/random.h"
+
+namespace dash {
+namespace {
+
+void ExpectBitIdentical(const Vector& a, const Vector& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t bits_a, bits_b;
+    std::memcpy(&bits_a, &a[i], sizeof(bits_a));
+    std::memcpy(&bits_b, &b[i], sizeof(bits_b));
+    ASSERT_EQ(bits_a, bits_b)
+        << what << "[" << i << "]: " << a[i] << " vs " << b[i];
+  }
+}
+
+void ExpectStatsBitIdentical(const ScanSufficientStats& a,
+                             const ScanSufficientStats& b) {
+  EXPECT_EQ(a.num_samples, b.num_samples);
+  ExpectBitIdentical(FlattenStats(a), FlattenStats(b), "wire image");
+  EXPECT_EQ(StatsChecksum(a), StatsChecksum(b));
+}
+
+Matrix MakeQ(int64_t n, int64_t k, Rng* rng) {
+  if (k == 0) return Matrix(n, 0);
+  // Thin QR needs n >= k; for the degenerate tiny-n cases the kernels
+  // only need *some* dense K-column matrix, orthonormality is not part
+  // of the identity contract.
+  if (n < k) return GaussianMatrix(n, k, rng);
+  return ThinQr(GaussianMatrix(n, k, rng)).value().q;
+}
+
+// Sizes straddle the kernel geometry: column counts around kStatsColBlock
+// (128) and row counts around kStatsRowPanel (256), plus degenerate ones.
+const int64_t kVariantSizes[] = {1, 127, 128, 129, 300};
+const int64_t kSampleSizes[] = {1, 255, 256, 257, 600};
+
+TEST(KernelIdentityTest, BlockedMatchesScalarGaussian) {
+  for (const int64_t m : kVariantSizes) {
+    for (const int64_t n : kSampleSizes) {
+      Rng rng(static_cast<uint64_t>(n * 1000 + m));
+      const Matrix x = GaussianMatrix(n, m, &rng);
+      const Vector y = GaussianVector(n, &rng);
+      const Matrix q = MakeQ(n, 3, &rng);
+      SCOPED_TRACE("n=" + std::to_string(n) + " m=" + std::to_string(m));
+      ExpectStatsBitIdentical(ComputeLocalStats(x, y, q),
+                              ComputeLocalStatsScalar(x, y, q));
+    }
+  }
+}
+
+TEST(KernelIdentityTest, BlockedMatchesScalarGenotype) {
+  // Sparse-ish dosage data drives the dense/sparse panel dispatch down
+  // the zero-skipping branch; rare variants make whole panels sparse.
+  for (const int64_t m : kVariantSizes) {
+    GenotypeOptions geno;
+    geno.num_samples = 301;
+    geno.num_variants = m;
+    geno.maf_min = 0.01;
+    geno.maf_max = 0.4;
+    geno.seed = static_cast<uint64_t>(m) + 17;
+    const Matrix x = GenerateGenotypes(geno);
+    Rng rng(static_cast<uint64_t>(m) + 99);
+    const Vector y = GaussianVector(301, &rng);
+    const Matrix q = MakeQ(301, 4, &rng);
+    SCOPED_TRACE("m=" + std::to_string(m));
+    ExpectStatsBitIdentical(ComputeLocalStats(x, y, q),
+                            ComputeLocalStatsScalar(x, y, q));
+  }
+}
+
+TEST(KernelIdentityTest, BlockedMatchesScalarZeroCovariates) {
+  Rng rng(41);
+  const Matrix x = GaussianMatrix(260, 130, &rng);
+  const Vector y = GaussianVector(260, &rng);
+  const Matrix q(260, 0);
+  ExpectStatsBitIdentical(ComputeLocalStats(x, y, q),
+                          ComputeLocalStatsScalar(x, y, q));
+}
+
+TEST(KernelIdentityTest, ThreadPoolDoesNotChangeBits) {
+  Rng rng(42);
+  const Matrix x = GaussianMatrix(300, 300, &rng);
+  const Vector y = GaussianVector(300, &rng);
+  const Matrix q = MakeQ(300, 5, &rng);
+  const ScanSufficientStats serial = ComputeLocalStats(x, y, q);
+  ThreadPool pool(4);
+  ExpectStatsBitIdentical(ComputeLocalStats(x, y, q, &pool), serial);
+  ExpectBitIdentical(ComputeLocalStatsFlat(x, y, q, &pool),
+                     FlattenStats(serial), "flat arena (pool)");
+}
+
+TEST(KernelIdentityTest, FlatArenaMatchesFlattenedScalar) {
+  for (const int64_t m : kVariantSizes) {
+    Rng rng(static_cast<uint64_t>(m) + 7);
+    const Matrix x = GaussianMatrix(257, m, &rng);
+    const Vector y = GaussianVector(257, &rng);
+    const Matrix q = MakeQ(257, 3, &rng);
+    SCOPED_TRACE("m=" + std::to_string(m));
+    const Vector flat = ComputeLocalStatsFlat(x, y, q);
+    const Vector reference = FlattenStats(ComputeLocalStatsScalar(x, y, q));
+    ExpectBitIdentical(flat, reference, "flat arena");
+    EXPECT_EQ(WireChecksum(flat), WireChecksum(reference));
+  }
+}
+
+TEST(KernelIdentityTest, SparseBlockedMatchesSparseScalar) {
+  GenotypeOptions geno;
+  geno.num_samples = 400;
+  geno.num_variants = 150;
+  geno.maf_min = 0.01;
+  geno.maf_max = 0.15;
+  geno.seed = 23;
+  const SparseColumnMatrix x = GenerateSparseGenotypes(geno);
+  Rng rng(29);
+  const Vector y = GaussianVector(400, &rng);
+  const Matrix q = MakeQ(400, 4, &rng);
+  ExpectStatsBitIdentical(ComputeLocalStatsSparse(x, y, q),
+                          ComputeLocalStatsSparseScalar(x, y, q));
+  ExpectBitIdentical(ComputeLocalStatsSparseFlat(x, y, q),
+                     FlattenStats(ComputeLocalStatsSparseScalar(x, y, q)),
+                     "sparse flat arena");
+  ThreadPool pool(3);
+  ExpectStatsBitIdentical(ComputeLocalStatsSparse(x, y, q, &pool),
+                          ComputeLocalStatsSparseScalar(x, y, q));
+}
+
+TEST(KernelIdentityTest, ColumnRangeMatchesFullComputation) {
+  // The pipelined scan computes arbitrary column sub-ranges; each must
+  // reproduce the corresponding slice of the full wire image even when
+  // the range boundaries fall mid cache-block.
+  Rng rng(31);
+  const int64_t n = 260, m = 200, k = 3;
+  const Matrix x = GaussianMatrix(n, m, &rng);
+  const Vector y = GaussianVector(n, &rng);
+  const Matrix q = MakeQ(n, k, &rng);
+  const ScanSufficientStats full = ComputeLocalStatsScalar(x, y, q);
+  const struct { int64_t begin, end; } ranges[] = {
+      {0, 200}, {0, 1}, {199, 200}, {13, 141}, {128, 200}, {50, 50}};
+  for (const auto& r : ranges) {
+    SCOPED_TRACE("[" + std::to_string(r.begin) + ", " + std::to_string(r.end) +
+                 ")");
+    const int64_t w = r.end - r.begin;
+    Vector buf(static_cast<size_t>((2 + k) * w), -1.0);
+    ComputeStatsColumns(x, y, q, r.begin, r.end, PipelineBlockView(buf.data(), w));
+    for (int64_t j = 0; j < w; ++j) {
+      Vector got{buf[static_cast<size_t>(j)], buf[static_cast<size_t>(w + j)]};
+      Vector want{full.xy[static_cast<size_t>(r.begin + j)],
+                  full.xx[static_cast<size_t>(r.begin + j)]};
+      for (int64_t kk = 0; kk < k; ++kk) {
+        got.push_back(buf[static_cast<size_t>((2 + kk) * w + j)]);
+        want.push_back(full.qtx(kk, r.begin + j));
+      }
+      ExpectBitIdentical(got, want, "column slice");
+    }
+  }
+}
+
+// ---- pipelined protocol vs one-shot, in-process, all four modes ----
+
+ScanWorkload PipelineWorkload() {
+  GwasWorkloadOptions options;
+  options.party_sizes = {35, 45, 40};
+  options.num_variants = 23;  // not a multiple of any block size below
+  options.num_covariates = 3;
+  options.num_causal = 2;
+  options.seed = 1234;
+  return MakeGwasWorkload(options).value();
+}
+
+void ExpectSameScan(const ScanResult& a, const ScanResult& b) {
+  ExpectBitIdentical(a.beta, b.beta, "beta");
+  ExpectBitIdentical(a.se, b.se, "se");
+  ExpectBitIdentical(a.tstat, b.tstat, "tstat");
+  ExpectBitIdentical(a.pval, b.pval, "pval");
+  EXPECT_EQ(a.dof, b.dof);
+}
+
+TEST(KernelIdentityTest, PipelinedScanMatchesOneShotAllModes) {
+  const ScanWorkload workload = PipelineWorkload();
+  const AggregationMode modes[] = {
+      AggregationMode::kPublicShare, AggregationMode::kAdditive,
+      AggregationMode::kMasked, AggregationMode::kShamir};
+  for (const AggregationMode mode : modes) {
+    SCOPED_TRACE(AggregationModeName(mode));
+    SecureScanOptions one_shot;
+    one_shot.aggregation = mode;
+    const auto reference = SecureAssociationScan(one_shot).Run(workload.parties);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    for (const int64_t block : {1, 7, 23, 100}) {
+      SCOPED_TRACE("block=" + std::to_string(block));
+      SecureScanOptions pipelined = one_shot;
+      pipelined.pipeline_block_variants = block;
+      const auto got = SecureAssociationScan(pipelined).Run(workload.parties);
+      ASSERT_TRUE(got.ok()) << got.status();
+      ExpectSameScan(got->result, reference->result);
+    }
+  }
+}
+
+TEST(KernelIdentityTest, PipelinedScanWithThreadsMatchesOneShot) {
+  const ScanWorkload workload = PipelineWorkload();
+  SecureScanOptions one_shot;
+  one_shot.aggregation = AggregationMode::kMasked;
+  const auto reference = SecureAssociationScan(one_shot).Run(workload.parties);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  SecureScanOptions pipelined = one_shot;
+  pipelined.pipeline_block_variants = 5;
+  pipelined.num_threads = 4;  // overlapped double-buffer path
+  const auto got = SecureAssociationScan(pipelined).Run(workload.parties);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ExpectSameScan(got->result, reference->result);
+}
+
+TEST(KernelIdentityTest, PipelineRejectsBeaverProjection) {
+  const ScanWorkload workload = PipelineWorkload();
+  SecureScanOptions options;
+  options.projection = ProjectionSecurity::kBeaverDotProducts;
+  options.pipeline_block_variants = 8;
+  const auto out = SecureAssociationScan(options).Run(workload.parties);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dash

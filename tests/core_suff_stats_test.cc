@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "data/genotype_generator.h"
 #include "linalg/qr.h"
 #include "util/random.h"
@@ -92,6 +94,60 @@ TEST(SuffStatsTest, AddIntoEmptyCopies) {
   acc.Add(sa);
   EXPECT_EQ(acc.num_samples, sa.num_samples);
   EXPECT_LT(MaxAbsDiff(acc.xy, sa.xy), 0.0 + 1e-15);
+}
+
+TEST(SuffStatsTest, AddAccumulatesZeroVariantSummands) {
+  // Regression: the old empty-detection (`xy.empty() && qty.empty()`)
+  // only looked at shape vectors, so for an M == 0 scan every summand
+  // looked "empty" and each Add OVERWROTE the accumulator instead of
+  // accumulating — dropping all but the last party's yy and N.
+  ScanSufficientStats a;
+  a.num_samples = 10;
+  a.yy = 2.0;
+  a.qty = {1.0, 2.0};
+  a.qtx = Matrix(2, 0);
+  ScanSufficientStats b;
+  b.num_samples = 5;
+  b.yy = 3.0;
+  b.qty = {0.5, 0.25};
+  b.qtx = Matrix(2, 0);
+  a.Add(b);
+  EXPECT_EQ(a.num_samples, 15);
+  EXPECT_EQ(a.yy, 5.0);
+  EXPECT_EQ(a.qty[0], 1.5);
+  EXPECT_EQ(a.qty[1], 2.25);
+}
+
+TEST(SuffStatsTest, AddAccumulatesZeroVariantZeroCovariate) {
+  // M == 0 and K == 0: only yy and N carry information, and they must
+  // still accumulate rather than copy.
+  ScanSufficientStats a;
+  a.num_samples = 3;
+  a.yy = 1.5;
+  ScanSufficientStats b;
+  b.num_samples = 4;
+  b.yy = 2.5;
+  a.Add(b);
+  EXPECT_EQ(a.num_samples, 7);
+  EXPECT_EQ(a.yy, 4.0);
+  // A genuinely never-assigned accumulator still copies.
+  ScanSufficientStats fresh;
+  fresh.Add(a);
+  EXPECT_EQ(fresh.num_samples, 7);
+  EXPECT_EQ(fresh.yy, 4.0);
+}
+
+TEST(SuffStatsTest, ChecksumDetectsSingleBitDrift) {
+  const Fixture f = MakeFixture(25, 6, 2, 11);
+  ScanSufficientStats s = ComputeLocalStats(f.x, f.y, f.q);
+  const uint64_t before = StatsChecksum(s);
+  EXPECT_EQ(before, WireChecksum(FlattenStats(s)));
+  // Flip the lowest mantissa bit of one element.
+  uint64_t bits;
+  std::memcpy(&bits, &s.xy[3], sizeof(bits));
+  bits ^= 1;
+  std::memcpy(&s.xy[3], &bits, sizeof(bits));
+  EXPECT_NE(StatsChecksum(s), before);
 }
 
 TEST(SuffStatsTest, FlattenUnflattenRoundTrips) {

@@ -1,0 +1,157 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace dash {
+namespace {
+
+// Records every chunk a ParallelFor hands out and verifies the chunks
+// tile [begin, end) exactly once.
+struct ChunkRecorder {
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+
+  std::function<void(int64_t, int64_t)> Fn() {
+    return [this](int64_t lo, int64_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(lo, hi);
+    };
+  }
+
+  void ExpectTiles(int64_t begin, int64_t end) {
+    std::vector<int> hit(static_cast<size_t>(end - begin), 0);
+    for (const auto& c : chunks) {
+      EXPECT_LE(begin, c.first);
+      EXPECT_LE(c.first, c.second);
+      EXPECT_LE(c.second, end);
+      for (int64_t i = c.first; i < c.second; ++i) {
+        ++hit[static_cast<size_t>(i - begin)];
+      }
+    }
+    for (size_t i = 0; i < hit.size(); ++i) {
+      EXPECT_EQ(hit[i], 1) << "item " << begin + static_cast<int64_t>(i);
+    }
+  }
+};
+
+TEST(ThreadPoolTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, InvertedRangeIsNoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(7, 3, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  ChunkRecorder rec;
+  pool.ParallelFor(3, 1003, rec.Fn());
+  rec.ExpectTiles(3, 1003);
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanItems) {
+  ThreadPool pool(8);
+  ChunkRecorder rec;
+  pool.ParallelFor(0, 3, rec.Fn());
+  rec.ExpectTiles(0, 3);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsParallelForInline) {
+  ThreadPool pool(1);
+  ChunkRecorder rec;
+  pool.ParallelFor(0, 10, rec.Fn());
+  rec.ExpectTiles(0, 10);
+  // Inline path: exactly one chunk, no sharding.
+  EXPECT_EQ(rec.chunks.size(), 1u);
+}
+
+TEST(ThreadPoolTest, SingleThreadScheduleRunsInlineAndWaitReturns) {
+  // The seed pool enqueued Schedule() work with no workers to drain it,
+  // deadlocking the next Wait(); pin the inline path.
+  ThreadPool pool(1);
+  bool ran = false;
+  pool.Schedule([&] { ran = true; });
+  EXPECT_TRUE(ran);  // ran before Schedule returned
+  pool.Wait();       // nothing outstanding; must not hang
+}
+
+TEST(ThreadPoolTest, ScheduleAndWaitJoinAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Schedule([&] { ++done; });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // A worker re-entering ParallelFor must not block in Wait() (its own
+  // task counts as in flight); the nested range runs inline instead.
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 8, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      pool.ParallelFor(0, 10, [&](int64_t nlo, int64_t nhi) {
+        total += nhi - nlo;
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPoolTest, InWorkerThreadOnlyInsideWorkers) {
+  ThreadPool pool(3);
+  EXPECT_FALSE(pool.InWorkerThread());
+  std::atomic<bool> saw_worker{false};
+  for (int i = 0; i < 16; ++i) {
+    pool.Schedule([&] {
+      if (pool.InWorkerThread()) saw_worker = true;
+    });
+  }
+  pool.Wait();
+  EXPECT_TRUE(saw_worker.load());
+  EXPECT_FALSE(pool.InWorkerThread());
+}
+
+TEST(ThreadPoolTest, MinChunkBoundsShardCount) {
+  ThreadPool pool(4);
+  ParallelForOptions opts;
+  opts.min_chunk = 25;
+  ChunkRecorder rec;
+  pool.ParallelFor(0, 100, opts, rec.Fn());
+  rec.ExpectTiles(0, 100);
+  EXPECT_LE(rec.chunks.size(), 4u);  // 100 / 25
+  for (size_t i = 0; i < rec.chunks.size(); ++i) {
+    const int64_t width = rec.chunks[i].second - rec.chunks[i].first;
+    // Every chunk but the remainder honors the grain.
+    if (rec.chunks[i].second != 100) {
+      EXPECT_GE(width, 25);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunksPerThreadOversubscribes) {
+  ThreadPool pool(2);
+  ParallelForOptions opts;
+  opts.chunks_per_thread = 4;
+  ChunkRecorder rec;
+  pool.ParallelFor(0, 800, opts, rec.Fn());
+  rec.ExpectTiles(0, 800);
+  EXPECT_GT(rec.chunks.size(), 2u);  // finer than one chunk per thread
+}
+
+}  // namespace
+}  // namespace dash
