@@ -85,7 +85,8 @@ PowerCell RunPowerCell(double effect, Rng* seeder) {
 
 double EmpiricalQuantile(Vector values, double q) {
   std::sort(values.begin(), values.end());
-  const size_t idx = static_cast<size_t>(q * (values.size() - 1));
+  const size_t idx =
+      static_cast<size_t>(q * static_cast<double>(values.size() - 1));
   return values[idx];
 }
 

@@ -71,7 +71,15 @@ Result<double> ByteReader::GetDouble() {
 
 Result<std::vector<uint64_t>> ByteReader::GetU64Vector() {
   DASH_ASSIGN_OR_RETURN(uint64_t n, GetU64());
-  DASH_RETURN_IF_ERROR(Need(8 * n));
+  // Bound the count by the bytes actually present BEFORE allocating:
+  // a corrupted length prefix like 2^61 would make 8 * n wrap around,
+  // slip past Need() and then abort inside the huge vector allocation.
+  if (n > remaining() / 8) {
+    return InvalidArgumentError("truncated message: vector length " +
+                                std::to_string(n) + " exceeds the " +
+                                std::to_string(remaining()) +
+                                " bytes remaining");
+  }
   std::vector<uint64_t> out(n);
   for (uint64_t i = 0; i < n; ++i) {
     out[i] = GetU64().value();
@@ -81,7 +89,12 @@ Result<std::vector<uint64_t>> ByteReader::GetU64Vector() {
 
 Result<Vector> ByteReader::GetDoubleVector() {
   DASH_ASSIGN_OR_RETURN(uint64_t n, GetU64());
-  DASH_RETURN_IF_ERROR(Need(8 * n));
+  if (n > remaining() / 8) {  // see GetU64Vector: 8 * n may wrap
+    return InvalidArgumentError("truncated message: vector length " +
+                                std::to_string(n) + " exceeds the " +
+                                std::to_string(remaining()) +
+                                " bytes remaining");
+  }
   Vector out(n);
   for (uint64_t i = 0; i < n; ++i) {
     out[i] = GetDouble().value();

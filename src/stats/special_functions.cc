@@ -83,7 +83,16 @@ double UpperGammaContinuedFraction(double a, double x) {
 
 double LogGamma(double x) {
   DASH_CHECK_GT(x, 0.0);
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // std::lgamma writes the process-global `signgam`, so concurrent
+  // parties finalizing p-values race on it (TSan: "Location is global
+  // 'signgam'"). The POSIX reentrant variant returns the sign through
+  // an out-param instead. The sign is always +1 here since x > 0.
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
   return std::lgamma(x);
+#endif
 }
 
 double RegularizedIncompleteBeta(double a, double b, double x) {

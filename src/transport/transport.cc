@@ -10,31 +10,38 @@ namespace dash {
 
 TrafficMetrics::TrafficMetrics(int num_parties)
     : num_parties_(num_parties),
-      link_bytes_(static_cast<size_t>(num_parties) * num_parties, 0) {}
+      link_bytes_(static_cast<size_t>(num_parties) * num_parties) {}
 
 void TrafficMetrics::Record(const Message& msg) {
-  total_bytes_ += static_cast<int64_t>(msg.WireSize());
-  total_messages_ += 1;
-  link_bytes_[static_cast<size_t>(msg.from) * num_parties_ + msg.to] +=
-      static_cast<int64_t>(msg.WireSize());
+  const auto bytes = static_cast<int64_t>(msg.WireSize());
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  total_messages_.fetch_add(1, std::memory_order_relaxed);
+  link_bytes_[static_cast<size_t>(msg.from) * static_cast<size_t>(num_parties_)
+              + static_cast<size_t>(msg.to)]
+      .fetch_add(bytes, std::memory_order_relaxed);
 }
 
 void TrafficMetrics::Reset() {
-  total_bytes_ = 0;
-  total_messages_ = 0;
-  rounds_ = 0;
-  std::fill(link_bytes_.begin(), link_bytes_.end(), 0);
+  total_bytes_.store(0, std::memory_order_relaxed);
+  total_messages_.store(0, std::memory_order_relaxed);
+  rounds_.store(0, std::memory_order_relaxed);
+  for (auto& b : link_bytes_) b.store(0, std::memory_order_relaxed);
 }
 
 int64_t TrafficMetrics::LinkBytes(int from, int to) const {
   DASH_CHECK(0 <= from && from < num_parties_);
   DASH_CHECK(0 <= to && to < num_parties_);
-  return link_bytes_[static_cast<size_t>(from) * num_parties_ + to];
+  return link_bytes_[static_cast<size_t>(from) *
+                         static_cast<size_t>(num_parties_) +
+                     static_cast<size_t>(to)]
+      .load(std::memory_order_relaxed);
 }
 
 int64_t TrafficMetrics::MaxLinkBytes() const {
   int64_t best = 0;
-  for (const int64_t b : link_bytes_) best = std::max(best, b);
+  for (const auto& b : link_bytes_) {
+    best = std::max(best, b.load(std::memory_order_relaxed));
+  }
   return best;
 }
 
@@ -42,7 +49,10 @@ int64_t TrafficMetrics::BytesSentBy(int party) const {
   DASH_CHECK(0 <= party && party < num_parties_);
   int64_t sum = 0;
   for (int to = 0; to < num_parties_; ++to) {
-    sum += link_bytes_[static_cast<size_t>(party) * num_parties_ + to];
+    sum += link_bytes_[static_cast<size_t>(party) *
+                           static_cast<size_t>(num_parties_) +
+                       static_cast<size_t>(to)]
+               .load(std::memory_order_relaxed);
   }
   return sum;
 }

@@ -27,6 +27,7 @@
 #ifndef DASH_TRANSPORT_TRANSPORT_H_
 #define DASH_TRANSPORT_TRANSPORT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -42,17 +43,29 @@ class ProtocolTrace;
 // to its sender, regardless of backend (physical framing overhead is
 // reported separately by backends that have any; see
 // TcpTransport::wire_stats).
+//
+// Thread safety: counters are independent relaxed atomics, so a
+// monitoring thread may read them (and Reset may zero them) while the
+// protocol thread records traffic — the one cross-thread access every
+// backend supports. Each counter is individually exact; a reader racing
+// a Record may observe one counter from before the message and another
+// from after it, which is fine for monitoring. Relaxed ordering suffices
+// because no reader infers other memory state from a counter value.
 class TrafficMetrics {
  public:
   explicit TrafficMetrics(int num_parties);
 
   void Record(const Message& msg);
-  void BumpRound() { ++rounds_; }
+  void BumpRound() { rounds_.fetch_add(1, std::memory_order_relaxed); }
   void Reset();
 
-  int64_t total_bytes() const { return total_bytes_; }
-  int64_t total_messages() const { return total_messages_; }
-  int rounds() const { return rounds_; }
+  int64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t total_messages() const {
+    return total_messages_.load(std::memory_order_relaxed);
+  }
+  int rounds() const { return rounds_.load(std::memory_order_relaxed); }
   int64_t LinkBytes(int from, int to) const;
 
   // Largest bytes sent over any single directed link.
@@ -63,10 +76,11 @@ class TrafficMetrics {
 
  private:
   int num_parties_;
-  int64_t total_bytes_ = 0;
-  int64_t total_messages_ = 0;
-  int rounds_ = 0;
-  std::vector<int64_t> link_bytes_;  // num_parties^2, row-major [from][to]
+  std::atomic<int64_t> total_bytes_{0};
+  std::atomic<int64_t> total_messages_{0};
+  std::atomic<int> rounds_{0};
+  // num_parties^2 entries, row-major [from][to].
+  std::vector<std::atomic<int64_t>> link_bytes_;
 };
 
 class Transport {

@@ -41,7 +41,11 @@ const char* StatusCodeToString(StatusCode code);
 
 // A Status is either OK or carries an error code plus a message.
 // Statuses are cheap to copy and compare equal iff code and message match.
-class Status {
+//
+// [[nodiscard]]: a dropped Status is a swallowed error. Deliberately
+// ignoring one requires a visible `(void)` cast (tools/dash_lint.py
+// additionally audits those sites).
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -1,0 +1,275 @@
+// Concurrency regression tests, designed to FAIL UNDER TSAN when one of
+// the fixed races is reintroduced (under a plain build they still check
+// functional outcomes, but the racing interleavings are the point):
+//
+//  * TrafficMetrics is read by a monitoring thread while the protocol
+//    thread records traffic — racing before the counters became relaxed
+//    atomics (the contract tcp_transport.h documents).
+//  * TcpTransport::wire_stats()/metrics() polled while two endpoints
+//    exchange frames on their own threads.
+//  * ThreadPool shutdown with work still queued, concurrent Schedule
+//    from many external threads, and Schedule-from-worker followed by
+//    owner Wait — the ThreadPool lifecycle hot spots.
+//  * The pipelined scan's double-buffer handoff (compute block b+1 on a
+//    pool worker while block b is aggregated on the caller) — repeated
+//    runs must stay bit-identical and TSan-clean.
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/secure_scan.h"
+#include "data/workloads.h"
+#include "net/network.h"
+#include "net/serialization.h"
+#include "transport/cluster_config.h"
+#include "transport/tcp_transport.h"
+#include "util/thread_pool.h"
+
+namespace dash {
+namespace {
+
+// ---------------------------------------------------------------------
+// TrafficMetrics: protocol thread records, monitoring thread reads.
+
+TEST(ConcurrencyRegressionTest, MetricsMonitorThreadDoesNotRace) {
+  InProcessTransport net(3);
+  std::atomic<bool> done{false};
+
+  // Monitoring thread: the read half of the documented contract.
+  int64_t last_bytes = 0;
+  std::thread monitor([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const int64_t bytes = net.metrics().total_bytes();
+      EXPECT_GE(bytes, last_bytes);  // counters are monotone until Reset
+      last_bytes = bytes;
+      (void)net.metrics().total_messages();
+      (void)net.metrics().rounds();
+      (void)net.metrics().MaxLinkBytes();
+      (void)net.metrics().BytesSentBy(0);
+    }
+  });
+
+  // Protocol thread (this one): hammer Send/BeginRound.
+  for (int round = 0; round < 500; ++round) {
+    net.BeginRound();
+    ByteWriter w;
+    w.PutU64(static_cast<uint64_t>(round));
+    ASSERT_TRUE(net.Send(0, 1, MessageTag::kPlainStats, w.Take()).ok());
+    const auto msg = net.Receive(1, 0, MessageTag::kPlainStats);
+    ASSERT_TRUE(msg.ok()) << msg.status();
+  }
+  done.store(true, std::memory_order_release);
+  monitor.join();
+
+  EXPECT_EQ(net.metrics().total_messages(), 500);
+  EXPECT_EQ(net.metrics().rounds(), 500);
+}
+
+TEST(ConcurrencyRegressionTest, MetricsResetRacingRecordStaysSane) {
+  InProcessTransport net(2);
+  std::atomic<bool> done{false};
+  std::thread resetter([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      net.metrics().Reset();
+    }
+  });
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(net.Send(0, 1, MessageTag::kPlainStats, {1, 2, 3}).ok());
+    ASSERT_TRUE(net.Receive(1, 0, MessageTag::kPlainStats).ok());
+  }
+  done.store(true, std::memory_order_release);
+  resetter.join();
+  // Post-join reads are exact: whatever survived the last Reset.
+  EXPECT_GE(net.metrics().total_messages(), 0);
+  EXPECT_LE(net.metrics().total_messages(), 300);
+}
+
+// ---------------------------------------------------------------------
+// TcpTransport: wire_stats()/metrics() polled during live traffic.
+
+std::vector<uint16_t> FreePorts(int count) {
+  std::vector<uint16_t> ports;
+  std::vector<int> fds;
+  for (int i = 0; i < count; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(
+        ::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len), 0);
+    ports.push_back(ntohs(addr.sin_port));
+    fds.push_back(fd);
+  }
+  for (const int fd : fds) ::close(fd);
+  return ports;
+}
+
+TEST(ConcurrencyRegressionTest, TcpMonitorThreadDuringTrafficDoesNotRace) {
+  const std::vector<uint16_t> ports = FreePorts(2);
+  ClusterConfig cluster;
+  for (const uint16_t port : ports) {
+    cluster.endpoints.push_back({"127.0.0.1", port});
+  }
+  TcpTransportOptions options;
+  options.connect_timeout_ms = 5000;
+
+  std::unique_ptr<TcpTransport> t0;
+  std::unique_ptr<TcpTransport> t1;
+  std::thread dial([&] {
+    auto r = TcpTransport::Connect(cluster, 1, options);
+    ASSERT_TRUE(r.ok()) << r.status();
+    t1 = std::move(r).value();
+  });
+  auto r0 = TcpTransport::Connect(cluster, 0, options);
+  dial.join();
+  ASSERT_TRUE(r0.ok()) << r0.status();
+  t0 = std::move(r0).value();
+
+  std::atomic<bool> done{false};
+  std::thread monitor([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const TcpWireStats stats = t0->wire_stats();
+      EXPECT_GE(stats.bytes_sent, 0);
+      (void)t0->metrics().total_bytes();
+      (void)t0->metrics().MaxLinkBytes();
+    }
+  });
+
+  std::thread echo([&] {
+    for (int i = 0; i < 200; ++i) {
+      const auto msg = t1->Receive(1, 0, MessageTag::kPlainStats);
+      ASSERT_TRUE(msg.ok()) << msg.status();
+      ASSERT_TRUE(t1->Send(1, 0, MessageTag::kAggregate, msg->payload).ok());
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        t0->Send(0, 1, MessageTag::kPlainStats, {1, 2, 3, 4, 5}).ok());
+    const auto echoed = t0->Receive(0, 1, MessageTag::kAggregate);
+    ASSERT_TRUE(echoed.ok()) << echoed.status();
+  }
+  echo.join();
+  done.store(true, std::memory_order_release);
+  monitor.join();
+
+  EXPECT_EQ(t0->metrics().total_messages(), 200);
+  const TcpWireStats stats = t0->wire_stats();
+  EXPECT_EQ(stats.frames_sent, 200);
+  EXPECT_EQ(stats.frames_received, 200);
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool lifecycle.
+
+TEST(ConcurrencyRegressionTest, PoolDestructionWithQueuedWorkDrainsCleanly) {
+  // The destructor must let queued tasks finish (they hold references
+  // to `hits`), not race the teardown. Iterate to give TSan
+  // interleavings a chance.
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    std::atomic<int> hits{0};
+    {
+      ThreadPool pool(4);
+      for (int i = 0; i < 32; ++i) {
+        pool.Schedule([&hits] { hits.fetch_add(1); });
+      }
+      // No Wait(): destruction races the queue drain on purpose.
+    }
+    // Every scheduled task must have run before the destructor returned.
+    EXPECT_EQ(hits.load(), 32);
+  }
+}
+
+TEST(ConcurrencyRegressionTest, ConcurrentSchedulersOneOwnerWait) {
+  ThreadPool pool(3);
+  std::atomic<int> hits{0};
+  std::vector<std::thread> producers;
+  producers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&pool, &hits] {
+      for (int i = 0; i < 100; ++i) {
+        pool.Schedule([&hits] { hits.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  pool.Wait();
+  EXPECT_EQ(hits.load(), 400);
+}
+
+TEST(ConcurrencyRegressionTest, ScheduleFromWorkerThenOwnerWait) {
+  ThreadPool pool(3);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Schedule([&pool, &hits] {
+      hits.fetch_add(1);
+      // Schedule-from-worker only enqueues; the owner's Wait() below
+      // must join this second generation too.
+      pool.Schedule([&hits] { hits.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(hits.load(), 40);
+}
+
+TEST(ConcurrencyRegressionTest, NestedParallelForRunsInlineOnWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 64, [&pool, &sum](int64_t lo, int64_t hi) {
+    // Nested call: must run inline on this worker, not deadlock.
+    pool.ParallelFor(lo, hi, [&sum](int64_t a, int64_t b) {
+      for (int64_t i = a; i < b; ++i) sum.fetch_add(i);
+    });
+  });
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
+}
+
+// ---------------------------------------------------------------------
+// Pipelined scan double-buffer handoff.
+
+TEST(ConcurrencyRegressionTest, PipelinedDoubleBufferHandoffIsDeterministic) {
+  GwasWorkloadOptions wopts;
+  wopts.party_sizes = {30, 25, 35};
+  wopts.num_variants = 41;  // not a multiple of the block size
+  wopts.num_covariates = 3;
+  wopts.num_causal = 2;
+  wopts.seed = 977;
+  const auto workload = MakeGwasWorkload(wopts);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+
+  SecureScanOptions reference_options;
+  reference_options.aggregation = AggregationMode::kMasked;
+  const auto reference =
+      SecureAssociationScan(reference_options).Run(workload->parties);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  SecureScanOptions pipelined = reference_options;
+  pipelined.pipeline_block_variants = 7;
+  pipelined.num_threads = 4;  // worker computes block b+1 during round b
+  for (int run = 0; run < 5; ++run) {
+    const auto got = SecureAssociationScan(pipelined).Run(workload->parties);
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_EQ(got->result.beta.size(), reference->result.beta.size());
+    for (size_t i = 0; i < reference->result.beta.size(); ++i) {
+      // Bit-identical across the handoff, every run.
+      EXPECT_EQ(got->result.beta[i], reference->result.beta[i]) << i;
+      EXPECT_EQ(got->result.se[i], reference->result.se[i]) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dash

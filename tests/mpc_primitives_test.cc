@@ -129,7 +129,7 @@ TEST(AdditiveSharingTest, PartialSharesLookUniform) {
   const int trials = 2000;
   for (int t = 0; t < trials; ++t) {
     const auto shares = AdditiveShare(42, 3, &rng);
-    ones += (shares[1] >> 63) & 1;
+    ones += static_cast<int>((shares[1] >> 63) & 1);
   }
   EXPECT_NEAR(static_cast<double>(ones) / trials, 0.5, 0.05);
 }

@@ -1,0 +1,185 @@
+// Adversarial inputs for net/serialization: truncated buffers, corrupt
+// length prefixes (including the 8*n overflow family), implausible
+// matrix shapes, and a deterministic mutation corpus over well-formed
+// encodings. Run under ASan in CI: every getter must fail with a
+// Status, never read out of bounds, allocate absurd amounts, or abort.
+
+#include "net/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+
+namespace dash {
+namespace {
+
+TEST(SerializationAdversarialTest, ScalarsRejectEveryTruncation) {
+  ByteWriter w;
+  w.PutU32(0xA1B2C3D4u);
+  const std::vector<uint8_t> four = w.Take();
+  for (size_t len = 0; len < four.size(); ++len) {
+    const std::vector<uint8_t> cut(four.begin(),
+                                   four.begin() + static_cast<ptrdiff_t>(len));
+    ByteReader r(cut);
+    EXPECT_FALSE(r.GetU32().ok()) << "accepted " << len << " of 4 bytes";
+  }
+  ByteWriter w8;
+  w8.PutU64(0x1122334455667788ull);
+  const std::vector<uint8_t> eight = w8.Take();
+  for (size_t len = 0; len < eight.size(); ++len) {
+    const std::vector<uint8_t> cut(
+        eight.begin(), eight.begin() + static_cast<ptrdiff_t>(len));
+    ByteReader r(cut);
+    EXPECT_FALSE(r.GetU64().ok()) << "accepted " << len << " of 8 bytes";
+    ByteReader rd(cut);
+    EXPECT_FALSE(rd.GetDouble().ok());
+    ByteReader ri(cut);
+    EXPECT_FALSE(ri.GetI64().ok());
+  }
+}
+
+// The 8*n overflow family: a length prefix close to 2^64/8 makes the
+// byte-count computation wrap to something tiny. Before the fix, the
+// bounds check passed and the vector constructor aborted the process.
+TEST(SerializationAdversarialTest, HugeVectorLengthPrefixesAreRejected) {
+  const std::vector<uint64_t> evil_lengths = {
+      std::numeric_limits<uint64_t>::max(),      // 8*n == 2^64 - 8
+      (1ull << 61) + 1,                          // 8*n wraps to 8
+      (1ull << 61),                              // 8*n wraps to 0
+      (1ull << 32),                              // plausible-looking, huge
+      1ull << 40,
+  };
+  for (const uint64_t evil : evil_lengths) {
+    ByteWriter w;
+    w.PutU64(evil);   // claimed element count
+    w.PutU64(42);     // ... but only one element of data
+    const std::vector<uint8_t> buf = w.Take();
+    {
+      ByteReader r(buf);
+      const auto v = r.GetU64Vector();
+      ASSERT_FALSE(v.ok()) << "accepted claimed length " << evil;
+      EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+    }
+    {
+      ByteReader r(buf);
+      const auto v = r.GetDoubleVector();
+      ASSERT_FALSE(v.ok()) << "accepted claimed length " << evil;
+      EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(SerializationAdversarialTest, VectorRejectsTruncatedBody) {
+  ByteWriter w;
+  w.PutU64Vector({1, 2, 3, 4});
+  std::vector<uint8_t> buf = w.Take();
+  buf.resize(buf.size() - 1);  // last element loses a byte
+  ByteReader r(buf);
+  EXPECT_FALSE(r.GetU64Vector().ok());
+}
+
+TEST(SerializationAdversarialTest, MatrixRejectsHostileShapes) {
+  struct Shape {
+    int64_t rows;
+    int64_t cols;
+  };
+  const std::vector<Shape> evil = {
+      {-1, 4},
+      {4, -1},
+      {std::numeric_limits<int64_t>::min(), 1},
+      {1ll << 62, 2},                  // rows * cols overflows
+      {(1ll << 20), (1ll << 21)},      // passes no-overflow, fails 2^40 bound
+      {3037000500ll, 3037000499ll},    // rows*cols just above 2^61
+  };
+  for (const Shape s : evil) {
+    ByteWriter w;
+    w.PutI64(s.rows);
+    w.PutI64(s.cols);
+    w.PutDouble(1.0);  // a token amount of data
+    const std::vector<uint8_t> buf = w.Take();
+    ByteReader r(buf);
+    const auto m = r.GetMatrix();
+    ASSERT_FALSE(m.ok()) << "accepted shape " << s.rows << "x" << s.cols;
+  }
+}
+
+TEST(SerializationAdversarialTest, MatrixRejectsTruncatedBody) {
+  ByteWriter w;
+  w.PutI64(2);
+  w.PutI64(2);
+  w.PutDouble(1.0);
+  w.PutDouble(2.0);
+  w.PutDouble(3.0);  // fourth element missing
+  const std::vector<uint8_t> buf = w.Take();
+  ByteReader r(buf);
+  EXPECT_FALSE(r.GetMatrix().ok());
+}
+
+TEST(SerializationAdversarialTest, EmptyBufferFailsEveryGetter) {
+  const std::vector<uint8_t> empty;
+  ByteReader r(empty);
+  EXPECT_FALSE(r.GetU32().ok());
+  EXPECT_FALSE(r.GetU64().ok());
+  EXPECT_FALSE(r.GetI64().ok());
+  EXPECT_FALSE(r.GetDouble().ok());
+  EXPECT_FALSE(r.GetU64Vector().ok());
+  EXPECT_FALSE(r.GetDoubleVector().ok());
+  EXPECT_FALSE(r.GetMatrix().ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+// Deterministic mutation corpus: encode a realistic message (vectors +
+// matrix), then flip/truncate bytes with a fixed-seed Rng and decode.
+// Outcomes may be success (mutation hit a value byte) or a Status error
+// (mutation hit a length or shape) — never a crash or OOB read.
+TEST(SerializationAdversarialTest, MutationCorpusNeverCrashesTheReader) {
+  ByteWriter w;
+  w.PutU64Vector({10, 20, 30, 40, 50});
+  Vector dv(16);
+  for (size_t i = 0; i < dv.size(); ++i) dv[i] = 0.5 * static_cast<double>(i);
+  w.PutDoubleVector(dv);
+  Matrix m(4, 3);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<double>(i) - 5.0;
+  }
+  w.PutMatrix(m);
+  const std::vector<uint8_t> pristine = w.Take();
+
+  Rng rng(0x5E111u);  // fixed seed: reproducible corpus
+  int decoded = 0;
+  int rejected = 0;
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<uint8_t> buf = pristine;
+    const int mutations = 1 + static_cast<int>(rng.UniformInt(3));
+    for (int k = 0; k < mutations; ++k) {
+      if (rng.UniformInt(4) == 0) {  // truncate
+        buf.resize(static_cast<size_t>(
+            rng.UniformInt(static_cast<uint64_t>(buf.size() + 1))));
+      } else if (!buf.empty()) {  // flip a byte
+        const size_t pos = static_cast<size_t>(
+            rng.UniformInt(static_cast<uint64_t>(buf.size())));
+        buf[pos] ^= static_cast<uint8_t>(1 + rng.UniformInt(255));
+      }
+    }
+    ByteReader r(buf);
+    bool ok = true;
+    if (!r.GetU64Vector().ok()) ok = false;
+    if (ok && !r.GetDoubleVector().ok()) ok = false;
+    if (ok && !r.GetMatrix().ok()) ok = false;
+    if (ok) {
+      ++decoded;
+    } else {
+      ++rejected;
+    }
+  }
+  // The corpus must exercise both outcomes to mean anything.
+  EXPECT_GT(decoded, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+}  // namespace
+}  // namespace dash

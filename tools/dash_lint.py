@@ -1,0 +1,337 @@
+#!/usr/bin/env python3
+"""dash_lint: project-specific correctness lints that clang-tidy can't express.
+
+Rules (each has a stable ID used in messages and suppressions):
+
+  DL001 float-reassociation guard
+      The bit-identity contract (DESIGN.md) requires that the kernel files
+      produce bit-identical sums regardless of threading or blocking. Any
+      pragma or attribute that licenses the compiler to reassociate or
+      contract floating-point math in those files breaks the contract
+      silently. Forbidden in KERNEL_FILES: `#pragma omp simd reduction`,
+      fast-math/optimize pragmas, `#pragma STDC FP_CONTRACT ON`,
+      `clang fp reassociate(on)`, and `__attribute__((optimize(...)))`.
+
+  DL002 unchecked Status
+      Function names returning Status/Result<T> are scraped from the
+      headers under src/. A call to one of them as a bare statement —
+      no assignment, no `return`, not inside DASH_RETURN_IF_ERROR /
+      DASH_ASSIGN_OR_RETURN / DASH_CHECK, no `(void)` cast, no
+      immediate `.ok()` / `.value()` / `.status()` — swallows the error.
+      ([[nodiscard]] on Status catches most of these at compile time;
+      this lint also covers virtual call sites and keeps the rule
+      toolchain-independent.)
+
+  DL003 raw memcpy outside the serialization boundary
+      Wire bytes must flow through net/serialization (ByteWriter/
+      ByteReader) or transport/frame. A raw memcpy into or out of a
+      buffer anywhere else bypasses the bounds- and endianness-checked
+      path. memcpy is allowed only in MEMCPY_ALLOWLIST files.
+
+  DL004 include hygiene
+      Every header under src/ carries an include guard named after its
+      path (src/net/serialization.h -> DASH_NET_SERIALIZATION_H_), and
+      no file includes via a relative "../" path.
+
+Usage:
+  tools/dash_lint.py                 # lint the tree, exit 0/1
+  tools/dash_lint.py FILE...         # lint specific files
+  tools/dash_lint.py --self-test     # run against tools/lint_fixtures
+
+A line can opt out with a trailing `// dash-lint: disable=DLxxx` comment;
+each use must justify itself to a reviewer.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Files under the bit-identity contract: reordering their accumulation
+# changes revealed bits across party/thread configurations.
+KERNEL_FILES = {
+    "src/core/suff_stats.cc",
+    "src/core/suff_stats.h",
+    "src/linalg/vector_ops.cc",
+    "src/linalg/vector_ops.h",
+}
+
+# The only files that may call memcpy. Everything that touches wire
+# bytes goes through ByteWriter/ByteReader or the frame codec; the
+# suff_stats entries are kernel scratch-block copies of doubles (plus a
+# documented bit-cast), not wire data.
+MEMCPY_ALLOWLIST = {
+    "src/net/serialization.cc",
+    "src/transport/frame.cc",
+    "src/core/suff_stats.cc",
+}
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools/lint_fixtures")
+
+DISABLE_RE = re.compile(r"//\s*dash-lint:\s*disable=(DL\d{3})")
+
+REASSOC_PATTERNS = [
+    (re.compile(r"#\s*pragma\s+omp\s+(?:\w+\s+)*simd\b.*\breduction\b"),
+     "OpenMP simd reduction reorders the accumulation"),
+    (re.compile(r"#\s*pragma\s+(?:GCC|clang)\s+optimize\b"),
+     "per-function optimize pragma can enable fast-math"),
+    (re.compile(r"#\s*pragma\s+STDC\s+FP_CONTRACT\s+ON"),
+     "FP contraction fuses multiply-add and changes rounding"),
+    (re.compile(r"#\s*pragma\s+clang\s+fp\s+reassociate\s*\(\s*on\s*\)"),
+     "explicit reassociation license"),
+    (re.compile(r"__attribute__\s*\(\s*\(\s*optimize\b"),
+     "per-function optimize attribute can enable fast-math"),
+    (re.compile(r"\bfast-?math\b", re.IGNORECASE),
+     "fast-math reference in a bit-identity kernel file"),
+]
+
+MEMCPY_RE = re.compile(r"\b(?:std::)?memcpy\s*\(")
+# The sanctioned scalar bit-cast idiom (pre-C++20 std::bit_cast):
+#   memcpy(&bits, &x, sizeof(bits))
+# is a register move, not wire traffic — DL003 does not apply.
+BITCAST_RE = re.compile(
+    r"memcpy\s*\(\s*&\w+\s*,\s*&[\w.\[\]>-]+\s*,\s*sizeof\b")
+RELATIVE_INCLUDE_RE = re.compile(r'#\s*include\s+"\.\./')
+GUARD_RE = re.compile(r"#ifndef\s+(\w+)")
+
+# Scraping Status/Result-returning declarations from headers:
+#   Status Foo(...);      Result<T> Bar(...);
+# Methods and free functions alike; we only need the *name*.
+DECL_RE = re.compile(
+    r"^\s*(?:static\s+|virtual\s+|friend\s+|inline\s+|constexpr\s+)*"
+    r"(?:dash::)?(?:Status|Result<[^;=]*?>)\s+"
+    r"(?:\w+::)*(\w+)\s*\(")
+
+# Names that return Status/Result but are overwhelmingly used for their
+# side effects inside macros, or would false-positive (constructors etc).
+SCRAPE_SKIP = {"Status", "Result", "Ok"}
+
+# A bare statement calling `Name(` — optionally through obj. / obj-> /
+# ns:: — is suspicious when Name returns a Status/Result.
+CALL_SITE_TEMPLATE = r"^\s*(?:[\w\]\[\*\->\.\(\)]+\s*(?:\.|->)\s*|(?:\w+::)+)?({names})\s*\("
+
+CHECKED_CONTEXT_RE = re.compile(
+    r"(=|\breturn\b|DASH_RETURN_IF_ERROR|DASH_ASSIGN_OR_RETURN|DASH_CHECK"
+    r"|DASH_LOG|EXPECT_|ASSERT_|\(void\)\s*$|\(void\))")
+
+
+def rel(path):
+    return os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+
+
+def iter_source_files(paths):
+    if paths:
+        for p in paths:
+            yield os.path.abspath(p)
+        return
+    for d in SOURCE_DIRS:
+        root = os.path.join(REPO_ROOT, d)
+        for dirpath, _, files in os.walk(root):
+            for f in sorted(files):
+                if f.endswith((".cc", ".cpp", ".h", ".hpp")):
+                    yield os.path.join(dirpath, f)
+
+
+def read_lines(path):
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        return f.read().splitlines()
+
+
+def line_disables(line, rule):
+    m = DISABLE_RE.search(line)
+    return m is not None and m.group(1) == rule
+
+
+def strip_comment(line):
+    # Good enough for lint purposes; does not handle /* */ spans.
+    idx = line.find("//")
+    return line[:idx] if idx >= 0 else line
+
+
+def scrape_status_functions():
+    """Collect names of functions declared to return Status/Result<T>."""
+    names = set()
+    for dirpath, _, files in os.walk(os.path.join(REPO_ROOT, "src")):
+        for f in sorted(files):
+            if not f.endswith(".h"):
+                continue
+            for line in read_lines(os.path.join(dirpath, f)):
+                m = DECL_RE.match(strip_comment(line))
+                if m and m.group(1) not in SCRAPE_SKIP:
+                    names.add(m.group(1))
+    return names
+
+
+def expected_guard(relpath):
+    stem = relpath
+    if stem.startswith("src/"):
+        stem = stem[len("src/"):]
+    return "DASH_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_"
+
+
+class Linter:
+    def __init__(self, status_names):
+        self.findings = []
+        if status_names:
+            self.call_re = re.compile(CALL_SITE_TEMPLATE.format(
+                names="|".join(sorted(re.escape(n) for n in status_names))))
+        else:
+            self.call_re = None
+
+    def report(self, path, lineno, rule, message):
+        self.findings.append(f"{rel(path)}:{lineno}: {rule}: {message}")
+
+    def lint_file(self, path):
+        relpath = rel(path)
+        try:
+            lines = read_lines(path)
+        except OSError as e:
+            self.report(path, 0, "DL000", f"unreadable: {e}")
+            return
+        # Fixtures masquerade as an in-tree path so the path-scoped
+        # rules (DL001 kernel set, DL003 allowlist, DL004 guards) fire.
+        for line in lines[:5]:
+            m = re.search(r"dash-lint-fixture-as:\s*(\S+)", line)
+            if m:
+                relpath = m.group(1)
+                break
+        stmt_prefix = ""
+        for i, raw in enumerate(lines, start=1):
+            line = raw.rstrip()
+            code = strip_comment(line)
+
+            # DL001 — float reassociation in kernel files.
+            if relpath in KERNEL_FILES and not line_disables(line, "DL001"):
+                for pattern, why in REASSOC_PATTERNS:
+                    if pattern.search(code):
+                        self.report(path, i, "DL001",
+                                    f"forbidden in bit-identity kernel: {why}")
+                        break
+
+            # DL002 — unchecked Status/Result call as a bare statement.
+            # `stmt_prefix` holds the earlier lines of the statement this
+            # line continues, so a DASH_ASSIGN_OR_RETURN( three lines up
+            # still counts as checking the call.
+            if (self.call_re is not None and code.strip().endswith(";")
+                    and not line_disables(line, "DL002")):
+                m = self.call_re.match(code)
+                full_stmt = stmt_prefix + " " + code
+                if m and not CHECKED_CONTEXT_RE.search(full_stmt):
+                    # `.ok()` / `.value()` / `.status()` chained on the
+                    # result means the caller looked at it.
+                    after = code[m.end():]
+                    if not re.search(r"\.\s*(ok|value|status)\s*\(", after):
+                        self.report(
+                            path, i, "DL002",
+                            f"result of {m.group(1)}() is dropped; assign "
+                            "it, wrap in DASH_RETURN_IF_ERROR, or cast "
+                            "to (void) with a reason")
+
+            # DL003 — memcpy outside the serialization boundary.
+            if (relpath not in MEMCPY_ALLOWLIST
+                    and not relpath.startswith(("tests/", "bench/"))
+                    and MEMCPY_RE.search(code)
+                    and not BITCAST_RE.search(code)
+                    and not line_disables(line, "DL003")):
+                self.report(
+                    path, i, "DL003",
+                    "raw memcpy outside net/serialization and "
+                    "transport/frame; use ByteWriter/ByteReader")
+
+            # DL004 — relative includes.
+            if RELATIVE_INCLUDE_RE.search(code) \
+                    and not line_disables(line, "DL004"):
+                self.report(path, i, "DL004",
+                            'relative "../" include; use a path rooted '
+                            "at src/")
+
+            stripped = code.strip()
+            if not stripped or stripped.endswith((";", "{", "}")):
+                stmt_prefix = ""
+            else:
+                stmt_prefix = (stmt_prefix + " " + stripped)[-400:]
+
+        # DL004 — include-guard naming for headers under src/.
+        if relpath.startswith("src/") and relpath.endswith(".h"):
+            guard = None
+            # The guard may sit below a long doc comment; scan generously.
+            for line in lines[:80]:
+                m = GUARD_RE.match(line.strip())
+                if m:
+                    guard = m.group(1)
+                    break
+            want = expected_guard(relpath)
+            if guard != want and not any(
+                    line_disables(l, "DL004") for l in lines[:80]):
+                self.report(path, 1, "DL004",
+                            f"include guard {guard or '(missing)'} should "
+                            f"be {want}")
+
+
+def run_lint(paths):
+    status_names = scrape_status_functions()
+    linter = Linter(status_names)
+    count = 0
+    for path in iter_source_files(paths):
+        if rel(path).startswith("tools/lint_fixtures/") and not paths:
+            continue  # fixtures are intentionally bad
+        linter.lint_file(path)
+        count += 1
+    for finding in linter.findings:
+        print(finding)
+    print(f"dash_lint: {count} files, {len(linter.findings)} findings",
+          file=sys.stderr)
+    return 1 if linter.findings else 0
+
+
+def run_self_test():
+    """Every fixture declares its expected findings in EXPECT lines."""
+    fixture_dir = os.path.join(REPO_ROOT, "tools", "lint_fixtures")
+    fixtures = sorted(
+        os.path.join(fixture_dir, f) for f in os.listdir(fixture_dir)
+        if f.endswith((".cc", ".h")))
+    if not fixtures:
+        print("dash_lint --self-test: no fixtures found", file=sys.stderr)
+        return 1
+    status_names = scrape_status_functions()
+    failures = []
+    for path in fixtures:
+        expected = set()
+        for line in read_lines(path):
+            m = re.search(r"EXPECT-LINT:\s*(DL\d{3})@(\d+)", line)
+            if m:
+                expected.add((m.group(1), int(m.group(2))))
+        linter = Linter(status_names)
+        linter.lint_file(path)
+        got = set()
+        for finding in linter.findings:
+            m = re.match(r"[^:]+:(\d+): (DL\d{3}):", finding)
+            if m:
+                got.add((m.group(2), int(m.group(1))))
+        if got != expected:
+            failures.append(
+                f"{rel(path)}: expected {sorted(expected)}, got {sorted(got)}")
+    for f in failures:
+        print("self-test FAIL:", f)
+    n_ok = len(fixtures) - len(failures)
+    print(f"dash_lint --self-test: {n_ok}/{len(fixtures)} fixtures pass",
+          file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*",
+                        help="files to lint (default: the whole tree)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the linter against tools/lint_fixtures")
+    args = parser.parse_args()
+    if args.self_test:
+        return run_self_test()
+    return run_lint(args.files)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+// dash-lint-fixture-as: src/net/fixture_hygiene.h
+// Fixture: wrong guard name plus a relative include.
+// EXPECT-LINT: DL004@1
+// EXPECT-LINT: DL004@9
+
+#ifndef WRONG_GUARD_H_
+#define WRONG_GUARD_H_
+
+#include "../util/status.h"
+#include "util/check.h"
+
+#endif  // WRONG_GUARD_H_

@@ -1,0 +1,21 @@
+// dash-lint-fixture-as: src/core/suff_stats.cc
+// Fixture: every way of licensing float reassociation in a kernel file.
+// EXPECT-LINT: DL001@8
+// EXPECT-LINT: DL001@12
+// EXPECT-LINT: DL001@15
+// EXPECT-LINT: DL001@18
+
+#pragma omp parallel for simd reduction(+ : acc)
+static double SumA(const double* x, int n) {
+  double acc = 0.0;
+
+#pragma GCC optimize("fast-math")
+  for (int i = 0; i < n; ++i) acc += x[i];
+
+#pragma STDC FP_CONTRACT ON
+  return acc;
+}
+__attribute__((optimize("Ofast"))) static double SumB(const double* x);
+
+// A pragma carrying an explicit opt-out is accepted:
+#pragma clang fp reassociate(on)  // dash-lint: disable=DL001

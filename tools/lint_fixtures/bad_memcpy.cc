@@ -1,0 +1,13 @@
+// dash-lint-fixture-as: src/mpc/fixture_memcpy.cc
+// Fixture: raw memcpy outside the serialization boundary.
+// EXPECT-LINT: DL003@8
+// EXPECT-LINT: DL003@9
+
+static void PackShares(uint8_t* wire, const uint64_t* shares, size_t n) {
+  // BAD: wire bytes must go through ByteWriter.
+  std::memcpy(wire, shares, n * sizeof(uint64_t));
+  memcpy(wire + 8, shares, 8);
+
+  // Accepted with a visible justification:
+  std::memcpy(wire, shares, 8);  // dash-lint: disable=DL003
+}

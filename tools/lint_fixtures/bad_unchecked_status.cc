@@ -1,0 +1,24 @@
+// dash-lint-fixture-as: src/mpc/fixture_unchecked.cc
+// Fixture: dropped Status/Result values. `Send` and `Receive` are real
+// Status/Result-returning names scraped from the transport headers.
+// EXPECT-LINT: DL002@10
+// EXPECT-LINT: DL002@11
+// EXPECT-LINT: DL002@14
+
+static void Demo(Transport& net) {
+  // BAD: bare statement, error swallowed.
+  net.Send(0, 1, MessageTag::kPlainStats, {});
+  Receive(1, 0, MessageTag::kPlainStats);
+}
+static void Demo2(Transport* net) {
+  net->Send(0, 1, MessageTag::kPlainStats, {});
+
+  // GOOD: every checked form.
+  const Status s = net->Send(0, 1, MessageTag::kPlainStats, {});
+  DASH_RETURN_IF_ERROR(net->Send(0, 1, MessageTag::kPlainStats, {}));
+  if (!net->Send(0, 1, MessageTag::kPlainStats, {}).ok()) return;
+  (void)net->Send(0, 1, MessageTag::kPlainStats, {});  // deliberate
+  const auto deferred =
+      net->Send(0, 1, MessageTag::kPlainStats, {});
+  net->Send(0, 1, MessageTag::kPlainStats, {});  // dash-lint: disable=DL002
+}

@@ -1,0 +1,16 @@
+// dash-lint-fixture-as: src/core/suff_stats.cc
+// Fixture: a kernel file doing everything right — zero findings. The
+// memcpy is legal because suff_stats.cc is on the DL003 allowlist
+// (scratch-block copies of doubles, not wire bytes), and a comment
+// merely *mentioning* fast-math must not trip DL001.
+
+// We deliberately avoid fast-math; accumulation order is part of the
+// bit-identity contract.
+static void CopyBlock(double* dst, const double* src, size_t w) {
+  std::memcpy(dst, src, w * sizeof(double));
+}
+
+static Status Flush(Sink& sink) {
+  DASH_RETURN_IF_ERROR(sink.Write());
+  return Status::Ok();
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Runs clang-tidy with the repo profile (.clang-tidy).
+#
+#   tools/run_clang_tidy.sh [--diff <base-ref>] [build-dir]
+#
+# With --diff, only files changed relative to <base-ref> are checked
+# (what CI does on pull requests); otherwise the whole tree is checked
+# (what CI does on main). The build dir must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON so compile_commands.json exists.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+diff_base=""
+if [[ "${1:-}" == "--diff" ]]; then
+  diff_base="${2:?--diff needs a base ref}"
+  shift 2
+fi
+build_dir="${1:-build}"
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "error: ${build_dir}/compile_commands.json not found." >&2
+  echo "Configure with: cmake -B ${build_dir} -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${tidy}" >/dev/null; then
+  echo "error: ${tidy} not on PATH (set CLANG_TIDY to override)" >&2
+  exit 2
+fi
+
+# Candidate translation units: all of src/ plus the non-test drivers.
+# Headers are pulled in via HeaderFilterRegex.
+if [[ -n "${diff_base}" ]]; then
+  mapfile -t files < <(git diff --name-only --diff-filter=ACMR \
+      "$(git merge-base "${diff_base}" HEAD)" -- \
+      'src/**/*.cc' 'examples/*.cpp' 'bench/*.cpp')
+else
+  mapfile -t files < <(git ls-files 'src/**/*.cc' 'examples/*.cpp' 'bench/*.cpp')
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "run_clang_tidy: no files to check"
+  exit 0
+fi
+
+echo "run_clang_tidy: checking ${#files[@]} files with ${tidy}"
+status=0
+for f in "${files[@]}"; do
+  "${tidy}" -p "${build_dir}" --quiet "${f}" || status=1
+done
+exit ${status}
