@@ -12,10 +12,11 @@
 // no input files; all parties print the identical revealed result and a
 // result checksum that also matches the in-process scan bit for bit.
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
-#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/secure_scan.h"
@@ -39,30 +40,7 @@ void PrintUsage() {
       "                  [--frac-bits N] [--seed S] [--data-seed S]\n"
       "                  [--pipeline-block B]\n"
       "                  [--connect-timeout-ms T] [--receive-timeout-ms T]\n"
-      "                  [--out results.csv]\n");
-}
-
-// FNV-1a over the exact IEEE-754 bit patterns: equal checksums mean
-// bit-identical scans.
-uint64_t ChecksumVector(uint64_t h, const Vector& v) {
-  for (const double x : v) {
-    uint64_t bits;
-    std::memcpy(&bits, &x, sizeof(bits));
-    for (int b = 0; b < 64; b += 8) {
-      h ^= (bits >> b) & 0xFFu;
-      h *= 0x100000001B3ull;
-    }
-  }
-  return h;
-}
-
-uint64_t ChecksumResult(const ScanResult& r) {
-  uint64_t h = 0xcbf29ce484222325ull;
-  h = ChecksumVector(h, r.beta);
-  h = ChecksumVector(h, r.se);
-  h = ChecksumVector(h, r.tstat);
-  h = ChecksumVector(h, r.pval);
-  return h;
+      "                  [--stall-ms T] [--out results.csv]\n");
 }
 
 int RealMain(int argc, char** argv) {
@@ -74,6 +52,7 @@ int RealMain(int argc, char** argv) {
   int64_t variants = 2000;
   int64_t samples_per_party = 500;
   uint64_t data_seed = 42;
+  int64_t stall_ms = 0;
   std::string out_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -174,6 +153,10 @@ int RealMain(int argc, char** argv) {
     } else if (arg == "--receive-timeout-ms") {
       if (!next_i64(&v)) return 2;
       tcp_options.receive_timeout_ms = static_cast<int>(v);
+    } else if (arg == "--stall-ms") {
+      // Test hook: sleep between mesh-up and the scan, so fault tests
+      // can kill this process at a deterministic protocol point.
+      if (!next_i64(&stall_ms)) return 2;
     } else if (arg == "--out") {
       const char* value = next();
       if (value == nullptr) return 2;
@@ -238,11 +221,17 @@ int RealMain(int argc, char** argv) {
                ", N_p=%" PRId64 ")\n",
                party, AggregationModeName(scan_options.aggregation),
                static_cast<int64_t>(variants), my_data.num_samples());
+  if (stall_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
 
   auto output = RunPartySecureScan(transport.value().get(), my_data,
                                    scan_options);
   if (!output.ok()) {
-    std::fprintf(stderr, "[party %d] scan: %s\n", party,
+    // One-line diagnosis for scripts and operators: which party, which
+    // round (carried in the Status message), and what failed.
+    std::fprintf(stderr, "[party %d] scan FAILED after %d rounds: %s\n",
+                 party, transport.value()->metrics().rounds(),
                  output.status().ToString().c_str());
     return 1;
   }
@@ -261,7 +250,7 @@ int RealMain(int argc, char** argv) {
                 result.pval[static_cast<size_t>(top)]);
   }
   std::printf("result checksum  %016" PRIx64 "  (identical at every party)\n",
-              ChecksumResult(result));
+              ScanResultChecksum(result));
   std::printf("logical traffic  %" PRId64 " bytes in %" PRId64
               " messages, %d rounds (this party's sends)\n",
               metrics.total_bytes, metrics.total_messages, metrics.rounds);

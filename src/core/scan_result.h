@@ -45,6 +45,12 @@ struct ScanResult {
 // freedom N − K − 1 are not positive.
 Result<ScanResult> FinalizeScan(const ScanSufficientStats& totals);
 
+// FNV-1a over the exact IEEE-754 bit patterns of beta/se/tstat/pval:
+// equal checksums mean bit-identical scans. This is what the commit
+// round broadcasts (MessageTag::kCommit) so parties can verify they
+// revealed the same result, and what dash_party prints.
+uint64_t ScanResultChecksum(const ScanResult& result);
+
 // The projected form of the sufficient statistics: what remains when
 // the K-vectors Qᵀy and QᵀX are never revealed and only their dot
 // products are (the Beaver-secured aggregation of

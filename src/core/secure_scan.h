@@ -79,6 +79,15 @@ struct SecureScanOptions {
   // this mode. Degrees of freedom account for the P absorbed indicators.
   bool center_per_party = false;
 
+  // Run a final commit round: every party broadcasts the FNV-1a
+  // checksum of its revealed result (MessageTag::kCommit) and
+  // cross-checks its peers'. A mismatch — the signature of an
+  // undetected fault such as a same-tag reorder — fails the scan with
+  // DataLoss("result divergence ...") instead of letting parties walk
+  // away with silently different numbers. One extra round of
+  // 8-byte payloads; both backends run it so traffic stays comparable.
+  bool commit_round = true;
+
   // Seed for protocol randomness (shares, masks, DH exponents).
   uint64_t seed = 0xda5b;
 

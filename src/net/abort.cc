@@ -1,0 +1,68 @@
+#include "net/abort.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+#include "net/serialization.h"
+
+namespace dash {
+namespace {
+
+constexpr char kAbortPrefix[] = "aborted by party ";
+constexpr size_t kMaxAbortText = 512;
+
+bool IsTransportCode(uint32_t code) {
+  return code > static_cast<uint32_t>(StatusCode::kOk) &&
+         code <= static_cast<uint32_t>(StatusCode::kDataLoss);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeAbortPayload(const AbortInfo& info) {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(info.origin));
+  w.PutU32(static_cast<uint32_t>(info.round));
+  w.PutU32(static_cast<uint32_t>(info.code));
+  const size_t len = std::min(info.message.size(), kMaxAbortText);
+  w.PutU32(static_cast<uint32_t>(len));
+  std::vector<uint8_t> out = w.Take();
+  out.insert(out.end(), info.message.begin(),
+             info.message.begin() + static_cast<ptrdiff_t>(len));
+  return out;
+}
+
+AbortInfo DecodeAbortPayload(const std::vector<uint8_t>& payload) {
+  AbortInfo info;
+  info.message = "unparseable abort payload";
+  ByteReader r(payload);
+  auto origin = r.GetU32();
+  auto round = r.GetU32();
+  auto code = r.GetU32();
+  auto len = r.GetU32();
+  if (!origin.ok() || !round.ok() || !code.ok() || !len.ok()) return info;
+  info.origin = static_cast<int>(origin.value());
+  info.round = static_cast<int>(round.value());
+  // A hostile or mangled code field must not turn the abort into OK.
+  info.code = IsTransportCode(code.value())
+                  ? static_cast<StatusCode>(code.value())
+                  : StatusCode::kInternal;
+  const size_t n = std::min<size_t>(len.value(),
+                                    std::min(r.remaining(), kMaxAbortText));
+  info.message.assign(payload.end() - static_cast<ptrdiff_t>(r.remaining()),
+                      payload.end() - static_cast<ptrdiff_t>(r.remaining()) +
+                          static_cast<ptrdiff_t>(n));
+  return info;
+}
+
+Status MakeAbortStatus(const AbortInfo& info) {
+  return Status(info.code, kAbortPrefix + std::to_string(info.origin) +
+                               " (round " + std::to_string(info.round) +
+                               "): " + info.message);
+}
+
+bool IsAbortStatus(const Status& status) {
+  return status.message().rfind(kAbortPrefix, 0) == 0;
+}
+
+}  // namespace dash

@@ -1,0 +1,49 @@
+// Abort-notification payloads (MessageTag::kAbort).
+//
+// When a party's secure scan fails mid-protocol (a peer vanished, a
+// frame was corrupted, a receive timed out), it best-effort broadcasts
+// one kAbort message naming itself, the round it failed in, and the
+// Status it observed. Peers that are still blocked in Receive surface
+// the notification as their own error — carrying the ORIGINATOR's
+// status code — so every surviving party terminates with a consistent
+// code instead of a mix of secondary timeouts. The propagation rule is
+// documented in PROTOCOL.md ("Failure modes").
+
+#ifndef DASH_NET_ABORT_H_
+#define DASH_NET_ABORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dash {
+
+struct AbortInfo {
+  int origin = -1;  // party that first observed the failure
+  int round = 0;    // its round counter at failure time
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
+// Payload layout: u32 origin, u32 round, u32 code, u32 text length,
+// then the (truncated) status text.
+std::vector<uint8_t> EncodeAbortPayload(const AbortInfo& info);
+
+// Never fails outright: a payload too mangled to decode yields an
+// AbortInfo with origin -1 / kInternal, which is still a clean abort.
+AbortInfo DecodeAbortPayload(const std::vector<uint8_t>& payload);
+
+// The Status a party reports after receiving `info` from a peer:
+// the originator's code with an "aborted by party N (round R): ..."
+// message.
+Status MakeAbortStatus(const AbortInfo& info);
+
+// True for statuses minted by MakeAbortStatus — used to avoid
+// re-broadcasting an abort that was itself caused by one.
+bool IsAbortStatus(const Status& status);
+
+}  // namespace dash
+
+#endif  // DASH_NET_ABORT_H_

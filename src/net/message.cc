@@ -24,6 +24,10 @@ const char* MessageTagName(MessageTag tag) {
       return "TreeR";
     case MessageTag::kSampleCount:
       return "SampleCount";
+    case MessageTag::kCommit:
+      return "Commit";
+    case MessageTag::kAbort:
+      return "Abort";
   }
   return "Unknown";
 }

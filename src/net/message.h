@@ -25,6 +25,8 @@ enum class MessageTag : uint32_t {
   kAggregate = 8,        // aggregated result broadcast
   kTreeR = 9,            // tree-TSQR intermediate R factor
   kSampleCount = 10,     // a party's public per-party sample count N_p
+  kCommit = 11,          // result-checksum cross-check (commit round)
+  kAbort = 12,           // abort notification {origin, round, Status}
 };
 
 struct Message {

@@ -27,6 +27,30 @@ Result<PartyEndpoint> ParseEndpoint(std::string_view text) {
   return ep;
 }
 
+// Shared tail validation for both parse entry points: size cap and
+// distinct endpoints (two parties on one host:port can never form a
+// mesh — one of them loses the bind and the config is a typo).
+Status ValidateCluster(const ClusterConfig& config) {
+  if (config.num_parties() > kMaxClusterParties) {
+    return InvalidArgumentError(
+        "cluster names " + std::to_string(config.num_parties()) +
+        " parties; the mesh transport supports at most " +
+        std::to_string(kMaxClusterParties));
+  }
+  for (size_t i = 0; i < config.endpoints.size(); ++i) {
+    for (size_t j = i + 1; j < config.endpoints.size(); ++j) {
+      if (config.endpoints[i].host == config.endpoints[j].host &&
+          config.endpoints[i].port == config.endpoints[j].port) {
+        return InvalidArgumentError(
+            "parties " + std::to_string(i) + " and " + std::to_string(j) +
+            " share endpoint " + config.endpoints[i].host + ":" +
+            std::to_string(config.endpoints[i].port));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 std::string ClusterConfig::ToString() const {
@@ -72,6 +96,7 @@ Result<ClusterConfig> ParseClusterConfig(const std::string& text) {
   if (config.endpoints.empty()) {
     return InvalidArgumentError("cluster config names no parties");
   }
+  DASH_RETURN_IF_ERROR(ValidateCluster(config));
   return config;
 }
 
@@ -93,6 +118,7 @@ Result<ClusterConfig> ParseClusterList(const std::string& list) {
   if (config.endpoints.empty()) {
     return InvalidArgumentError("cluster list names no parties");
   }
+  DASH_RETURN_IF_ERROR(ValidateCluster(config));
   return config;
 }
 

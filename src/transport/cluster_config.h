@@ -24,6 +24,11 @@
 
 namespace dash {
 
+// Hard cap on cluster size: the fully-connected mesh is O(P^2) sockets,
+// so configs beyond this are almost certainly a malformed file, and the
+// parsers reject them up front.
+inline constexpr int kMaxClusterParties = 64;
+
 struct PartyEndpoint {
   std::string host;
   uint16_t port = 0;

@@ -1,0 +1,213 @@
+#include "transport/fault_proxy.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dash {
+namespace {
+
+constexpr int kPollMs = 50;
+
+void CloseFd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+int DialTarget(const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FaultProxy>> FaultProxy::Start(
+    const std::string& target_host, uint16_t target_port,
+    const FaultProxyOptions& options) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return IoError(std::string("fault proxy: socket: ") + strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status fail =
+        IoError(std::string("fault proxy: bind: ") + strerror(errno));
+    CloseFd(&listen_fd);
+    return fail;
+  }
+  if (::listen(listen_fd, 4) < 0) {
+    const Status fail =
+        IoError(std::string("fault proxy: listen: ") + strerror(errno));
+    CloseFd(&listen_fd);
+    return fail;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    const Status fail =
+        IoError(std::string("fault proxy: getsockname: ") + strerror(errno));
+    CloseFd(&listen_fd);
+    return fail;
+  }
+  const uint16_t listen_port = ntohs(bound.sin_port);
+  return std::unique_ptr<FaultProxy>(new FaultProxy(
+      listen_fd, listen_port, target_host, target_port, options));
+}
+
+FaultProxy::FaultProxy(int listen_fd, uint16_t listen_port,
+                       std::string target_host, uint16_t target_port,
+                       const FaultProxyOptions& options)
+    : listen_fd_(listen_fd),
+      listen_port_(listen_port),
+      target_host_(std::move(target_host)),
+      target_port_(target_port),
+      options_(options) {
+  thread_ = std::thread([this] { RelayLoop(); });
+}
+
+FaultProxy::~FaultProxy() { Stop(); }
+
+void FaultProxy::Stop() {
+  // Flag only; the relay thread owns every fd and closes them on its
+  // way out, so there is no close-while-polling race to lose.
+  running_.store(false, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+void FaultProxy::RelayLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready <= 0) continue;
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) continue;
+    int one = 1;
+    setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    RelayConnection(client_fd);
+  }
+  CloseFd(&listen_fd_);
+}
+
+void FaultProxy::RelayConnection(int client_fd) {
+  int target_fd = DialTarget(target_host_, target_port_);
+  if (target_fd < 0) {
+    CloseFd(&client_fd);
+    return;
+  }
+  std::vector<uint8_t> buf(16 * 1024);
+  bool stalled = false;
+  while (running_.load(std::memory_order_relaxed)) {
+    struct pollfd pfds[2] = {{client_fd, POLLIN, 0}, {target_fd, POLLIN, 0}};
+    const int ready = ::poll(pfds, 2, kPollMs);
+    if (ready < 0) break;
+    if (ready == 0) continue;
+
+    // Forward direction (dialer -> target): the faulted stream.
+    if (pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) {
+      const ssize_t n = ::recv(client_fd, buf.data(), buf.size(), 0);
+      if (n <= 0) break;  // dialer closed (or errored): tear the link down
+      int64_t offset = forwarded_.load(std::memory_order_relaxed);
+      if (options_.corrupt_at_byte >= offset &&
+          options_.corrupt_at_byte < offset + n &&
+          options_.corrupt_xor != 0) {
+        buf[static_cast<size_t>(options_.corrupt_at_byte - offset)] ^=
+            options_.corrupt_xor;
+      }
+      ssize_t relay_n = n;
+      bool close_after = false;
+      if (options_.close_after_bytes >= 0 &&
+          offset + n >= options_.close_after_bytes) {
+        relay_n = static_cast<ssize_t>(options_.close_after_bytes - offset);
+        close_after = true;
+      }
+      size_t off = 0;
+      bool send_failed = false;
+      while (off < static_cast<size_t>(relay_n)) {
+        const ssize_t w = ::send(target_fd, buf.data() + off,
+                                 static_cast<size_t>(relay_n) - off,
+                                 MSG_NOSIGNAL);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          send_failed = true;
+          break;
+        }
+        off += static_cast<size_t>(w);
+      }
+      if (send_failed) break;
+      forwarded_.store(offset + relay_n, std::memory_order_relaxed);
+      if (close_after) break;
+      if (!stalled && options_.stall_after_bytes >= 0 &&
+          offset + relay_n >= options_.stall_after_bytes &&
+          options_.stall_ms > 0) {
+        stalled = true;
+        // Sleep in poll-sized slices so Stop() stays responsive.
+        int left = options_.stall_ms;
+        while (left > 0 && running_.load(std::memory_order_relaxed)) {
+          const int slice = left < kPollMs ? left : kPollMs;
+          std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+          left -= slice;
+        }
+      }
+    }
+
+    // Reverse direction (target -> dialer): relayed verbatim.
+    if (pfds[1].revents & (POLLIN | POLLHUP | POLLERR)) {
+      const ssize_t n = ::recv(target_fd, buf.data(), buf.size(), 0);
+      if (n <= 0) break;
+      size_t off = 0;
+      bool send_failed = false;
+      while (off < static_cast<size_t>(n)) {
+        const ssize_t w = ::send(client_fd, buf.data() + off,
+                                 static_cast<size_t>(n) - off, MSG_NOSIGNAL);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          send_failed = true;
+          break;
+        }
+        off += static_cast<size_t>(w);
+      }
+      if (send_failed) break;
+    }
+  }
+  CloseFd(&client_fd);
+  CloseFd(&target_fd);
+}
+
+}  // namespace dash

@@ -1,0 +1,94 @@
+// A loopback TCP relay that injects faults at the BYTE level, under the
+// real frame codec — the physical-layer complement to the logical
+// FaultInjectingTransport decorator.
+//
+// Topology: the proxy listens on an ephemeral port and forwards every
+// accepted connection to a fixed target endpoint. Interposing it on one
+// directed edge of a dash mesh takes nothing but a doctored cluster
+// file: give ONE party a config whose entry for its peer points at the
+// proxy, and that party's dialed connection (hello handshake and all
+// subsequent frames) flows through it. Faults apply to the forward
+// stream (dialer -> target) at absolute byte offsets, so a test can
+// aim precisely: the hello exchange occupies the first 32 bytes of the
+// forward stream (24-byte header + 8-byte payload), everything after
+// that is protocol frames.
+//
+//   corrupt_at_byte    XOR corrupt_xor into the forward byte at this
+//                      offset — the target's CRC check must fire
+//                      (DataLoss), proving the real wire-integrity
+//                      path, not the simulated one.
+//   close_after_bytes  after relaying this many forward bytes, close
+//                      both sockets — a mid-frame kill if aimed inside
+//                      a frame (Unavailable at both endpoints).
+//   stall_after_bytes  pause the relay stall_ms once this many forward
+//                      bytes have passed — a link hiccup; outlasting
+//                      receive_timeout_ms makes it DeadlineExceeded.
+//
+// The relay runs on one background thread and handles connections
+// serially (a dash mesh uses exactly one connection per directed edge,
+// which is the use case). Stop() (or the destructor) shuts it down;
+// only the relay thread ever touches the sockets, so teardown is
+// TSan-clean by construction.
+
+#ifndef DASH_TRANSPORT_FAULT_PROXY_H_
+#define DASH_TRANSPORT_FAULT_PROXY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace dash {
+
+struct FaultProxyOptions {
+  int64_t corrupt_at_byte = -1;   // -1 = never
+  uint8_t corrupt_xor = 0x01;     // must be nonzero to corrupt
+  int64_t close_after_bytes = -1; // -1 = never
+  int64_t stall_after_bytes = -1; // -1 = never
+  int stall_ms = 0;
+};
+
+class FaultProxy {
+ public:
+  // Starts relaying to target_host:target_port; listens on an ephemeral
+  // loopback port reported by listen_port().
+  static Result<std::unique_ptr<FaultProxy>> Start(
+      const std::string& target_host, uint16_t target_port,
+      const FaultProxyOptions& options);
+
+  ~FaultProxy();
+
+  uint16_t listen_port() const { return listen_port_; }
+
+  // Total forward (dialer -> target) bytes relayed so far.
+  int64_t forwarded_bytes() const {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
+
+  void Stop();
+
+ private:
+  FaultProxy(int listen_fd, uint16_t listen_port, std::string target_host,
+             uint16_t target_port, const FaultProxyOptions& options);
+
+  void RelayLoop();
+  // Relays one accepted connection until either side closes or a fault
+  // says stop; returns when the connection is finished.
+  void RelayConnection(int client_fd);
+
+  int listen_fd_;
+  uint16_t listen_port_;
+  std::string target_host_;
+  uint16_t target_port_;
+  FaultProxyOptions options_;
+  std::atomic<bool> running_{true};
+  std::atomic<int64_t> forwarded_{0};
+  std::thread thread_;
+};
+
+}  // namespace dash
+
+#endif  // DASH_TRANSPORT_FAULT_PROXY_H_

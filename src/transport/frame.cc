@@ -88,7 +88,7 @@ Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size) {
   }
   const uint32_t magic = GetU32(data);
   if (magic != kFrameMagic) {
-    return IoError("bad frame magic 0x" + [magic] {
+    return DataLossError("bad frame magic 0x" + [magic] {
       static const char* hex = "0123456789abcdef";
       std::string s(8, '0');
       for (int i = 0; i < 8; ++i) s[7 - i] = hex[(magic >> (4 * i)) & 0xF];
@@ -97,7 +97,7 @@ Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size) {
   }
   const uint16_t version = GetU16(data + 4);
   if (version != kFrameVersion) {
-    return IoError("frame version " + std::to_string(version) +
+    return DataLossError("frame version " + std::to_string(version) +
                    " unsupported (this build speaks " +
                    std::to_string(kFrameVersion) + ")");
   }
@@ -108,7 +108,7 @@ Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size) {
   header.payload_len = GetU32(data + 16);
   header.crc32 = GetU32(data + 20);
   if (header.payload_len > kFrameMaxPayloadBytes) {
-    return IoError("frame payload length " +
+    return DataLossError("frame payload length " +
                    std::to_string(header.payload_len) +
                    " exceeds the 1 GiB bound (corrupt stream?)");
   }
@@ -118,13 +118,13 @@ Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size) {
 Status CheckFramePayload(const FrameHeader& header,
                          const std::vector<uint8_t>& payload) {
   if (payload.size() != header.payload_len) {
-    return IoError("frame payload truncated: expected " +
-                   std::to_string(header.payload_len) + " bytes, have " +
-                   std::to_string(payload.size()));
+    return DataLossError("frame payload truncated: expected " +
+                         std::to_string(header.payload_len) +
+                         " bytes, have " + std::to_string(payload.size()));
   }
   const uint32_t crc = Crc32(payload.data(), payload.size());
   if (crc != header.crc32) {
-    return IoError("frame CRC mismatch on a " +
+    return DataLossError("frame CRC mismatch on a " +
                    std::to_string(payload.size()) +
                    "-byte payload (corruption on the wire)");
   }

@@ -17,6 +17,7 @@
 #include "mpc/masked_aggregation.h"
 #include "mpc/prime_field.h"
 #include "mpc/shamir.h"
+#include "net/abort.h"
 #include "net/serialization.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -390,19 +391,12 @@ Result<Matrix> CombineBinaryTree(Transport* net, int local,
   return r.GetMatrix();
 }
 
-}  // namespace
-
-Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
-                                            const PartyData& input_party,
-                                            const SecureScanOptions& options) {
-  DASH_CHECK(transport != nullptr);
+// The protocol proper; RunPartySecureScan wraps it with the abort
+// notification and round tagging.
+Result<SecureScanOutput> RunPartyScanProtocol(
+    Transport* transport, const PartyData& input_party,
+    const SecureScanOptions& options) {
   const int local = transport->local_party();
-  if (local < 0) {
-    return InvalidArgumentError(
-        "RunPartySecureScan needs a party-bound transport "
-        "(local_party() >= 0); in-process simulations go through "
-        "SecureAssociationScan::Run");
-  }
   const int num_parties = transport->num_parties();
   if (options.projection == ProjectionSecurity::kBeaverDotProducts) {
     return UnimplementedError(
@@ -581,6 +575,36 @@ Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
                         FinalizeScanWithAbsorbedParams(totals, absorbed_params));
   local_seconds += local_timer.ElapsedSeconds();
 
+  // Commit round: broadcast the checksum of the result we are about to
+  // reveal and require every peer's to match. This is the last line of
+  // defense against faults no other layer can see (e.g. a same-tag
+  // same-length reorder): instead of parties walking away with
+  // different numbers, the scan fails with DataLoss at every party.
+  if (options.commit_round && num_parties > 1) {
+    protocol_timer.Reset();
+    transport->BeginRound();
+    const uint64_t checksum = ScanResultChecksum(result);
+    ByteWriter w;
+    w.PutU64(checksum);
+    DASH_RETURN_IF_ERROR(
+        transport->Broadcast(local, MessageTag::kCommit, w.Take()));
+    for (int q = 0; q < num_parties; ++q) {
+      if (q == local) continue;
+      DASH_ASSIGN_OR_RETURN(Message msg,
+                            transport->Receive(local, q, MessageTag::kCommit));
+      ByteReader r(msg.payload);
+      DASH_ASSIGN_OR_RETURN(uint64_t peer_sum, r.GetU64());
+      if (peer_sum != checksum) {
+        return DataLossError("result divergence: party " + std::to_string(q) +
+                             " committed checksum " +
+                             std::to_string(peer_sum) + ", party " +
+                             std::to_string(local) + " computed " +
+                             std::to_string(checksum));
+      }
+    }
+    protocol_seconds += protocol_timer.ElapsedSeconds();
+  }
+
   SecureScanOutput out;
   out.result = std::move(result);
   out.metrics.total_bytes = transport->metrics().total_bytes();
@@ -595,6 +619,51 @@ Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
                  << AggregationModeName(options.aggregation)
                  << " sent_bytes=" << out.metrics.total_bytes;
   return out;
+}
+
+}  // namespace
+
+Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
+                                            const PartyData& input_party,
+                                            const SecureScanOptions& options) {
+  DASH_CHECK(transport != nullptr);
+  const int local = transport->local_party();
+  if (local < 0) {
+    return InvalidArgumentError(
+        "RunPartySecureScan needs a party-bound transport "
+        "(local_party() >= 0); in-process simulations go through "
+        "SecureAssociationScan::Run");
+  }
+  Result<SecureScanOutput> out =
+      RunPartyScanProtocol(transport, input_party, options);
+  if (out.ok()) return out;
+  const Status cause = out.status();
+  const int round = transport->metrics().rounds();
+
+  // Abort propagation (PROTOCOL.md "Failure modes"): the first party to
+  // observe a mid-protocol failure best-effort notifies every peer, so
+  // peers stuck in Receive fail with the ORIGINATOR's status code
+  // instead of waiting out their own timeouts. Aborts received from a
+  // peer are not re-broadcast (no abort storms), and failures before
+  // round 1 (argument validation) concern only this process.
+  if (round > 0 && !IsAbortStatus(cause)) {
+    AbortInfo info;
+    info.origin = local;
+    info.round = round;
+    info.code = cause.code();
+    info.message = cause.message();
+    const std::vector<uint8_t> payload = EncodeAbortPayload(info);
+    for (int q = 0; q < transport->num_parties(); ++q) {
+      if (q == local) continue;
+      // Best effort: a link that is itself down must not mask `cause`.
+      const Status notify =
+          transport->Send(local, q, MessageTag::kAbort, payload);
+      (void)notify;
+    }
+  }
+  if (IsAbortStatus(cause)) return cause;
+  return Status(cause.code(),
+                "round " + std::to_string(round) + ": " + cause.message());
 }
 
 }  // namespace dash

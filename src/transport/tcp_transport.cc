@@ -18,6 +18,7 @@
 #include <thread>
 #include <utility>
 
+#include "net/abort.h"
 #include "transport/frame.h"
 #include "util/check.h"
 #include "util/random.h"
@@ -401,8 +402,9 @@ Status TcpTransport::Send(int from, int to, MessageTag tag,
   }
   Peer& peer = peers_[static_cast<size_t>(to)];
   if (peer.closed || peer.fd < 0) {
-    return IoError("connection to party " + std::to_string(to) +
-                   " is closed");
+    if (!peer.fail.ok()) return PreferAbort(peer.fail);
+    return PreferAbort(UnavailableError("connection to party " +
+                                        std::to_string(to) + " is closed"));
   }
 
   Message msg;
@@ -426,14 +428,15 @@ Status TcpTransport::Send(int from, int to, MessageTag tag,
     }
     if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
       peer.closed = true;
-      return IoError("send to party " + std::to_string(to) +
-                     " failed: " + strerror(errno));
+      peer.fail = UnavailableError("peer " + std::to_string(to) +
+                                   " disconnected (send: " + strerror(errno) +
+                                   ")");
+      return PreferAbort(peer.fail);
     }
     if (NowMs() >= deadline) {
-      return DeadlineExceededError("send to party " + std::to_string(to) +
-                                   " timed out after " +
-                                   std::to_string(options_.receive_timeout_ms) +
-                                   " ms");
+      return PreferAbort(DeadlineExceededError(
+          "send to party " + std::to_string(to) + " timed out after " +
+          std::to_string(options_.receive_timeout_ms) + " ms"));
     }
     DASH_RETURN_IF_ERROR(Pump(10));
   }
@@ -456,10 +459,14 @@ Result<Message> TcpTransport::Receive(int to, int from,
   Peer& peer = peers_[static_cast<size_t>(from)];
   const int64_t deadline = NowMs() + options_.receive_timeout_ms;
   while (peer.inbox.empty()) {
+    // A latched peer abort beats waiting out our own timeout: it names
+    // the originator's code, so every survivor reports the same one.
+    if (!abort_status_.ok()) return abort_status_;
     if (peer.closed) {
-      return IoError("connection to party " + std::to_string(from) +
-                     " closed before the expected " +
-                     MessageTagName(expected_tag) + " arrived");
+      if (!peer.fail.ok()) return PreferAbort(peer.fail);
+      return PreferAbort(UnavailableError(
+          "peer " + std::to_string(from) + " disconnected before the " +
+          "expected " + MessageTagName(expected_tag) + " arrived"));
     }
     const int64_t remaining = deadline - NowMs();
     if (remaining <= 0) {
@@ -471,6 +478,7 @@ Result<Message> TcpTransport::Receive(int to, int from,
     }
     DASH_RETURN_IF_ERROR(
         Pump(static_cast<int>(std::min<int64_t>(remaining, 100))));
+    ScanForAborts();
   }
   Message msg = std::move(peer.inbox.front());
   peer.inbox.pop_front();
@@ -508,16 +516,18 @@ Status TcpTransport::Pump(int timeout_ms) {
   if (ready <= 0) return Status::Ok();
   for (size_t i = 0; i < pfds.size(); ++i) {
     if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
-      DASH_RETURN_IF_ERROR(ReadAvailable(parties[i]));
+      ReadAvailable(parties[i]);
     }
   }
   return Status::Ok();
 }
 
-Status TcpTransport::ReadAvailable(int party) {
+void TcpTransport::ReadAvailable(int party) {
   Peer& peer = peers_[static_cast<size_t>(party)];
   uint8_t buf[64 * 1024];
   int64_t received = 0;
+  bool dead = false;
+  std::string recv_error;
   while (true) {
     const ssize_t n = ::recv(peer.fd, buf, sizeof(buf), 0);
     if (n > 0) {
@@ -526,19 +536,41 @@ Status TcpTransport::ReadAvailable(int party) {
       continue;
     }
     if (n == 0) {
-      peer.closed = true;
+      dead = true;  // clean EOF
       break;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
-    peer.closed = true;
-    return IoError("recv from party " + std::to_string(party) +
-                   " failed: " + strerror(errno));
+    dead = true;  // hard error, e.g. ECONNRESET
+    recv_error = strerror(errno);
+    break;
   }
   if (received > 0) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     wire_stats_.bytes_received += received;
   }
-  return ParseFrames(party);
+  // Parse whatever arrived BEFORE the failure so complete frames ahead
+  // of an EOF are still delivered.
+  const Status parsed = ParseFrames(party);
+  if (!parsed.ok()) {
+    peer.closed = true;
+    if (peer.fail.ok()) peer.fail = parsed;
+  }
+  if (dead) {
+    peer.closed = true;
+    if (peer.fail.ok()) {
+      // A reset and a clean FIN are the same protocol event — the link
+      // died — so both get the mid-frame diagnosis when a partial
+      // frame is left behind; only the parenthetical differs.
+      const size_t partial = peer.rx.size() - peer.rx_consumed;
+      std::string what = "peer " + std::to_string(party) + " disconnected";
+      if (!recv_error.empty()) what += " (recv: " + recv_error + ")";
+      if (partial > 0) {
+        what += " mid-frame (" + std::to_string(partial) +
+                " bytes of a partial frame discarded)";
+      }
+      peer.fail = UnavailableError(std::move(what));
+    }
+  }
 }
 
 Status TcpTransport::ParseFrames(int party) {
@@ -555,11 +587,11 @@ Status TcpTransport::ParseFrames(int party) {
     DASH_RETURN_IF_ERROR(CheckFramePayload(header, payload));
     if (header.tag == kFrameHelloTag || header.from != party ||
         header.to != local_party_) {
-      return IoError("party " + std::to_string(party) +
-                     " sent a malformed frame (tag " +
-                     std::to_string(header.tag) + ", from " +
-                     std::to_string(header.from) + ", to " +
-                     std::to_string(header.to) + ")");
+      return DataLossError("party " + std::to_string(party) +
+                           " sent a malformed frame (tag " +
+                           std::to_string(header.tag) + ", from " +
+                           std::to_string(header.from) + ", to " +
+                           std::to_string(header.to) + ")");
     }
     Message msg;
     msg.from = header.from;
@@ -579,6 +611,32 @@ Status TcpTransport::ParseFrames(int party) {
     peer.rx_consumed = 0;
   }
   return Status::Ok();
+}
+
+Status TcpTransport::PreferAbort(Status local) {
+  // recv still yields bytes the peer wrote before closing, even after a
+  // send on the same socket failed — so the abort that explains this
+  // failure is usually one drain away.
+  for (int p = 0; p < num_parties(); ++p) {
+    if (p == local_party_) continue;
+    if (peers_[static_cast<size_t>(p)].fd >= 0) ReadAvailable(p);
+  }
+  ScanForAborts();
+  if (!abort_status_.ok()) return abort_status_;
+  return local;
+}
+
+void TcpTransport::ScanForAborts() {
+  if (!abort_status_.ok()) return;
+  for (auto& peer : peers_) {
+    for (auto it = peer.inbox.begin(); it != peer.inbox.end(); ++it) {
+      if (it->tag != MessageTag::kAbort) continue;
+      const AbortInfo info = DecodeAbortPayload(it->payload);
+      peer.inbox.erase(it);
+      abort_status_ = MakeAbortStatus(info);
+      return;
+    }
+  }
 }
 
 void TcpTransport::RecordSendLocked(const Message& msg, size_t frame_bytes) {

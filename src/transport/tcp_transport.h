@@ -20,6 +20,21 @@
 // receive_timeout_ms (then DeadlineExceeded). Tag mismatches are
 // FailedPrecondition, exactly as on the in-process backend.
 //
+// Failure semantics (PROTOCOL.md "Failure modes" has the full table):
+// every post-handshake fault maps to exactly one of three codes, never
+// a hang or a CHECK. A peer closing its socket (clean FIN or reset),
+// including mid-frame, is Unavailable("peer N disconnected ...") on
+// every later operation touching that link; a corrupted or malformed
+// frame (bad magic/version/CRC/routing) is DataLoss and also poisons
+// the link; silence is DeadlineExceeded. Failures are sticky per link
+// and are reported only on operations that use the failed link — a dead
+// link never fails a Receive on a healthy one. Additionally, Receive
+// watches EVERY open link for MessageTag::kAbort notifications
+// (net/abort.h): one received abort latches transport-wide and is
+// returned — with the originator's status code — from every subsequent
+// blocking Receive, which is how all surviving parties converge on one
+// consistent status within a single receive timeout.
+//
 // Threading: all protocol calls (Send/Receive/Broadcast/BeginRound) must
 // come from one thread, like every Transport. Because the socket reader
 // runs inside Send/Receive on that same thread, TrafficMetrics updates
@@ -102,6 +117,8 @@ class TcpTransport : public Transport {
     size_t rx_consumed = 0;         // parsed prefix of rx
     std::deque<Message> inbox;      // complete frames awaiting Receive
     bool closed = false;
+    // Sticky link failure (Unavailable/DataLoss); set when closed is.
+    Status fail = Status::Ok();
   };
 
   TcpTransport(const ClusterConfig& cluster, int local_party,
@@ -114,10 +131,24 @@ class TcpTransport : public Transport {
                          int* hello_party);
 
   // Drains whatever is readable on every open peer socket into the
-  // inboxes, waiting at most `timeout_ms` for the first byte.
+  // inboxes, waiting at most `timeout_ms` for the first byte. Socket
+  // and framing failures are recorded per peer (Peer::fail), never
+  // propagated here, so one broken link cannot fail another link's
+  // Receive.
   Status Pump(int timeout_ms);
-  Status ReadAvailable(int peer);
+  void ReadAvailable(int peer);
   Status ParseFrames(int peer);
+
+  // Latches the first kAbort found in any inbox into abort_status_.
+  void ScanForAborts();
+
+  // A locally-detected link failure is often the shadow of a deliberate
+  // peer abort: the peer broadcast kAbort, tore down its transport, and
+  // our send/receive failed before we read the abort still sitting in
+  // the socket buffer. Drain every open peer, latch aborts, and return
+  // abort_status_ if set — it carries the originator's Status, so every
+  // survivor reports the same code — else return `local` unchanged.
+  Status PreferAbort(Status local);
 
   void RecordSendLocked(const Message& msg, size_t frame_bytes);
   void CloseAll();
@@ -127,6 +158,7 @@ class TcpTransport : public Transport {
   TcpTransportOptions options_;
   int listen_fd_ = -1;
   std::vector<Peer> peers_;  // index == party id; slot local_party_ unused
+  Status abort_status_ = Status::Ok();  // first peer abort, transport-wide
 
   mutable std::mutex stats_mutex_;  // guards metrics() + wire_stats_
   TcpWireStats wire_stats_;

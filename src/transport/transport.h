@@ -122,7 +122,9 @@ class Transport {
   virtual bool HasPending(int to, int from) = 0;
 
   // Marks the start of a new synchronous protocol round (metrics only).
-  void BeginRound() { metrics_.BumpRound(); }
+  // Virtual so decorators (transport/fault_transport.h) can observe the
+  // round boundary; overrides must call the base to keep metrics right.
+  virtual void BeginRound() { metrics_.BumpRound(); }
 
   // Attaches a transcript recorder (net/trace.h); nullptr detaches. The
   // recorder must outlive the transport or be detached first.

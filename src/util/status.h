@@ -34,6 +34,8 @@ enum class StatusCode {
   kInternal = 7,
   kIoError = 8,
   kDeadlineExceeded = 9,
+  kUnavailable = 10,
+  kDataLoss = 11,
 };
 
 // Returns a stable human-readable name for `code`, e.g. "InvalidArgument".
@@ -85,6 +87,8 @@ Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status IoError(std::string message);
 Status DeadlineExceededError(std::string message);
+Status UnavailableError(std::string message);
+Status DataLossError(std::string message);
 
 // Result<T> is a value-or-Status union (a minimal absl::StatusOr).
 // Accessing value() on an error result aborts via DASH_CHECK.

@@ -262,15 +262,22 @@ TEST(SecureScanTest, RoundsCountedPerMode) {
   masked.r_combine = RCombineMode::kBroadcastStack;
   const auto m = SecureAssociationScan(masked).Run(w.parties).value().metrics;
   // 1 sample-count round + 1 R round + 1 DH setup round + 1 masked
-  // broadcast round.
-  EXPECT_EQ(m.rounds, 4);
+  // broadcast round + 1 commit round.
+  EXPECT_EQ(m.rounds, 5);
 
   SecureScanOptions additive;
   additive.aggregation = AggregationMode::kAdditive;
   const auto a =
       SecureAssociationScan(additive).Run(w.parties).value().metrics;
-  // 1 sample-count round + 1 R round + 2 additive rounds.
-  EXPECT_EQ(a.rounds, 4);
+  // 1 sample-count round + 1 R round + 2 additive rounds + 1 commit
+  // round.
+  EXPECT_EQ(a.rounds, 5);
+
+  SecureScanOptions no_commit = masked;
+  no_commit.commit_round = false;
+  const auto n =
+      SecureAssociationScan(no_commit).Run(w.parties).value().metrics;
+  EXPECT_EQ(n.rounds, 4);
 }
 
 }  // namespace

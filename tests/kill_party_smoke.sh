@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Kill-a-party integration smoke: three real dash_party processes form a
+# mesh; party 2 is stalled before the protocol starts and then killed
+# with SIGKILL. Both survivors must exit NONZERO within the receive
+# timeout, each printing a one-line diagnosis that names the failed
+# round and a transport Status (Unavailable / DeadlineExceeded) — no
+# hang, no zero exit, no silent death.
+#
+# Usage: kill_party_smoke.sh /path/to/dash_party
+set -u
+
+DASH_PARTY="${1:?usage: kill_party_smoke.sh /path/to/dash_party}"
+WORKDIR="$(mktemp -d)"
+trap 'kill -9 ${PIDS[@]:-} 2>/dev/null; rm -rf "$WORKDIR"' EXIT
+
+# Pick three free loopback ports via a tiny python helper (bash cannot
+# ask the kernel for ephemeral ports portably).
+read -r P0 P1 P2 <<EOF
+$(python3 - <<'PY'
+import socket
+socks = [socket.socket() for _ in range(3)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(*(s.getsockname()[1] for s in socks))
+for s in socks:
+    s.close()
+PY
+)
+EOF
+CLUSTER="127.0.0.1:${P0},127.0.0.1:${P1},127.0.0.1:${P2}"
+
+COMMON=(--cluster "$CLUSTER" --variants 50 --samples 40
+        --receive-timeout-ms 2000)
+
+PIDS=()
+"$DASH_PARTY" --party 0 "${COMMON[@]}" \
+  >"$WORKDIR/out0" 2>"$WORKDIR/err0" &
+PIDS+=($!)
+"$DASH_PARTY" --party 1 "${COMMON[@]}" \
+  >"$WORKDIR/out1" 2>"$WORKDIR/err1" &
+PIDS+=($!)
+# Party 2 stalls 30s between mesh-up and the protocol, so the mesh is
+# fully connected when we kill it and the survivors are already waiting
+# on round 1.
+"$DASH_PARTY" --party 2 "${COMMON[@]}" --stall-ms 30000 \
+  >"$WORKDIR/out2" 2>"$WORKDIR/err2" &
+PIDS+=($!)
+
+# Wait until every party reports the mesh is up (connect phase done).
+for i in 0 1 2; do
+  for _ in $(seq 1 100); do
+    grep -q "mesh up" "$WORKDIR/err$i" && break
+    sleep 0.1
+  done
+  if ! grep -q "mesh up" "$WORKDIR/err$i"; then
+    echo "FAIL: party $i never reported mesh up" >&2
+    cat "$WORKDIR/err$i" >&2
+    exit 1
+  fi
+done
+
+kill -9 "${PIDS[2]}"
+
+fail=0
+for i in 0 1; do
+  # Survivors must EXIT (the receive timeout bounds this); a hang here
+  # is itself the bug. 15s is many times the 2s receive timeout.
+  deadline=$((SECONDS + 15))
+  while kill -0 "${PIDS[$i]}" 2>/dev/null; do
+    if [ "$SECONDS" -ge "$deadline" ]; then
+      echo "FAIL: party $i still running 15s after the kill" >&2
+      fail=1
+      break
+    fi
+    sleep 0.1
+  done
+  if [ "$fail" -eq 0 ]; then
+    wait "${PIDS[$i]}"
+    rc=$?
+    if [ "$rc" -eq 0 ]; then
+      echo "FAIL: party $i exited 0 although party 2 was killed" >&2
+      fail=1
+    fi
+    if ! grep -q "scan FAILED after" "$WORKDIR/err$i"; then
+      echo "FAIL: party $i printed no one-line diagnosis" >&2
+      fail=1
+    fi
+    if ! grep -Eq "Unavailable|DeadlineExceeded" "$WORKDIR/err$i"; then
+      echo "FAIL: party $i diagnosis names no transport Status" >&2
+      fail=1
+    fi
+  fi
+  if [ "$fail" -ne 0 ]; then
+    echo "--- party $i stderr ---" >&2
+    cat "$WORKDIR/err$i" >&2
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "PASS: both survivors exited nonzero with a round-tagged diagnosis"
+  grep -h "scan FAILED after" "$WORKDIR/err0" "$WORKDIR/err1"
+fi
+exit "$fail"

@@ -1,0 +1,120 @@
+// Edge cases in cluster-config parsing and validation: the file format
+// is the one piece of operator-written input in a deployment, so every
+// malformed shape must fail with InvalidArgument and a message naming
+// the offending line or party — never produce a half-usable mesh.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "transport/cluster_config.h"
+#include "transport/tcp_transport.h"
+
+namespace dash {
+namespace {
+
+TEST(ClusterConfigTest, ParsesPlainEndpointsInOrder) {
+  const auto config = ParseClusterConfig(
+      "# comment\n127.0.0.1:7001\n\n127.0.0.1:7002 # trailing\n10.0.0.9:80\n");
+  ASSERT_TRUE(config.ok()) << config.status();
+  ASSERT_EQ(config->num_parties(), 3);
+  EXPECT_EQ(config->endpoints[0].port, 7001);
+  EXPECT_EQ(config->endpoints[1].port, 7002);
+  EXPECT_EQ(config->endpoints[2].host, "10.0.0.9");
+}
+
+TEST(ClusterConfigTest, RoundTripsThroughToString) {
+  const auto config = ParseClusterConfig("127.0.0.1:7001\n127.0.0.1:7002\n");
+  ASSERT_TRUE(config.ok());
+  const auto again = ParseClusterConfig(config->ToString());
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->num_parties(), 2);
+  EXPECT_EQ(again->endpoints[1].port, 7002);
+}
+
+TEST(ClusterConfigTest, ExplicitPartyIdsMustMatchLinePosition) {
+  const auto good =
+      ParseClusterConfig("0 127.0.0.1:7001\n1 127.0.0.1:7002\n");
+  ASSERT_TRUE(good.ok()) << good.status();
+
+  // Duplicate party id (0 appears twice) == id out of position.
+  const auto dup = ParseClusterConfig("0 127.0.0.1:7001\n0 127.0.0.1:7002\n");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+
+  // Ids in the wrong order are rejected, not silently reordered.
+  const auto swapped =
+      ParseClusterConfig("1 127.0.0.1:7001\n0 127.0.0.1:7002\n");
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_EQ(swapped.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterConfigTest, RejectsPortZeroAndOutOfRangePorts) {
+  for (const char* text :
+       {"127.0.0.1:0\n", "127.0.0.1:65536\n", "127.0.0.1:-4\n"}) {
+    const auto config = ParseClusterConfig(text);
+    ASSERT_FALSE(config.ok()) << "accepted '" << text << "'";
+    EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ClusterConfigTest, RejectsMalformedEndpoints) {
+  for (const char* text : {"127.0.0.1\n", ":7001\n", "127.0.0.1:\n",
+                           "127.0.0.1:seven\n"}) {
+    const auto config = ParseClusterConfig(text);
+    ASSERT_FALSE(config.ok()) << "accepted '" << text << "'";
+    EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_FALSE(ParseClusterConfig("").ok());
+  EXPECT_FALSE(ParseClusterConfig("# only comments\n").ok());
+}
+
+TEST(ClusterConfigTest, RejectsDuplicateEndpoints) {
+  const auto config =
+      ParseClusterConfig("127.0.0.1:7001\n127.0.0.1:7002\n127.0.0.1:7001\n");
+  ASSERT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument);
+  // The message names both colliding parties.
+  EXPECT_NE(config.status().message().find("0"), std::string::npos);
+  EXPECT_NE(config.status().message().find("2"), std::string::npos);
+
+  const auto list = ParseClusterList("127.0.0.1:7001,127.0.0.1:7001");
+  ASSERT_FALSE(list.ok());
+  EXPECT_EQ(list.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterConfigTest, RejectsOversizedClusters) {
+  std::string text;
+  for (int p = 0; p <= kMaxClusterParties; ++p) {
+    text += "127.0.0.1:" + std::to_string(7001 + p) + "\n";
+  }
+  const auto config = ParseClusterConfig(text);
+  ASSERT_FALSE(config.ok());
+  EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(config.status().message().find(
+                std::to_string(kMaxClusterParties)),
+            std::string::npos);
+
+  // Exactly the cap is fine.
+  std::string at_cap;
+  for (int p = 0; p < kMaxClusterParties; ++p) {
+    at_cap += "127.0.0.1:" + std::to_string(7001 + p) + "\n";
+  }
+  EXPECT_TRUE(ParseClusterConfig(at_cap).ok());
+}
+
+TEST(ClusterConfigTest, ConnectRejectsMissingSelfEntry) {
+  // A party id beyond the roster has no listen endpoint: Connect must
+  // refuse up front rather than bind something arbitrary.
+  ClusterConfig cluster;
+  cluster.endpoints.push_back({"127.0.0.1", 7001});
+  cluster.endpoints.push_back({"127.0.0.1", 7002});
+  for (const int bogus : {-1, 2, 7}) {
+    const auto transport = TcpTransport::Connect(cluster, bogus);
+    ASSERT_FALSE(transport.ok()) << "accepted local party " << bogus;
+    EXPECT_EQ(transport.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace dash

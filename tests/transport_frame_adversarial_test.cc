@@ -63,7 +63,7 @@ TEST(FrameAdversarialTest, OversizedLengthFieldsAreRejected) {
     }
     const auto header = DecodeFrameHeader(frame.data(), frame.size());
     ASSERT_FALSE(header.ok()) << "accepted payload_len " << evil;
-    EXPECT_EQ(header.status().code(), StatusCode::kIoError);
+    EXPECT_EQ(header.status().code(), StatusCode::kDataLoss);
   }
 }
 
@@ -77,7 +77,7 @@ TEST(FrameAdversarialTest, EverySingleByteCorruptionOfPayloadIsCaught) {
                                  frame.end());
     payload[i] ^= 0x40;
     const Status s = CheckFramePayload(header.value(), payload);
-    EXPECT_EQ(s.code(), StatusCode::kIoError)
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss)
         << "corruption at payload byte " << i << " went undetected";
   }
 }
@@ -90,12 +90,12 @@ TEST(FrameAdversarialTest, PayloadLengthMismatchIsCaught) {
   std::vector<uint8_t> short_payload(frame.begin() + kFrameHeaderBytes,
                                      frame.end() - 1);
   EXPECT_EQ(CheckFramePayload(header.value(), short_payload).code(),
-            StatusCode::kIoError);
+            StatusCode::kDataLoss);
   std::vector<uint8_t> long_payload(frame.begin() + kFrameHeaderBytes,
                                     frame.end());
   long_payload.push_back(0);
   EXPECT_EQ(CheckFramePayload(header.value(), long_payload).code(),
-            StatusCode::kIoError);
+            StatusCode::kDataLoss);
 }
 
 // ---------------------------------------------------------------------
@@ -230,9 +230,14 @@ class RawPeer {
     return true;
   }
 
-  ~RawPeer() {
-    if (fd_ >= 0) ::close(fd_);
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
   }
+
+  ~RawPeer() { Close(); }
 
  private:
   int fd_ = -1;
@@ -288,7 +293,7 @@ TEST(TcpAdversarialTest, GarbageBytesAfterHandshakeFailReceive) {
 
   const auto msg = victim->Receive(0, 1, MessageTag::kPlainStats);
   ASSERT_FALSE(msg.ok());
-  EXPECT_EQ(msg.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(msg.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(TcpAdversarialTest, CorruptedCrcOnTheWireFailsReceive) {
@@ -304,7 +309,7 @@ TEST(TcpAdversarialTest, CorruptedCrcOnTheWireFailsReceive) {
 
   const auto received = victim->Receive(0, 1, MessageTag::kPlainStats);
   ASSERT_FALSE(received.ok());
-  EXPECT_EQ(received.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(received.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(TcpAdversarialTest, HelloTagAfterHandshakeFailsReceive) {
@@ -326,7 +331,54 @@ TEST(TcpAdversarialTest, HelloTagAfterHandshakeFailsReceive) {
 
   const auto received = victim->Receive(0, 1, MessageTag::kPlainStats);
   ASSERT_FALSE(received.ok());
-  EXPECT_EQ(received.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(received.status().code(), StatusCode::kDataLoss);
+}
+
+// A peer dying BETWEEN frames is a disconnect; a peer dying INSIDE a
+// frame is a disconnect that also cost us data. Both must surface as
+// Unavailable (not DeadlineExceeded — the link is gone, retrying is
+// pointless), and the mid-frame case must say so.
+
+TEST(TcpAdversarialTest, CleanCloseBetweenFramesIsUnavailable) {
+  RawPeer peer;
+  const uint16_t victim_port = FreePort();
+  auto victim = ConnectVictim(victim_port, FreePort(), &peer);
+  ASSERT_NE(victim, nullptr);
+
+  peer.Close();
+
+  const auto received = victim->Receive(0, 1, MessageTag::kPlainStats);
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kUnavailable)
+      << received.status();
+  EXPECT_NE(received.status().message().find("disconnected"),
+            std::string::npos)
+      << received.status();
+  EXPECT_EQ(received.status().message().find("mid-frame"), std::string::npos)
+      << received.status();
+}
+
+TEST(TcpAdversarialTest, KillBetweenHeaderAndPayloadIsMidFrameUnavailable) {
+  RawPeer peer;
+  const uint16_t victim_port = FreePort();
+  auto victim = ConnectVictim(victim_port, FreePort(), &peer);
+  ASSERT_NE(victim, nullptr);
+
+  // A complete header promising 64 payload bytes, then only 10 of them,
+  // then the sender dies.
+  Message msg = MakeMessage(64);
+  const std::vector<uint8_t> frame = EncodeFrame(msg);
+  const std::vector<uint8_t> partial(
+      frame.begin(), frame.begin() + kFrameHeaderBytes + 10);
+  ASSERT_TRUE(peer.SendRaw(partial));
+  peer.Close();
+
+  const auto received = victim->Receive(0, 1, MessageTag::kPlainStats);
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kUnavailable)
+      << received.status();
+  EXPECT_NE(received.status().message().find("mid-frame"), std::string::npos)
+      << received.status();
 }
 
 TEST(TcpAdversarialTest, MutationCorpusOnTheWireNeverCrashesTheVictim) {

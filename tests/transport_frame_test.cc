@@ -57,7 +57,7 @@ TEST(FrameTest, CrcCatchesCorruption) {
   const std::vector<uint8_t> payload(frame.begin() + kFrameHeaderBytes,
                                      frame.end());
   const Status s = CheckFramePayload(header.value(), payload);
-  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
 }
 
 TEST(FrameTest, RejectsBadMagic) {
@@ -65,7 +65,7 @@ TEST(FrameTest, RejectsBadMagic) {
   frame[0] ^= 0xFF;
   const auto header = DecodeFrameHeader(frame.data(), frame.size());
   ASSERT_FALSE(header.ok());
-  EXPECT_EQ(header.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(header.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(FrameTest, RejectsUnknownVersion) {
@@ -73,7 +73,7 @@ TEST(FrameTest, RejectsUnknownVersion) {
   frame[4] = 0x7F;  // version low byte
   const auto header = DecodeFrameHeader(frame.data(), frame.size());
   ASSERT_FALSE(header.ok());
-  EXPECT_EQ(header.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(header.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(FrameTest, RejectsOversizedPayloadLength) {
@@ -85,7 +85,7 @@ TEST(FrameTest, RejectsOversizedPayloadLength) {
   frame[19] = 0x80;
   const auto header = DecodeFrameHeader(frame.data(), frame.size());
   ASSERT_FALSE(header.ok());
-  EXPECT_EQ(header.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(header.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(FrameTest, RejectsTruncatedHeader) {

@@ -31,6 +31,9 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
   EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -42,6 +45,8 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 TEST(StatusCodeTest, NamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
 }
 
 TEST(ResultTest, HoldsValue) {
