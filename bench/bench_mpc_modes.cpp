@@ -37,7 +37,7 @@ void RunMode(benchmark::State& state, AggregationMode mode) {
   SecureVectorSum sum(&net, opts);
   auto setup = sum.Setup();
   DASH_CHECK(setup.ok());
-  const auto inputs = MakeInputs(parties, len, 42);
+  const auto inputs = ToSecretInputs(MakeInputs(parties, len, 42));
 
   net.metrics().Reset();
   int64_t runs = 0;

@@ -5,12 +5,21 @@ Usage:
   compare_bench.py CANDIDATE.json                      # pretty-print one file
   compare_bench.py BASELINE.json CANDIDATE.json        # compare, ratio table
   compare_bench.py BASELINE.json CANDIDATE.json --max-regression 1.10
+  compare_bench.py BASELINE.json CANDIDATE.json --gate-speedup
 
 Entries are matched by name. In compare mode the exit code is non-zero
 when any matched entry got slower than baseline by more than
 --max-regression (wall-time ratio candidate/baseline), or when matched
 entries disagree on their result checksum at equal shape — bit-identity
 is part of the contract, not just speed.
+
+--gate-speedup compares MACHINE-NORMALIZED speedups instead of raw wall
+times: each entry's time is divided by its scalar reference in the SAME
+file (`blocked/gaussian` vs `scalar/gaussian`, `sparse_blocked/…` vs
+`sparse_scalar/…`), so the checked-in baseline from one machine gates CI
+runs on another. An optimized kernel fails the gate when its candidate
+speedup falls below baseline_speedup / max-regression. Checksums are
+still compared whenever shapes match.
 """
 
 import argparse
@@ -44,13 +53,66 @@ def same_shape(a, b):
     return all(a.get(key) == b.get(key) for key in ("n", "m", "k", "p"))
 
 
+def scalar_reference(name):
+    """Name of the scalar entry an optimized kernel is normalized by.
+
+    `blocked/gaussian` -> `scalar/gaussian`; `sparse_blocked/genotype`
+    -> `sparse_scalar/genotype`. Returns None for the references
+    themselves (nothing to gate) and for unrecognized layouts.
+    """
+    if "/" not in name:
+        return None
+    variant, dataset = name.split("/", 1)
+    if variant in ("scalar", "sparse_scalar"):
+        return None
+    prefix = "sparse_scalar" if variant.startswith("sparse_") else "scalar"
+    return "%s/%s" % (prefix, dataset)
+
+
+def gate_speedups(base, cand, names, max_regression):
+    """Machine-normalized regression gate; returns a list of failures."""
+    failures = []
+    print("%-28s %10s %10s  %s"
+          % ("name", "base-spdup", "cand-spdup", "verdict"))
+    gated = 0
+    for name in names:
+        ref = scalar_reference(name)
+        if ref is None:
+            continue
+        if ref not in base or ref not in cand:
+            print("%-28s (no %s reference; skipped)" % (name, ref))
+            continue
+        base_speedup = base[ref]["ns"] / base[name]["ns"]
+        cand_speedup = cand[ref]["ns"] / cand[name]["ns"]
+        floor = base_speedup / max_regression
+        ok = cand_speedup >= floor
+        gated += 1
+        print("%-28s %9.2fx %9.2fx  %s"
+              % (name, base_speedup, cand_speedup,
+                 "ok" if ok else "REGRESSION (floor %.2fx)" % floor))
+        if not ok:
+            failures.append(
+                "%s: speedup over %s fell to %.2fx (baseline %.2fx, "
+                "floor %.2fx)" % (name, ref, cand_speedup, base_speedup,
+                                  floor))
+    if gated == 0:
+        failures.append("gate matched no optimized-kernel entries")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
     parser.add_argument("candidate", nargs="?")
     parser.add_argument("--max-regression", type=float, default=1.10,
                         help="fail when candidate/baseline wall time exceeds "
-                             "this ratio (default 1.10)")
+                             "this ratio (default 1.10); under "
+                             "--gate-speedup, the allowed shrink factor of "
+                             "the normalized speedup instead")
+    parser.add_argument("--gate-speedup", action="store_true",
+                        help="gate on machine-normalized speedups vs the "
+                             "in-file scalar reference instead of raw wall "
+                             "times (for cross-machine baselines)")
     args = parser.parse_args()
 
     if args.candidate is None:
@@ -79,11 +141,15 @@ def main():
         else:
             check = "shape-differs"
         flag = ""
-        if ratio > args.max_regression:
+        if not args.gate_speedup and ratio > args.max_regression:
             flag = "  <-- regression"
             failures.append("%s: %.2fx slower than baseline" % (name, ratio))
         print("%-28s %10s %10s %7.2fx  %s%s"
               % (name, fmt_ns(b["ns"]), fmt_ns(c["ns"]), ratio, check, flag))
+
+    if args.gate_speedup:
+        print()
+        failures += gate_speedups(base, cand, names, args.max_regression)
 
     for name in sorted(set(base) ^ set(cand)):
         which = "baseline" if name in base else "candidate"

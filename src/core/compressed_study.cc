@@ -146,7 +146,8 @@ Result<CompressedStudy::SecureOutput> CompressedStudy::SecureAggregate(
   sum_options.frac_bits = options.frac_bits;
   sum_options.seed = options.seed ^ 0xc0435;
   SecureVectorSum secure_sum(&network, sum_options);
-  DASH_ASSIGN_OR_RETURN(Vector totals, secure_sum.Run(flats));
+  DASH_ASSIGN_OR_RETURN(Vector totals,
+                        secure_sum.Run(ToSecretInputs(std::move(flats))));
 
   SecureOutput out;
   DASH_ASSIGN_OR_RETURN(out.study, Unflatten(totals, total, m, k, t));

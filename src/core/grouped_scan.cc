@@ -238,7 +238,8 @@ Result<SecureGroupedScanOutput> SecureGroupedScan(
   sum_options.frac_bits = options.frac_bits;
   sum_options.seed = options.seed;
   SecureVectorSum secure_sum(&network, sum_options);
-  DASH_ASSIGN_OR_RETURN(Vector totals, secure_sum.Run(flats));
+  DASH_ASSIGN_OR_RETURN(Vector totals,
+                        secure_sum.Run(ToSecretInputs(std::move(flats))));
 
   SecureGroupedScanOutput out;
   DASH_ASSIGN_OR_RETURN(

@@ -33,7 +33,8 @@ Result<SecureImputationOutput> SecureMeanImpute(
   sum_options.frac_bits = options.frac_bits;
   sum_options.seed = options.seed ^ 0x1255;
   SecureVectorSum secure_sum(&network, sum_options);
-  DASH_ASSIGN_OR_RETURN(Vector totals, secure_sum.Run(contributions));
+  DASH_ASSIGN_OR_RETURN(
+      Vector totals, secure_sum.Run(ToSecretInputs(std::move(contributions))));
 
   SecureImputationOutput out;
   out.total_missing = total_missing;

@@ -184,7 +184,8 @@ Result<SecureMultiPhenotypeOutput> SecureMultiPhenotypeScan(
   sum_options.frac_bits = options.frac_bits;
   sum_options.seed = options.seed;
   SecureVectorSum secure_sum(&network, sum_options);
-  DASH_ASSIGN_OR_RETURN(Vector flat_totals, secure_sum.Run(flattened));
+  DASH_ASSIGN_OR_RETURN(Vector flat_totals,
+                        secure_sum.Run(ToSecretInputs(std::move(flattened))));
 
   SecureMultiPhenotypeOutput out;
   DASH_ASSIGN_OR_RETURN(

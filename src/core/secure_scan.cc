@@ -206,7 +206,8 @@ Result<SecureScanOutput> SecureAssociationScan::Run(
       local_seconds += local_timer.ElapsedSeconds();
 
       protocol_timer.Reset();
-      DASH_ASSIGN_OR_RETURN(Vector header_totals, secure_sum.Run(headers));
+      DASH_ASSIGN_OR_RETURN(Vector header_totals,
+                            secure_sum.Run(ToSecretInputs(std::move(headers))));
       flat_totals.assign(
           static_cast<size_t>(StatsWireLayout{m, k}.total_len()), 0.0);
       ScatterHeaderTotals(header_totals, plan, &flat_totals);
@@ -237,7 +238,7 @@ Result<SecureScanOutput> SecureAssociationScan::Run(
             compute_block(b + 1, &next);
           }
         }
-        Result<Vector> block_totals = secure_sum.Run(cur);
+        Result<Vector> block_totals = secure_sum.Run(ToSecretInputs(cur));
         // Join the in-flight compute before any early return can tear
         // down the buffers it writes.
         if (has_next && pool != nullptr) pool->Wait();
@@ -261,7 +262,8 @@ Result<SecureScanOutput> SecureAssociationScan::Run(
 
       // Stage 4 (network): one secure-sum aggregation of everything.
       protocol_timer.Reset();
-      DASH_ASSIGN_OR_RETURN(flat_totals, secure_sum.Run(flattened));
+      DASH_ASSIGN_OR_RETURN(
+          flat_totals, secure_sum.Run(ToSecretInputs(std::move(flattened))));
       protocol_seconds += protocol_timer.ElapsedSeconds();
     }
 
@@ -290,8 +292,10 @@ Result<SecureScanOutput> SecureAssociationScan::Run(
 
     protocol_timer.Reset();
     std::vector<Vector> plain_parts;
-    std::vector<Vector> qty_summands;
-    std::vector<Matrix> qtx_summands;
+    // The projected summands are per-party private data and only ever
+    // enter the Beaver protocol — Secret from the moment they exist.
+    std::vector<Secret<Vector>> qty_summands;
+    std::vector<Secret<Matrix>> qtx_summands;
     plain_parts.reserve(static_cast<size_t>(num_parties));
     for (const auto& stats : party_stats) {
       Vector flat;
@@ -300,10 +304,12 @@ Result<SecureScanOutput> SecureAssociationScan::Run(
       flat.insert(flat.end(), stats.xy.begin(), stats.xy.end());
       flat.insert(flat.end(), stats.xx.begin(), stats.xx.end());
       plain_parts.push_back(std::move(flat));
-      qty_summands.push_back(stats.qty);
-      qtx_summands.push_back(stats.qtx);
+      qty_summands.push_back(Secret<Vector>(stats.qty));
+      qtx_summands.push_back(Secret<Matrix>(stats.qtx));
     }
-    DASH_ASSIGN_OR_RETURN(Vector plain_totals, secure_sum.Run(plain_parts));
+    DASH_ASSIGN_OR_RETURN(
+        Vector plain_totals,
+        secure_sum.Run(ToSecretInputs(std::move(plain_parts))));
 
     SecureProjectionOptions proj_options;
     proj_options.frac_bits = options_.projection_frac_bits;

@@ -1,5 +1,7 @@
 #include "mpc/additive_sharing.h"
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace dash {
@@ -22,37 +24,70 @@ uint64_t AdditiveReconstruct(const std::vector<uint64_t>& shares) {
   return sum;
 }
 
-std::vector<std::vector<uint64_t>> AdditiveShareVector(
-    const std::vector<uint64_t>& values, int n, Rng* rng) {
+std::vector<Secret<RingVector>> AdditiveShareVector(
+    const Secret<RingVector>& values, int n, Rng* rng) {
   DASH_CHECK_GE(n, 1);
-  std::vector<std::vector<uint64_t>> out(
-      static_cast<size_t>(n), std::vector<uint64_t>(values.size()));
-  for (size_t i = 0; i < values.size(); ++i) {
+  const RingVector& raw = values.Reveal(MpcPass::Get());
+  std::vector<RingVector> out(static_cast<size_t>(n),
+                              RingVector(raw.size()));
+  for (size_t i = 0; i < raw.size(); ++i) {
     uint64_t acc = 0;
     for (int j = 1; j < n; ++j) {
       const uint64_t s = rng->NextU64();
       out[static_cast<size_t>(j)][i] = s;
       acc += s;
     }
-    out[0][i] = values[i] - acc;
+    out[0][i] = raw[i] - acc;
   }
-  return out;
+  std::vector<Secret<RingVector>> wrapped;
+  wrapped.reserve(out.size());
+  for (auto& share : out) {
+    wrapped.emplace_back(std::move(share));
+  }
+  return wrapped;
 }
 
-Result<std::vector<uint64_t>> AdditiveReconstructVector(
-    const std::vector<std::vector<uint64_t>>& share_vectors) {
+Result<RingVector> AdditiveReconstructVector(
+    const std::vector<Secret<RingVector>>& share_vectors) {
   if (share_vectors.empty()) {
     return InvalidArgumentError("no share vectors to reconstruct");
   }
-  const size_t len = share_vectors[0].size();
-  std::vector<uint64_t> out(len, 0);
-  for (const auto& shares : share_vectors) {
+  const size_t len = share_vectors[0].Reveal(MpcPass::Get()).size();
+  RingVector out(len, 0);
+  for (const auto& wrapped : share_vectors) {
+    const RingVector& shares = wrapped.Reveal(MpcPass::Get());
     if (shares.size() != len) {
       return InvalidArgumentError("share vectors disagree in length");
     }
     for (size_t i = 0; i < len; ++i) out[i] += shares[i];
   }
   return out;
+}
+
+Result<Masked<RingVector>> AccumulateAdditiveShares(
+    const Secret<RingVector>& own_share,
+    const std::vector<RingVector>& received_shares) {
+  RingVector partial = own_share.Reveal(MpcPass::Get());
+  for (const RingVector& share : received_shares) {
+    if (share.size() != partial.size()) {
+      return InternalError("additive share length mismatch");
+    }
+    for (size_t e = 0; e < partial.size(); ++e) partial[e] += share[e];
+  }
+  return Masked<RingVector>::Seal(std::move(partial), MpcPass::Get());
+}
+
+Result<Vector> OpenAdditiveTotal(const Masked<RingVector>& own_partial,
+                                 const std::vector<RingVector>& peer_partials,
+                                 const FixedPointCodec& codec) {
+  RingVector total = own_partial.wire();
+  for (const RingVector& peer : peer_partials) {
+    if (peer.size() != total.size()) {
+      return InternalError("partial sum length mismatch");
+    }
+    for (size_t e = 0; e < total.size(); ++e) total[e] += peer[e];
+  }
+  return codec.DecodeVector(total);
 }
 
 }  // namespace dash

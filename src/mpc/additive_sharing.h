@@ -5,6 +5,11 @@
 // carry no information about v; only the full set reconstructs it. This
 // is the "simple secret sharing on tiny data" the paper's §3 invokes for
 // the secure sums.
+//
+// Share vectors are Secret<RingVector>: protocol code outside src/mpc/
+// can route them to SerializeShareForHolder (one share, to its holder)
+// or through the accumulate/open reveal points below, but cannot read
+// the raw words — see mpc/secrecy.h and DESIGN.md §11.
 
 #ifndef DASH_MPC_ADDITIVE_SHARING_H_
 #define DASH_MPC_ADDITIVE_SHARING_H_
@@ -12,25 +17,49 @@
 #include <cstdint>
 #include <vector>
 
+#include "mpc/fixed_point.h"
+#include "mpc/secrecy.h"
 #include "util/random.h"
 #include "util/status.h"
 
 namespace dash {
 
-// Splits `value` into `n` ring shares. Requires n >= 1.
-std::vector<uint64_t> AdditiveShare(uint64_t value, int n, Rng* rng);
+// Splits `value` into `n` ring shares. Requires n >= 1. Scalar legacy
+// primitive kept for the Beaver dealer and the unit tests; the return
+// vector is secret material despite its plain type.
+DASH_SECRET_SOURCE
+[[nodiscard]] std::vector<uint64_t> AdditiveShare(uint64_t value, int n,
+                                                  Rng* rng);
 
-// Sum of all shares (mod 2^64).
-uint64_t AdditiveReconstruct(const std::vector<uint64_t>& shares);
+// Sum of all shares (mod 2^64). Reveal point: requires the full set.
+[[nodiscard]] uint64_t AdditiveReconstruct(
+    const std::vector<uint64_t>& shares);
 
 // Element-wise sharing of a vector: result[j] is the j-th party's share
 // vector, result[j][i] a share of values[i]. Requires n >= 1.
-std::vector<std::vector<uint64_t>> AdditiveShareVector(
-    const std::vector<uint64_t>& values, int n, Rng* rng);
+[[nodiscard]] std::vector<Secret<RingVector>> AdditiveShareVector(
+    const Secret<RingVector>& values, int n, Rng* rng);
 
 // Element-wise reconstruction; all share vectors must have equal length.
-Result<std::vector<uint64_t>> AdditiveReconstructVector(
-    const std::vector<std::vector<uint64_t>>& share_vectors);
+// Reveal point (round-key phase2-additive): consumes the FULL share set,
+// so the output is exactly the value the protocol reveals anyway.
+Result<RingVector> AdditiveReconstructVector(
+    const std::vector<Secret<RingVector>>& share_vectors);
+
+// Folds the shares received from peers into the party's own kept share.
+// The result is a partial share-sum — individually uniform, hence
+// sealed Masked and safe to broadcast.
+Result<Masked<RingVector>> AccumulateAdditiveShares(
+    const Secret<RingVector>& own_share,
+    const std::vector<RingVector>& received_shares);
+
+// Opens the total from the party's own partial and every peer's
+// broadcast partial, and decodes it. Reveal point (round-key
+// phase2-additive): the sum of ALL partials is the aggregate total,
+// which is the protocol's declared output.
+Result<Vector> OpenAdditiveTotal(const Masked<RingVector>& own_partial,
+                                 const std::vector<RingVector>& peer_partials,
+                                 const FixedPointCodec& codec);
 
 }  // namespace dash
 

@@ -10,12 +10,12 @@ DealerTripleProvider::DealerTripleProvider(int num_parties, uint64_t seed)
   DASH_CHECK_GE(num_parties, 1);
 }
 
-std::vector<std::vector<BeaverTripleShare>> DealerTripleProvider::Deal(
+std::vector<std::vector<Secret<BeaverTripleShare>>> DealerTripleProvider::Deal(
     int64_t count) {
   DASH_CHECK_GE(count, 0);
-  std::vector<std::vector<BeaverTripleShare>> shares(
+  std::vector<std::vector<Secret<BeaverTripleShare>>> shares(
       static_cast<size_t>(num_parties_),
-      std::vector<BeaverTripleShare>(static_cast<size_t>(count)));
+      std::vector<Secret<BeaverTripleShare>>(static_cast<size_t>(count)));
   for (int64_t i = 0; i < count; ++i) {
     const uint64_t a = rng_.NextU64();
     const uint64_t b = rng_.NextU64();
@@ -25,12 +25,22 @@ std::vector<std::vector<BeaverTripleShare>> DealerTripleProvider::Deal(
     const auto sc = AdditiveShare(c, num_parties_, &rng_);
     for (int p = 0; p < num_parties_; ++p) {
       shares[static_cast<size_t>(p)][static_cast<size_t>(i)] =
-          BeaverTripleShare{sa[static_cast<size_t>(p)],
-                            sb[static_cast<size_t>(p)],
-                            sc[static_cast<size_t>(p)]};
+          Secret<BeaverTripleShare>(
+              BeaverTripleShare{sa[static_cast<size_t>(p)],
+                                sb[static_cast<size_t>(p)],
+                                sc[static_cast<size_t>(p)]});
     }
   }
   return shares;
+}
+
+uint64_t BeaverProductShare(uint64_t d, uint64_t e,
+                            const Secret<BeaverTripleShare>& triple,
+                            bool include_de) {
+  const BeaverTripleShare& t = triple.Reveal(MpcPass::Get());
+  uint64_t share = d * t.b + e * t.a + t.c;
+  if (include_de) share += d * e;
+  return share;
 }
 
 }  // namespace dash

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mpc/secrecy.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -35,14 +36,16 @@ struct BeaverTripleShare {
 
 // Dealer-simulated triple source: Deal(n) returns, for each party, n
 // triple shares such that the per-index share sums satisfy c = a * b
-// (mod 2^64) with a, b uniform.
+// (mod 2^64) with a, b uniform. Triple shares are Secret: a party's
+// (a, b, c) must never leave the process, only the masked d = x - a,
+// e = y - b openings do.
 class DealerTripleProvider {
  public:
   // num_parties >= 1; seed drives the dealer's randomness.
   DealerTripleProvider(int num_parties, uint64_t seed);
 
   // shares[p][i] is party p's share of triple i.
-  std::vector<std::vector<BeaverTripleShare>> Deal(int64_t count);
+  std::vector<std::vector<Secret<BeaverTripleShare>>> Deal(int64_t count);
 
   int num_parties() const { return num_parties_; }
 
@@ -54,14 +57,12 @@ class DealerTripleProvider {
 // Local Beaver reconstruction step: given the OPENED d and e and this
 // party's triple share, returns the party's additive share of x*y.
 // `include_de` must be true for exactly one party (it contributes the
-// public d*e term).
-inline uint64_t BeaverProductShare(uint64_t d, uint64_t e,
-                                   const BeaverTripleShare& t,
-                                   bool include_de) {
-  uint64_t share = d * t.b + e * t.a + t.c;
-  if (include_de) share += d * e;
-  return share;
-}
+// public d*e term). The result is a share — secret material despite
+// its plain type.
+DASH_SECRET_SOURCE
+[[nodiscard]] uint64_t BeaverProductShare(
+    uint64_t d, uint64_t e, const Secret<BeaverTripleShare>& triple,
+    bool include_de);
 
 }  // namespace dash
 

@@ -1,6 +1,7 @@
 #include "mpc/fixed_point.h"
 
 #include <cmath>
+#include <utility>
 
 #include "util/check.h"
 #include "util/strings.h"
@@ -46,6 +47,13 @@ Result<std::vector<uint64_t>> FixedPointCodec::EncodeVector(
     DASH_ASSIGN_OR_RETURN(out[i], TryEncode(values[i]));
   }
   return out;
+}
+
+Result<Secret<RingVector>> FixedPointCodec::EncodeSecretVector(
+    const Secret<Vector>& values) const {
+  DASH_ASSIGN_OR_RETURN(RingVector encoded,
+                        EncodeVector(values.Reveal(MpcPass::Get())));
+  return Secret<RingVector>(std::move(encoded));
 }
 
 Vector FixedPointCodec::DecodeVector(

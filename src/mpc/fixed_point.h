@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "linalg/vector_ops.h"
+#include "mpc/secrecy.h"
 #include "util/status.h"
 
 namespace dash {
@@ -47,6 +48,12 @@ class FixedPointCodec {
   // Element-wise vector forms.
   Result<std::vector<uint64_t>> EncodeVector(const Vector& values) const;
   Vector DecodeVector(const std::vector<uint64_t>& ring_values) const;
+
+  // Secrecy-preserving vector encode: a Secret in, a Secret out. This
+  // is the entry point protocol code uses on a party's private
+  // contribution; the raw EncodeVector remains for already-public data.
+  Result<Secret<RingVector>> EncodeSecretVector(
+      const Secret<Vector>& values) const;
 
  private:
   int frac_bits_;

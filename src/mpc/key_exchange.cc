@@ -4,25 +4,28 @@
 
 namespace dash {
 
-uint64_t DiffieHellman::GeneratePrivate(Rng* rng) {
+Secret<uint64_t> DiffieHellman::GeneratePrivate(Rng* rng) {
   for (;;) {
     const uint64_t a = FieldUniform(rng);
-    if (a >= 1 && a < kFieldPrime - 1) return a;
+    if (a >= 1 && a < kFieldPrime - 1) return Secret<uint64_t>(a);
   }
 }
 
-uint64_t DiffieHellman::PublicValue(uint64_t private_key) {
-  return FieldPow(kGenerator, private_key);
+uint64_t DiffieHellman::PublicValue(const Secret<uint64_t>& private_key) {
+  return FieldPow(kGenerator, private_key.Reveal(MpcPass::Get()));
 }
 
-uint64_t DiffieHellman::SharedSecret(uint64_t private_key,
-                                     uint64_t peer_public) {
-  return FieldPow(peer_public, private_key);
+Secret<uint64_t> DiffieHellman::SharedSecret(
+    const Secret<uint64_t>& private_key, uint64_t peer_public) {
+  return Secret<uint64_t>(
+      FieldPow(peer_public, private_key.Reveal(MpcPass::Get())));
 }
 
-ChaCha20Rng::Key DiffieHellman::DeriveKey(uint64_t shared_secret) {
+Secret<ChaCha20Rng::Key> DiffieHellman::DeriveKey(
+    const Secret<uint64_t>& shared_secret) {
   // SplitMix expansion of the group element into 256 bits.
-  return ChaCha20Rng::KeyFromSeed(shared_secret);
+  return Secret<ChaCha20Rng::Key>(
+      ChaCha20Rng::KeyFromSeed(shared_secret.Reveal(MpcPass::Get())));
 }
 
 }  // namespace dash

@@ -8,12 +8,17 @@
 // simulation substrate (it exercises the real protocol flow and byte
 // costs); a production deployment would swap in X25519. The protocol
 // layers above are agnostic to the key-agreement mechanism.
+//
+// Types (mpc/secrecy.h): the private exponent, the shared group
+// element, and the derived mask key are Secret; only PublicValue()
+// crosses the wire (round-key phase0b-keyagree).
 
 #ifndef DASH_MPC_KEY_EXCHANGE_H_
 #define DASH_MPC_KEY_EXCHANGE_H_
 
 #include <cstdint>
 
+#include "mpc/secrecy.h"
 #include "util/chacha20.h"
 #include "util/random.h"
 
@@ -24,16 +29,20 @@ class DiffieHellman {
   static constexpr uint64_t kGenerator = 3;
 
   // Samples a private exponent in [1, p-1).
-  static uint64_t GeneratePrivate(Rng* rng);
+  static Secret<uint64_t> GeneratePrivate(Rng* rng);
 
-  // g^private mod p.
-  static uint64_t PublicValue(uint64_t private_key);
+  // g^private mod p. Reveal point (round-key phase0b-keyagree): the
+  // public value hides the exponent behind the discrete log.
+  [[nodiscard]] static uint64_t PublicValue(
+      const Secret<uint64_t>& private_key);
 
   // (peer_public)^private mod p.
-  static uint64_t SharedSecret(uint64_t private_key, uint64_t peer_public);
+  static Secret<uint64_t> SharedSecret(const Secret<uint64_t>& private_key,
+                                       uint64_t peer_public);
 
   // Expands the shared group element into a 256-bit ChaCha20 key.
-  static ChaCha20Rng::Key DeriveKey(uint64_t shared_secret);
+  static Secret<ChaCha20Rng::Key> DeriveKey(
+      const Secret<uint64_t>& shared_secret);
 };
 
 }  // namespace dash

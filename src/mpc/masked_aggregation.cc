@@ -1,27 +1,45 @@
 #include "mpc/masked_aggregation.h"
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace dash {
 
-std::vector<uint64_t> ApplyPairwiseMasks(
-    int party_index, const std::vector<uint64_t>& values,
-    const std::vector<ChaCha20Rng::Key>& pairwise_keys, uint64_t round_nonce) {
+Masked<RingVector> ApplyPairwiseMasks(
+    int party_index, const Secret<RingVector>& values,
+    const std::vector<Secret<ChaCha20Rng::Key>>& pairwise_keys,
+    uint64_t round_nonce) {
   const int num_parties = static_cast<int>(pairwise_keys.size());
   DASH_CHECK(0 <= party_index && party_index < num_parties);
-  std::vector<uint64_t> out = values;
+  RingVector out = values.Reveal(MpcPass::Get());
   for (int q = 0; q < num_parties; ++q) {
     if (q == party_index) continue;
     // Both endpoints derive the same stream from the shared key and the
     // round nonce; the lower-indexed party adds, the higher subtracts.
-    ChaCha20Rng prg(pairwise_keys[static_cast<size_t>(q)], round_nonce);
+    ChaCha20Rng prg(pairwise_keys[static_cast<size_t>(q)].Reveal(
+                        MpcPass::Get()),
+                    round_nonce);
     if (party_index < q) {
       for (auto& v : out) v += prg.NextU64();
     } else {
       for (auto& v : out) v -= prg.NextU64();
     }
   }
-  return out;
+  return Masked<RingVector>::Seal(std::move(out), MpcPass::Get());
+}
+
+Result<Vector> OpenMaskedTotal(const Masked<RingVector>& own_masked,
+                               const std::vector<RingVector>& peer_masked,
+                               const FixedPointCodec& codec) {
+  RingVector total = own_masked.wire();
+  for (const RingVector& peer : peer_masked) {
+    if (peer.size() != total.size()) {
+      return InternalError("masked vector length mismatch");
+    }
+    for (size_t e = 0; e < total.size(); ++e) total[e] += peer[e];
+  }
+  return codec.DecodeVector(total);
 }
 
 }  // namespace dash

@@ -13,6 +13,10 @@
 // `round_nonce` must change between protocol invocations that reuse the
 // same pairwise keys; it selects a fresh ChaCha20 stream so masks are
 // never reused.
+//
+// Types (mpc/secrecy.h): the input contribution and the pairwise keys
+// are Secret; the output carries the masks and is sealed Masked — the
+// one buffer of this mode that is safe to broadcast.
 
 #ifndef DASH_MPC_MASKED_AGGREGATION_H_
 #define DASH_MPC_MASKED_AGGREGATION_H_
@@ -20,16 +24,28 @@
 #include <cstdint>
 #include <vector>
 
+#include "mpc/fixed_point.h"
+#include "mpc/secrecy.h"
 #include "util/chacha20.h"
 
 namespace dash {
 
 // Applies party `party_index`'s masks for one aggregation round.
 // pairwise_keys[q] is the key shared with party q (entry `party_index`
-// itself is ignored). Returns values + masks (wrapping).
-std::vector<uint64_t> ApplyPairwiseMasks(
-    int party_index, const std::vector<uint64_t>& values,
-    const std::vector<ChaCha20Rng::Key>& pairwise_keys, uint64_t round_nonce);
+// itself is ignored). Returns values + masks (wrapping), sealed for the
+// wire.
+Masked<RingVector> ApplyPairwiseMasks(
+    int party_index, const Secret<RingVector>& values,
+    const std::vector<Secret<ChaCha20Rng::Key>>& pairwise_keys,
+    uint64_t round_nonce);
+
+// Opens the total from the party's own masked vector and every peer's
+// broadcast one, and decodes it. Reveal point (round-key phase2-masked):
+// the pairwise masks cancel in the sum of ALL vectors, so the output is
+// exactly the aggregate the protocol reveals.
+Result<Vector> OpenMaskedTotal(const Masked<RingVector>& own_masked,
+                               const std::vector<RingVector>& peer_masked,
+                               const FixedPointCodec& codec);
 
 }  // namespace dash
 

@@ -1,0 +1,69 @@
+#include "mpc/secrecy.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "net/serialization.h"
+
+namespace dash {
+namespace {
+
+// Keep the site list bounded: a pipelined scan declassifies once per
+// block in public mode, and the audit must not grow without limit.
+constexpr size_t kMaxRecordedSites = 256;
+
+std::atomic<int64_t> g_declassify_count{0};
+
+std::mutex& SitesMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<std::string>& SitesLocked() {
+  static std::vector<std::string> sites;
+  return sites;
+}
+
+}  // namespace
+
+int64_t SecrecyAudit::count() {
+  return g_declassify_count.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> SecrecyAudit::Sites() {
+  std::lock_guard<std::mutex> lock(SitesMutex());
+  return SitesLocked();
+}
+
+void SecrecyAudit::Record(const DeclassifyContext& ctx) {
+  g_declassify_count.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(SitesMutex());
+  auto& sites = SitesLocked();
+  if (sites.size() >= kMaxRecordedSites) return;
+  std::string site = std::string(ctx.file) + ":" + std::to_string(ctx.line) +
+                     ": " + ctx.reason;
+  if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
+    sites.push_back(std::move(site));
+  }
+}
+
+void SecrecyAudit::ResetForTest() {
+  g_declassify_count.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(SitesMutex());
+  SitesLocked().clear();
+}
+
+std::vector<uint8_t> MaskAndSerialize(const Masked<RingVector>& masked) {
+  ByteWriter w;
+  w.PutU64Vector(masked.wire());
+  return w.Take();
+}
+
+std::vector<uint8_t> SerializeShareForHolder(const Secret<RingVector>& share) {
+  ByteWriter w;
+  w.PutU64Vector(share.Reveal(MpcPass::Get()));
+  return w.Take();
+}
+
+}  // namespace dash

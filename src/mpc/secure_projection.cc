@@ -2,8 +2,8 @@
 
 #include <cmath>
 #include <string>
+#include <utility>
 
-#include "net/serialization.h"
 #include "util/check.h"
 
 namespace dash {
@@ -31,19 +31,21 @@ SecureProjectedAggregation::SecureProjectedAggregation(
 }
 
 Result<ProjectedStats> SecureProjectedAggregation::Run(
-    const std::vector<Vector>& qty_summands,
-    const std::vector<Matrix>& qtx_summands) {
+    const std::vector<Secret<Vector>>& qty_summands,
+    const std::vector<Secret<Matrix>>& qtx_summands) {
   const int p = network_->num_parties();
   if (static_cast<int>(qty_summands.size()) != p ||
       static_cast<int>(qtx_summands.size()) != p) {
     return InvalidArgumentError("expected one summand per party");
   }
-  const int64_t k = static_cast<int64_t>(qty_summands[0].size());
-  const int64_t m = qtx_summands[0].cols();
+  constexpr MpcPass pass = MpcPass::Get();
+  const int64_t k = static_cast<int64_t>(qty_summands[0].Reveal(pass).size());
+  const int64_t m = qtx_summands[0].Reveal(pass).cols();
   for (int i = 0; i < p; ++i) {
-    if (static_cast<int64_t>(qty_summands[static_cast<size_t>(i)].size()) != k ||
-        qtx_summands[static_cast<size_t>(i)].rows() != k ||
-        qtx_summands[static_cast<size_t>(i)].cols() != m) {
+    if (static_cast<int64_t>(
+            qty_summands[static_cast<size_t>(i)].Reveal(pass).size()) != k ||
+        qtx_summands[static_cast<size_t>(i)].Reveal(pass).rows() != k ||
+        qtx_summands[static_cast<size_t>(i)].Reveal(pass).cols() != m) {
       return InvalidArgumentError("summand shapes disagree across parties");
     }
   }
@@ -63,16 +65,18 @@ Result<ProjectedStats> SecureProjectedAggregation::Run(
                 static_cast<double>(k)) /
       static_cast<double>(p);
   for (int i = 0; i < p; ++i) {
-    double worst = MaxAbs(qty_summands[static_cast<size_t>(i)]);
-    for (int64_t e = 0; e < qtx_summands[static_cast<size_t>(i)].size(); ++e) {
-      worst = std::max(worst,
-                       std::fabs(qtx_summands[static_cast<size_t>(i)].data()[e]));
+    double worst = MaxAbs(qty_summands[static_cast<size_t>(i)].Reveal(pass));
+    const Matrix& qtx_i = qtx_summands[static_cast<size_t>(i)].Reveal(pass);
+    for (int64_t e = 0; e < qtx_i.size(); ++e) {
+      worst = std::max(worst, std::fabs(qtx_i.data()[e]));
     }
     if (!(worst <= bound)) {
+      // The offending magnitude is secret-derived and deliberately kept
+      // out of the (loggable) error message; only the public bound is
+      // reported.
       return OutOfRangeError(
-          "projected summand magnitude " + std::to_string(worst) +
-          " exceeds Beaver fixed-point headroom " + std::to_string(bound) +
-          "; lower frac_bits");
+          "projected summand magnitude exceeds Beaver fixed-point headroom " +
+          std::to_string(bound) + "; lower frac_bits");
     }
   }
 
@@ -86,8 +90,8 @@ Result<ProjectedStats> SecureProjectedAggregation::Run(
   // Per-party ring encodings of the (x, y) operands per multiplication.
   const auto operands_for = [&](int party, int64_t mult,
                                 uint64_t* x, uint64_t* y) {
-    const Vector& qty = qty_summands[static_cast<size_t>(party)];
-    const Matrix& qtx = qtx_summands[static_cast<size_t>(party)];
+    const Vector& qty = qty_summands[static_cast<size_t>(party)].Reveal(pass);
+    const Matrix& qtx = qtx_summands[static_cast<size_t>(party)].Reveal(pass);
     if (mult < k) {
       const uint64_t u = RingEncode(qty[static_cast<size_t>(mult)], scale);
       *x = u;
@@ -108,31 +112,32 @@ Result<ProjectedStats> SecureProjectedAggregation::Run(
   };
 
   // Round 1: every party broadcasts its shares of d = x - a, e = y - b.
+  // Each d/e share is offset by a uniform triple component, so it is
+  // individually uniform — sealed Masked for the wire.
   network_->BeginRound();
-  std::vector<std::vector<uint64_t>> de_shares(
-      static_cast<size_t>(p),
-      std::vector<uint64_t>(static_cast<size_t>(2 * total_mults)));
+  std::vector<Masked<RingVector>> de_shares(static_cast<size_t>(p));
   for (int i = 0; i < p; ++i) {
-    auto& mine = de_shares[static_cast<size_t>(i)];
+    RingVector mine(static_cast<size_t>(2 * total_mults));
     for (int64_t t = 0; t < total_mults; ++t) {
       uint64_t x = 0;
       uint64_t y = 0;
       operands_for(i, t, &x, &y);
       const BeaverTripleShare& share =
-          triples[static_cast<size_t>(i)][static_cast<size_t>(t)];
+          triples[static_cast<size_t>(i)][static_cast<size_t>(t)].Reveal(pass);
       mine[static_cast<size_t>(2 * t)] = x - share.a;
       mine[static_cast<size_t>(2 * t + 1)] = y - share.b;
     }
-    ByteWriter w;
-    w.PutU64Vector(mine);
+    de_shares[static_cast<size_t>(i)] =
+        Masked<RingVector>::Seal(std::move(mine), pass);
     DASH_RETURN_IF_ERROR(
-        network_->Broadcast(i, MessageTag::kMaskedValue, w.Take()));
+        network_->Broadcast(i, MessageTag::kMaskedValue,
+                            MaskAndSerialize(de_shares[static_cast<size_t>(i)])));
   }
   // Open d, e (every party computes the same sums; we drain symmetric
   // copies after computing the canonical view).
   std::vector<uint64_t> opened(static_cast<size_t>(2 * total_mults), 0);
   for (int i = 0; i < p; ++i) {
-    const auto& mine = de_shares[static_cast<size_t>(i)];
+    const auto& mine = de_shares[static_cast<size_t>(i)].wire();
     for (size_t e = 0; e < opened.size(); ++e) opened[e] += mine[e];
   }
   for (int to = 0; to < p; ++to) {
@@ -146,10 +151,9 @@ Result<ProjectedStats> SecureProjectedAggregation::Run(
   // Local: product shares, folded into each party's share of the three
   // result families.
   const size_t result_len = static_cast<size_t>(2 * m + 1);
-  std::vector<std::vector<uint64_t>> result_shares(
-      static_cast<size_t>(p), std::vector<uint64_t>(result_len, 0));
+  std::vector<Masked<RingVector>> result_shares(static_cast<size_t>(p));
   for (int i = 0; i < p; ++i) {
-    auto& mine = result_shares[static_cast<size_t>(i)];
+    RingVector mine(result_len, 0);
     const bool adds_de = (i == 0);
     for (int64_t t = 0; t < total_mults; ++t) {
       const uint64_t d = opened[static_cast<size_t>(2 * t)];
@@ -168,20 +172,22 @@ Result<ProjectedStats> SecureProjectedAggregation::Run(
       }
       mine[slot] += prod;
     }
+    result_shares[static_cast<size_t>(i)] =
+        Masked<RingVector>::Seal(std::move(mine), pass);
   }
 
-  // Round 2: open the results.
+  // Round 2: open the results. A result share is one additive share of
+  // the revealed scalars — individually uniform, hence Masked.
   network_->BeginRound();
   for (int i = 0; i < p; ++i) {
-    ByteWriter w;
-    w.PutU64Vector(result_shares[static_cast<size_t>(i)]);
     DASH_RETURN_IF_ERROR(
-        network_->Broadcast(i, MessageTag::kPartialSum, w.Take()));
+        network_->Broadcast(i, MessageTag::kPartialSum,
+                            MaskAndSerialize(result_shares[static_cast<size_t>(i)])));
   }
   std::vector<uint64_t> totals(result_len, 0);
   for (int i = 0; i < p; ++i) {
     for (size_t e = 0; e < result_len; ++e) {
-      totals[e] += result_shares[static_cast<size_t>(i)][e];
+      totals[e] += result_shares[static_cast<size_t>(i)].wire()[e];
     }
   }
   for (int to = 0; to < p; ++to) {

@@ -32,6 +32,7 @@
 
 #include "linalg/matrix.h"
 #include "mpc/beaver.h"
+#include "mpc/secrecy.h"
 #include "transport/transport.h"
 #include "util/status.h"
 
@@ -60,9 +61,12 @@ class SecureProjectedAggregation {
   // qty_summands[p] is party p's K-vector summand of Qᵀy;
   // qtx_summands[p] its K x M summand of QᵀX. Shapes must agree across
   // parties; values must fit the fixed-point headroom (OutOfRange
-  // otherwise).
-  Result<ProjectedStats> Run(const std::vector<Vector>& qty_summands,
-                             const std::vector<Matrix>& qtx_summands);
+  // otherwise). Summands are per-party private data, hence Secret
+  // (mpc/secrecy.h); only the masked d/e openings and the opened result
+  // scalars cross the wire.
+  Result<ProjectedStats> Run(
+      const std::vector<Secret<Vector>>& qty_summands,
+      const std::vector<Secret<Matrix>>& qtx_summands);
 
  private:
   Transport* network_;

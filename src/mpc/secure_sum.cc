@@ -7,7 +7,6 @@
 #include "mpc/additive_sharing.h"
 #include "mpc/key_exchange.h"
 #include "mpc/masked_aggregation.h"
-#include "mpc/prime_field.h"
 #include "mpc/shamir.h"
 #include "net/serialization.h"
 #include "util/check.h"
@@ -48,7 +47,7 @@ Status SecureVectorSum::Setup() {
     // Diffie-Hellman: every party broadcasts g^a_p, then derives one key
     // per peer. One 8-byte message per ordered pair.
     network_->BeginRound();
-    std::vector<uint64_t> privates(static_cast<size_t>(p));
+    std::vector<Secret<uint64_t>> privates(static_cast<size_t>(p));
     for (int i = 0; i < p; ++i) {
       privates[static_cast<size_t>(i)] =
           DiffieHellman::GeneratePrivate(&party_rngs_[static_cast<size_t>(i)]);
@@ -59,7 +58,7 @@ Status SecureVectorSum::Setup() {
     }
     pairwise_keys_.assign(
         static_cast<size_t>(p),
-        std::vector<ChaCha20Rng::Key>(static_cast<size_t>(p)));
+        std::vector<Secret<ChaCha20Rng::Key>>(static_cast<size_t>(p)));
     for (int i = 0; i < p; ++i) {
       for (int q = 0; q < p; ++q) {
         if (q == i) continue;
@@ -67,7 +66,7 @@ Status SecureVectorSum::Setup() {
                               network_->Receive(i, q, MessageTag::kPublicKey));
         ByteReader r(msg.payload);
         DASH_ASSIGN_OR_RETURN(uint64_t peer_public, r.GetU64());
-        const uint64_t shared = DiffieHellman::SharedSecret(
+        const Secret<uint64_t> shared = DiffieHellman::SharedSecret(
             privates[static_cast<size_t>(i)], peer_public);
         pairwise_keys_[static_cast<size_t>(i)][static_cast<size_t>(q)] =
             DiffieHellman::DeriveKey(shared);
@@ -80,26 +79,38 @@ Status SecureVectorSum::Setup() {
   return Status::Ok();
 }
 
+std::vector<Secret<Vector>> ToSecretInputs(std::vector<Vector> inputs) {
+  std::vector<Secret<Vector>> out;
+  out.reserve(inputs.size());
+  for (auto& v : inputs) out.emplace_back(std::move(v));
+  return out;
+}
+
 Status SecureVectorSum::ValidateInputs(
-    const std::vector<Vector>& inputs) const {
+    const std::vector<Secret<Vector>>& inputs) const {
   if (static_cast<int>(inputs.size()) != network_->num_parties()) {
     return InvalidArgumentError(
         "expected one input vector per party (" +
         std::to_string(network_->num_parties()) + "), got " +
         std::to_string(inputs.size()));
   }
+  // Shape is public metadata; reading it stays inside the MPC layer.
+  const size_t len = inputs[0].Reveal(MpcPass::Get()).size();
   for (const auto& v : inputs) {
-    if (v.size() != inputs[0].size()) {
+    if (v.Reveal(MpcPass::Get()).size() != len) {
       return InvalidArgumentError("party inputs disagree in length");
     }
   }
   return Status::Ok();
 }
 
-Result<Vector> SecureVectorSum::Run(const std::vector<Vector>& inputs) {
+Result<Vector> SecureVectorSum::Run(const std::vector<Secret<Vector>>& inputs) {
   DASH_RETURN_IF_ERROR(Setup());
   DASH_RETURN_IF_ERROR(ValidateInputs(inputs));
-  if (network_->num_parties() == 1) return inputs[0];
+  if (network_->num_parties() == 1) {
+    return DASH_DECLASSIFY(
+        inputs[0], "phase2-single: a single party's total IS its own input");
+  }
   ++round_nonce_;
   switch (options_.mode) {
     case AggregationMode::kPublicShare:
@@ -115,23 +126,33 @@ Result<Vector> SecureVectorSum::Run(const std::vector<Vector>& inputs) {
 }
 
 Result<double> SecureVectorSum::RunScalar(const std::vector<double>& inputs) {
-  std::vector<Vector> wrapped(inputs.size());
-  for (size_t i = 0; i < inputs.size(); ++i) wrapped[i] = Vector{inputs[i]};
+  std::vector<Secret<Vector>> wrapped;
+  wrapped.reserve(inputs.size());
+  for (const double x : inputs) wrapped.emplace_back(Vector{x});
   DASH_ASSIGN_OR_RETURN(Vector total, Run(wrapped));
   return total[0];
 }
 
-Result<Vector> SecureVectorSum::RunPublic(const std::vector<Vector>& inputs) {
+Result<Vector> SecureVectorSum::RunPublic(
+    const std::vector<Secret<Vector>>& inputs) {
   const int p = network_->num_parties();
+  // The public-share baseline deliberately reveals every summand; this
+  // is the protocol's documented insecure mode, not a leak.
+  std::vector<Vector> plain;
+  plain.reserve(inputs.size());
+  for (const auto& input : inputs) {
+    plain.push_back(DASH_DECLASSIFY(
+        input, "phase2-public: baseline broadcasts plaintext summands"));
+  }
   network_->BeginRound();
   for (int i = 0; i < p; ++i) {
     ByteWriter w;
-    w.PutDoubleVector(inputs[static_cast<size_t>(i)]);
+    w.PutDoubleVector(plain[static_cast<size_t>(i)]);
     DASH_RETURN_IF_ERROR(
         network_->Broadcast(i, MessageTag::kPlainStats, w.Take()));
   }
   // Every party computes the identical total; we return party 0's view.
-  Vector total = inputs[0];
+  Vector total = plain[0];
   for (int q = 1; q < p; ++q) {
     DASH_ASSIGN_OR_RETURN(Message msg,
                           network_->Receive(0, q, MessageTag::kPlainStats));
@@ -153,62 +174,63 @@ Result<Vector> SecureVectorSum::RunPublic(const std::vector<Vector>& inputs) {
   return total;
 }
 
-Result<Vector> SecureVectorSum::RunAdditive(const std::vector<Vector>& inputs) {
+Result<Vector> SecureVectorSum::RunAdditive(
+    const std::vector<Secret<Vector>>& inputs) {
   const int p = network_->num_parties();
-  const size_t len = inputs[0].size();
 
   // Phase 1: share distribution. Party i keeps its own share and sends
-  // share j to party j.
+  // share j to party j (one share per holder — the sanctioned
+  // SerializeShareForHolder reveal point).
   network_->BeginRound();
-  std::vector<std::vector<uint64_t>> kept(static_cast<size_t>(p));
+  std::vector<Secret<RingVector>> kept(static_cast<size_t>(p));
   for (int i = 0; i < p; ++i) {
-    DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> encoded,
-                          codec_.EncodeVector(inputs[static_cast<size_t>(i)]));
+    DASH_ASSIGN_OR_RETURN(
+        Secret<RingVector> encoded,
+        codec_.EncodeSecretVector(inputs[static_cast<size_t>(i)]));
     auto shares =
         AdditiveShareVector(encoded, p, &party_rngs_[static_cast<size_t>(i)]);
     kept[static_cast<size_t>(i)] = std::move(shares[static_cast<size_t>(i)]);
     for (int j = 0; j < p; ++j) {
       if (j == i) continue;
-      ByteWriter w;
-      w.PutU64Vector(shares[static_cast<size_t>(j)]);
       DASH_RETURN_IF_ERROR(
-          network_->Send(i, j, MessageTag::kAdditiveShare, w.Take()));
+          network_->Send(i, j, MessageTag::kAdditiveShare,
+                         SerializeShareForHolder(shares[static_cast<size_t>(j)])));
     }
   }
 
   // Phase 2: each party sums the shares it holds and broadcasts the
-  // partial; partials are uniformly random individually.
+  // partial; partials are uniformly random individually (hence Masked).
   network_->BeginRound();
-  std::vector<std::vector<uint64_t>> partials(static_cast<size_t>(p));
+  std::vector<Masked<RingVector>> partials(static_cast<size_t>(p));
   for (int j = 0; j < p; ++j) {
-    std::vector<uint64_t> partial = std::move(kept[static_cast<size_t>(j)]);
+    std::vector<RingVector> received;
+    received.reserve(static_cast<size_t>(p - 1));
     for (int i = 0; i < p; ++i) {
       if (i == j) continue;
       DASH_ASSIGN_OR_RETURN(
           Message msg, network_->Receive(j, i, MessageTag::kAdditiveShare));
       ByteReader r(msg.payload);
-      DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> share, r.GetU64Vector());
-      if (share.size() != len) {
-        return InternalError("additive share length mismatch");
-      }
-      for (size_t e = 0; e < len; ++e) partial[e] += share[e];
+      DASH_ASSIGN_OR_RETURN(RingVector share, r.GetU64Vector());
+      received.push_back(std::move(share));
     }
-    ByteWriter w;
-    w.PutU64Vector(partial);
-    DASH_RETURN_IF_ERROR(
-        network_->Broadcast(j, MessageTag::kPartialSum, w.Take()));
+    DASH_ASSIGN_OR_RETURN(
+        Masked<RingVector> partial,
+        AccumulateAdditiveShares(kept[static_cast<size_t>(j)], received));
+    DASH_RETURN_IF_ERROR(network_->Broadcast(j, MessageTag::kPartialSum,
+                                             MaskAndSerialize(partial)));
     partials[static_cast<size_t>(j)] = std::move(partial);
   }
 
-  // Phase 3: everyone sums the partials; we return party 0's view and
-  // drain the symmetric messages.
-  std::vector<uint64_t> total = partials[0];
+  // Phase 3: everyone opens the total from the partials; we return
+  // party 0's view and drain the symmetric messages.
+  std::vector<RingVector> peer_partials;
+  peer_partials.reserve(static_cast<size_t>(p - 1));
   for (int q = 1; q < p; ++q) {
     DASH_ASSIGN_OR_RETURN(Message msg,
                           network_->Receive(0, q, MessageTag::kPartialSum));
     ByteReader r(msg.payload);
-    DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> partial, r.GetU64Vector());
-    for (size_t e = 0; e < len; ++e) total[e] += partial[e];
+    DASH_ASSIGN_OR_RETURN(RingVector partial, r.GetU64Vector());
+    peer_partials.push_back(std::move(partial));
   }
   for (int i = 1; i < p; ++i) {
     for (int q = 0; q < p; ++q) {
@@ -217,42 +239,40 @@ Result<Vector> SecureVectorSum::RunAdditive(const std::vector<Vector>& inputs) {
           network_->Receive(i, q, MessageTag::kPartialSum).status());
     }
   }
-  return codec_.DecodeVector(total);
+  return OpenAdditiveTotal(partials[0], peer_partials, codec_);
 }
 
-Result<Vector> SecureVectorSum::RunMasked(const std::vector<Vector>& inputs) {
+Result<Vector> SecureVectorSum::RunMasked(
+    const std::vector<Secret<Vector>>& inputs) {
   const int p = network_->num_parties();
-  const size_t len = inputs[0].size();
 
-  // Single round: broadcast masked contributions.
+  // Single round: broadcast masked contributions. Party 0's sealed
+  // vector doubles as its own summand when opening the total below
+  // (ChaCha20 streams are deterministic, so this is bit-identical to
+  // recomputing it).
   network_->BeginRound();
+  Masked<RingVector> own_masked;
   for (int i = 0; i < p; ++i) {
-    DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> encoded,
-                          codec_.EncodeVector(inputs[static_cast<size_t>(i)]));
-    std::vector<uint64_t> masked = ApplyPairwiseMasks(
+    DASH_ASSIGN_OR_RETURN(
+        Secret<RingVector> encoded,
+        codec_.EncodeSecretVector(inputs[static_cast<size_t>(i)]));
+    Masked<RingVector> masked = ApplyPairwiseMasks(
         i, encoded, pairwise_keys_[static_cast<size_t>(i)], round_nonce_);
-    ByteWriter w;
-    w.PutU64Vector(masked);
-    DASH_RETURN_IF_ERROR(
-        network_->Broadcast(i, MessageTag::kMaskedValue, w.Take()));
+    DASH_RETURN_IF_ERROR(network_->Broadcast(i, MessageTag::kMaskedValue,
+                                             MaskAndSerialize(masked)));
+    if (i == 0) own_masked = std::move(masked);
   }
 
   // Every party sums all P masked vectors (its own included); the masks
   // cancel pairwise. Party 0's view is returned, the rest drained.
-  DASH_ASSIGN_OR_RETURN(
-      std::vector<uint64_t> own,
-      codec_.EncodeVector(inputs[0]));
-  std::vector<uint64_t> total =
-      ApplyPairwiseMasks(0, own, pairwise_keys_[0], round_nonce_);
+  std::vector<RingVector> peer_masked;
+  peer_masked.reserve(static_cast<size_t>(p - 1));
   for (int q = 1; q < p; ++q) {
     DASH_ASSIGN_OR_RETURN(Message msg,
                           network_->Receive(0, q, MessageTag::kMaskedValue));
     ByteReader r(msg.payload);
-    DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> masked, r.GetU64Vector());
-    if (masked.size() != len) {
-      return InternalError("masked vector length mismatch");
-    }
-    for (size_t e = 0; e < len; ++e) total[e] += masked[e];
+    DASH_ASSIGN_OR_RETURN(RingVector masked, r.GetU64Vector());
+    peer_masked.push_back(std::move(masked));
   }
   for (int i = 1; i < p; ++i) {
     for (int q = 0; q < p; ++q) {
@@ -261,12 +281,12 @@ Result<Vector> SecureVectorSum::RunMasked(const std::vector<Vector>& inputs) {
           network_->Receive(i, q, MessageTag::kMaskedValue).status());
     }
   }
-  return codec_.DecodeVector(total);
+  return OpenMaskedTotal(own_masked, peer_masked, codec_);
 }
 
-Result<Vector> SecureVectorSum::RunShamir(const std::vector<Vector>& inputs) {
+Result<Vector> SecureVectorSum::RunShamir(
+    const std::vector<Secret<Vector>>& inputs) {
   const int p = network_->num_parties();
-  const size_t len = inputs[0].size();
   const int threshold =
       (options_.shamir_threshold >= 0) ? options_.shamir_threshold
                                        : (p - 1) / 2;
@@ -276,8 +296,8 @@ Result<Vector> SecureVectorSum::RunShamir(const std::vector<Vector>& inputs) {
   // The 61-bit field offers less headroom than the 64-bit ring.
   const double field_max =
       std::ldexp(1.0, 60 - options_.frac_bits) / static_cast<double>(p);
-  for (const auto& v : inputs) {
-    for (const double x : v) {
+  for (const auto& input : inputs) {
+    for (const double x : input.Reveal(MpcPass::Get())) {
       if (!(x > -field_max && x < field_max)) {
         return OutOfRangeError(
             "input exceeds Shamir field headroom; lower frac_bits");
@@ -285,35 +305,27 @@ Result<Vector> SecureVectorSum::RunShamir(const std::vector<Vector>& inputs) {
     }
   }
 
-  // Phase 1: distribute shares (party j gets the evaluation at x = j+1).
+  // Phase 1: distribute shares (party j gets the evaluation at x = j+1,
+  // one share per holder via SerializeShareForHolder).
   network_->BeginRound();
-  std::vector<std::vector<uint64_t>> held(
-      static_cast<size_t>(p), std::vector<uint64_t>(len, 0));
+  std::vector<Secret<RingVector>> own_kept(static_cast<size_t>(p));
   for (int i = 0; i < p; ++i) {
     // Field-encode the fixed-point quantization of each element.
-    std::vector<uint64_t> encoded(len);
-    for (size_t e = 0; e < len; ++e) {
-      DASH_ASSIGN_OR_RETURN(uint64_t ring,
-                            codec_.TryEncode(inputs[static_cast<size_t>(i)][e]));
-      encoded[e] = FieldEncodeSigned(static_cast<int64_t>(ring));
-    }
+    DASH_ASSIGN_OR_RETURN(
+        Secret<RingVector> encoded,
+        ShamirFieldEncode(codec_, inputs[static_cast<size_t>(i)], p));
     DASH_ASSIGN_OR_RETURN(
         auto shares,
-        ShamirSplitVector(encoded, p, threshold,
-                          &party_rngs_[static_cast<size_t>(i)]));
+        ShamirShareVectorForParties(encoded, p, threshold,
+                                    &party_rngs_[static_cast<size_t>(i)]));
     for (int j = 0; j < p; ++j) {
-      std::vector<uint64_t> ys(len);
-      for (size_t e = 0; e < len; ++e) ys[e] = shares[static_cast<size_t>(j)][e].y;
       if (j == i) {
-        for (size_t e = 0; e < len; ++e) {
-          held[static_cast<size_t>(j)][e] =
-              FieldAdd(held[static_cast<size_t>(j)][e], ys[e]);
-        }
+        own_kept[static_cast<size_t>(j)] =
+            std::move(shares[static_cast<size_t>(j)]);
       } else {
-        ByteWriter w;
-        w.PutU64Vector(ys);
-        DASH_RETURN_IF_ERROR(
-            network_->Send(i, j, MessageTag::kShamirShare, w.Take()));
+        DASH_RETURN_IF_ERROR(network_->Send(
+            i, j, MessageTag::kShamirShare,
+            SerializeShareForHolder(shares[static_cast<size_t>(j)])));
       }
     }
   }
@@ -330,24 +342,26 @@ Result<Vector> SecureVectorSum::RunShamir(const std::vector<Vector>& inputs) {
   const int survivors = p - dropouts;
 
   // Phase 2: each surviving party sums the shares it holds (a share of
-  // the total by linearity) and broadcasts it to the other survivors.
+  // the total by linearity — individually uniform, hence Masked) and
+  // broadcasts it to the other survivors.
   network_->BeginRound();
+  std::vector<Masked<RingVector>> held(static_cast<size_t>(survivors));
   for (int j = 0; j < survivors; ++j) {
+    std::vector<RingVector> received;
+    received.reserve(static_cast<size_t>(p - 1));
     for (int i = 0; i < p; ++i) {
       if (i == j) continue;
       DASH_ASSIGN_OR_RETURN(Message msg,
                             network_->Receive(j, i, MessageTag::kShamirShare));
       ByteReader r(msg.payload);
-      DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> ys, r.GetU64Vector());
-      if (ys.size() != len) return InternalError("Shamir share length mismatch");
-      for (size_t e = 0; e < len; ++e) {
-        held[static_cast<size_t>(j)][e] =
-            FieldAdd(held[static_cast<size_t>(j)][e], ys[e]);
-      }
+      DASH_ASSIGN_OR_RETURN(RingVector ys, r.GetU64Vector());
+      received.push_back(std::move(ys));
     }
-    ByteWriter w;
-    w.PutU64Vector(held[static_cast<size_t>(j)]);
-    const std::vector<uint8_t> payload = w.Take();
+    DASH_ASSIGN_OR_RETURN(
+        held[static_cast<size_t>(j)],
+        AccumulateShamirShares(own_kept[static_cast<size_t>(j)], received));
+    const std::vector<uint8_t> payload =
+        MaskAndSerialize(held[static_cast<size_t>(j)]);
     for (int to = 0; to < survivors; ++to) {
       if (to == j) continue;
       DASH_RETURN_IF_ERROR(
@@ -371,12 +385,7 @@ Result<Vector> SecureVectorSum::RunShamir(const std::vector<Vector>& inputs) {
   // points. The crashed parties' INPUTS are still in the total: every
   // survivor's sum share already includes the shares those parties
   // distributed in phase 1.
-  std::vector<uint64_t> xs(static_cast<size_t>(survivors));
-  for (int j = 0; j < survivors; ++j) xs[static_cast<size_t>(j)] = static_cast<uint64_t>(j) + 1;
-  DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> weights, LagrangeWeightsAtZero(xs));
-
-  std::vector<std::vector<uint64_t>> sum_shares(static_cast<size_t>(survivors));
-  sum_shares[0] = held[0];
+  std::vector<RingVector> sum_shares(static_cast<size_t>(survivors));
   for (int q = 1; q < survivors; ++q) {
     DASH_ASSIGN_OR_RETURN(Message msg,
                           network_->Receive(0, q, MessageTag::kPartialSum));
@@ -390,18 +399,7 @@ Result<Vector> SecureVectorSum::RunShamir(const std::vector<Vector>& inputs) {
           network_->Receive(i, q, MessageTag::kPartialSum).status());
     }
   }
-
-  Vector result(len);
-  for (size_t e = 0; e < len; ++e) {
-    uint64_t acc = 0;
-    for (int j = 0; j < survivors; ++j) {
-      acc = FieldAdd(acc, FieldMul(weights[static_cast<size_t>(j)],
-                                   sum_shares[static_cast<size_t>(j)][e]));
-    }
-    const int64_t signed_ring = FieldDecodeSigned(acc);
-    result[e] = codec_.Decode(static_cast<uint64_t>(signed_ring));
-  }
-  return result;
+  return OpenShamirTotal(held[0], /*own_index=*/0, sum_shares, codec_);
 }
 
 }  // namespace dash

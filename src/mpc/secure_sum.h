@@ -28,6 +28,7 @@
 
 #include "linalg/vector_ops.h"
 #include "mpc/fixed_point.h"
+#include "mpc/secrecy.h"
 #include "transport/transport.h"
 #include "util/chacha20.h"
 #include "util/random.h"
@@ -67,6 +68,13 @@ struct SecureSumOptions {
   uint64_t seed = 0xda5b;
 };
 
+// Wraps each party's plaintext contribution for Run(). Wrapping is
+// always safe — it is reading BACK that the secrecy types gate — so
+// this is the standard bridge for in-process drivers and tests whose
+// per-party inputs are generated locally.
+[[nodiscard]] std::vector<Secret<Vector>> ToSecretInputs(
+    std::vector<Vector> inputs);
+
 // Drives all parties of the sum protocol in-process over `network`.
 // The object owns per-party state (RNGs, pairwise keys) so repeated
 // Run() calls reuse the one-time setup, as a long-lived deployment would.
@@ -79,29 +87,32 @@ class SecureVectorSum {
   // key agreement over the network; other modes are no-ops. Idempotent.
   Status Setup();
 
-  // inputs[p] is party p's contribution; all must share one length.
-  // Returns the element-wise total, as revealed to every party.
+  // inputs[p] is party p's PRIVATE contribution (mpc/secrecy.h); all
+  // must share one length. Returns the element-wise total — the one
+  // value the protocol declares public — as revealed to every party.
   // Runs Setup() on first use if the caller did not.
-  Result<Vector> Run(const std::vector<Vector>& inputs);
+  Result<Vector> Run(const std::vector<Secret<Vector>>& inputs);
 
-  // Scalar convenience.
+  // Scalar convenience (tests and small drivers); wraps each summand
+  // before any protocol work.
   Result<double> RunScalar(const std::vector<double>& inputs);
 
   const SecureSumOptions& options() const { return options_; }
 
  private:
-  Status ValidateInputs(const std::vector<Vector>& inputs) const;
-  Result<Vector> RunPublic(const std::vector<Vector>& inputs);
-  Result<Vector> RunAdditive(const std::vector<Vector>& inputs);
-  Result<Vector> RunMasked(const std::vector<Vector>& inputs);
-  Result<Vector> RunShamir(const std::vector<Vector>& inputs);
+  Status ValidateInputs(const std::vector<Secret<Vector>>& inputs) const;
+  Result<Vector> RunPublic(const std::vector<Secret<Vector>>& inputs);
+  Result<Vector> RunAdditive(const std::vector<Secret<Vector>>& inputs);
+  Result<Vector> RunMasked(const std::vector<Secret<Vector>>& inputs);
+  Result<Vector> RunShamir(const std::vector<Secret<Vector>>& inputs);
 
   Transport* network_;
   SecureSumOptions options_;
   FixedPointCodec codec_;
   std::vector<Rng> party_rngs_;
   // pairwise_keys_[p][q]: key party p shares with party q (kMasked only).
-  std::vector<std::vector<ChaCha20Rng::Key>> pairwise_keys_;
+  // Mask keys are secret material (mpc/secrecy.h).
+  std::vector<std::vector<Secret<ChaCha20Rng::Key>>> pairwise_keys_;
   uint64_t round_nonce_ = 0;
   bool setup_done_ = false;
 };

@@ -1,6 +1,8 @@
 #include "mpc/shamir.h"
 
+#include <cmath>
 #include <string>
+#include <utility>
 
 #include "mpc/prime_field.h"
 
@@ -108,6 +110,93 @@ Result<std::vector<uint64_t>> LagrangeWeightsAtZero(
     weights[i] = FieldMul(num, FieldInv(den));
   }
   return weights;
+}
+
+Result<Secret<RingVector>> ShamirFieldEncode(const FixedPointCodec& codec,
+                                             const Secret<Vector>& input,
+                                             int num_parties) {
+  if (num_parties < 1) return InvalidArgumentError("need at least one party");
+  // The 61-bit field offers less headroom than the 64-bit ring.
+  const double field_max = std::ldexp(1.0, 60 - codec.frac_bits()) /
+                           static_cast<double>(num_parties);
+  const Vector& raw = input.Reveal(MpcPass::Get());
+  for (const double x : raw) {
+    if (!(x > -field_max && x < field_max)) {
+      return OutOfRangeError(
+          "input exceeds Shamir field headroom; lower frac_bits");
+    }
+  }
+  RingVector encoded(raw.size());
+  for (size_t e = 0; e < raw.size(); ++e) {
+    DASH_ASSIGN_OR_RETURN(uint64_t ring, codec.TryEncode(raw[e]));
+    encoded[e] = FieldEncodeSigned(static_cast<int64_t>(ring));
+  }
+  return Secret<RingVector>(std::move(encoded));
+}
+
+Result<std::vector<Secret<RingVector>>> ShamirShareVectorForParties(
+    const Secret<RingVector>& field_secrets, int n, int t, Rng* rng) {
+  DASH_ASSIGN_OR_RETURN(
+      auto shares,
+      ShamirSplitVector(field_secrets.Reveal(MpcPass::Get()), n, t, rng));
+  std::vector<Secret<RingVector>> out;
+  out.reserve(shares.size());
+  for (const auto& party_shares : shares) {
+    RingVector ys(party_shares.size());
+    for (size_t e = 0; e < party_shares.size(); ++e) ys[e] = party_shares[e].y;
+    out.emplace_back(std::move(ys));
+  }
+  return out;
+}
+
+Result<Masked<RingVector>> AccumulateShamirShares(
+    const Secret<RingVector>& own_share,
+    const std::vector<RingVector>& received_shares) {
+  RingVector held = own_share.Reveal(MpcPass::Get());
+  for (const RingVector& ys : received_shares) {
+    if (ys.size() != held.size()) {
+      return InternalError("Shamir share length mismatch");
+    }
+    for (size_t e = 0; e < held.size(); ++e) held[e] = FieldAdd(held[e], ys[e]);
+  }
+  return Masked<RingVector>::Seal(std::move(held), MpcPass::Get());
+}
+
+Result<Vector> OpenShamirTotal(const Masked<RingVector>& own_partial,
+                               int own_index,
+                               const std::vector<RingVector>& partials_by_party,
+                               const FixedPointCodec& codec) {
+  const int survivors = static_cast<int>(partials_by_party.size());
+  if (own_index < 0 || own_index >= survivors) {
+    return InvalidArgumentError("own_index outside the survivor set");
+  }
+  const RingVector& own = own_partial.wire();
+  const size_t len = own.size();
+  std::vector<uint64_t> xs(static_cast<size_t>(survivors));
+  for (int j = 0; j < survivors; ++j) {
+    xs[static_cast<size_t>(j)] = static_cast<uint64_t>(j) + 1;
+  }
+  DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> weights,
+                        LagrangeWeightsAtZero(xs));
+  for (int j = 0; j < survivors; ++j) {
+    if (j == own_index) continue;
+    if (partials_by_party[static_cast<size_t>(j)].size() != len) {
+      return InternalError("Shamir sum share length mismatch");
+    }
+  }
+  Vector result(len);
+  for (size_t e = 0; e < len; ++e) {
+    uint64_t acc = 0;
+    for (int j = 0; j < survivors; ++j) {
+      const uint64_t y = (j == own_index)
+                             ? own[e]
+                             : partials_by_party[static_cast<size_t>(j)][e];
+      acc = FieldAdd(acc, FieldMul(weights[static_cast<size_t>(j)], y));
+    }
+    const int64_t signed_ring = FieldDecodeSigned(acc);
+    result[e] = codec.Decode(static_cast<uint64_t>(signed_ring));
+  }
+  return result;
 }
 
 Result<std::vector<uint64_t>> ShamirReconstructVector(

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "mpc/fixed_point.h"
+#include "mpc/secrecy.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -25,6 +27,9 @@ struct ShamirShare {
 
 // Splits `secret` (an F_p element) into n shares with threshold t:
 // any t+1 shares reconstruct. Requires 0 <= t < n and secret < p.
+// Scalar legacy primitive kept for the unit tests; the returned shares
+// are secret material despite their plain type.
+DASH_SECRET_SOURCE
 Result<std::vector<ShamirShare>> ShamirSplit(uint64_t secret, int n, int t,
                                              Rng* rng);
 
@@ -34,6 +39,8 @@ Result<std::vector<ShamirShare>> ShamirSplit(uint64_t secret, int n, int t,
 Result<uint64_t> ShamirReconstruct(const std::vector<ShamirShare>& shares);
 
 // Vector forms: result[j] holds party j's share of every element.
+// Scalar-struct legacy form for the unit tests (see ShamirSplit).
+DASH_SECRET_SOURCE
 Result<std::vector<std::vector<ShamirShare>>> ShamirSplitVector(
     const std::vector<uint64_t>& secrets, int n, int t, Rng* rng);
 
@@ -45,6 +52,43 @@ Result<std::vector<uint64_t>> ShamirReconstructVector(
 // turns per-element reconstruction into one multiply-add per share.
 Result<std::vector<uint64_t>> LagrangeWeightsAtZero(
     const std::vector<uint64_t>& xs);
+
+// --- Typed protocol API (mpc/secrecy.h) ------------------------------
+//
+// The per-party secure-sum flow: field-encode the private contribution,
+// split it (party j's share is the evaluation at x = j+1, carried as a
+// bare y-vector), accumulate the shares a party holds into its partial
+// (individually uniform, hence Masked), and open the total from every
+// survivor's partial.
+
+// Fixed-point + field encoding of a private contribution, with the
+// headroom check for the 61-bit field shared among `num_parties`.
+Result<Secret<RingVector>> ShamirFieldEncode(const FixedPointCodec& codec,
+                                             const Secret<Vector>& input,
+                                             int num_parties);
+
+// Splits every element of `field_secrets` for n parties at threshold t.
+// result[j] holds the y-values destined for party j (x = j+1 implied).
+Result<std::vector<Secret<RingVector>>> ShamirShareVectorForParties(
+    const Secret<RingVector>& field_secrets, int n, int t, Rng* rng);
+
+// Field-adds the y-vectors received from peers into the party's own
+// kept share; by linearity the result is the party's share of the
+// total — individually uniform, sealed Masked for broadcast.
+Result<Masked<RingVector>> AccumulateShamirShares(
+    const Secret<RingVector>& own_share,
+    const std::vector<RingVector>& received_shares);
+
+// Lagrange-reconstructs the total at x = 0 from the survivors'
+// partials and decodes it. partials_by_party has one slot per survivor
+// (evaluation point j+1); the slot at `own_index` is taken from
+// own_partial and may be left empty. Reveal point (round-key
+// phase2-shamir): >= t+1 sum shares interpolate to exactly the
+// aggregate total the protocol reveals.
+Result<Vector> OpenShamirTotal(const Masked<RingVector>& own_partial,
+                               int own_index,
+                               const std::vector<RingVector>& partials_by_party,
+                               const FixedPointCodec& codec);
 
 }  // namespace dash
 

@@ -15,7 +15,7 @@
 #include "mpc/fixed_point.h"
 #include "mpc/key_exchange.h"
 #include "mpc/masked_aggregation.h"
-#include "mpc/prime_field.h"
+#include "mpc/secrecy.h"
 #include "mpc/shamir.h"
 #include "net/abort.h"
 #include "net/serialization.h"
@@ -38,6 +38,13 @@ namespace {
 //  * masked     — same ring argument after the pairwise masks cancel;
 //  * shamir     — F_(2^61-1) adds are exact; reconstruction weights are
 //                 a deterministic function of the fixed points 1..P.
+//
+// Secrecy discipline (mpc/secrecy.h, DESIGN.md §11): the party's
+// contribution arrives as Secret<Vector> and this class never reads it
+// directly — every buffer handed to the transport is produced by a
+// blessed reveal point (SerializeShareForHolder, MaskAndSerialize,
+// DiffieHellman::PublicValue) except the public-share baseline, whose
+// plaintext broadcast is an explicit DASH_DECLASSIFY.
 class PartySecureVectorSum {
  public:
   PartySecureVectorSum(Transport* transport, const SecureSumOptions& options)
@@ -57,9 +64,12 @@ class PartySecureVectorSum {
           return Rng(seed);
         }()) {}
 
-  Result<Vector> Run(const Vector& input) {
+  Result<Vector> Run(const Secret<Vector>& input) {
     DASH_RETURN_IF_ERROR(Setup());
-    if (net_->num_parties() == 1) return input;
+    if (net_->num_parties() == 1) {
+      return DASH_DECLASSIFY(
+          input, "phase2-single: a single party's total IS its own input");
+    }
     ++round_nonce_;
     switch (options_.mode) {
       case AggregationMode::kPublicShare:
@@ -80,12 +90,14 @@ class PartySecureVectorSum {
     const int p = net_->num_parties();
     if (options_.mode == AggregationMode::kMasked && p > 1) {
       net_->BeginRound();
-      const uint64_t private_key = DiffieHellman::GeneratePrivate(&rng_);
+      const Secret<uint64_t> private_key =
+          DiffieHellman::GeneratePrivate(&rng_);
       ByteWriter w;
       w.PutU64(DiffieHellman::PublicValue(private_key));
       DASH_RETURN_IF_ERROR(
           net_->Broadcast(local_, MessageTag::kPublicKey, w.Take()));
-      pairwise_keys_.assign(static_cast<size_t>(p), ChaCha20Rng::Key{});
+      pairwise_keys_.assign(static_cast<size_t>(p),
+                            Secret<ChaCha20Rng::Key>{});
       for (int q = 0; q < p; ++q) {
         if (q == local_) continue;
         DASH_ASSIGN_OR_RETURN(
@@ -100,8 +112,12 @@ class PartySecureVectorSum {
     return Status::Ok();
   }
 
-  Result<Vector> RunPublic(const Vector& input) {
+  Result<Vector> RunPublic(const Secret<Vector>& secret_input) {
     const int p = net_->num_parties();
+    // The public-share baseline deliberately reveals every summand; this
+    // is the protocol's documented insecure mode, not a leak.
+    const Vector input = DASH_DECLASSIFY(
+        secret_input, "phase2-public: baseline broadcasts plaintext summands");
     net_->BeginRound();
     ByteWriter w;
     w.PutDoubleVector(input);
@@ -132,87 +148,77 @@ class PartySecureVectorSum {
     return total;
   }
 
-  Result<Vector> RunAdditive(const Vector& input) {
+  Result<Vector> RunAdditive(const Secret<Vector>& input) {
     const int p = net_->num_parties();
-    const size_t len = input.size();
 
     net_->BeginRound();
-    DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> encoded,
-                          codec_.EncodeVector(input));
+    DASH_ASSIGN_OR_RETURN(Secret<RingVector> encoded,
+                          codec_.EncodeSecretVector(input));
     auto shares = AdditiveShareVector(encoded, p, &rng_);
-    std::vector<uint64_t> partial = std::move(shares[static_cast<size_t>(local_)]);
+    const Secret<RingVector> own =
+        std::move(shares[static_cast<size_t>(local_)]);
     for (int j = 0; j < p; ++j) {
       if (j == local_) continue;
-      ByteWriter w;
-      w.PutU64Vector(shares[static_cast<size_t>(j)]);
       DASH_RETURN_IF_ERROR(
-          net_->Send(local_, j, MessageTag::kAdditiveShare, w.Take()));
+          net_->Send(local_, j, MessageTag::kAdditiveShare,
+                     SerializeShareForHolder(shares[static_cast<size_t>(j)])));
     }
 
     net_->BeginRound();
+    std::vector<RingVector> received;
+    received.reserve(static_cast<size_t>(p - 1));
     for (int i = 0; i < p; ++i) {
       if (i == local_) continue;
       DASH_ASSIGN_OR_RETURN(
           Message msg, net_->Receive(local_, i, MessageTag::kAdditiveShare));
       ByteReader r(msg.payload);
-      DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> share, r.GetU64Vector());
-      if (share.size() != len) {
-        return InternalError("additive share length mismatch");
-      }
-      for (size_t e = 0; e < len; ++e) partial[e] += share[e];
+      DASH_ASSIGN_OR_RETURN(RingVector share, r.GetU64Vector());
+      received.push_back(std::move(share));
     }
-    ByteWriter w;
-    w.PutU64Vector(partial);
-    DASH_RETURN_IF_ERROR(
-        net_->Broadcast(local_, MessageTag::kPartialSum, w.Take()));
+    DASH_ASSIGN_OR_RETURN(Masked<RingVector> partial,
+                          AccumulateAdditiveShares(own, received));
+    DASH_RETURN_IF_ERROR(net_->Broadcast(local_, MessageTag::kPartialSum,
+                                         MaskAndSerialize(partial)));
 
-    std::vector<uint64_t> total = std::move(partial);
+    std::vector<RingVector> peer_partials;
+    peer_partials.reserve(static_cast<size_t>(p - 1));
     for (int q = 0; q < p; ++q) {
       if (q == local_) continue;
       DASH_ASSIGN_OR_RETURN(Message msg,
                             net_->Receive(local_, q, MessageTag::kPartialSum));
       ByteReader r(msg.payload);
-      DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> peer, r.GetU64Vector());
-      if (peer.size() != len) {
-        return InternalError("partial sum length mismatch");
-      }
-      for (size_t e = 0; e < len; ++e) total[e] += peer[e];
+      DASH_ASSIGN_OR_RETURN(RingVector peer, r.GetU64Vector());
+      peer_partials.push_back(std::move(peer));
     }
-    return codec_.DecodeVector(total);
+    return OpenAdditiveTotal(partial, peer_partials, codec_);
   }
 
-  Result<Vector> RunMasked(const Vector& input) {
+  Result<Vector> RunMasked(const Secret<Vector>& input) {
     const int p = net_->num_parties();
-    const size_t len = input.size();
 
     net_->BeginRound();
-    DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> encoded,
-                          codec_.EncodeVector(input));
-    std::vector<uint64_t> masked =
+    DASH_ASSIGN_OR_RETURN(Secret<RingVector> encoded,
+                          codec_.EncodeSecretVector(input));
+    const Masked<RingVector> masked =
         ApplyPairwiseMasks(local_, encoded, pairwise_keys_, round_nonce_);
-    ByteWriter w;
-    w.PutU64Vector(masked);
-    DASH_RETURN_IF_ERROR(
-        net_->Broadcast(local_, MessageTag::kMaskedValue, w.Take()));
+    DASH_RETURN_IF_ERROR(net_->Broadcast(local_, MessageTag::kMaskedValue,
+                                         MaskAndSerialize(masked)));
 
-    std::vector<uint64_t> total = std::move(masked);
+    std::vector<RingVector> peers;
+    peers.reserve(static_cast<size_t>(p - 1));
     for (int q = 0; q < p; ++q) {
       if (q == local_) continue;
       DASH_ASSIGN_OR_RETURN(Message msg,
                             net_->Receive(local_, q, MessageTag::kMaskedValue));
       ByteReader r(msg.payload);
-      DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> peer, r.GetU64Vector());
-      if (peer.size() != len) {
-        return InternalError("masked vector length mismatch");
-      }
-      for (size_t e = 0; e < len; ++e) total[e] += peer[e];
+      DASH_ASSIGN_OR_RETURN(RingVector peer, r.GetU64Vector());
+      peers.push_back(std::move(peer));
     }
-    return codec_.DecodeVector(total);
+    return OpenMaskedTotal(masked, peers, codec_);
   }
 
-  Result<Vector> RunShamir(const Vector& input) {
+  Result<Vector> RunShamir(const Secret<Vector>& input) {
     const int p = net_->num_parties();
-    const size_t len = input.size();
     if (options_.simulate_shamir_dropouts != 0) {
       return UnimplementedError(
           "Shamir dropout simulation is an in-process experiment; real "
@@ -224,57 +230,40 @@ class PartySecureVectorSum {
     if (threshold >= p) {
       return InvalidArgumentError("Shamir threshold must be < num parties");
     }
-    const double field_max =
-        std::ldexp(1.0, 60 - options_.frac_bits) / static_cast<double>(p);
-    for (const double x : input) {
-      if (!(x > -field_max && x < field_max)) {
-        return OutOfRangeError(
-            "input exceeds Shamir field headroom; lower frac_bits");
-      }
-    }
+    // Field-encodes AND validates headroom — deliberately before
+    // BeginRound so validation failures precede any traffic.
+    DASH_ASSIGN_OR_RETURN(Secret<RingVector> encoded,
+                          ShamirFieldEncode(codec_, input, p));
 
-    // Phase 1: distribute shares of our input; accumulate what we hold.
+    // Phase 1: distribute shares of our input; keep our own.
     net_->BeginRound();
-    std::vector<uint64_t> encoded(len);
-    for (size_t e = 0; e < len; ++e) {
-      DASH_ASSIGN_OR_RETURN(uint64_t ring, codec_.TryEncode(input[e]));
-      encoded[e] = FieldEncodeSigned(static_cast<int64_t>(ring));
-    }
-    DASH_ASSIGN_OR_RETURN(auto shares,
-                          ShamirSplitVector(encoded, p, threshold, &rng_));
-    std::vector<uint64_t> held(len, 0);
+    DASH_ASSIGN_OR_RETURN(
+        auto shares, ShamirShareVectorForParties(encoded, p, threshold, &rng_));
+    const Secret<RingVector> own =
+        std::move(shares[static_cast<size_t>(local_)]);
     for (int j = 0; j < p; ++j) {
-      std::vector<uint64_t> ys(len);
-      for (size_t e = 0; e < len; ++e) {
-        ys[e] = shares[static_cast<size_t>(j)][e].y;
-      }
-      if (j == local_) {
-        for (size_t e = 0; e < len; ++e) held[e] = FieldAdd(held[e], ys[e]);
-      } else {
-        ByteWriter w;
-        w.PutU64Vector(ys);
-        DASH_RETURN_IF_ERROR(
-            net_->Send(local_, j, MessageTag::kShamirShare, w.Take()));
-      }
+      if (j == local_) continue;
+      DASH_RETURN_IF_ERROR(
+          net_->Send(local_, j, MessageTag::kShamirShare,
+                     SerializeShareForHolder(shares[static_cast<size_t>(j)])));
     }
 
     // Phase 2: sum the shares we hold; exchange sum shares.
     net_->BeginRound();
+    std::vector<RingVector> received;
+    received.reserve(static_cast<size_t>(p - 1));
     for (int i = 0; i < p; ++i) {
       if (i == local_) continue;
       DASH_ASSIGN_OR_RETURN(Message msg,
                             net_->Receive(local_, i, MessageTag::kShamirShare));
       ByteReader r(msg.payload);
-      DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> ys, r.GetU64Vector());
-      if (ys.size() != len) {
-        return InternalError("Shamir share length mismatch");
-      }
-      for (size_t e = 0; e < len; ++e) held[e] = FieldAdd(held[e], ys[e]);
+      DASH_ASSIGN_OR_RETURN(RingVector ys, r.GetU64Vector());
+      received.push_back(std::move(ys));
     }
+    DASH_ASSIGN_OR_RETURN(Masked<RingVector> held,
+                          AccumulateShamirShares(own, received));
     {
-      ByteWriter w;
-      w.PutU64Vector(held);
-      const std::vector<uint8_t> payload = w.Take();
+      const std::vector<uint8_t> payload = MaskAndSerialize(held);
       for (int to = 0; to < p; ++to) {
         if (to == local_) continue;
         DASH_RETURN_IF_ERROR(
@@ -282,13 +271,9 @@ class PartySecureVectorSum {
       }
     }
 
-    // Phase 3: reconstruct at x = 0 from all P sum shares.
-    std::vector<uint64_t> xs(static_cast<size_t>(p));
-    for (int j = 0; j < p; ++j) xs[static_cast<size_t>(j)] = static_cast<uint64_t>(j) + 1;
-    DASH_ASSIGN_OR_RETURN(std::vector<uint64_t> weights,
-                          LagrangeWeightsAtZero(xs));
-    std::vector<std::vector<uint64_t>> sum_shares(static_cast<size_t>(p));
-    sum_shares[static_cast<size_t>(local_)] = std::move(held);
+    // Phase 3: reconstruct at x = 0 from all P sum shares (our own slot
+    // comes from `held`; the vector's local slot stays empty).
+    std::vector<RingVector> sum_shares(static_cast<size_t>(p));
     for (int q = 0; q < p; ++q) {
       if (q == local_) continue;
       DASH_ASSIGN_OR_RETURN(Message msg,
@@ -296,22 +281,8 @@ class PartySecureVectorSum {
       ByteReader r(msg.payload);
       DASH_ASSIGN_OR_RETURN(sum_shares[static_cast<size_t>(q)],
                             r.GetU64Vector());
-      if (sum_shares[static_cast<size_t>(q)].size() != len) {
-        return InternalError("Shamir sum share length mismatch");
-      }
     }
-
-    Vector result(len);
-    for (size_t e = 0; e < len; ++e) {
-      uint64_t acc = 0;
-      for (int j = 0; j < p; ++j) {
-        acc = FieldAdd(acc, FieldMul(weights[static_cast<size_t>(j)],
-                                     sum_shares[static_cast<size_t>(j)][e]));
-      }
-      const int64_t signed_ring = FieldDecodeSigned(acc);
-      result[e] = codec_.Decode(static_cast<uint64_t>(signed_ring));
-    }
-    return result;
+    return OpenShamirTotal(held, local_, sum_shares, codec_);
   }
 
   Transport* net_;
@@ -319,7 +290,8 @@ class PartySecureVectorSum {
   SecureSumOptions options_;
   FixedPointCodec codec_;
   Rng rng_;
-  std::vector<ChaCha20Rng::Key> pairwise_keys_;  // [q] = key with party q
+  // [q] = mask key shared with party q; secret material (mpc/secrecy.h).
+  std::vector<Secret<ChaCha20Rng::Key>> pairwise_keys_;
   uint64_t round_nonce_ = 0;
   bool setup_done_ = false;
 };
@@ -520,7 +492,8 @@ Result<SecureScanOutput> RunPartyScanProtocol(
     local_seconds += local_timer.ElapsedSeconds();
 
     protocol_timer.Reset();
-    DASH_ASSIGN_OR_RETURN(Vector header_totals, secure_sum.Run(header));
+    DASH_ASSIGN_OR_RETURN(Vector header_totals,
+                          secure_sum.Run(Secret<Vector>(header)));
     flat_totals.assign(static_cast<size_t>(StatsWireLayout{m, k}.total_len()),
                        0.0);
     ScatterHeaderTotals(header_totals, plan, &flat_totals);
@@ -544,7 +517,7 @@ Result<SecureScanOutput> RunPartyScanProtocol(
           compute_block(b + 1, &next);
         }
       }
-      Result<Vector> block_totals = secure_sum.Run(cur);
+      Result<Vector> block_totals = secure_sum.Run(Secret<Vector>(cur));
       // Join the in-flight compute before any early return can tear down
       // the buffer it writes.
       if (has_next && pool != nullptr) pool->Wait();
@@ -562,7 +535,7 @@ Result<SecureScanOutput> RunPartyScanProtocol(
 
     // Stage 4 (network): one secure-sum aggregation of everything.
     protocol_timer.Reset();
-    DASH_ASSIGN_OR_RETURN(flat_totals, secure_sum.Run(flat));
+    DASH_ASSIGN_OR_RETURN(flat_totals, secure_sum.Run(Secret<Vector>(flat)));
     protocol_seconds += protocol_timer.ElapsedSeconds();
   }
 

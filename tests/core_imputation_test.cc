@@ -153,7 +153,7 @@ TEST(ShamirDropoutTest, SumSurvivesDropoutsBelowThresholdBound) {
     opts.shamir_threshold = 2;
     opts.simulate_shamir_dropouts = dropouts;
     SecureVectorSum sum(&net, opts);
-    const Vector got = sum.Run(inputs).value();
+    const Vector got = sum.Run(ToSecretInputs(inputs)).value();
     for (size_t e = 0; e < got.size(); ++e) {
       // The crashed parties' inputs are still included.
       EXPECT_NEAR(got[e], expected[e], 1e-5)
@@ -169,7 +169,7 @@ TEST(ShamirDropoutTest, TooManyDropoutsIsAnError) {
   opts.shamir_threshold = 1;  // need >= 2 survivors
   opts.simulate_shamir_dropouts = 3;
   SecureVectorSum sum(&net, opts);
-  const auto r = sum.Run({{1.0}, {1.0}, {1.0}, {1.0}});
+  const auto r = sum.Run(ToSecretInputs({{1.0}, {1.0}, {1.0}, {1.0}}));
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
@@ -181,7 +181,8 @@ TEST(ShamirDropoutTest, OtherModesHaveNoDropoutPath) {
   opts.mode = AggregationMode::kMasked;
   opts.simulate_shamir_dropouts = 1;
   SecureVectorSum sum(&net, opts);
-  EXPECT_NEAR(sum.Run({{1.0}, {2.0}, {3.0}}).value()[0], 6.0, 1e-9);
+  EXPECT_NEAR(sum.Run(ToSecretInputs({{1.0}, {2.0}, {3.0}})).value()[0],
+              6.0, 1e-9);
 }
 
 }  // namespace

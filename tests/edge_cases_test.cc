@@ -83,7 +83,7 @@ TEST(EdgeCaseTest, EmptySparseMatrix) {
 TEST(EdgeCaseTest, ZeroLengthSecureSum) {
   Network net(3);
   SecureVectorSum sum(&net, {});
-  const Vector got = sum.Run({Vector{}, Vector{}, Vector{}}).value();
+  const Vector got = sum.Run(ToSecretInputs({Vector{}, Vector{}, Vector{}})).value();
   EXPECT_TRUE(got.empty());
 }
 
@@ -150,7 +150,7 @@ TEST(EdgeCaseTest, TwoPartyMaskedAggregationIsMinimalMesh) {
   SecureSumOptions opts;
   opts.mode = AggregationMode::kMasked;
   SecureVectorSum sum(&net, opts);
-  EXPECT_NEAR(sum.Run({{1.25}, {-0.25}}).value()[0], 1.0, 1e-9);
+  EXPECT_NEAR(sum.Run(ToSecretInputs({{1.25}, {-0.25}})).value()[0], 1.0, 1e-9);
   // 2 key-exchange messages + 2 masked broadcasts.
   EXPECT_EQ(net.metrics().total_messages(), 4);
 }

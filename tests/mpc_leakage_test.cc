@@ -39,7 +39,7 @@ TEST(LeakageTest, PublicModeVisiblyTransmitsInputs) {
   SecureVectorSum sum(&net, opts);
   // Queue party 0's broadcast by hand-running the protocol's encoder.
   const Vector input = {1.5, -2.25, 1e6};
-  (void)sum.Run({input, {0.0, 0.0, 0.0}}).value();
+  (void)sum.Run(ToSecretInputs({input, {0.0, 0.0, 0.0}})).value();
   // The wire format is deterministic; re-encode and compare sizes (the
   // payload itself was consumed by the run, but the metrics confirm the
   // plaintext-width transfer: 8 bytes per double plus length prefix).
@@ -78,24 +78,26 @@ TEST(LeakageTest, AdditiveSharesLookUniformRegardlessOfSecret) {
 TEST(LeakageTest, MaskedBroadcastIsUniformDespiteConstantInputs) {
   // Every party contributes the SAME constant; the masked vectors must
   // still be indistinguishable from noise (the PRG masks dominate).
-  std::vector<ChaCha20Rng::Key> keys0(2);
-  keys0[1] = ChaCha20Rng::KeyFromSeed(7);
+  std::vector<Secret<ChaCha20Rng::Key>> keys0(2);
+  keys0[1] = Secret<ChaCha20Rng::Key>(ChaCha20Rng::KeyFromSeed(7));
   FixedPointCodec codec(32);
   std::vector<uint8_t> wire;
   for (uint64_t nonce = 1; nonce <= 400; ++nonce) {
     const std::vector<uint64_t> encoded(4, codec.Encode(1.0));
-    const auto masked = ApplyPairwiseMasks(0, encoded, keys0, nonce);
-    ByteWriter w;
-    w.PutU64Vector(masked);
-    const auto bytes = w.Take();
+    const auto masked =
+        ApplyPairwiseMasks(0, Secret<RingVector>(encoded), keys0, nonce);
+    // MaskAndSerialize is the blessed wire path for sealed vectors.
+    const auto bytes = MaskAndSerialize(masked);
     // Skip the 8-byte length prefix, which IS structured.
     wire.insert(wire.end(), bytes.begin() + 8, bytes.end());
   }
   EXPECT_NEAR(OneBitFraction(wire), 0.5, 0.01);
   // Mask-stream freshness: consecutive nonces never repeat.
-  const auto a = ApplyPairwiseMasks(0, {codec.Encode(1.0)}, keys0, 1);
-  const auto b = ApplyPairwiseMasks(0, {codec.Encode(1.0)}, keys0, 2);
-  EXPECT_NE(a[0], b[0]);
+  const auto a = ApplyPairwiseMasks(
+      0, Secret<RingVector>(RingVector{codec.Encode(1.0)}), keys0, 1);
+  const auto b = ApplyPairwiseMasks(
+      0, Secret<RingVector>(RingVector{codec.Encode(1.0)}), keys0, 2);
+  EXPECT_NE(a.wire()[0], b.wire()[0]);
 }
 
 TEST(LeakageTest, SecureModesRevealOnlyTheTotal) {
@@ -114,8 +116,8 @@ TEST(LeakageTest, SecureModesRevealOnlyTheTotal) {
     opts.frac_bits = 32;
     SecureVectorSum sum_a(&net_a, opts);
     SecureVectorSum sum_b(&net_b, opts);
-    const double total_a = sum_a.Run(config_a).value()[0];
-    const double total_b = sum_b.Run(config_b).value()[0];
+    const double total_a = sum_a.Run(ToSecretInputs(config_a)).value()[0];
+    const double total_b = sum_b.Run(ToSecretInputs(config_b)).value()[0];
     EXPECT_NEAR(total_a, 4.0, 1e-6) << AggregationModeName(mode);
     EXPECT_NEAR(total_b, 4.0, 1e-6) << AggregationModeName(mode);
     EXPECT_EQ(net_a.metrics().total_bytes(), net_b.metrics().total_bytes())
@@ -142,7 +144,7 @@ TEST(LeakageTest, TrafficVolumeIsValueIndependent) {
       for (auto& v : inputs) {
         for (auto& x : v) x = scale * rng.UniformDouble();
       }
-      (void)sum.Run(inputs).value();
+      (void)sum.Run(ToSecretInputs(inputs)).value();
       bytes[variant++] = net.metrics().total_bytes();
     }
     EXPECT_EQ(bytes[0], bytes[1]) << AggregationModeName(mode);

@@ -137,11 +137,15 @@ TEST(AdditiveSharingTest, PartialSharesLookUniform) {
 TEST(AdditiveSharingTest, VectorSharesReconstruct) {
   Rng rng(6);
   const std::vector<uint64_t> secrets = {1, 2, 3, 0xffffffffffffffffULL};
-  const auto shares = AdditiveShareVector(secrets, 4, &rng);
+  const auto shares =
+      AdditiveShareVector(Secret<RingVector>(secrets), 4, &rng);
   EXPECT_EQ(shares.size(), 4u);
   EXPECT_EQ(AdditiveReconstructVector(shares).value(), secrets);
   EXPECT_FALSE(AdditiveReconstructVector({}).ok());
-  EXPECT_FALSE(AdditiveReconstructVector({{1, 2}, {1}}).ok());
+  EXPECT_FALSE(AdditiveReconstructVector(
+                   {Secret<RingVector>(RingVector{1, 2}),
+                    Secret<RingVector>(RingVector{1})})
+                   .ok());
 }
 
 TEST(ShamirTest, ThresholdReconstruction) {
@@ -227,32 +231,47 @@ TEST(ShamirTest, LagrangeWeightsMatchFullReconstruction) {
 
 TEST(DiffieHellmanTest, SharedSecretsAgree) {
   Rng rng(13);
-  const uint64_t a = DiffieHellman::GeneratePrivate(&rng);
-  const uint64_t b = DiffieHellman::GeneratePrivate(&rng);
+  const Secret<uint64_t> a = DiffieHellman::GeneratePrivate(&rng);
+  const Secret<uint64_t> b = DiffieHellman::GeneratePrivate(&rng);
   const uint64_t pub_a = DiffieHellman::PublicValue(a);
   const uint64_t pub_b = DiffieHellman::PublicValue(b);
-  const uint64_t shared_ab = DiffieHellman::SharedSecret(a, pub_b);
-  const uint64_t shared_ba = DiffieHellman::SharedSecret(b, pub_a);
+  const uint64_t shared_ab =
+      DASH_DECLASSIFY(DiffieHellman::SharedSecret(a, pub_b),
+                      "test compares both parties' shared secrets");
+  const uint64_t shared_ba =
+      DASH_DECLASSIFY(DiffieHellman::SharedSecret(b, pub_a),
+                      "test compares both parties' shared secrets");
   EXPECT_EQ(shared_ab, shared_ba);
-  EXPECT_EQ(DiffieHellman::DeriveKey(shared_ab),
-            DiffieHellman::DeriveKey(shared_ba));
+  const auto key_ab =
+      DASH_DECLASSIFY(DiffieHellman::DeriveKey(DiffieHellman::SharedSecret(
+                          a, pub_b)),
+                      "test compares derived mask keys");
+  const auto key_ba =
+      DASH_DECLASSIFY(DiffieHellman::DeriveKey(DiffieHellman::SharedSecret(
+                          b, pub_a)),
+                      "test compares derived mask keys");
+  EXPECT_EQ(key_ab, key_ba);
   // A third party's secret differs.
-  const uint64_t c = DiffieHellman::GeneratePrivate(&rng);
-  EXPECT_NE(DiffieHellman::SharedSecret(c, pub_b), shared_ab);
+  const Secret<uint64_t> c = DiffieHellman::GeneratePrivate(&rng);
+  EXPECT_NE(DASH_DECLASSIFY(DiffieHellman::SharedSecret(c, pub_b),
+                            "test checks a third party's secret differs"),
+            shared_ab);
 }
 
 TEST(MaskedAggregationTest, MasksCancelInTheSum) {
   const int p = 4;
   const size_t len = 16;
   // Symmetric pairwise keys.
-  std::vector<std::vector<ChaCha20Rng::Key>> keys(
-      p, std::vector<ChaCha20Rng::Key>(p));
+  std::vector<std::vector<Secret<ChaCha20Rng::Key>>> keys(
+      p, std::vector<Secret<ChaCha20Rng::Key>>(p));
   uint64_t seed = 77;
   for (int i = 0; i < p; ++i) {
     for (int j = i + 1; j < p; ++j) {
       const auto key = ChaCha20Rng::KeyFromSeed(SplitMix64(&seed));
-      keys[static_cast<size_t>(i)][static_cast<size_t>(j)] = key;
-      keys[static_cast<size_t>(j)][static_cast<size_t>(i)] = key;
+      keys[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          Secret<ChaCha20Rng::Key>(key);
+      keys[static_cast<size_t>(j)][static_cast<size_t>(i)] =
+          Secret<ChaCha20Rng::Key>(key);
     }
   }
   Rng rng(14);
@@ -266,22 +285,24 @@ TEST(MaskedAggregationTest, MasksCancelInTheSum) {
   }
   std::vector<uint64_t> total(len, 0);
   for (int i = 0; i < p; ++i) {
-    const auto masked = ApplyPairwiseMasks(i, inputs[static_cast<size_t>(i)],
-                                           keys[static_cast<size_t>(i)], 3);
-    // Masked vectors differ from the raw inputs (the point of masking).
-    EXPECT_NE(masked, inputs[static_cast<size_t>(i)]);
-    for (size_t e = 0; e < len; ++e) total[e] += masked[e];
+    const auto masked = ApplyPairwiseMasks(
+        i, Secret<RingVector>(inputs[static_cast<size_t>(i)]),
+        keys[static_cast<size_t>(i)], 3);
+    // Masked vectors differ from the raw inputs (the point of masking);
+    // the sealed wire view is the broadcastable representation.
+    EXPECT_NE(masked.wire(), inputs[static_cast<size_t>(i)]);
+    for (size_t e = 0; e < len; ++e) total[e] += masked.wire()[e];
   }
   EXPECT_EQ(total, expected);
 }
 
 TEST(MaskedAggregationTest, DifferentNoncesProduceDifferentMasks) {
-  std::vector<ChaCha20Rng::Key> keys(2);
-  keys[1] = ChaCha20Rng::KeyFromSeed(5);
+  std::vector<Secret<ChaCha20Rng::Key>> keys(2);
+  keys[1] = Secret<ChaCha20Rng::Key>(ChaCha20Rng::KeyFromSeed(5));
   const std::vector<uint64_t> zero(8, 0);
-  const auto round1 = ApplyPairwiseMasks(0, zero, keys, 1);
-  const auto round2 = ApplyPairwiseMasks(0, zero, keys, 2);
-  EXPECT_NE(round1, round2);
+  const auto round1 = ApplyPairwiseMasks(0, Secret<RingVector>(zero), keys, 1);
+  const auto round2 = ApplyPairwiseMasks(0, Secret<RingVector>(zero), keys, 2);
+  EXPECT_NE(round1.wire(), round2.wire());
 }
 
 }  // namespace

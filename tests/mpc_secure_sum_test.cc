@@ -42,7 +42,7 @@ TEST_P(SecureSumModeTest, SumsMatchPlainComputation) {
 
   const auto inputs = RandomInputs(parties, 37, 1000 + parties);
   const Vector expected = PlainSum(inputs);
-  const Vector got = sum.Run(inputs).value();
+  const Vector got = sum.Run(ToSecretInputs(inputs)).value();
   ASSERT_EQ(got.size(), expected.size());
   const double tol = (mode == AggregationMode::kPublicShare)
                          ? 1e-12
@@ -63,7 +63,7 @@ TEST_P(SecureSumModeTest, RepeatedRunsStayCorrect) {
     const auto inputs =
         RandomInputs(parties, 5, 2000 + round * 10 + parties);
     const Vector expected = PlainSum(inputs);
-    const Vector got = sum.Run(inputs).value();
+    const Vector got = sum.Run(ToSecretInputs(inputs)).value();
     for (size_t i = 0; i < got.size(); ++i) {
       EXPECT_NEAR(got[i], expected[i], 1e-6);
     }
@@ -83,7 +83,7 @@ TEST(SecureSumTest, SinglePartyShortCircuits) {
   SecureSumOptions opts;
   opts.mode = AggregationMode::kMasked;
   SecureVectorSum sum(&net, opts);
-  const Vector got = sum.Run({{1.0, 2.0}}).value();
+  const Vector got = sum.Run(ToSecretInputs({{1.0, 2.0}})).value();
   EXPECT_EQ(got, (Vector{1.0, 2.0}));
   EXPECT_EQ(net.metrics().total_bytes(), 0);
 }
@@ -99,8 +99,8 @@ TEST(SecureSumTest, ScalarConvenience) {
 TEST(SecureSumTest, InputValidation) {
   Network net(3);
   SecureVectorSum sum(&net, {});
-  EXPECT_FALSE(sum.Run({{1.0}, {2.0}}).ok());                  // wrong count
-  EXPECT_FALSE(sum.Run({{1.0}, {2.0}, {3.0, 4.0}}).ok());      // ragged
+  EXPECT_FALSE(sum.Run(ToSecretInputs({{1.0}, {2.0}})).ok());                  // wrong count
+  EXPECT_FALSE(sum.Run(ToSecretInputs({{1.0}, {2.0}, {3.0, 4.0}})).ok());      // ragged
 }
 
 TEST(SecureSumTest, FixedPointOverflowIsReported) {
@@ -109,7 +109,7 @@ TEST(SecureSumTest, FixedPointOverflowIsReported) {
   opts.mode = AggregationMode::kAdditive;
   opts.frac_bits = 50;  // headroom only 2^13
   SecureVectorSum sum(&net, opts);
-  const auto r = sum.Run({{1e6}, {1e6}});
+  const auto r = sum.Run(ToSecretInputs({{1e6}, {1e6}}));
   EXPECT_FALSE(r.ok());
 }
 
@@ -119,11 +119,12 @@ TEST(SecureSumTest, ShamirHeadroomIsNarrowerThanRing) {
   opts.mode = AggregationMode::kShamir;
   opts.frac_bits = 40;  // field headroom 2^20 / P
   SecureVectorSum sum(&net, opts);
-  EXPECT_FALSE(sum.Run({{5e5}, {5e5}, {5e5}}).ok());
+  EXPECT_FALSE(sum.Run(ToSecretInputs({{5e5}, {5e5}, {5e5}})).ok());
   // Lower precision restores headroom.
   opts.frac_bits = 20;
   SecureVectorSum relaxed(&net, opts);
-  EXPECT_NEAR(relaxed.Run({{5e5}, {5e5}, {5e5}}).value()[0], 1.5e6, 1e-2);
+  EXPECT_NEAR(relaxed.Run(ToSecretInputs({{5e5}, {5e5}, {5e5}})).value()[0],
+              1.5e6, 1e-2);
 }
 
 TEST(SecureSumTest, MaskedSetupIsIdempotentAndCostsOnce) {
@@ -138,9 +139,9 @@ TEST(SecureSumTest, MaskedSetupIsIdempotentAndCostsOnce) {
   EXPECT_EQ(net.metrics().total_bytes(), setup_bytes);
 
   const auto inputs = RandomInputs(4, 10, 5);
-  (void)sum.Run(inputs).value();
+  (void)sum.Run(ToSecretInputs(inputs)).value();
   const int64_t after_first = net.metrics().total_bytes();
-  (void)sum.Run(inputs).value();
+  (void)sum.Run(ToSecretInputs(inputs)).value();
   const int64_t after_second = net.metrics().total_bytes();
   // Steady-state cost per run excludes key agreement.
   EXPECT_EQ(after_second - after_first, after_first - setup_bytes);
@@ -158,14 +159,14 @@ TEST(SecureSumTest, BytesScaleLinearlyInLength) {
     SecureVectorSum small(&net_small, opts);
     ASSERT_TRUE(small.Setup().ok());
     net_small.metrics().Reset();
-    (void)small.Run(RandomInputs(3, 100, 6)).value();
+    (void)small.Run(ToSecretInputs(RandomInputs(3, 100, 6))).value();
     const int64_t bytes_small = net_small.metrics().total_bytes();
 
     Network net_large(3);
     SecureVectorSum large(&net_large, opts);
     ASSERT_TRUE(large.Setup().ok());
     net_large.metrics().Reset();
-    (void)large.Run(RandomInputs(3, 1000, 7)).value();
+    (void)large.Run(ToSecretInputs(RandomInputs(3, 1000, 7))).value();
     const int64_t bytes_large = net_large.metrics().total_bytes();
 
     // Fixed per-message overhead keeps the ratio just under 10x.
@@ -186,7 +187,7 @@ TEST(SecureSumTest, MaskedIsCheapestSecureMode) {
     auto r = sum.Setup();
     EXPECT_TRUE(r.ok());
     net.metrics().Reset();
-    (void)sum.Run(RandomInputs(4, 500, 8)).value();
+    (void)sum.Run(ToSecretInputs(RandomInputs(4, 500, 8))).value();
     return net.metrics().total_bytes();
   };
   const int64_t masked = bytes_for(AggregationMode::kMasked);
@@ -203,7 +204,8 @@ TEST(SecureSumTest, NegativeAndTinyValuesSurviveQuantization) {
   opts.frac_bits = 48;
   SecureVectorSum sum(&net, opts);
   const std::vector<Vector> inputs = {{-1e-10}, {2e-10}, {-0.5e-10}};
-  EXPECT_NEAR(sum.Run(inputs).value()[0], 0.5e-10, std::ldexp(3.0, -48));
+  EXPECT_NEAR(sum.Run(ToSecretInputs(inputs)).value()[0], 0.5e-10,
+              std::ldexp(3.0, -48));
 }
 
 }  // namespace

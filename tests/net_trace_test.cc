@@ -57,7 +57,7 @@ TEST(ProtocolTraceTest, CapturesWholeSecureSumTranscript) {
   SecureSumOptions opts;
   opts.mode = AggregationMode::kAdditive;
   SecureVectorSum sum(&net, opts);
-  (void)sum.Run({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}}).value();
+  (void)sum.Run(ToSecretInputs({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}})).value();
   // Additive: 6 share messages + 6 partial broadcasts.
   EXPECT_EQ(trace.CountTag(MessageTag::kAdditiveShare), 6);
   EXPECT_EQ(trace.CountTag(MessageTag::kPartialSum), 6);

@@ -1,0 +1,26 @@
+// Negative compile test for the secrecy type discipline (DESIGN.md §11).
+//
+// This translation unit takes the RAW value of an additive share — the
+// exact leak the Secret<T> wrapper exists to prevent. It is compiled
+// twice by ctest (tests/CMakeLists.txt), never linked or run:
+//
+//   secrecy_compile_fail          plain compile, WILL_FAIL: MpcPass::Get()
+//                                 is not declared outside the dash_mpc
+//                                 target, so this MUST NOT compile.
+//   secrecy_compile_fail_control  same file with -DDASH_MPC_INTERNAL:
+//                                 MUST compile, proving the failure above
+//                                 is the passkey gate and not a typo.
+
+#include "mpc/additive_sharing.h"
+#include "mpc/secrecy.h"
+#include "util/random.h"
+
+int main() {
+  dash::Rng rng(1);
+  const auto shares = dash::AdditiveShareVector(
+      dash::Secret<dash::RingVector>(dash::RingVector{1, 2, 3}), 2, &rng);
+  // Unwrapped access to a share's raw ring words: requires the MPC
+  // passkey, which only exists under DASH_MPC_INTERNAL.
+  const dash::RingVector& raw = shares[0].Reveal(dash::MpcPass::Get());
+  return static_cast<int>(raw.size());
+}

@@ -33,6 +33,14 @@ Rules (each has a stable ID used in messages and suppressions):
       path (src/net/serialization.h -> DASH_NET_SERIALIZATION_H_), and
       no file includes via a relative "../" path.
 
+  DL005 unauditable randomness in the MPC layer
+      Masks and shares are only secure if their randomness comes from
+      the audited, deterministically-seeded RNG path (util/random.h,
+      ChaCha20Rng) — the leakage tests and the secrecy argument both
+      assume it. In src/mpc/ files: `rand()`/`srand()` (libc PRNG),
+      `std::random_device` (unseedable, unauditable entropy), and
+      unseeded `std::mt19937` are forbidden.
+
 Usage:
   tools/dash_lint.py                 # lint the tree, exit 0/1
   tools/dash_lint.py FILE...         # lint specific files
@@ -85,6 +93,17 @@ REASSOC_PATTERNS = [
      "per-function optimize attribute can enable fast-math"),
     (re.compile(r"\bfast-?math\b", re.IGNORECASE),
      "fast-math reference in a bit-identity kernel file"),
+]
+
+RANDOM_PATTERNS = [
+    (re.compile(r"\bsrand\s*\("),
+     "srand() seeds the shared libc PRNG"),
+    (re.compile(r"(?<![\w:.])rand\s*\(\s*\)"),
+     "rand() is not the audited seeded RNG"),
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device draws unauditable, unseedable entropy"),
+    (re.compile(r"\bstd::mt19937(?:_64)?\s+\w+\s*(?:;|\{\s*\}|\(\s*\))"),
+     "unseeded std::mt19937 default-constructs a fixed, documented state"),
 ]
 
 MEMCPY_RE = re.compile(r"\b(?:std::)?memcpy\s*\(")
@@ -208,6 +227,16 @@ class Linter:
                     if pattern.search(code):
                         self.report(path, i, "DL001",
                                     f"forbidden in bit-identity kernel: {why}")
+                        break
+
+            # DL005 — unauditable randomness in src/mpc/.
+            if relpath.startswith("src/mpc/") \
+                    and not line_disables(line, "DL005"):
+                for pattern, why in RANDOM_PATTERNS:
+                    if pattern.search(code):
+                        self.report(path, i, "DL005",
+                                    f"forbidden in the MPC layer: {why}; "
+                                    "use the seeded Rng/ChaCha20Rng path")
                         break
 
             # DL002 — unchecked Status/Result call as a bare statement.

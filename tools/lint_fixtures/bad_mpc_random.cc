@@ -1,0 +1,20 @@
+// dash-lint-fixture-as: src/mpc/bad_random.cc
+//
+// DL005 fixture: every forbidden randomness source in an MPC-layer
+// file. Masks drawn from any of these are outside the audited seeded
+// RNG path, which voids both determinism and the leakage tests.
+
+#include <cstdlib>
+#include <random>
+
+namespace dash {
+
+unsigned UnauditableMask() {
+  srand(42);                          // EXPECT-LINT: DL005@13
+  unsigned mask = rand();             // EXPECT-LINT: DL005@14
+  std::random_device entropy;         // EXPECT-LINT: DL005@15
+  std::mt19937 gen;                   // EXPECT-LINT: DL005@16
+  return mask ^ entropy() ^ gen();
+}
+
+}  // namespace dash

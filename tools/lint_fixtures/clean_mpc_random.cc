@@ -1,0 +1,22 @@
+// dash-lint-fixture-as: src/mpc/clean_random.cc
+//
+// DL005 negative control: the audited seeded paths, plus identifiers
+// that merely contain "rand", must not fire. A deterministically
+// seeded mt19937 is also allowed — DL005 targets unseeded state and
+// entropy taps, not the engine itself.
+
+#include <cstdint>
+#include <random>
+
+#include "util/random.h"
+
+namespace dash {
+
+uint64_t AuditedMask(uint64_t seed) {
+  Rng rng(seed);
+  std::mt19937 gen(static_cast<unsigned>(seed));
+  uint64_t operand = rng.NextU64();   // "rand" inside a word: no match
+  return operand ^ gen();
+}
+
+}  // namespace dash

@@ -1,0 +1,27 @@
+// dash-taint-fixture-as: src/transport/clean_send.cc
+//
+// Known-clean fixture: the canonical masked-broadcast flow. The secret
+// is sealed by ApplyPairwiseMasks and serialized by MaskAndSerialize —
+// an allowlisted reveal point — so the payload handed to Send is clean
+// and no rule may fire.
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/masked_aggregation.h"
+#include "mpc/secrecy.h"
+#include "transport/transport.h"
+#include "util/status.h"
+
+namespace dash {
+
+Status BroadcastMasked(Transport* transport) {
+  const Secret<RingVector> contribution(RingVector{1, 2, 3});
+  const std::vector<Secret<ChaCha20Rng::Key>> keys(2);
+  const Masked<RingVector> sealed =
+      ApplyPairwiseMasks(0, contribution, keys, 1);
+  const std::vector<uint8_t> payload = MaskAndSerialize(sealed);
+  return transport->Send(0, 1, MessageTag::kMaskedValue, payload);
+}
+
+}  // namespace dash

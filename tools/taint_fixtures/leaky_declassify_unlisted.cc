@@ -1,0 +1,23 @@
+// dash-taint-fixture-as: src/core/evil_declass.cc
+//
+// Known-leaky fixture for TL002: DASH_DECLASSIFY in a src/ file that
+// has no `declassify@src/core/evil_declass.cc` allowlist entry. Note
+// that the declassified VALUE is clean — logging it is deliberately
+// not a TL001; the violation is the unenumerated declassification.
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/secrecy.h"
+#include "util/logging.h"
+
+namespace dash {
+
+uint64_t PeekTotal(const Secret<uint64_t>& total) {
+  const uint64_t value =
+      DASH_DECLASSIFY(total, "unreviewed peek");  // EXPECT-TAINT: TL002@18
+  DASH_LOG(INFO) << "total=" << value;
+  return value;
+}
+
+}  // namespace dash

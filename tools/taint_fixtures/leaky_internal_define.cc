@@ -1,0 +1,22 @@
+// dash-taint-fixture-as: src/mpc/evil_gate.cc
+//
+// Known-leaky fixture for TL004 + TL001: defining DASH_MPC_INTERNAL in
+// a source file mints the MpcPass capability outside the build system's
+// control; the Reveal it unlocks then walks straight into a stream.
+
+#define DASH_MPC_INTERNAL  // EXPECT-TAINT: TL004@7
+
+#include <cstdint>
+#include <iostream>
+
+#include "mpc/secrecy.h"
+
+namespace dash {
+
+void StolenReveal() {
+  const Secret<uint64_t> s(1234);
+  const uint64_t raw = s.Reveal(MpcPass::Get());
+  std::cout << raw << "\n";  // EXPECT-TAINT: TL001@19
+}
+
+}  // namespace dash

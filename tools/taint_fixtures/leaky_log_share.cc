@@ -1,0 +1,21 @@
+// dash-taint-fixture-as: src/mpc/evil_log.cc
+//
+// Known-leaky fixture for dash_taint --self-test: a plain-typed secret
+// source (AdditiveShare is DASH_SECRET_SOURCE — the type system cannot
+// see it) flows into DASH_LOG. TL001 must fire on the log line.
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/additive_sharing.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace dash {
+
+void DebugDumpShare(Rng* rng) {
+  const std::vector<uint64_t> shares = AdditiveShare(42, 3, rng);
+  DASH_LOG(INFO) << "share[0]=" << shares[0];  // EXPECT-TAINT: TL001@18
+}
+
+}  // namespace dash

@@ -1,0 +1,27 @@
+// dash-taint-fixture-as: src/transport/evil_send.cc
+//
+// Known-leaky fixture: a raw share is serialized straight into a
+// ByteWriter and shipped — bypassing SerializeShareForHolder, the
+// blessed reveal point for exactly this move. TL001 must fire on the
+// Put line (where the secret meets the serializer).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mpc/additive_sharing.h"
+#include "net/serialization.h"
+#include "transport/transport.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dash {
+
+Status BroadcastRawShare(Transport* transport, Rng* rng) {
+  const std::vector<uint64_t> share = AdditiveShare(99, 2, rng);
+  ByteWriter w;
+  w.PutU64Vector(share);  // EXPECT-TAINT: TL001@23
+  return transport->Send(0, 1, MessageTag::kAdditiveShare, w.Take());
+}
+
+}  // namespace dash

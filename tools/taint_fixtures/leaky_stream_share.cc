@@ -1,0 +1,22 @@
+// dash-taint-fixture-as: src/mpc/evil_stream.cc
+//
+// Known-leaky fixture: derived taint into a std::ostream. The mask
+// vector comes from a DASH_SECRET_SOURCE primitive; copying an element
+// into a scalar keeps it tainted, and the cerr insert must trip TL001.
+
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "mpc/additive_sharing.h"
+#include "util/random.h"
+
+namespace dash {
+
+void PrintMask(Rng* rng) {
+  const std::vector<uint64_t> masks = AdditiveShare(7, 2, rng);
+  const uint64_t first = masks[1];
+  std::cerr << "mask=" << first << "\n";  // EXPECT-TAINT: TL001@19
+}
+
+}  // namespace dash
