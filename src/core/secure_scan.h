@@ -104,6 +104,10 @@ struct SecureScanMetrics {
   int rounds = 0;
   double local_compute_seconds = 0.0;  // QR, Q_p, statistics kernels
   double protocol_seconds = 0.0;       // R combination + secure sums
+  // True when a cached Phase-1 state was reused (party_runner.h
+  // Phase1State): the sample-count and R-combination rounds were
+  // replaced by a single kPhase1Probe round.
+  bool phase1_cache_hit = false;
 };
 
 struct SecureScanOutput {

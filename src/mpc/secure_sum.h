@@ -66,6 +66,15 @@ struct SecureSumOptions {
 
   // Seed for the per-party randomness (shares, masks, DH exponents).
   uint64_t seed = 0xda5b;
+
+  // Domain separator mixed into the seed chain (0 = none, the exact
+  // historical chain). Concurrent logical sessions over one mesh set
+  // this to their session id so no two sessions ever derive the same DH
+  // exponents — and therefore never share pairwise mask keys — even
+  // when every job runs with the same protocol seed. The revealed total
+  // is independent of the randomness (ring/field sums are exact), so
+  // results stay bit-identical across domains.
+  uint64_t mask_domain = 0;
 };
 
 // Wraps each party's plaintext contribution for Run(). Wrapping is

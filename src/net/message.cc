@@ -28,6 +28,8 @@ const char* MessageTagName(MessageTag tag) {
       return "Commit";
     case MessageTag::kAbort:
       return "Abort";
+    case MessageTag::kPhase1Probe:
+      return "Phase1Probe";
   }
   return "Unknown";
 }

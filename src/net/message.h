@@ -27,11 +27,17 @@ enum class MessageTag : uint32_t {
   kSampleCount = 10,     // a party's public per-party sample count N_p
   kCommit = 11,          // result-checksum cross-check (commit round)
   kAbort = 12,           // abort notification {origin, round, Status}
+  kPhase1Probe = 13,     // Phase-1 cache agreement bit (u32 0/1, public)
 };
 
 struct Message {
   int from = -1;
   int to = -1;
+  // Logical session the message belongs to; 0 is the sessionless
+  // default stream (every pre-session protocol run). Carried in the
+  // frame header's former reserved halfword, so it costs no wire bytes
+  // and does not change WireSize().
+  uint32_t session = 0;
   MessageTag tag = MessageTag::kPlainStats;
   std::vector<uint8_t> payload;
 

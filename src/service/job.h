@@ -1,0 +1,88 @@
+// Scan jobs as the resident daemon (examples/dash_partyd.cpp) sees
+// them: what a client submits, what the scheduler tracks, what the
+// control plane reports back.
+//
+// A job names a deterministic synthetic cohort (the same
+// data/workloads.h generator every example and test uses), so all P
+// daemons — and the in-process simulator the CI job cross-checks
+// against — derive identical party slices from the spec alone. The
+// job id doubles as the transport session id (transport/session_mux.h):
+// clients submit the SAME id to every daemon, and that id is what keeps
+// concurrent jobs' frames and mask keys apart on the shared mesh.
+
+#ifndef DASH_SERVICE_JOB_H_
+#define DASH_SERVICE_JOB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/secure_scan.h"
+#include "util/status.h"
+
+namespace dash {
+
+struct JobSpec {
+  // Logical session id on the mesh (1..kFrameMaxSessionId). Chosen by
+  // the CLIENT and submitted identically to every party's daemon — the
+  // parties of one job must agree on it, exactly like a port number.
+  uint32_t job_id = 0;
+
+  // Client-declared cohort identity, the Phase-1 cache key. Jobs that
+  // share a cohort_key (and genuinely the same cohort data) reuse
+  // pooled-QR state and skip Phase 1. A mislabeled key is safe: the
+  // cache's content fingerprint misses and the full protocol runs.
+  std::string cohort_key = "default";
+
+  // Synthetic-cohort shape (data/workloads.h). The PERMANENT covariates
+  // and samples are a function of (cohort_key's data below), while
+  // variants may differ between scans of one cohort.
+  int64_t variants = 64;
+  int64_t samples_per_party = 96;
+  int64_t covariates = 3;
+  uint64_t data_seed = 7;
+
+  // Protocol knobs.
+  AggregationMode mode = AggregationMode::kMasked;
+  uint64_t protocol_seed = 0xda5b;
+
+  // Wall-clock budget for the RUNNING phase; 0 = none. On expiry the
+  // scheduler aborts the job's session, which surfaces as
+  // DeadlineExceeded here and as a scoped session abort at the peers.
+  int64_t deadline_ms = 0;
+};
+
+enum class JobState {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,
+  kFailed = 3,
+  kCancelled = 4,
+};
+
+// Stable name, e.g. "running".
+const char* JobStateName(JobState state);
+
+// Everything the control plane can say about one job.
+struct JobRecord {
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+
+  // Failure cause when kFailed / kCancelled.
+  Status error = Status::Ok();
+
+  // Result identity (core/scan_result.h FNV-1a) when kDone — what the
+  // client compares across parties and against the simulator.
+  uint64_t checksum = 0;
+
+  // Per-job protocol cost, attributed by the job's own SessionChannel
+  // metrics (not the mesh-wide totals). phase1_cache_hit is the
+  // observable "Phase 1 was skipped" signal.
+  SecureScanMetrics metrics;
+
+  double queue_seconds = 0.0;  // submit -> worker pickup
+  double run_seconds = 0.0;    // worker pickup -> terminal state
+};
+
+}  // namespace dash
+
+#endif  // DASH_SERVICE_JOB_H_

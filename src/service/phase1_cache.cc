@@ -1,0 +1,84 @@
+#include "service/phase1_cache.h"
+
+#include "util/logging.h"
+
+namespace dash {
+
+Phase1Cache::Phase1Cache(size_t max_entries)
+    : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+Phase1State Phase1Cache::Take(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.state.valid) {
+    ++stats_.take_misses;
+    if (it != entries_.end()) {
+      lru_.erase(it->second.lru_pos);
+      entries_.erase(it);
+      stats_.entries = static_cast<int>(entries_.size());
+    }
+    return Phase1State{};
+  }
+  ++stats_.take_hits;
+  Phase1State out = std::move(it->second.state);
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  stats_.entries = static_cast<int>(entries_.size());
+  return out;
+}
+
+void Phase1Cache::Put(const std::string& key, Phase1State state) {
+  if (!state.valid) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.state = std::move(state);
+    TouchLocked(key);
+    return;
+  }
+  while (entries_.size() >= max_entries_) {
+    const std::string coldest = lru_.front();
+    lru_.pop_front();
+    entries_.erase(coldest);
+    ++stats_.evictions;
+  }
+  lru_.push_back(key);
+  Entry entry;
+  entry.state = std::move(state);
+  entry.lru_pos = std::prev(lru_.end());
+  entries_.emplace(key, std::move(entry));
+  stats_.entries = static_cast<int>(entries_.size());
+}
+
+void Phase1Cache::Invalidate(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  ++stats_.invalidations;
+  stats_.entries = static_cast<int>(entries_.size());
+}
+
+void Phase1Cache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.invalidations += static_cast<int64_t>(entries_.size());
+  entries_.clear();
+  lru_.clear();
+  stats_.entries = 0;
+}
+
+Phase1CacheStats Phase1Cache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Phase1Cache::TouchLocked(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_back(key);
+  it->second.lru_pos = std::prev(lru_.end());
+}
+
+}  // namespace dash

@@ -1,0 +1,87 @@
+// Cross-scan Phase-1 cache: cohort_key -> Phase1State (pooled-QR and
+// permanent-covariate state, transport/party_runner.h).
+//
+// Repeat scans on the same cohort reuse the state and skip Phase 1
+// entirely — the kPhase1Probe agreement round replaces the sample-count
+// and R-combination rounds. The cache is check-out/check-in rather than
+// shared-reference: Take() REMOVES the entry, the job runs the scan
+// with exclusive ownership (RunPartySecureScan mutates the state), and
+// Put() returns the refreshed state. Two concurrent jobs on one cohort
+// therefore never race on the matrices; the second simply misses and
+// recomputes, and last-in wins the slot.
+//
+// Secrecy: the cached Q_p stays Secret<Matrix> end to end (the state is
+// stored as party_runner.h hands it back); this container never reads
+// it. Eviction/invalidation destroys the Secret wrapper and its
+// contents with it.
+//
+// Invalidation: Invalidate(key) when a cohort's data changes out from
+// under its key, Clear() on remesh or reload. Mislabeled keys are safe
+// regardless — Phase1State carries a content fingerprint that
+// RunPartySecureScan checks before trusting the state.
+
+#ifndef DASH_SERVICE_PHASE1_CACHE_H_
+#define DASH_SERVICE_PHASE1_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "transport/party_runner.h"
+
+namespace dash {
+
+// Relaxed snapshot for the control plane's STATS verb.
+struct Phase1CacheStats {
+  int64_t take_hits = 0;     // Take() found a valid entry
+  int64_t take_misses = 0;   // Take() handed out a fresh state
+  int64_t evictions = 0;     // LRU pressure
+  int64_t invalidations = 0; // explicit Invalidate/Clear
+  int entries = 0;
+};
+
+// Thread-safe LRU. All methods lock; none block on anything but the
+// internal mutex.
+class Phase1Cache {
+ public:
+  explicit Phase1Cache(size_t max_entries = 8);
+
+  // Removes and returns the state cached under `key`; a fresh (invalid)
+  // state when there is none. The caller owns the result exclusively
+  // until it Put()s it back.
+  Phase1State Take(const std::string& key);
+
+  // Caches `state` under `key` (only valid states are kept), evicting
+  // the least-recently-used entry beyond capacity.
+  void Put(const std::string& key, Phase1State state);
+
+  // Drops `key` (no-op when absent): the cohort's data changed.
+  void Invalidate(const std::string& key);
+
+  // Drops everything (remesh, reload).
+  void Clear();
+
+  Phase1CacheStats stats() const;
+
+ private:
+  // mu_ held. Moves `key` to the back of the recency list.
+  void TouchLocked(const std::string& key);
+
+  struct Entry {
+    Phase1State state;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  const size_t max_entries_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = coldest
+  Phase1CacheStats stats_;
+};
+
+}  // namespace dash
+
+#endif  // DASH_SERVICE_PHASE1_CACHE_H_

@@ -110,6 +110,13 @@ class FaultInjectingTransport : public Transport {
 
   int local_party() const override { return inner_->local_party(); }
 
+  // Decorators must not change the session identity of the link they
+  // wrap: per-session mask-key derivation reads session_id() from the
+  // transport handed to the protocol, and a decorator that reported the
+  // default 0 for a wrapped SessionChannel would silently put this
+  // party in a different mask domain than its peers.
+  uint32_t session_id() const override { return inner_->session_id(); }
+
   Status Send(int from, int to, MessageTag tag,
               std::vector<uint8_t> payload) override;
   Result<Message> Receive(int to, int from, MessageTag expected_tag) override;

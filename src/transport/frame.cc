@@ -57,7 +57,7 @@ void EncodeFrameHeader(const FrameHeader& header, std::vector<uint8_t>* out) {
   out->reserve(out->size() + kFrameHeaderBytes);
   PutU32(out, kFrameMagic);
   PutU16(out, kFrameVersion);
-  PutU16(out, 0);  // reserved
+  PutU16(out, static_cast<uint16_t>(header.session));
   PutU32(out, header.tag);
   PutU16(out, static_cast<uint16_t>(header.from));
   PutU16(out, static_cast<uint16_t>(header.to));
@@ -67,6 +67,7 @@ void EncodeFrameHeader(const FrameHeader& header, std::vector<uint8_t>* out) {
 
 std::vector<uint8_t> EncodeFrame(const Message& msg) {
   FrameHeader header;
+  header.session = msg.session;
   header.tag = static_cast<uint32_t>(msg.tag);
   header.from = msg.from;
   header.to = msg.to;
@@ -102,6 +103,7 @@ Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size) {
                    std::to_string(kFrameVersion) + ")");
   }
   FrameHeader header;
+  header.session = GetU16(data + 6);
   header.tag = GetU32(data + 8);
   header.from = GetU16(data + 12);
   header.to = GetU16(data + 14);

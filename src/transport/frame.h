@@ -6,7 +6,8 @@
 //   offset  size  field
 //        0     4  magic        0x48534144 ("DASH" as bytes on the wire)
 //        4     2  version      kFrameVersion (1)
-//        6     2  reserved     0
+//        6     2  session      logical session id (0 = the default,
+//                              sessionless protocol stream)
 //        8     4  tag          MessageTag as u32; 0 = transport hello
 //       12     2  from         sender party id
 //       14     2  to           receiver party id
@@ -18,6 +19,14 @@
 // turns silent corruption into a loud IoError. Tag value 0 is reserved
 // for the connection-establishment hello (it is not a MessageTag), so a
 // protocol message can never be mistaken for a handshake.
+//
+// The session field occupies what used to be the always-zero reserved
+// halfword, so the layout (offsets, header size, version) is unchanged:
+// a frame from a pre-session build simply carries session 0, and every
+// sessionless stream this build emits is byte-identical to what the
+// previous version put on the wire. Demultiplexing by session id lives
+// entirely above the framing layer (transport/session_mux.h), so a
+// future event-loop transport can reuse the format as is.
 
 #ifndef DASH_TRANSPORT_FRAME_H_
 #define DASH_TRANSPORT_FRAME_H_
@@ -38,12 +47,16 @@ inline constexpr size_t kFrameHeaderBytes = 24;
 inline constexpr uint32_t kFrameHelloTag = 0;
 // Corruption guard: no protocol message comes close to this.
 inline constexpr uint32_t kFrameMaxPayloadBytes = 1u << 30;
+// The session id travels as a u16 (the former reserved halfword);
+// session 0 is the sessionless default stream.
+inline constexpr uint32_t kFrameMaxSessionId = 0xFFFFu;
 
 // CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
 uint32_t Crc32(const uint8_t* data, size_t size);
 
 struct FrameHeader {
-  uint32_t tag = 0;  // raw; kFrameHelloTag or a MessageTag value
+  uint32_t session = 0;  // logical session id; 0 = sessionless stream
+  uint32_t tag = 0;      // raw; kFrameHelloTag or a MessageTag value
   int from = -1;
   int to = -1;
   uint32_t payload_len = 0;

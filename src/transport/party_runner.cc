@@ -55,8 +55,17 @@ class PartySecureVectorSum {
         rng_([&] {
           // Party i's randomness is the i-th output of the SplitMix64
           // chain over the shared seed — the exact seeding the in-process
-          // driver applies to its per-party RNG array.
+          // driver applies to its per-party RNG array. A nonzero
+          // mask_domain (the session id of a multiplexed job) perturbs
+          // the chain's starting point, so concurrent sessions with the
+          // same protocol seed draw DISJOINT randomness and never share
+          // a DH exponent or pairwise mask key; domain 0 preserves the
+          // historical chain bit for bit.
           uint64_t seed_state = options.seed;
+          if (options.mask_domain != 0) {
+            uint64_t domain_state = options.mask_domain;
+            seed_state ^= SplitMix64(&domain_state);
+          }
           uint64_t seed = SplitMix64(&seed_state);
           for (int i = 0; i < transport->local_party(); ++i) {
             seed = SplitMix64(&seed_state);
@@ -363,11 +372,43 @@ Result<Matrix> CombineBinaryTree(Transport* net, int local,
   return r.GetMatrix();
 }
 
+// Local-only digest of everything Phase 1 depends on: the party's
+// (preprocessed) covariate slab, its sample count, and the Phase-1
+// options that change the pooled R. FNV-1a over the raw little-endian
+// double bits — bit-exact equality is the right notion, because the
+// cached Q_p must reproduce the original transcript bit for bit. The
+// digest never leaves the process; the kPhase1Probe round only carries
+// a have/have-not bit.
+uint64_t Phase1Fingerprint(const PartyData& party, int64_t absorbed_params,
+                           const SecureScanOptions& options) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  const auto mix64 = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFFu;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  mix64(static_cast<uint64_t>(party.num_samples()));
+  mix64(static_cast<uint64_t>(party.c.cols()));
+  mix64(static_cast<uint64_t>(absorbed_params));
+  mix64(static_cast<uint64_t>(options.r_combine));
+  for (int64_t i = 0; i < party.c.rows(); ++i) {
+    for (int64_t j = 0; j < party.c.cols(); ++j) {
+      uint64_t bits = 0;
+      const double v = party.c(i, j);
+      static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+      __builtin_memcpy(&bits, &v, sizeof(bits));
+      mix64(bits);
+    }
+  }
+  return h;
+}
+
 // The protocol proper; RunPartySecureScan wraps it with the abort
 // notification and round tagging.
 Result<SecureScanOutput> RunPartyScanProtocol(
     Transport* transport, const PartyData& input_party,
-    const SecureScanOptions& options) {
+    const SecureScanOptions& options, Phase1State* phase1) {
   const int local = transport->local_party();
   const int num_parties = transport->num_parties();
   if (options.projection == ProjectionSecurity::kBeaverDotProducts) {
@@ -409,69 +450,136 @@ Result<SecureScanOutput> RunPartyScanProtocol(
   double local_seconds = 0.0;
   double protocol_seconds = 0.0;
 
-  // Stage 0 (network): exchange the public per-party sample counts.
-  int64_t total_samples = 0;
-  protocol_timer.Reset();
-  if (num_parties > 1) {
-    transport->BeginRound();
-    ByteWriter w;
-    w.PutI64(party->num_samples());
-    DASH_RETURN_IF_ERROR(
-        transport->Broadcast(local, MessageTag::kSampleCount, w.Take()));
-    for (int q = 0; q < num_parties; ++q) {
-      if (q == local) {
-        total_samples += party->num_samples();
-        continue;
+  // Phase-1 cache probe (one optional round): each party broadcasts ONE
+  // public bit — "I hold valid Phase-1 state for this cohort" — and the
+  // cache is used iff every party says yes. All-or-nothing keeps the
+  // transcript identical at every party: a single stale peer forces the
+  // full Phase 1 everywhere. The fingerprint itself never leaves the
+  // process.
+  uint64_t fingerprint = 0;
+  bool cache_hit = false;
+  if (phase1 != nullptr) {
+    local_timer.Reset();
+    fingerprint = Phase1Fingerprint(*party, absorbed_params, options);
+    local_seconds += local_timer.ElapsedSeconds();
+    const bool have =
+        phase1->valid && phase1->local_fingerprint == fingerprint;
+    if (num_parties > 1) {
+      protocol_timer.Reset();
+      transport->BeginRound();
+      ByteWriter w;
+      w.PutU32(have ? 1u : 0u);
+      DASH_RETURN_IF_ERROR(
+          transport->Broadcast(local, MessageTag::kPhase1Probe, w.Take()));
+      bool all_have = have;
+      for (int q = 0; q < num_parties; ++q) {
+        if (q == local) continue;
+        DASH_ASSIGN_OR_RETURN(
+            Message msg,
+            transport->Receive(local, q, MessageTag::kPhase1Probe));
+        ByteReader r(msg.payload);
+        DASH_ASSIGN_OR_RETURN(uint32_t peer_have, r.GetU32());
+        all_have = all_have && (peer_have == 1);
       }
-      DASH_ASSIGN_OR_RETURN(
-          Message msg, transport->Receive(local, q, MessageTag::kSampleCount));
-      ByteReader r(msg.payload);
-      DASH_ASSIGN_OR_RETURN(int64_t n_q, r.GetI64());
-      total_samples += n_q;
-    }
-  } else {
-    total_samples = party->num_samples();
-  }
-  protocol_seconds += protocol_timer.ElapsedSeconds();
-
-  // Stage 1 (local): our K x K R factor.
-  local_timer.Reset();
-  Matrix local_r(0, 0);
-  if (k > 0) {
-    DASH_ASSIGN_OR_RETURN(local_r, PartyLocalRFactor(*party));
-  }
-  local_seconds += local_timer.ElapsedSeconds();
-
-  // Stage 2 (network): combine R factors; we learn R⁻¹.
-  Matrix r_inverse(0, 0);
-  protocol_timer.Reset();
-  if (k > 0) {
-    Matrix r(0, 0);
-    if (num_parties == 1) {
-      r = local_r;
-    } else if (options.r_combine == RCombineMode::kBroadcastStack) {
-      DASH_ASSIGN_OR_RETURN(r, CombineBroadcastStack(transport, local, local_r));
+      cache_hit = all_have;
+      protocol_seconds += protocol_timer.ElapsedSeconds();
     } else {
-      DASH_ASSIGN_OR_RETURN(r, CombineBinaryTree(transport, local, local_r));
+      cache_hit = have;
     }
-    DASH_ASSIGN_OR_RETURN(r_inverse, InvertUpperTriangular(r));
   }
-  protocol_seconds += protocol_timer.ElapsedSeconds();
 
-  // Stage 3 (local): our Q_p rows.
-  local_timer.Reset();
   std::unique_ptr<ThreadPool> pool;
   if (options.num_threads > 1) {
     pool = std::make_unique<ThreadPool>(options.num_threads);
   }
-  const Matrix q_p = (k > 0) ? PartyLocalQ(*party, r_inverse)
-                             : Matrix(party->num_samples(), 0);
-  local_seconds += local_timer.ElapsedSeconds();
+
+  int64_t total_samples = 0;
+  Matrix r_inverse(0, 0);
+  Matrix q_p(0, 0);
+  if (cache_hit) {
+    // Stages 0–3 replaced by the cache: N and R⁻¹ are public protocol
+    // reveals, and Q_p is this party's own private material coming back
+    // from its own cache — the declassified bytes feed the same local
+    // statistics kernel the fresh path feeds and never reach the wire.
+    total_samples = phase1->total_samples;
+    r_inverse = phase1->r_inverse;
+    q_p = DASH_DECLASSIFY(
+        phase1->q_p,
+        "phase1-cache: this party's own cached Q_p rows, reused in-process");
+  } else {
+    // Stage 0 (network): exchange the public per-party sample counts.
+    protocol_timer.Reset();
+    if (num_parties > 1) {
+      transport->BeginRound();
+      ByteWriter w;
+      w.PutI64(party->num_samples());
+      DASH_RETURN_IF_ERROR(
+          transport->Broadcast(local, MessageTag::kSampleCount, w.Take()));
+      for (int q = 0; q < num_parties; ++q) {
+        if (q == local) {
+          total_samples += party->num_samples();
+          continue;
+        }
+        DASH_ASSIGN_OR_RETURN(
+            Message msg,
+            transport->Receive(local, q, MessageTag::kSampleCount));
+        ByteReader r(msg.payload);
+        DASH_ASSIGN_OR_RETURN(int64_t n_q, r.GetI64());
+        total_samples += n_q;
+      }
+    } else {
+      total_samples = party->num_samples();
+    }
+    protocol_seconds += protocol_timer.ElapsedSeconds();
+
+    // Stage 1 (local): our K x K R factor.
+    local_timer.Reset();
+    Matrix local_r(0, 0);
+    if (k > 0) {
+      DASH_ASSIGN_OR_RETURN(local_r, PartyLocalRFactor(*party));
+    }
+    local_seconds += local_timer.ElapsedSeconds();
+
+    // Stage 2 (network): combine R factors; we learn R⁻¹.
+    protocol_timer.Reset();
+    if (k > 0) {
+      Matrix r(0, 0);
+      if (num_parties == 1) {
+        r = local_r;
+      } else if (options.r_combine == RCombineMode::kBroadcastStack) {
+        DASH_ASSIGN_OR_RETURN(r,
+                              CombineBroadcastStack(transport, local, local_r));
+      } else {
+        DASH_ASSIGN_OR_RETURN(r, CombineBinaryTree(transport, local, local_r));
+      }
+      DASH_ASSIGN_OR_RETURN(r_inverse, InvertUpperTriangular(r));
+    }
+    protocol_seconds += protocol_timer.ElapsedSeconds();
+
+    // Stage 3 (local): our Q_p rows.
+    local_timer.Reset();
+    q_p = (k > 0) ? PartyLocalQ(*party, r_inverse)
+                  : Matrix(party->num_samples(), 0);
+    local_seconds += local_timer.ElapsedSeconds();
+
+    if (phase1 != nullptr) {
+      phase1->valid = true;
+      phase1->local_fingerprint = fingerprint;
+      phase1->total_samples = total_samples;
+      phase1->r_inverse = r_inverse;
+      phase1->q_p = Secret<Matrix>(q_p);
+    }
+  }
 
   SecureSumOptions sum_options;
   sum_options.mode = options.aggregation;
   sum_options.frac_bits = options.frac_bits;
   sum_options.seed = options.seed;
+  // Concurrent sessions over one mesh must never share mask keys: the
+  // session id domain-separates the seed chain (see PartySecureVectorSum
+  // and PROTOCOL.md's session-layer note). The sessionless stream keeps
+  // domain 0 — the exact historical chain.
+  sum_options.mask_domain = transport->session_id();
   PartySecureVectorSum secure_sum(transport, sum_options);
 
   Vector flat_totals;
@@ -586,6 +694,7 @@ Result<SecureScanOutput> RunPartyScanProtocol(
   out.metrics.rounds = transport->metrics().rounds();
   out.metrics.local_compute_seconds = local_seconds;
   out.metrics.protocol_seconds = protocol_seconds;
+  out.metrics.phase1_cache_hit = cache_hit;
   DASH_LOG(Info) << "party " << local << "/" << num_parties
                  << " secure scan: N=" << total_samples << " M=" << m
                  << " K=" << k << " mode="
@@ -599,6 +708,14 @@ Result<SecureScanOutput> RunPartyScanProtocol(
 Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
                                             const PartyData& input_party,
                                             const SecureScanOptions& options) {
+  return RunPartySecureScan(transport, input_party, options,
+                            /*phase1=*/nullptr);
+}
+
+Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
+                                            const PartyData& input_party,
+                                            const SecureScanOptions& options,
+                                            Phase1State* phase1) {
   DASH_CHECK(transport != nullptr);
   const int local = transport->local_party();
   if (local < 0) {
@@ -608,7 +725,7 @@ Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
         "SecureAssociationScan::Run");
   }
   Result<SecureScanOutput> out =
-      RunPartyScanProtocol(transport, input_party, options);
+      RunPartyScanProtocol(transport, input_party, options, phase1);
   if (out.ok()) return out;
   const Status cause = out.status();
   const int round = transport->metrics().rounds();

@@ -28,11 +28,46 @@
 #ifndef DASH_TRANSPORT_PARTY_RUNNER_H_
 #define DASH_TRANSPORT_PARTY_RUNNER_H_
 
+#include <cstdint>
+
 #include "core/secure_scan.h"
 #include "data/party_split.h"
+#include "linalg/matrix.h"
+#include "mpc/secrecy.h"
 #include "transport/transport.h"
 
 namespace dash {
+
+// One party's reusable Phase-1 state: everything the scan derives from
+// the PERMANENT covariates alone, independent of which variants are
+// tested. Repeat scans on the same cohort (same rows, same C, same
+// preprocessing) skip the sample-count exchange, the QR combination,
+// and the local Q_p rebuild — the per-variant Phase-2 aggregation is
+// all that remains on the wire.
+//
+// Secrecy: Q_p's rows are derived from the party's private data, so the
+// cached copy stays Secret<Matrix>; RunPartySecureScan reads it back
+// through an audited DASH_DECLASSIFY (round key `phase1-cache` in
+// tools/secrecy_allowlist.txt) that never moves the bytes off-process.
+// R⁻¹ and the pooled sample count are public by protocol (phase0 /
+// phase1 reveals), so they are stored plain.
+//
+// Invalidation is the caller's job: any change to the cohort's rows or
+// covariates MUST either be reflected in the data (the fingerprint then
+// misses by itself) or be signaled by dropping the state (valid=false /
+// destroying it). The fingerprint is local-only — it is never sent —
+// and the kPhase1Probe agreement round only reveals one have/have-not
+// bit per party.
+struct Phase1State {
+  bool valid = false;
+  // FNV-1a over this party's (preprocessed) covariate slab, sample
+  // count, and the Phase-1 options; see Phase1Fingerprint in
+  // party_runner.cc.
+  uint64_t local_fingerprint = 0;
+  int64_t total_samples = 0;   // pooled N (public, phase0 reveal)
+  Matrix r_inverse;            // pooled R⁻¹ (public, phase1 reveal)
+  Secret<Matrix> q_p;          // this party's Q_p rows (private)
+};
 
 // Runs the scan as party transport->local_party() (which must be >= 0,
 // i.e. a party-bound transport) holding rows `party`. Blocks until the
@@ -41,6 +76,18 @@ namespace dash {
 Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
                                             const PartyData& party,
                                             const SecureScanOptions& options);
+
+// Cache-aware variant. `phase1` (may be null = uncached) is read AND
+// written: when every party arrives with matching valid state — agreed
+// in one extra kPhase1Probe round of a single public have-bit each —
+// Phase 1 is skipped entirely and metrics.phase1_cache_hit is set;
+// otherwise the full protocol runs and `phase1` is refilled. All-or-
+// nothing: one stale party forces the full Phase 1 at every party, so
+// the transcript stays identical at all of them.
+Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
+                                            const PartyData& party,
+                                            const SecureScanOptions& options,
+                                            Phase1State* phase1);
 
 }  // namespace dash
 

@@ -385,6 +385,16 @@ Status TcpTransport::FinishHandshake(int fd, int expected_peer,
 
 Status TcpTransport::Send(int from, int to, MessageTag tag,
                           std::vector<uint8_t> payload) {
+  return SendOnSession(0, from, to, tag, std::move(payload));
+}
+
+Status TcpTransport::SendOnSession(uint32_t session, int from, int to,
+                                   MessageTag tag,
+                                   std::vector<uint8_t> payload) {
+  if (session > kFrameMaxSessionId) {
+    return InvalidArgumentError("session id " + std::to_string(session) +
+                                " exceeds the u16 frame field");
+  }
   if (from != local_party_) {
     return InvalidArgumentError(
         "TCP endpoint for party " + std::to_string(local_party_) +
@@ -410,6 +420,7 @@ Status TcpTransport::Send(int from, int to, MessageTag tag,
   Message msg;
   msg.from = from;
   msg.to = to;
+  msg.session = session;
   msg.tag = tag;
   msg.payload = std::move(payload);
   const std::vector<uint8_t> frame = EncodeFrame(msg);
@@ -482,6 +493,15 @@ Result<Message> TcpTransport::Receive(int to, int from,
   }
   Message msg = std::move(peer.inbox.front());
   peer.inbox.pop_front();
+  if (msg.session != 0) {
+    // The peer is multiplexing sessions over this link but this side is
+    // reading the sessionless stream — a deployment mismatch (or a
+    // hostile session id), not a recoverable ordering issue.
+    return FailedPreconditionError(
+        "protocol desync: session " + std::to_string(msg.session) +
+        " frame (tag " + MessageTagName(msg.tag) +
+        ") on the sessionless receive path");
+  }
   if (msg.tag != expected_tag) {
     return FailedPreconditionError(
         std::string("protocol desync: expected tag ") +
@@ -489,6 +509,46 @@ Result<Message> TcpTransport::Receive(int to, int from,
         MessageTagName(msg.tag));
   }
   return msg;
+}
+
+Result<Message> TcpTransport::TryReceiveAny(int to, int from) {
+  if (to != local_party_) {
+    return InvalidArgumentError(
+        "TCP endpoint for party " + std::to_string(local_party_) +
+        " cannot receive as party " + std::to_string(to));
+  }
+  DASH_RETURN_IF_ERROR(ValidateParty(from, "sender"));
+  if (from == local_party_) {
+    return InvalidArgumentError("party cannot receive from itself");
+  }
+  Peer& peer = peers_[static_cast<size_t>(from)];
+  if (peer.inbox.empty()) {
+    const Status pump = Pump(0);
+    (void)pump;
+  }
+  if (peer.inbox.empty()) {
+    // Link health is reported by LinkStatus, not here: the intake's only
+    // question is "is a message deliverable right now".
+    return NotFoundError("no message pending from party " +
+                         std::to_string(from));
+  }
+  Message msg = std::move(peer.inbox.front());
+  peer.inbox.pop_front();
+  return msg;
+}
+
+Status TcpTransport::PumpWait(int timeout_ms) { return Pump(timeout_ms); }
+
+Status TcpTransport::LinkStatus(int peer_id) {
+  DASH_RETURN_IF_ERROR(ValidateParty(peer_id, "peer"));
+  if (peer_id == local_party_) return Status::Ok();
+  Peer& peer = peers_[static_cast<size_t>(peer_id)];
+  if (!peer.fail.ok()) return peer.fail;
+  if (peer.closed || peer.fd < 0) {
+    return UnavailableError("connection to party " + std::to_string(peer_id) +
+                            " is closed");
+  }
+  return Status::Ok();
 }
 
 bool TcpTransport::HasPending(int to, int from) {
@@ -596,6 +656,7 @@ Status TcpTransport::ParseFrames(int party) {
     Message msg;
     msg.from = header.from;
     msg.to = header.to;
+    msg.session = header.session;
     msg.tag = static_cast<MessageTag>(header.tag);
     msg.payload = std::move(payload);
     peer.inbox.push_back(std::move(msg));
@@ -630,7 +691,10 @@ void TcpTransport::ScanForAborts() {
   if (!abort_status_.ok()) return;
   for (auto& peer : peers_) {
     for (auto it = peer.inbox.begin(); it != peer.inbox.end(); ++it) {
-      if (it->tag != MessageTag::kAbort) continue;
+      // Only sessionless aborts latch transport-wide: an abort inside a
+      // multiplexed session concerns that session alone and is routed
+      // (and scoped) by the SessionMux via TryReceiveAny.
+      if (it->tag != MessageTag::kAbort || it->session != 0) continue;
       const AbortInfo info = DecodeAbortPayload(it->payload);
       peer.inbox.erase(it);
       abort_status_ = MakeAbortStatus(info);

@@ -101,10 +101,23 @@ class TcpTransport : public Transport {
               std::vector<uint8_t> payload) override;
 
   // `to` must be the local party. Blocks up to receive_timeout_ms.
+  // Delivers the sessionless stream only: a frame carrying a nonzero
+  // session id on this path is a desync (the peer multiplexes, we do
+  // not) and fails with FailedPrecondition.
   Result<Message> Receive(int to, int from, MessageTag expected_tag) override;
 
   // True if a frame from -> local is already buffered or readable now.
   bool HasPending(int to, int from) override;
+
+  // Session extension points (transport/transport.h): the frame header
+  // carries the session id, aborts latch transport-wide only for the
+  // sessionless stream (session aborts are scoped by the SessionMux),
+  // and TryReceiveAny is the demultiplexer intake.
+  Status SendOnSession(uint32_t session, int from, int to, MessageTag tag,
+                       std::vector<uint8_t> payload) override;
+  Result<Message> TryReceiveAny(int to, int from) override;
+  Status PumpWait(int timeout_ms) override;
+  Status LinkStatus(int peer) override;
 
   TcpWireStats wire_stats() const;
 

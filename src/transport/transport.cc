@@ -74,6 +74,35 @@ Status Transport::Broadcast(int from, MessageTag tag,
   return Status::Ok();
 }
 
+Status Transport::SendOnSession(uint32_t session, int from, int to,
+                                MessageTag tag,
+                                std::vector<uint8_t> payload) {
+  if (session != 0) {
+    return UnimplementedError(
+        "this transport backend carries only the sessionless stream "
+        "(session 0); wrap a session-capable backend in a SessionMux");
+  }
+  return Send(from, to, tag, std::move(payload));
+}
+
+Result<Message> Transport::TryReceiveAny(int to, int from) {
+  (void)to;
+  (void)from;
+  return UnimplementedError(
+      "this transport backend has no session demultiplexer intake "
+      "(TryReceiveAny); use Receive with the expected tag");
+}
+
+Status Transport::PumpWait(int timeout_ms) {
+  (void)timeout_ms;
+  return Status::Ok();
+}
+
+Status Transport::LinkStatus(int peer) {
+  DASH_RETURN_IF_ERROR(ValidateParty(peer, "peer"));
+  return Status::Ok();
+}
+
 void Transport::RecordSend(const Message& msg) {
   metrics_.Record(msg);
   if (trace_ != nullptr) trace_->Record(metrics_.rounds(), msg);

@@ -121,6 +121,40 @@ class Transport {
   // True if a message from -> to is already deliverable without blocking.
   virtual bool HasPending(int to, int from) = 0;
 
+  // --- Session extension points (transport/session_mux.h) -----------
+  //
+  // A backend that supports multiplexed logical sessions over its links
+  // overrides these four; the defaults keep every existing backend
+  // valid for the sessionless stream (session 0). The session id is
+  // carried in the frame header (transport/frame.h), so the wire format
+  // is fixed here and a later event-loop backend only swaps the
+  // implementation behind these hooks.
+
+  // The logical session every plain Send/Receive on this transport
+  // belongs to. 0 everywhere except on a session-bound channel handed
+  // out by a SessionMux.
+  virtual uint32_t session_id() const { return 0; }
+
+  // Send tagged with an explicit session id. Backends without session
+  // support accept only the sessionless stream.
+  virtual Status SendOnSession(uint32_t session, int from, int to,
+                               MessageTag tag, std::vector<uint8_t> payload);
+
+  // Pops the next deliverable message from -> to regardless of tag or
+  // session (the demultiplexer's intake; it routes by Message::session).
+  // Non-blocking: NotFound when nothing is deliverable right now.
+  virtual Result<Message> TryReceiveAny(int to, int from);
+
+  // Blocks up to timeout_ms for inbound bytes to become deliverable (a
+  // poll on the backend's sockets). The default is a no-op so callers
+  // over queue-backed backends simply spin on TryReceiveAny.
+  virtual Status PumpWait(int timeout_ms);
+
+  // Health of the link to `peer`: Ok while usable, else the sticky
+  // failure (Unavailable/DataLoss/...). Backends without per-link state
+  // report Ok.
+  virtual Status LinkStatus(int peer);
+
   // Marks the start of a new synchronous protocol round (metrics only).
   // Virtual so decorators (transport/fault_transport.h) can observe the
   // round boundary; overrides must call the base to keep metrics right.

@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Kill-a-daemon smoke: three dash_partyd daemons form a mesh; party 2 is
+# SIGKILLed while a job is in flight. Required behavior:
+#   * both SURVIVING DAEMONS STAY UP and fail ONLY the affected job,
+#     with a transport status (Unavailable / DeadlineExceeded);
+#   * a job submitted to the survivors DURING the outage is accepted and
+#     waits (admission != execution);
+#   * once party 2 restarts, the mesh re-forms on its own and the waiting
+#     job completes with the simulator's exact checksum.
+#
+# Usage: kill_partyd_smoke.sh /path/to/dash_partyd /path/to/dash_jobctl.py
+set -u
+
+PARTYD="${1:?usage: kill_partyd_smoke.sh /path/to/dash_partyd /path/to/dash_jobctl.py}"
+JOBCTL="${2:?usage: kill_partyd_smoke.sh /path/to/dash_partyd /path/to/dash_jobctl.py}"
+WORKDIR="$(mktemp -d)"
+trap 'kill -9 ${PIDS[@]:-} ${RESTART_PID:-} 2>/dev/null; rm -rf "$WORKDIR"' EXIT
+
+read -r M0 M1 M2 C0 C1 C2 <<EOF
+$(python3 - <<'PY'
+import socket
+socks = [socket.socket() for _ in range(6)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(*(s.getsockname()[1] for s in socks))
+for s in socks:
+    s.close()
+PY
+)
+EOF
+CLUSTER="127.0.0.1:${M0},127.0.0.1:${M1},127.0.0.1:${M2}"
+CPORTS="$C0,$C1,$C2"
+CTL=(python3 "$JOBCTL")
+
+start_daemon() {  # party control_port logfile
+  "$PARTYD" --party "$1" --cluster "$CLUSTER" --control-port "$2" \
+    --receive-timeout-ms 4000 >"$WORKDIR/$3" 2>&1 &
+}
+
+PIDS=()
+start_daemon 0 "$C0" err0; PIDS+=($!)
+start_daemon 1 "$C1" err1; PIDS+=($!)
+start_daemon 2 "$C2" err2; PIDS+=($!)
+
+for i in 0 1 2; do
+  for _ in $(seq 1 100); do
+    grep -q "mesh up" "$WORKDIR/err$i" && break
+    sleep 0.1
+  done
+  if ! grep -q "mesh up" "$WORKDIR/err$i"; then
+    echo "FAIL: daemon $i never reported mesh up" >&2
+    cat "$WORKDIR/err$i" >&2
+    exit 1
+  fi
+done
+
+fail=0
+
+# Job 1: big enough to still be in flight when the kill lands.
+"${CTL[@]}" --ports "$CPORTS" submit --job 1 --cohort big \
+  --variants 512 --samples 2048 --covariates 4 --data-seed 5 >/dev/null || fail=1
+sleep 0.3
+kill -9 "${PIDS[2]}"
+
+# The survivors must FAIL job 1 (not hang, not die) within the receive
+# timeout, naming a transport status.
+for port in "$C0" "$C1"; do
+  ok=0
+  for _ in $(seq 1 100); do
+    status="$("${CTL[@]}" --ports "$port" status --job 1 2>/dev/null)"
+    case "$status" in
+      *state=failed*Unavailable*|*state=failed*DeadlineExceeded*) ok=1; break ;;
+      *state=done*) echo "FAIL: job 1 'done' on $port though party 2 died" >&2
+                    fail=1; break ;;
+    esac
+    sleep 0.2
+  done
+  if [ "$ok" -ne 1 ] && [ "$fail" -eq 0 ]; then
+    echo "FAIL: job 1 on $port did not fail with a transport status: $status" >&2
+    fail=1
+  fi
+done
+
+for i in 0 1; do
+  if ! kill -0 "${PIDS[$i]}" 2>/dev/null; then
+    echo "FAIL: surviving daemon $i exited after the kill" >&2
+    fail=1
+  fi
+done
+
+# Job 2 submitted DURING the outage: the survivors must accept it (it
+# waits for the mesh), not reject or crash.
+"${CTL[@]}" --ports "$C0,$C1" submit --job 2 --cohort small \
+  --variants 48 --samples 64 >/dev/null || {
+  echo "FAIL: survivors rejected a job during the outage" >&2; fail=1; }
+
+# Restart party 2; its daemon and the survivors' monitors re-form the
+# mesh without any operator action.
+start_daemon 2 "$C2" err2_restart; RESTART_PID=$!
+for _ in $(seq 1 200); do
+  grep -q "mesh up" "$WORKDIR/err2_restart" && break
+  sleep 0.1
+done
+if ! grep -q "mesh up" "$WORKDIR/err2_restart"; then
+  echo "FAIL: restarted daemon never re-formed the mesh" >&2
+  cat "$WORKDIR/err2_restart" >&2
+  fail=1
+fi
+"${CTL[@]}" --ports "$C2" submit --job 2 --cohort small \
+  --variants 48 --samples 64 >/dev/null || fail=1
+
+# The waiting job now completes everywhere, bit-identical to the
+# simulator.
+if ! "${CTL[@]}" --ports "$CPORTS" --timeout 60 wait --job 2 >"$WORKDIR/wait2"; then
+  echo "FAIL: job 2 did not complete identically after the restart" >&2
+  cat "$WORKDIR/wait2" >&2
+  fail=1
+fi
+WANT="$("$PARTYD" --simulate-job "2 small 48 64 3 7 masked 0 $((0xDA5B))" \
+  --parties 3 | awk '{print $4}')"
+GOT="$("${CTL[@]}" --ports "$C0" result --job 2 | awk '{print $3}')"
+if [ -z "$WANT" ] || [ "$WANT" != "$GOT" ]; then
+  echo "FAIL: job 2 checksum $GOT != simulator $WANT" >&2
+  fail=1
+fi
+
+if ! grep -q "mesh restored" "$WORKDIR/err0"; then
+  echo "FAIL: survivor 0 never logged the remesh" >&2
+  fail=1
+fi
+
+"${CTL[@]}" --ports "$CPORTS" shutdown >/dev/null 2>&1
+
+if [ "$fail" -ne 0 ]; then
+  for f in err0 err1 err2 err2_restart; do
+    echo "--- $f ---" >&2
+    cat "$WORKDIR/$f" >&2 2>/dev/null
+  done
+else
+  echo "PASS: survivors failed only the in-flight job; the queued job"
+  echo "      completed after the restart with the simulator's checksum"
+fi
+exit "$fail"

@@ -149,7 +149,8 @@ bool IsSecretCarrying(MessageTag tag) {
 
 bool IsPublicMetadata(MessageTag tag) {
   return tag == MessageTag::kSampleCount || tag == MessageTag::kRFactor ||
-         tag == MessageTag::kTreeR || tag == MessageTag::kCommit;
+         tag == MessageTag::kTreeR || tag == MessageTag::kCommit ||
+         tag == MessageTag::kPhase1Probe;
 }
 
 double OneBitFraction(const std::vector<uint8_t>& bytes) {

@@ -1,0 +1,160 @@
+#!/usr/bin/env bash
+# Resident-service smoke: three dash_partyd daemons over loopback run
+# EIGHT+ concurrent jobs submitted through the control API, two of them
+# sharing a cohort. Required behavior:
+#   * every job completes on every daemon with the checksum the
+#     in-process simulator (`dash_partyd --simulate-job`) computes;
+#   * the repeat job on the shared cohort reports cache_hit=1 and
+#     strictly fewer rounds than its first run (Phase 1 skipped);
+#   * the daemons exit cleanly on SHUTDOWN.
+#
+# Usage: service_smoke.sh /path/to/dash_partyd /path/to/dash_jobctl.py
+set -u
+
+PARTYD="${1:?usage: service_smoke.sh /path/to/dash_partyd /path/to/dash_jobctl.py}"
+JOBCTL="${2:?usage: service_smoke.sh /path/to/dash_partyd /path/to/dash_jobctl.py}"
+WORKDIR="$(mktemp -d)"
+trap 'kill -9 ${PIDS[@]:-} 2>/dev/null; rm -rf "$WORKDIR"' EXIT
+
+read -r M0 M1 M2 C0 C1 C2 <<EOF
+$(python3 - <<'PY'
+import socket
+socks = [socket.socket() for _ in range(6)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(*(s.getsockname()[1] for s in socks))
+for s in socks:
+    s.close()
+PY
+)
+EOF
+CLUSTER="127.0.0.1:${M0},127.0.0.1:${M1},127.0.0.1:${M2}"
+CPORTS="$C0,$C1,$C2"
+CTL=(python3 "$JOBCTL")
+
+PIDS=()
+for p in 0 1 2; do
+  eval "port=\$C$p"
+  "$PARTYD" --party "$p" --cluster "$CLUSTER" --control-port "$port" \
+    --max-concurrent 4 --max-queued 16 >"$WORKDIR/err$p" 2>&1 &
+  PIDS+=($!)
+done
+for i in 0 1 2; do
+  for _ in $(seq 1 100); do
+    grep -q "mesh up" "$WORKDIR/err$i" && break
+    sleep 0.1
+  done
+  if ! grep -q "mesh up" "$WORKDIR/err$i"; then
+    echo "FAIL: daemon $i never reported mesh up" >&2
+    cat "$WORKDIR/err$i" >&2
+    exit 1
+  fi
+done
+
+fail=0
+
+# Nine jobs, submitted back-to-back so they run concurrently. Jobs 1 and
+# 9 share cohort `shared` with IDENTICAL data (the Phase-1 cache case);
+# the rest differ in cohort, size and seed.
+spec() {  # job -> "cohort variants samples covariates data_seed"
+  case "$1" in
+    1) echo "shared 64 96 3 42" ;;
+    2) echo "c2 32 64 3 2" ;;
+    3) echo "c3 48 80 4 3" ;;
+    4) echo "c4 24 72 3 4" ;;
+    5) echo "c5 40 56 3 5" ;;
+    6) echo "c6 56 88 4 6" ;;
+    7) echo "c7 16 48 3 7" ;;
+    8) echo "c8 36 60 3 8" ;;
+    9) echo "shared 64 96 3 42" ;;
+  esac
+}
+
+for job in 1 2 3 4 5 6 7 8; do
+  read -r cohort variants samples covariates seed <<<"$(spec $job)"
+  "${CTL[@]}" --ports "$CPORTS" submit --job "$job" --cohort "$cohort" \
+    --variants "$variants" --samples "$samples" \
+    --covariates "$covariates" --data-seed "$seed" >/dev/null || {
+    echo "FAIL: submit of job $job rejected" >&2; fail=1; }
+done
+
+for job in 1 2 3 4 5 6 7 8; do
+  if ! "${CTL[@]}" --ports "$CPORTS" --timeout 90 wait --job "$job" \
+      >"$WORKDIR/wait$job" 2>&1; then
+    echo "FAIL: job $job did not complete identically" >&2
+    cat "$WORKDIR/wait$job" >&2
+    fail=1
+  fi
+done
+
+# Job 9 AFTER job 1 settled: the repeat on the shared cohort.
+"${CTL[@]}" --ports "$CPORTS" submit --job 9 --cohort shared \
+  --variants 64 --samples 96 --covariates 3 --data-seed 42 >/dev/null || fail=1
+if ! "${CTL[@]}" --ports "$CPORTS" --timeout 90 wait --job 9 \
+    >"$WORKDIR/wait9" 2>&1; then
+  echo "FAIL: repeat job 9 did not complete identically" >&2
+  cat "$WORKDIR/wait9" >&2
+  fail=1
+fi
+
+# Every checksum must equal the simulator's.
+for job in 1 2 3 4 5 6 7 8 9; do
+  read -r cohort variants samples covariates seed <<<"$(spec $job)"
+  WANT="$("$PARTYD" --simulate-job \
+    "$job $cohort $variants $samples $covariates $seed masked 0 $((0xDA5B))" \
+    --parties 3 | awk '{print $4}')"
+  for port in "$C0" "$C1" "$C2"; do
+    GOT="$("${CTL[@]}" --ports "$port" result --job "$job" | awk '{print $3}')"
+    if [ -z "$WANT" ] || [ "$WANT" != "$GOT" ]; then
+      echo "FAIL: job $job on $port checksum $GOT != simulator $WANT" >&2
+      fail=1
+    fi
+  done
+done
+
+# The repeat job must observably have SKIPPED Phase 1 on every daemon.
+for port in "$C0" "$C1" "$C2"; do
+  s1="$("${CTL[@]}" --ports "$port" status --job 1)"
+  s9="$("${CTL[@]}" --ports "$port" status --job 9)"
+  case "$s1" in *cache_hit=0*) ;; *)
+    echo "FAIL: first shared-cohort job claims a cache hit: $s1" >&2
+    fail=1 ;; esac
+  case "$s9" in *cache_hit=1*) ;; *)
+    echo "FAIL: repeat job 9 on $port missed the Phase-1 cache: $s9" >&2
+    fail=1 ;; esac
+  r1="$(printf '%s\n' "$s1" | sed -n 's/.* rounds=\([0-9]*\).*/\1/p')"
+  r9="$(printf '%s\n' "$s9" | sed -n 's/.* rounds=\([0-9]*\).*/\1/p')"
+  if [ -z "$r1" ] || [ -z "$r9" ] || [ "$r9" -ge "$r1" ]; then
+    echo "FAIL: cache hit did not shrink rounds ($r1 -> $r9) on $port" >&2
+    fail=1
+  fi
+done
+
+# STATS must account for the hit, and SHUTDOWN must stop the daemons.
+STATS="$("${CTL[@]}" --ports "$C0" stats)"
+case "$STATS" in *phase1_cache_hits=0*)
+  echo "FAIL: scheduler stats counted no cache hit: $STATS" >&2
+  fail=1 ;; esac
+"${CTL[@]}" --ports "$CPORTS" shutdown >/dev/null || fail=1
+for i in 0 1 2; do
+  deadline=$((SECONDS + 10))
+  while kill -0 "${PIDS[$i]}" 2>/dev/null; do
+    if [ "$SECONDS" -ge "$deadline" ]; then
+      echo "FAIL: daemon $i ignored SHUTDOWN" >&2
+      fail=1
+      break
+    fi
+    sleep 0.1
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  for i in 0 1 2; do
+    echo "--- daemon $i ---" >&2
+    cat "$WORKDIR/err$i" >&2
+  done
+else
+  echo "PASS: 9 concurrent jobs bit-identical to the simulator;"
+  echo "      shared-cohort repeat skipped Phase 1 on every daemon"
+fi
+exit "$fail"

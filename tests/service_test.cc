@@ -1,0 +1,384 @@
+// Service layer in isolation: Phase1Cache check-out/check-in + LRU,
+// JobScheduler admission/cancel/deadline/shutdown against fake sessions
+// and scans, and the control protocol's line handling (no sockets —
+// ControlServer::HandleLine is called directly).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "service/control_server.h"
+#include "service/job.h"
+#include "service/job_scheduler.h"
+#include "service/phase1_cache.h"
+#include "transport/frame.h"
+#include "transport/transport.h"
+
+namespace dash {
+namespace {
+
+// ---------------------------------------------------------------------
+// Phase1Cache
+
+Phase1State ValidState(uint64_t fingerprint) {
+  Phase1State state;
+  state.valid = true;
+  state.local_fingerprint = fingerprint;
+  state.total_samples = 100;
+  return state;
+}
+
+TEST(Phase1CacheTest, TakeChecksOutExclusively) {
+  Phase1Cache cache(4);
+  cache.Put("a", ValidState(1));
+
+  // First Take wins the entry; a concurrent same-cohort job misses and
+  // recomputes instead of racing on shared state.
+  const Phase1State first = cache.Take("a");
+  EXPECT_TRUE(first.valid);
+  const Phase1State second = cache.Take("a");
+  EXPECT_FALSE(second.valid);
+
+  const Phase1CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.take_hits, 1);
+  EXPECT_EQ(stats.take_misses, 1);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(Phase1CacheTest, PutIgnoresInvalidStates) {
+  Phase1Cache cache(4);
+  cache.Put("a", Phase1State());  // never ran Phase 1: nothing to keep
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.Take("a").valid);
+}
+
+TEST(Phase1CacheTest, LruEvictsTheColdestCohort) {
+  Phase1Cache cache(2);
+  cache.Put("a", ValidState(1));
+  cache.Put("b", ValidState(2));
+  cache.Put("a", ValidState(3));  // refresh: "a" is now warmest
+  cache.Put("c", ValidState(4));  // evicts "b", the coldest
+
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_FALSE(cache.Take("b").valid);
+  EXPECT_TRUE(cache.Take("a").valid);
+  EXPECT_TRUE(cache.Take("c").valid);
+}
+
+TEST(Phase1CacheTest, InvalidateAndClearDropEntries) {
+  Phase1Cache cache(4);
+  cache.Put("a", ValidState(1));
+  cache.Put("b", ValidState(2));
+  cache.Invalidate("a");
+  EXPECT_FALSE(cache.Take("a").valid);
+  EXPECT_EQ(cache.stats().invalidations, 1);
+  cache.Clear();
+  EXPECT_FALSE(cache.Take("b").valid);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---------------------------------------------------------------------
+// JobScheduler, with a fake session factory and scan function.
+
+class FakeTransport : public Transport {
+ public:
+  FakeTransport() : Transport(1) {}
+  int local_party() const override { return 0; }
+  Status Send(int, int, MessageTag, std::vector<uint8_t>) override {
+    return Status::Ok();
+  }
+  Result<Message> Receive(int, int, MessageTag) override {
+    return NotFoundError("fake transport holds no messages");
+  }
+  bool HasPending(int, int) override { return false; }
+};
+
+// Lets a test hold a "scan" mid-flight until the scheduler aborts it
+// (deadline, cancel) or the test releases it.
+struct JobGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  Status abort_status = Status::Ok();
+  bool released = false;
+
+  void Abort(const Status& status) {
+    std::lock_guard<std::mutex> lock(mu);
+    abort_status = status;
+    cv.notify_all();
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu);
+    released = true;
+    cv.notify_all();
+  }
+  // Blocks like a scan blocked on its transport; returns the abort
+  // status (or Ok when released normally).
+  Status Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return released || !abort_status.ok(); });
+    return abort_status;
+  }
+};
+
+SessionFactory GateFactory(std::shared_ptr<JobGate> gate) {
+  return [gate](const JobSpec&) -> Result<ScanSession> {
+    ScanSession session;
+    session.transport = std::make_unique<FakeTransport>();
+    session.abort = [gate](const Status& status) { gate->Abort(status); };
+    return session;
+  };
+}
+
+ScanFn GateScan(std::shared_ptr<JobGate> gate) {
+  return [gate](Transport*, const JobSpec&,
+                Phase1State*) -> Result<SecureScanOutput> {
+    const Status aborted = gate->Wait();
+    if (!aborted.ok()) return aborted;
+    SecureScanOutput out;
+    out.metrics.rounds = 5;
+    return out;
+  };
+}
+
+JobSpec Spec(uint32_t id, const std::string& cohort = "c") {
+  JobSpec spec;
+  spec.job_id = id;
+  spec.cohort_key = cohort;
+  return spec;
+}
+
+JobRecord WaitSettled(JobScheduler* scheduler, uint32_t id) {
+  for (int i = 0; i < 2000; ++i) {
+    auto record = scheduler->Query(id);
+    EXPECT_TRUE(record.ok()) << record.status();
+    if (!record.ok()) return JobRecord();
+    if (record.value().state == JobState::kDone ||
+        record.value().state == JobState::kFailed ||
+        record.value().state == JobState::kCancelled) {
+      return record.value();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ADD_FAILURE() << "job " << id << " never settled";
+  return JobRecord();
+}
+
+TEST(JobSchedulerTest, AdmissionControl) {
+  auto gate = std::make_shared<JobGate>();
+  JobSchedulerOptions options;
+  options.max_concurrent = 1;
+  options.max_queued = 1;
+  JobScheduler scheduler(GateFactory(gate), GateScan(gate), nullptr,
+                         options);
+
+  EXPECT_EQ(scheduler.Submit(Spec(0)).code(), StatusCode::kInvalidArgument);
+  JobSpec oversized = Spec(1);
+  oversized.job_id = kFrameMaxSessionId + 1;
+  EXPECT_EQ(scheduler.Submit(oversized).code(),
+            StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(scheduler.Submit(Spec(1)).ok());  // occupies the worker
+  EXPECT_EQ(scheduler.Submit(Spec(1)).code(), StatusCode::kAlreadyExists);
+
+  // Wait until job 1 is RUNNING so the queue is empty for job 2.
+  for (int i = 0; i < 1000; ++i) {
+    if (scheduler.Query(1).value().state == JobState::kRunning) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(scheduler.Submit(Spec(2)).ok());  // fills the queue
+  const Status full = scheduler.Submit(Spec(3));
+  EXPECT_EQ(full.code(), StatusCode::kUnavailable);
+  EXPECT_NE(full.message().find("queue is full"), std::string::npos);
+  // Out-of-range ids fail validation before admission; only the
+  // duplicate and the overflow count as rejections.
+  EXPECT_EQ(scheduler.stats().rejected, 2);
+
+  gate->Release();
+  EXPECT_EQ(WaitSettled(&scheduler, 1).state, JobState::kDone);
+  EXPECT_EQ(WaitSettled(&scheduler, 2).state, JobState::kDone);
+  EXPECT_EQ(scheduler.stats().completed, 2);
+}
+
+TEST(JobSchedulerTest, CancelQueuedAndRunning) {
+  auto gate = std::make_shared<JobGate>();
+  JobSchedulerOptions options;
+  options.max_concurrent = 1;
+  JobScheduler scheduler(GateFactory(gate), GateScan(gate), nullptr,
+                         options);
+
+  EXPECT_EQ(scheduler.Cancel(9).code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(scheduler.Submit(Spec(1)).ok());
+  for (int i = 0; i < 1000; ++i) {
+    if (scheduler.Query(1).value().state == JobState::kRunning) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(scheduler.Submit(Spec(2)).ok());  // waits in the queue
+
+  // Queued job: cancelled in place, the worker never sees it.
+  ASSERT_TRUE(scheduler.Cancel(2).ok());
+  EXPECT_EQ(scheduler.Query(2).value().state, JobState::kCancelled);
+
+  // Running job: the session's abort fires and the scan unblocks.
+  ASSERT_TRUE(scheduler.Cancel(1).ok());
+  const JobRecord record = WaitSettled(&scheduler, 1);
+  EXPECT_EQ(record.state, JobState::kCancelled);
+  EXPECT_EQ(record.error.code(), StatusCode::kUnavailable);
+
+  // A settled job cannot be cancelled again.
+  EXPECT_EQ(scheduler.Cancel(1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(scheduler.stats().cancelled, 2);
+}
+
+TEST(JobSchedulerTest, DeadlineFiresTheAbortPath) {
+  auto gate = std::make_shared<JobGate>();
+  JobSchedulerOptions options;
+  options.watchdog_interval_ms = 5;
+  JobScheduler scheduler(GateFactory(gate), GateScan(gate), nullptr,
+                         options);
+
+  JobSpec spec = Spec(1);
+  spec.deadline_ms = 30;
+  ASSERT_TRUE(scheduler.Submit(spec).ok());
+  const JobRecord record = WaitSettled(&scheduler, 1);
+  EXPECT_EQ(record.state, JobState::kFailed);
+  EXPECT_EQ(record.error.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(record.error.message().find("deadline"), std::string::npos);
+}
+
+TEST(JobSchedulerTest, ShutdownCancelsQueuedJobsAndAbortsRunning) {
+  auto gate = std::make_shared<JobGate>();
+  JobSchedulerOptions options;
+  options.max_concurrent = 1;
+  JobScheduler scheduler(GateFactory(gate), GateScan(gate), nullptr,
+                         options);
+
+  ASSERT_TRUE(scheduler.Submit(Spec(1)).ok());
+  for (int i = 0; i < 1000; ++i) {
+    if (scheduler.Query(1).value().state == JobState::kRunning) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(scheduler.Submit(Spec(2)).ok());
+
+  scheduler.Shutdown();
+  EXPECT_EQ(scheduler.Query(1).value().state, JobState::kCancelled);
+  EXPECT_EQ(scheduler.Query(2).value().state, JobState::kCancelled);
+  EXPECT_EQ(scheduler.Submit(Spec(3)).code(), StatusCode::kUnavailable);
+}
+
+TEST(JobSchedulerTest, CacheStateFlowsThroughRepeatJobs) {
+  Phase1Cache cache(4);
+  // The scan marks the state valid; a repeat job on the cohort must see
+  // the previous job's state.
+  std::mutex mu;
+  std::vector<bool> seen_valid;
+  const ScanFn scan = [&](Transport*, const JobSpec&,
+                          Phase1State* phase1) -> Result<SecureScanOutput> {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      seen_valid.push_back(phase1->valid);
+    }
+    phase1->valid = true;
+    phase1->local_fingerprint = 42;
+    SecureScanOutput out;
+    out.metrics.phase1_cache_hit = phase1->local_fingerprint == 42;
+    return out;
+  };
+  auto gate = std::make_shared<JobGate>();
+  JobSchedulerOptions options;
+  options.max_concurrent = 1;
+  JobScheduler scheduler(GateFactory(gate), scan, &cache, options);
+
+  ASSERT_TRUE(scheduler.Submit(Spec(1, "cohort")).ok());
+  EXPECT_EQ(WaitSettled(&scheduler, 1).state, JobState::kDone);
+  ASSERT_TRUE(scheduler.Submit(Spec(2, "cohort")).ok());
+  EXPECT_EQ(WaitSettled(&scheduler, 2).state, JobState::kDone);
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(seen_valid.size(), 2u);
+  EXPECT_FALSE(seen_valid[0]);  // first job: cold cache
+  EXPECT_TRUE(seen_valid[1]);   // repeat job: previous state checked in
+  EXPECT_EQ(cache.stats().take_hits, 1);
+}
+
+// ---------------------------------------------------------------------
+// Control protocol (HandleLine directly; no sockets).
+
+class ControlProtocolTest : public ::testing::Test {
+ protected:
+  ControlProtocolTest()
+      : gate_(std::make_shared<JobGate>()),
+        cache_(4),
+        scheduler_(GateFactory(gate_), GateScan(gate_), &cache_, {}),
+        server_(&scheduler_, &cache_, [this] { ++shutdowns_; }) {
+    gate_->Release();  // scans complete immediately
+  }
+
+  std::shared_ptr<JobGate> gate_;
+  Phase1Cache cache_;
+  JobScheduler scheduler_;
+  ControlServer server_;
+  int shutdowns_ = 0;
+};
+
+TEST_F(ControlProtocolTest, PingAndUnknownVerb) {
+  EXPECT_EQ(server_.HandleLine("PING"), "OK pong");
+  EXPECT_EQ(server_.HandleLine("FLY"),
+            "ERR InvalidArgument: unknown verb 'FLY'");
+}
+
+TEST_F(ControlProtocolTest, SubmitStatusResultRoundTrip) {
+  EXPECT_EQ(server_.HandleLine("SUBMIT 1 a 32 64 3 7 masked 0"),
+            "OK submitted 1");
+  for (int i = 0; i < 1000; ++i) {
+    if (scheduler_.Query(1).value().state == JobState::kDone) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::string status = server_.HandleLine("STATUS 1");
+  EXPECT_NE(status.find("OK state=done"), std::string::npos) << status;
+  EXPECT_NE(status.find("cache_hit="), std::string::npos) << status;
+  const std::string result = server_.HandleLine("RESULT 1");
+  EXPECT_EQ(result.rfind("OK ", 0), 0u) << result;
+
+  EXPECT_NE(server_.HandleLine("STATUS 99").find("ERR NotFound"),
+            std::string::npos);
+}
+
+TEST_F(ControlProtocolTest, MalformedSubmitsAreRejected) {
+  EXPECT_EQ(server_.HandleLine("SUBMIT").rfind("ERR InvalidArgument", 0),
+            0u);
+  EXPECT_EQ(server_.HandleLine("SUBMIT 1 a 32").rfind("ERR", 0), 0u);
+  const std::string bad_mode =
+      server_.HandleLine("SUBMIT 1 a 32 64 3 7 quantum 0");
+  EXPECT_NE(bad_mode.find("unknown mode"), std::string::npos) << bad_mode;
+  // job_id 0 is the sessionless stream: rejected by the scheduler.
+  EXPECT_NE(server_.HandleLine("SUBMIT 0 a 32 64 3 7 masked 0")
+                .find("ERR InvalidArgument"),
+            std::string::npos);
+}
+
+TEST_F(ControlProtocolTest, CancelInvalidateStatsShutdown) {
+  EXPECT_NE(server_.HandleLine("CANCEL 5").find("ERR NotFound"),
+            std::string::npos);
+  cache_.Put("a", ValidState(1));  // so INVALIDATE has something to drop
+  EXPECT_EQ(server_.HandleLine("INVALIDATE a"), "OK invalidated a");
+  const std::string stats = server_.HandleLine("STATS");
+  EXPECT_NE(stats.find("submitted="), std::string::npos) << stats;
+  EXPECT_NE(stats.find("cache_invalidations=1"), std::string::npos)
+      << stats;
+  EXPECT_EQ(server_.HandleLine("SHUTDOWN"), "OK shutting-down");
+  // HandleLine only ACKS; the socket loop invokes the callback, so a
+  // direct call must NOT have fired it.
+  EXPECT_EQ(shutdowns_, 0);
+}
+
+}  // namespace
+}  // namespace dash

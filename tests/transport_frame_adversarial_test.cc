@@ -20,6 +20,7 @@
 #include "net/serialization.h"
 #include "transport/cluster_config.h"
 #include "transport/frame.h"
+#include "transport/session_mux.h"
 #include "transport/tcp_transport.h"
 #include "util/random.h"
 
@@ -406,6 +407,163 @@ TEST(TcpAdversarialTest, MutationCorpusOnTheWireNeverCrashesTheVictim) {
   }
   // Single-byte corruption must never slip a frame through unnoticed.
   EXPECT_GT(failures, 0);
+}
+
+// ---------------------------------------------------------------------
+// Session layer adversarial cases: hostile, unknown and duplicate
+// session ids on the wire, cross-session reordering, and truncation at
+// the session field (header offset 6).
+
+Message MakeSessionMessage(uint32_t session, uint8_t fill) {
+  Message msg = MakeMessage(8);
+  msg.session = session;
+  for (auto& b : msg.payload) b = fill;
+  return msg;
+}
+
+TEST(SessionAdversarialTest, TruncationInsideTheSessionFieldIsRejected) {
+  // The session id is the u16 at header bytes [6, 8): a header cut
+  // mid-field must be an InvalidArgument parse error, never a read of
+  // the missing byte.
+  const std::vector<uint8_t> frame = EncodeFrame(MakeSessionMessage(513, 1));
+  for (const size_t len : {size_t{6}, size_t{7}}) {
+    const auto header = DecodeFrameHeader(frame.data(), len);
+    ASSERT_FALSE(header.ok()) << "accepted a header cut at byte " << len;
+    EXPECT_EQ(header.status().code(), StatusCode::kInvalidArgument);
+  }
+  // The full header round-trips the id unchanged.
+  const auto header = DecodeFrameHeader(frame.data(), frame.size());
+  ASSERT_TRUE(header.ok()) << header.status();
+  EXPECT_EQ(header.value().session, 513u);
+}
+
+TEST(SessionAdversarialTest, SessionFrameOnTheSessionlessPathIsDesync) {
+  RawPeer peer;
+  const uint16_t victim_port = FreePort();
+  auto victim = ConnectVictim(victim_port, FreePort(), &peer);
+  ASSERT_NE(victim, nullptr);
+
+  // A hostile (or misconfigured) peer stamps a session id while the
+  // victim reads the sessionless stream: hard protocol error, because
+  // silently dropping the id would splice another session's traffic
+  // into this scan.
+  ASSERT_TRUE(peer.SendRaw(EncodeFrame(MakeSessionMessage(5, 0xEE))));
+  const auto received = victim->Receive(0, 1, MessageTag::kPlainStats);
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(received.status().message().find("session"), std::string::npos)
+      << received.status();
+}
+
+TEST(SessionAdversarialTest, CrossSessionReorderingIsInvisible) {
+  RawPeer peer;
+  const uint16_t victim_port = FreePort();
+  auto victim = ConnectVictim(victim_port, FreePort(), &peer);
+  ASSERT_NE(victim, nullptr);
+  SessionMux mux(victim.get());
+  auto five = mux.OpenSession(5);
+  auto nine = mux.OpenSession(9);
+  ASSERT_TRUE(five.ok() && nine.ok());
+
+  // The wire interleaves sessions 9, 5, 9: each channel still sees its
+  // own frames alone, in its own order.
+  ASSERT_TRUE(peer.SendRaw(EncodeFrame(MakeSessionMessage(9, 0x91))));
+  ASSERT_TRUE(peer.SendRaw(EncodeFrame(MakeSessionMessage(5, 0x55))));
+  ASSERT_TRUE(peer.SendRaw(EncodeFrame(MakeSessionMessage(9, 0x92))));
+
+  const auto on_five = five.value()->Receive(0, 1, MessageTag::kPlainStats);
+  ASSERT_TRUE(on_five.ok()) << on_five.status();
+  EXPECT_EQ(on_five.value().payload[0], 0x55);
+  const auto first_nine =
+      nine.value()->Receive(0, 1, MessageTag::kPlainStats);
+  ASSERT_TRUE(first_nine.ok()) << first_nine.status();
+  EXPECT_EQ(first_nine.value().payload[0], 0x91);
+  const auto second_nine =
+      nine.value()->Receive(0, 1, MessageTag::kPlainStats);
+  ASSERT_TRUE(second_nine.ok()) << second_nine.status();
+  EXPECT_EQ(second_nine.value().payload[0], 0x92);
+}
+
+TEST(SessionAdversarialTest, HostileSessionlessFrameOnAMuxIsRejected) {
+  RawPeer peer;
+  const uint16_t victim_port = FreePort();
+  auto victim = ConnectVictim(victim_port, FreePort(), &peer);
+  ASSERT_NE(victim, nullptr);
+  SessionMux mux(victim.get());
+  auto channel = mux.OpenSession(5);
+  ASSERT_TRUE(channel.ok());
+
+  // Session-0 frames have no business on a muxed link; they are dropped
+  // and counted, and the open session never sees them.
+  ASSERT_TRUE(peer.SendRaw(EncodeFrame(MakeSessionMessage(0, 0x00))));
+  bool rejected = false;
+  for (int i = 0; i < 400 && !rejected; ++i) {
+    rejected = mux.stats().hostile_rejects >= 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(rejected);
+  EXPECT_FALSE(channel.value()->HasPending(0, 1));
+}
+
+TEST(SessionAdversarialTest, UnknownSessionFloodIsBoundedByTheOrphanCap) {
+  RawPeer peer;
+  const uint16_t victim_port = FreePort();
+  auto victim = ConnectVictim(victim_port, FreePort(), &peer);
+  ASSERT_NE(victim, nullptr);
+  SessionMuxOptions options;
+  options.max_orphan_messages = 16;
+  SessionMux mux(victim.get(), options);
+
+  // A hostile peer sprays frames across 48 sessions nobody opened. The
+  // orphan buffer must cap at 16 and drop the rest — bounded memory, no
+  // crash, no effect on a live session.
+  for (uint32_t s = 100; s < 148; ++s) {
+    ASSERT_TRUE(peer.SendRaw(EncodeFrame(MakeSessionMessage(s, 0x77))));
+  }
+  bool capped = false;
+  for (int i = 0; i < 400 && !capped; ++i) {
+    const SessionMuxStats stats = mux.stats();
+    capped = stats.dropped_orphans >= 32 && stats.orphaned_messages >= 48;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const SessionMuxStats stats = mux.stats();
+  EXPECT_TRUE(capped) << "orphaned=" << stats.orphaned_messages
+                      << " dropped=" << stats.dropped_orphans;
+
+  // A session opened afterwards still works on the same link.
+  auto late = mux.OpenSession(120);
+  ASSERT_TRUE(late.ok());
+  const auto adopted = late.value()->Receive(0, 1, MessageTag::kPlainStats);
+  // Session 120's orphan may have been evicted by the flood or may have
+  // survived; either a clean delivery or a clean timeout is acceptable,
+  // never a crash or a foreign session's frame.
+  if (adopted.ok()) {
+    EXPECT_EQ(adopted.value().session, 120u);
+    EXPECT_EQ(adopted.value().payload[0], 0x77);
+  }
+}
+
+TEST(SessionAdversarialTest, DuplicateFramesInsideASessionAreDelivered) {
+  RawPeer peer;
+  const uint16_t victim_port = FreePort();
+  auto victim = ConnectVictim(victim_port, FreePort(), &peer);
+  ASSERT_NE(victim, nullptr);
+  SessionMux mux(victim.get());
+  auto channel = mux.OpenSession(5);
+  ASSERT_TRUE(channel.ok());
+
+  // The mux does not deduplicate: a replayed frame reaches the session
+  // twice, and it is the protocol's commit checksum that catches real
+  // replay attacks. Both copies arrive, in order, nowhere else.
+  const std::vector<uint8_t> frame = EncodeFrame(MakeSessionMessage(5, 0xAA));
+  ASSERT_TRUE(peer.SendRaw(frame));
+  ASSERT_TRUE(peer.SendRaw(frame));
+  for (int copy = 0; copy < 2; ++copy) {
+    const auto msg = channel.value()->Receive(0, 1, MessageTag::kPlainStats);
+    ASSERT_TRUE(msg.ok()) << "copy " << copy << ": " << msg.status();
+    EXPECT_EQ(msg.value().payload[0], 0xAA);
+  }
+  EXPECT_FALSE(channel.value()->HasPending(0, 1));
 }
 
 // ---------------------------------------------------------------------

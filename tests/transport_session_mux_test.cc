@@ -1,0 +1,423 @@
+// SessionMux over real TCP meshes: concurrent scan sessions on one
+// connection per peer must (a) reveal bits identical to the in-process
+// simulator, (b) keep per-session traffic metrics attributable, and
+// (c) scope every failure — abort, fault injection, hostile ids — to
+// the one session it belongs to.
+
+#include "transport/session_mux.h"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/scan_result.h"
+#include "core/secure_scan.h"
+#include "data/workloads.h"
+#include "transport/cluster_config.h"
+#include "transport/fault_transport.h"
+#include "transport/frame.h"
+#include "transport/party_runner.h"
+#include "transport/tcp_transport.h"
+
+namespace dash {
+namespace {
+
+std::vector<uint16_t> FreePorts(int count) {
+  std::vector<uint16_t> ports;
+  std::vector<int> fds;
+  for (int i = 0; i < count; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                            &len),
+              0);
+    ports.push_back(ntohs(addr.sin_port));
+    fds.push_back(fd);
+  }
+  for (const int fd : fds) ::close(fd);
+  return ports;
+}
+
+// A fully meshed set of TcpTransports, each wrapped in a SessionMux.
+// The mux borrows the transport, so `muxes` is declared AFTER
+// `transports`: members destroy in reverse order, muxes first.
+struct MuxedMesh {
+  std::vector<std::unique_ptr<TcpTransport>> transports;
+  std::vector<std::unique_ptr<SessionMux>> muxes;
+};
+
+MuxedMesh ConnectMesh(int parties, SessionMuxOptions mux_options = {}) {
+  ClusterConfig cluster;
+  for (const uint16_t port : FreePorts(parties)) {
+    cluster.endpoints.push_back({"127.0.0.1", port});
+  }
+  TcpTransportOptions options;
+  options.connect_timeout_ms = 10000;
+  MuxedMesh mesh;
+  mesh.transports.resize(static_cast<size_t>(parties));
+  std::vector<std::thread> threads;
+  for (int i = 0; i < parties; ++i) {
+    threads.emplace_back([&, i] {
+      auto r = TcpTransport::Connect(cluster, i, options);
+      ASSERT_TRUE(r.ok()) << "party " << i << ": " << r.status();
+      mesh.transports[static_cast<size_t>(i)] = std::move(r).value();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < parties; ++i) {
+    EXPECT_NE(mesh.transports[static_cast<size_t>(i)], nullptr);
+    mesh.muxes.push_back(std::make_unique<SessionMux>(
+        mesh.transports[static_cast<size_t>(i)].get(), mux_options));
+  }
+  return mesh;
+}
+
+ScanWorkload SmallWorkload(uint64_t seed) {
+  GwasWorkloadOptions options;
+  options.party_sizes = {40, 60, 50};
+  options.num_variants = 20;
+  options.num_covariates = 3;
+  options.num_causal = 2;
+  options.seed = seed;
+  auto workload = MakeGwasWorkload(options);
+  EXPECT_TRUE(workload.ok()) << workload.status();
+  return std::move(workload).value();
+}
+
+Result<SecureScanOutput> Reference(const ScanWorkload& workload,
+                                   const SecureScanOptions& options) {
+  return SecureAssociationScan(options).Run(workload.parties);
+}
+
+// ---------------------------------------------------------------------
+
+TEST(SessionMuxTest, ConcurrentSessionsBitIdenticalWithPerSessionMetrics) {
+  MuxedMesh mesh = ConnectMesh(3);
+
+  // Two different workloads run CONCURRENTLY, one per session, over the
+  // same three TCP connections.
+  const ScanWorkload workload_a = SmallWorkload(7);
+  const ScanWorkload workload_b = SmallWorkload(1234);
+  SecureScanOptions options;
+  options.aggregation = AggregationMode::kMasked;
+  const auto ref_a = Reference(workload_a, options);
+  const auto ref_b = Reference(workload_b, options);
+  ASSERT_TRUE(ref_a.ok()) << ref_a.status();
+  ASSERT_TRUE(ref_b.ok()) << ref_b.status();
+
+  struct SessionRun {
+    Result<SecureScanOutput> out = InvalidArgumentError("did not run");
+    int64_t channel_bytes = 0;
+    int64_t channel_messages = 0;
+  };
+  SessionRun runs[2][3];  // [session][party]
+  const uint32_t session_ids[2] = {5, 9};
+  const ScanWorkload* workloads[2] = {&workload_a, &workload_b};
+
+  std::vector<std::thread> threads;
+  for (int s = 0; s < 2; ++s) {
+    for (int p = 0; p < 3; ++p) {
+      threads.emplace_back([&, s, p] {
+        auto channel = mesh.muxes[static_cast<size_t>(p)]->OpenSession(
+            session_ids[s]);
+        ASSERT_TRUE(channel.ok()) << channel.status();
+        runs[s][p].out = RunPartySecureScan(
+            channel.value().get(),
+            workloads[s]->parties[static_cast<size_t>(p)], options);
+        runs[s][p].channel_bytes = channel.value()->metrics().total_bytes();
+        runs[s][p].channel_messages =
+            channel.value()->metrics().total_messages();
+      });
+    }
+  }
+  for (auto& t : threads) t.join();
+
+  const uint64_t want[2] = {ScanResultChecksum(ref_a->result),
+                            ScanResultChecksum(ref_b->result)};
+  for (int s = 0; s < 2; ++s) {
+    for (int p = 0; p < 3; ++p) {
+      const SessionRun& run = runs[s][p];
+      ASSERT_TRUE(run.out.ok())
+          << "session " << session_ids[s] << " party " << p << ": "
+          << run.out.status();
+      EXPECT_EQ(ScanResultChecksum(run.out->result), want[s])
+          << "session " << session_ids[s] << " party " << p;
+      // Per-session attribution: the channel's own counters are the
+      // scan's counters, not the mesh-wide totals.
+      EXPECT_EQ(run.out->metrics.total_bytes, run.channel_bytes);
+      EXPECT_EQ(run.out->metrics.total_messages, run.channel_messages);
+      EXPECT_EQ(run.out->metrics.rounds,
+                (s == 0 ? ref_a : ref_b)->metrics.rounds);
+    }
+  }
+
+  // The mesh-wide transport carried BOTH sessions' traffic.
+  for (int p = 0; p < 3; ++p) {
+    const int64_t both = runs[0][p].channel_messages +
+                         runs[1][p].channel_messages;
+    EXPECT_EQ(mesh.transports[static_cast<size_t>(p)]
+                  ->metrics()
+                  .total_messages(),
+              both)
+        << "party " << p;
+    const SessionMuxStats stats =
+        mesh.muxes[static_cast<size_t>(p)]->stats();
+    EXPECT_EQ(stats.sessions_opened, 2);
+    EXPECT_EQ(stats.open_sessions, 0);  // channels destroyed above
+    EXPECT_EQ(stats.hostile_rejects, 0);
+    EXPECT_EQ(stats.dropped_orphans, 0);
+  }
+}
+
+TEST(SessionMuxTest, DuplicateAndInvalidSessionIdsAreRejected) {
+  MuxedMesh mesh = ConnectMesh(2);
+  SessionMux* mux = mesh.muxes[0].get();
+
+  auto first = mux->OpenSession(7);
+  ASSERT_TRUE(first.ok()) << first.status();
+  const auto duplicate = mux->OpenSession(7);
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kAlreadyExists);
+
+  const auto sessionless = mux->OpenSession(0);
+  ASSERT_FALSE(sessionless.ok());
+  EXPECT_EQ(sessionless.status().code(), StatusCode::kInvalidArgument);
+
+  const auto oversized = mux->OpenSession(kFrameMaxSessionId + 1);
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_EQ(oversized.status().code(), StatusCode::kInvalidArgument);
+
+  // Closing (destroying) the channel frees the id for reuse.
+  first.value().reset();
+  auto reopened = mux->OpenSession(7);
+  EXPECT_TRUE(reopened.ok()) << reopened.status();
+}
+
+TEST(SessionMuxTest, OrphanedFramesReplayWhenTheSessionOpensLate) {
+  MuxedMesh mesh = ConnectMesh(2);
+
+  // Party 0's scheduler started job 3 first: its frame arrives at party
+  // 1 before anyone opened session 3 there.
+  auto sender = mesh.muxes[0]->OpenSession(3);
+  ASSERT_TRUE(sender.ok()) << sender.status();
+  ASSERT_TRUE(sender.value()
+                  ->Send(0, 1, MessageTag::kPlainStats, {1, 2, 3})
+                  .ok());
+
+  // The frame lands in party 1's orphan buffer (poll: pump timing).
+  bool orphaned = false;
+  for (int i = 0; i < 200 && !orphaned; ++i) {
+    orphaned = mesh.muxes[1]->stats().orphaned_messages >= 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(orphaned) << "frame for the unopened session never orphaned";
+
+  // Opening the session replays the orphan in arrival order.
+  auto receiver = mesh.muxes[1]->OpenSession(3);
+  ASSERT_TRUE(receiver.ok()) << receiver.status();
+  const auto msg = receiver.value()->Receive(1, 0, MessageTag::kPlainStats);
+  ASSERT_TRUE(msg.ok()) << msg.status();
+  EXPECT_EQ(msg.value().payload, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(mesh.muxes[1]->stats().dropped_orphans, 0);
+}
+
+TEST(SessionMuxTest, AbortPoisonsOneSessionAndSparesTheOther) {
+  SessionMuxOptions mux_options;
+  mux_options.receive_timeout_ms = 2000;
+  MuxedMesh mesh = ConnectMesh(2, mux_options);
+
+  auto victim0 = mesh.muxes[0]->OpenSession(11);
+  auto victim1 = mesh.muxes[1]->OpenSession(11);
+  auto healthy0 = mesh.muxes[0]->OpenSession(12);
+  auto healthy1 = mesh.muxes[1]->OpenSession(12);
+  ASSERT_TRUE(victim0.ok() && victim1.ok() && healthy0.ok() &&
+              healthy1.ok());
+
+  // The daemon's deadline watchdog poisons session 11 at party 0.
+  victim0.value()->Abort(DeadlineExceededError("job 11: deadline"));
+  const auto poisoned =
+      victim0.value()->Receive(0, 1, MessageTag::kPlainStats);
+  ASSERT_FALSE(poisoned.ok());
+  EXPECT_EQ(poisoned.status().code(), StatusCode::kDeadlineExceeded);
+
+  // Session 12 on the SAME mesh still round-trips both ways.
+  ASSERT_TRUE(healthy0.value()
+                  ->Send(0, 1, MessageTag::kPlainStats, {42})
+                  .ok());
+  const auto got = healthy1.value()->Receive(1, 0, MessageTag::kPlainStats);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got.value().payload, (std::vector<uint8_t>{42}));
+  ASSERT_TRUE(healthy1.value()
+                  ->Send(1, 0, MessageTag::kMaskedValue, {9})
+                  .ok());
+  const auto back = healthy0.value()->Receive(0, 1, MessageTag::kMaskedValue);
+  ASSERT_TRUE(back.ok()) << back.status();
+}
+
+TEST(SessionMuxTest, Phase1CacheHitSkipsPhase1OverTheMux) {
+  MuxedMesh mesh = ConnectMesh(3);
+  const ScanWorkload workload = SmallWorkload(7);
+  SecureScanOptions options;
+  options.aggregation = AggregationMode::kMasked;
+  const auto reference = Reference(workload, options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  const uint64_t want = ScanResultChecksum(reference->result);
+
+  // Each party keeps its Phase-1 state across the two scans, exactly
+  // like the daemon's Phase1Cache does for repeat jobs on one cohort.
+  Phase1State states[3];
+  auto unset = [] {
+    return Result<SecureScanOutput>(InvalidArgumentError("unset"));
+  };
+  Result<SecureScanOutput> outs[2][3] = {{unset(), unset(), unset()},
+                                         {unset(), unset(), unset()}};
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::thread> threads;
+    for (int p = 0; p < 3; ++p) {
+      threads.emplace_back([&, round, p] {
+        auto channel = mesh.muxes[static_cast<size_t>(p)]->OpenSession(
+            static_cast<uint32_t>(20 + round));
+        ASSERT_TRUE(channel.ok()) << channel.status();
+        outs[round][p] = RunPartySecureScan(
+            channel.value().get(), workload.parties[static_cast<size_t>(p)],
+            options, &states[p]);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  for (int p = 0; p < 3; ++p) {
+    ASSERT_TRUE(outs[0][p].ok()) << outs[0][p].status();
+    ASSERT_TRUE(outs[1][p].ok()) << outs[1][p].status();
+    EXPECT_EQ(ScanResultChecksum(outs[0][p]->result), want);
+    EXPECT_EQ(ScanResultChecksum(outs[1][p]->result), want);
+    EXPECT_FALSE(outs[0][p]->metrics.phase1_cache_hit);
+    EXPECT_TRUE(outs[1][p]->metrics.phase1_cache_hit) << "party " << p;
+    // The hit replaces Phase 1 (sample count + R combination) with the
+    // one-round probe: strictly fewer rounds, strictly fewer bytes.
+    EXPECT_LT(outs[1][p]->metrics.rounds, outs[0][p]->metrics.rounds);
+    EXPECT_LT(outs[1][p]->metrics.total_bytes,
+              outs[0][p]->metrics.total_bytes);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection scoped to ONE session of two. Every party of session
+// 31 wraps its channel in a FaultInjectingTransport with the SAME plan
+// (the decorator contract); session 32 runs bare alongside it.
+
+struct TwoSessionFaultResult {
+  Result<SecureScanOutput> faulted[3] = {InvalidArgumentError("x"),
+                                         InvalidArgumentError("x"),
+                                         InvalidArgumentError("x")};
+  Result<SecureScanOutput> clean[3] = {InvalidArgumentError("x"),
+                                       InvalidArgumentError("x"),
+                                       InvalidArgumentError("x")};
+};
+
+TwoSessionFaultResult RunTwoSessionsOneFaulted(const FaultPlan& plan) {
+  SessionMuxOptions mux_options;
+  mux_options.receive_timeout_ms = 3000;
+  MuxedMesh mesh = ConnectMesh(3, mux_options);
+  const ScanWorkload workload = SmallWorkload(7);
+  SecureScanOptions options;
+  options.aggregation = AggregationMode::kMasked;
+
+  TwoSessionFaultResult result;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&, p] {
+      auto channel = mesh.muxes[static_cast<size_t>(p)]->OpenSession(31);
+      ASSERT_TRUE(channel.ok()) << channel.status();
+      FaultInjectingTransport faulty(channel.value().get(), plan);
+      result.faulted[p] = RunPartySecureScan(
+          &faulty, workload.parties[static_cast<size_t>(p)], options);
+    });
+    threads.emplace_back([&, p] {
+      auto channel = mesh.muxes[static_cast<size_t>(p)]->OpenSession(32);
+      ASSERT_TRUE(channel.ok()) << channel.status();
+      result.clean[p] = RunPartySecureScan(
+          channel.value().get(), workload.parties[static_cast<size_t>(p)],
+          options);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Whatever the fault did to session 31, session 32 must be perfect.
+  const auto reference = Reference(workload, options);
+  EXPECT_TRUE(reference.ok());
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_TRUE(result.clean[p].ok())
+        << "clean session, party " << p << ": " << result.clean[p].status();
+    if (result.clean[p].ok() && reference.ok()) {
+      EXPECT_EQ(ScanResultChecksum(result.clean[p]->result),
+                ScanResultChecksum(reference->result))
+          << "party " << p;
+    }
+  }
+  return result;
+}
+
+TEST(SessionMuxFaultTest, DuplicateInOneSessionStaysBitIdentical) {
+  FaultRule rule;
+  rule.kind = FaultKind::kDuplicate;
+  rule.round = 1;
+  rule.from = 1;
+  rule.to = 0;
+  rule.nth = 0;
+  FaultPlan plan;
+  plan.rules.push_back(rule);
+
+  const TwoSessionFaultResult result = RunTwoSessionsOneFaulted(plan);
+  const ScanWorkload workload = SmallWorkload(7);
+  SecureScanOptions options;
+  options.aggregation = AggregationMode::kMasked;
+  const auto reference = Reference(workload, options);
+  ASSERT_TRUE(reference.ok());
+  for (int p = 0; p < 3; ++p) {
+    ASSERT_TRUE(result.faulted[p].ok())
+        << "party " << p << ": " << result.faulted[p].status();
+    EXPECT_EQ(ScanResultChecksum(result.faulted[p]->result),
+              ScanResultChecksum(reference->result));
+  }
+}
+
+TEST(SessionMuxFaultTest, DropInOneSessionFailsOnlyThatSession) {
+  FaultRule rule;
+  rule.kind = FaultKind::kDrop;
+  rule.round = 2;
+  rule.from = 1;
+  rule.to = 0;
+  rule.nth = 0;
+  FaultPlan plan;
+  plan.rules.push_back(rule);
+
+  const TwoSessionFaultResult result = RunTwoSessionsOneFaulted(plan);
+  // The drop hits party 0's round-2 receive from party 1; with the
+  // scan's abort broadcast, EVERY party of session 31 must fail (and
+  // RunTwoSessionsOneFaulted already proved session 32 succeeded).
+  int failed = 0;
+  for (int p = 0; p < 3; ++p) {
+    if (!result.faulted[p].ok()) ++failed;
+  }
+  EXPECT_EQ(failed, 3) << "the dropped message must fail the session at "
+                          "every party via the abort broadcast";
+}
+
+}  // namespace
+}  // namespace dash
