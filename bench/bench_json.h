@@ -1,11 +1,15 @@
 // Machine-readable bench output (bench/compare_bench.py reads these).
 //
-// Schema: {"bench": <suite>, "entries": [{"name", "n", "m", "k", "p",
-// "ns", "gb_per_s", "checksum"}, ...]}. `ns` is wall nanoseconds for
-// one run (best of reps), `gb_per_s` the effective streaming rate over
-// the primary operand, `checksum` the FNV-1a hex of the result's wire
-// image so two bench runs can be compared for bit-identity as well as
-// speed.
+// Schema: {"bench": <suite>, "isas": ["portable", ...], "entries":
+// [{"name", "n", "m", "k", "p", "ns", "gb_per_s", "checksum"}, ...]}.
+// `ns` is wall nanoseconds for one run (best of reps), `gb_per_s` the
+// effective streaming rate over the primary operand, `checksum` the
+// FNV-1a hex of the result's wire image so two bench runs can be
+// compared for bit-identity as well as speed. `isas` lists the kernel
+// ISAs the producing machine could run, so compare_bench.py can tell
+// "entry skipped because this runner lacks AVX-512" apart from "entry
+// silently disappeared" when gating against a baseline from a bigger
+// machine.
 
 #ifndef DASH_BENCH_BENCH_JSON_H_
 #define DASH_BENCH_BENCH_JSON_H_
@@ -30,11 +34,19 @@ struct BenchEntry {
 };
 
 inline bool WriteBenchJson(const std::string& path, const std::string& suite,
-                           const std::vector<BenchEntry>& entries) {
+                           const std::vector<BenchEntry>& entries,
+                           const std::vector<std::string>& isas = {}) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"entries\": [\n",
-               suite.c_str());
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", suite.c_str());
+  if (!isas.empty()) {
+    std::fprintf(f, "  \"isas\": [");
+    for (size_t i = 0; i < isas.size(); ++i) {
+      std::fprintf(f, "%s\"%s\"", i > 0 ? ", " : "", isas[i].c_str());
+    }
+    std::fprintf(f, "],\n");
+  }
+  std::fprintf(f, "  \"entries\": [\n");
   for (size_t i = 0; i < entries.size(); ++i) {
     const BenchEntry& e = entries[i];
     std::fprintf(f,

@@ -15,11 +15,23 @@ is part of the contract, not just speed.
 
 --gate-speedup compares MACHINE-NORMALIZED speedups instead of raw wall
 times: each entry's time is divided by its scalar reference in the SAME
-file (`blocked/gaussian` vs `scalar/gaussian`, `sparse_blocked/…` vs
+file (`blocked/gaussian` vs `scalar/gaussian`, `sparse_packed/…` vs
 `sparse_scalar/…`), so the checked-in baseline from one machine gates CI
-runs on another. An optimized kernel fails the gate when its candidate
-speedup falls below baseline_speedup / max-regression. Checksums are
-still compared whenever shapes match.
+runs on another. Only the `packed*` popcount kernels are GATED — their
+speedup is compute-bound and holds across problem sizes (~7.5x at both
+the 100k x 10k reference and the 20k x 2k CI smoke). The dense and
+repack entries are printed for information but never fail this gate:
+they are memory-geometry-bound, and their speedup over scalar legit-
+imately swings with the working-set size (blocked/gaussian measures
+1.4x at 8 GB and 0.9x at 320 MB on the same machine). A gated kernel
+fails when its candidate speedup falls below baseline_speedup /
+max-regression. Checksums are still compared whenever shapes match.
+
+ISA-specific entries (`avx2/…`, `avx512/…`, `packed_avx512/…`) exist
+only when the producing machine supports that ISA; the file's top-level
+`isas` list records what it could run. An entry missing from the
+candidate because the runner lacks the ISA is SKIPPED with a note, not
+failed — a portable-only runner must stay green.
 """
 
 import argparse
@@ -28,9 +40,30 @@ import sys
 
 
 def load(path):
+    """Returns ({name: entry}, isas or None)."""
     with open(path) as f:
         doc = json.load(f)
-    return {e["name"]: e for e in doc.get("entries", [])}
+    return {e["name"]: e for e in doc.get("entries", [])}, doc.get("isas")
+
+
+def required_isa(name):
+    """The ISA an entry needs on the running machine, or None."""
+    variant = name.split("/", 1)[0]
+    if "avx512" in variant:
+        return "avx512"
+    if "avx2" in variant:
+        return "avx2"
+    return None
+
+
+def absence_reason(name, isas):
+    """Why `name` may legitimately be missing from a file, or None."""
+    isa = required_isa(name)
+    if isa is None or isas is None:
+        return None
+    if isa in isas:
+        return None
+    return "requires %s, absent on that machine" % isa
 
 
 def fmt_ns(ns):
@@ -69,12 +102,24 @@ def scalar_reference(name):
     return "%s/%s" % (prefix, dataset)
 
 
-def gate_speedups(base, cand, names, max_regression):
+def shape_stable(name):
+    """True for entries whose speedup-over-scalar is gateable across
+    problem sizes: the `packed*` popcount kernels, which are
+    compute-bound per nonzero. Dense/repack kernels are memory-bound
+    and their normalized speedup shifts with working-set size."""
+    return name.split("/", 1)[0].startswith("packed")
+
+
+def gate_speedups(base, cand, names, max_regression, cand_isas):
     """Machine-normalized regression gate; returns a list of failures."""
     failures = []
     print("%-28s %10s %10s  %s"
           % ("name", "base-spdup", "cand-spdup", "verdict"))
     gated = 0
+    for name in sorted(set(base) - set(cand)):
+        reason = absence_reason(name, cand_isas)
+        if reason is not None:
+            print("%-28s (skipped: %s)" % (name, reason))
     for name in names:
         ref = scalar_reference(name)
         if ref is None:
@@ -84,6 +129,10 @@ def gate_speedups(base, cand, names, max_regression):
             continue
         base_speedup = base[ref]["ns"] / base[name]["ns"]
         cand_speedup = cand[ref]["ns"] / cand[name]["ns"]
+        if not shape_stable(name):
+            print("%-28s %9.2fx %9.2fx  info (memory-bound; not gated)"
+                  % (name, base_speedup, cand_speedup))
+            continue
         floor = base_speedup / max_regression
         ok = cand_speedup >= floor
         gated += 1
@@ -116,11 +165,11 @@ def main():
     args = parser.parse_args()
 
     if args.candidate is None:
-        show(load(args.baseline))
+        show(load(args.baseline)[0])
         return 0
 
-    base = load(args.baseline)
-    cand = load(args.candidate)
+    base, _ = load(args.baseline)
+    cand, cand_isas = load(args.candidate)
     names = sorted(set(base) & set(cand))
     if not names:
         print("no common entries between %s and %s"
@@ -149,11 +198,15 @@ def main():
 
     if args.gate_speedup:
         print()
-        failures += gate_speedups(base, cand, names, args.max_regression)
+        failures += gate_speedups(base, cand, names, args.max_regression,
+                                  cand_isas)
 
     for name in sorted(set(base) ^ set(cand)):
         which = "baseline" if name in base else "candidate"
-        print("%-28s (only in %s)" % (name, which))
+        reason = absence_reason(name, cand_isas) if which == "baseline" \
+            else None
+        note = "; %s" % reason if reason else ""
+        print("%-28s (only in %s%s)" % (name, which, note))
 
     if failures:
         print("\nFAIL:", file=sys.stderr)

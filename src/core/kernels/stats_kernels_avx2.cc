@@ -1,0 +1,247 @@
+// AVX2 sufficient-statistics kernels. Compiled with per-file flags
+// -mavx2 -ffp-contract=off (see src/CMakeLists.txt). -mavx2 does not
+// itself enable FMA, but the contract flag is kept anyway so the
+// explicit mul+add intrinsic pairs below can never be fused — fusion
+// rounds once instead of twice and would diverge from the scalar
+// reference.
+#ifndef __AVX2__
+#error "stats_kernels_avx2.cc requires -mavx2 (per-file flag in src/CMakeLists.txt)"
+#endif
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/kernels/stats_kernels.h"
+#include "core/suff_stats.h"
+#include "linalg/packed_matrix.h"
+
+namespace dash {
+namespace kernels {
+
+// Dense row-panel kernel, 4 columns per ymm. Lanes map to DISTINCT
+// output columns, so each output element accumulates over rows in the
+// scalar reference's order; scalar tails keep that order too.
+void DensePanelAvx2(const double* x, int64_t x_stride, int64_t rows,
+                    const double* y, const double* q, int64_t k, int64_t w,
+                    double* xy, double* xx, double* tile) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const double* xi = x + i * x_stride;
+    const double yi = y[i];
+    const __m256d yv = _mm256_set1_pd(yi);
+    int64_t jj = 0;
+    for (; jj + 4 <= w; jj += 4) {
+      const __m256d v = _mm256_loadu_pd(xi + jj);
+      _mm256_storeu_pd(xy + jj, _mm256_add_pd(_mm256_loadu_pd(xy + jj),
+                                              _mm256_mul_pd(v, yv)));
+      _mm256_storeu_pd(xx + jj, _mm256_add_pd(_mm256_loadu_pd(xx + jj),
+                                              _mm256_mul_pd(v, v)));
+    }
+    for (; jj < w; ++jj) {
+      const double v = xi[jj];
+      xy[jj] += v * yi;
+      xx[jj] += v * v;
+    }
+    const double* qi = q + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const double qik = qi[kk];
+      const __m256d qv = _mm256_set1_pd(qik);
+      double* t = tile + kk * w;
+      int64_t j2 = 0;
+      for (; j2 + 4 <= w; j2 += 4) {
+        const __m256d v = _mm256_loadu_pd(xi + j2);
+        _mm256_storeu_pd(t + j2, _mm256_add_pd(_mm256_loadu_pd(t + j2),
+                                               _mm256_mul_pd(v, qv)));
+      }
+      for (; j2 < w; ++j2) t[j2] += xi[j2] * qik;
+    }
+  }
+}
+
+namespace {
+
+constexpr uint64_t kEvenBits = 0x5555555555555555ULL;
+constexpr double kDosage[4] = {0.0, 1.0, 2.0, 0.0};
+
+// One column's QᵀX + X·y accumulator: KP padded lanes (K covariates,
+// then the phenotype as one more projection lane) in KP/4 ymm
+// registers. KP <= 16, so the pair kernel keeps at most 8 ymm
+// register-resident plus the broadcast — within the 16 ymm budget.
+template <int KP>
+struct ProjAcc {
+  static constexpr int kNv = KP / 4;
+  __m256d v[kNv];
+
+  void Load(const double* p) {
+    for (int c = 0; c < kNv; ++c) v[c] = _mm256_loadu_pd(p + 4 * c);
+  }
+  void Store(double* p) const {
+    for (int c = 0; c < kNv; ++c) _mm256_storeu_pd(p + 4 * c, v[c]);
+  }
+  void Add(double d, const double* qrow) {
+    const __m256d vb = _mm256_set1_pd(d);
+    for (int c = 0; c < kNv; ++c) {
+      v[c] = _mm256_add_pd(v[c],
+                           _mm256_mul_pd(vb, _mm256_loadu_pd(qrow + 4 * c)));
+    }
+  }
+};
+
+// Pair-interleaved packed kernel; see the AVX-512 unit for the full
+// rationale (two independent per-column add chains hide FP add
+// latency; KP-padded [q | y] scratch keeps row loads in-bounds and
+// folds X·y into projection lane k; nonzeros replay in ascending row
+// order for bit-identity).
+template <int KP>
+void PackedColumnsImpl(const PackedGenotypeMatrix& x, const double* y,
+                       const Matrix& q, int64_t col_begin, int64_t col_end,
+                       const StatsBlockView& out) {
+  const int64_t k = q.cols();
+  const int64_t n = x.rows();
+  const int64_t wpc = x.words_per_column();
+
+  std::vector<double> qpad(static_cast<size_t>(n * KP), 0.0);
+  {
+    const double* qd = q.data();
+    double* dst = qpad.data();
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t kk = 0; kk < k; ++kk) dst[i * KP + kk] = qd[i * k + kk];
+      dst[i * KP + k] = y[i];
+    }
+  }
+  const double* qp = qpad.data();
+
+  std::vector<double> proj(static_cast<size_t>(kPackedColBlock * KP), 0.0);
+  std::vector<int64_t> het(static_cast<size_t>(kPackedColBlock), 0);
+  std::vector<int64_t> hom(static_cast<size_t>(kPackedColBlock), 0);
+  double* const projd = proj.data();
+  int64_t* const hetd = het.data();
+  int64_t* const homd = hom.data();
+
+  for (int64_t j0 = col_begin; j0 < col_end; j0 += kPackedColBlock) {
+    const int64_t j1 = std::min(col_end, j0 + kPackedColBlock);
+    std::fill(proj.begin(), proj.end(), 0.0);
+    std::fill(het.begin(), het.end(), 0);
+    std::fill(hom.begin(), hom.end(), 0);
+
+    for (int64_t w0 = 0; w0 < wpc; w0 += kPackedPanelWords) {
+      const int64_t w1 = std::min(wpc, w0 + kPackedPanelWords);
+      int64_t j = j0;
+      for (; j + 2 <= j1; j += 2) {
+        const uint64_t* cwa = x.column_words(j);
+        const uint64_t* cwb = x.column_words(j + 1);
+        double* pra = projd + (j - j0) * KP;
+        double* prb = pra + KP;
+        ProjAcc<KP> pa;
+        ProjAcc<KP> pb;
+        pa.Load(pra);
+        pb.Load(prb);
+        int64_t hetsa = 0, homsa = 0, hetsb = 0, homsb = 0;
+        for (int64_t wi = w0; wi < w1; ++wi) {
+          const uint64_t worda = cwa[wi];
+          const uint64_t wordb = cwb[wi];
+          if ((worda | wordb) == 0) continue;
+          const int64_t base = wi * PackedGenotypeMatrix::kRowsPerWord;
+          const uint64_t loa = worda & kEvenBits;
+          const uint64_t hia = (worda >> 1) & kEvenBits;
+          uint64_t nza = (loa | hia) & ~(loa & hia);
+          hetsa += __builtin_popcountll(loa & ~hia);
+          homsa += __builtin_popcountll(hia & ~loa);
+          const uint64_t lob = wordb & kEvenBits;
+          const uint64_t hib = (wordb >> 1) & kEvenBits;
+          uint64_t nzb = (lob | hib) & ~(lob & hib);
+          hetsb += __builtin_popcountll(lob & ~hib);
+          homsb += __builtin_popcountll(hib & ~lob);
+          while ((nza | nzb) != 0) {
+            if (nza != 0) {
+              const int b = __builtin_ctzll(nza);
+              nza &= nza - 1;
+              const int64_t i = base + (b >> 1);
+              pa.Add(kDosage[(worda >> b) & 3u], qp + i * KP);
+            }
+            if (nzb != 0) {
+              const int b = __builtin_ctzll(nzb);
+              nzb &= nzb - 1;
+              const int64_t i = base + (b >> 1);
+              pb.Add(kDosage[(wordb >> b) & 3u], qp + i * KP);
+            }
+          }
+        }
+        hetd[j - j0] += hetsa;
+        homd[j - j0] += homsa;
+        hetd[j - j0 + 1] += hetsb;
+        homd[j - j0 + 1] += homsb;
+        pa.Store(pra);
+        pb.Store(prb);
+      }
+      for (; j < j1; ++j) {  // odd last column of the block
+        const uint64_t* cw = x.column_words(j);
+        double* pr = projd + (j - j0) * KP;
+        ProjAcc<KP> pacc;
+        pacc.Load(pr);
+        int64_t hets = 0, homs = 0;
+        for (int64_t wi = w0; wi < w1; ++wi) {
+          const uint64_t word = cw[wi];
+          if (word == 0) continue;
+          const uint64_t lo = word & kEvenBits;
+          const uint64_t hi = (word >> 1) & kEvenBits;
+          uint64_t nz = (lo | hi) & ~(lo & hi);
+          hets += __builtin_popcountll(lo & ~hi);
+          homs += __builtin_popcountll(hi & ~lo);
+          const int64_t base = wi * PackedGenotypeMatrix::kRowsPerWord;
+          while (nz != 0) {
+            const int b = __builtin_ctzll(nz);
+            nz &= nz - 1;
+            const int64_t i = base + (b >> 1);
+            pacc.Add(kDosage[(word >> b) & 3u], qp + i * KP);
+          }
+        }
+        hetd[j - j0] += hets;
+        homd[j - j0] += homs;
+        pacc.Store(pr);
+      }
+    }
+
+    for (int64_t j = j0; j < j1; ++j) {
+      const int64_t off = j - col_begin;
+      const double* pr = projd + (j - j0) * KP;
+      out.xy[off] = pr[k];
+      out.xx[off] = static_cast<double>(hetd[j - j0]) +
+                    4.0 * static_cast<double>(homd[j - j0]);
+      for (int64_t kk = 0; kk < k; ++kk) {
+        out.qtx[kk * out.qtx_stride + off] = pr[kk];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void PackedColumnsAvx2(const PackedGenotypeMatrix& x, const double* y,
+                       const Matrix& q, int64_t col_begin, int64_t col_end,
+                       const StatsBlockView& out) {
+  // KP must fit the K covariates plus the phenotype lane (k + 1).
+  switch (const int64_t k = q.cols(); (k + 4) / 4) {
+    case 1:
+      PackedColumnsImpl<4>(x, y, q, col_begin, col_end, out);
+      break;
+    case 2:
+      PackedColumnsImpl<8>(x, y, q, col_begin, col_end, out);
+      break;
+    case 3:
+      PackedColumnsImpl<12>(x, y, q, col_begin, col_end, out);
+      break;
+    case 4:
+      PackedColumnsImpl<16>(x, y, q, col_begin, col_end, out);
+      break;
+    default:
+      // k > 15: the portable kernel handles any K.
+      PackedColumnsPortable(x, y, q, col_begin, col_end, out);
+      break;
+  }
+}
+
+}  // namespace kernels
+}  // namespace dash

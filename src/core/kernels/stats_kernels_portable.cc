@@ -1,0 +1,135 @@
+// Portable (any-ISA) sufficient-statistics kernels: the guaranteed
+// fallback of the dispatch table, and the accumulation-order reference
+// the SIMD units must reproduce bit for bit.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/kernels/stats_kernels.h"
+#include "core/suff_stats.h"
+#include "linalg/packed_matrix.h"
+
+namespace dash {
+namespace kernels {
+
+// Branchless dense row-panel kernel; the compiler auto-vectorizes the
+// unit-stride loops. Bit-identity with the scalar reference holds
+// because every output element accumulates over rows in order and an
+// added ±0.0 product cannot change an accumulator that started at +0.0
+// (IEEE-754 round-to-nearest).
+void DensePanelPortable(const double* DASH_RESTRICT x, int64_t x_stride,
+                        int64_t rows, const double* DASH_RESTRICT y,
+                        const double* DASH_RESTRICT q, int64_t k, int64_t w,
+                        double* DASH_RESTRICT xy, double* DASH_RESTRICT xx,
+                        double* DASH_RESTRICT tile) {
+  for (int64_t i = 0; i < rows; ++i) {
+    const double* DASH_RESTRICT xi = x + i * x_stride;
+    const double yi = y[i];
+    for (int64_t jj = 0; jj < w; ++jj) {
+      const double v = xi[jj];
+      xy[jj] += v * yi;
+      xx[jj] += v * v;
+    }
+    const double* DASH_RESTRICT qi = q + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const double qik = qi[kk];
+      double* DASH_RESTRICT t = tile + kk * w;
+      for (int64_t jj = 0; jj < w; ++jj) t[jj] += xi[jj] * qik;
+    }
+  }
+}
+
+namespace {
+
+constexpr uint64_t kEvenBits = 0x5555555555555555ULL;
+
+// Dosage of a nonzero 2-bit code (1 -> 1.0, 2 -> 2.0). Indexing with
+// the raw code is safe: the nonzero mask excludes codes 0 and 3.
+constexpr double kDosage[4] = {0.0, 1.0, 2.0, 0.0};
+
+}  // namespace
+
+// Packed column-range kernel, portable scalar flavor. Same blocked
+// geometry as the SIMD units: column blocks of kPackedColBlock whose
+// accumulators (xy, integer het/hom counts, a K-per-column QᵀX slab)
+// stay L1-resident across the whole row sweep, and word panels of
+// kPackedPanelWords words (32 rows each) so the y / Q rows one panel
+// touches are shared cache-hot across all columns of the block.
+//
+// Per word: split into heterozygote / homozygote / missing masks with
+// bit math, count classes with popcount (X·X is exactly #het + 4·#hom
+// — every partial sum is a small integer, so the float result is exact
+// regardless of order), and replay only the nonzero rows — in
+// ascending row order, so X·y and QᵀX accumulate in exactly the
+// scalar reference's order. Multiplying by a dosage of 1.0 or 2.0 is
+// exact, so the products match the scalar reference's bit for bit.
+void PackedColumnsPortable(const PackedGenotypeMatrix& x, const double* y,
+                           const Matrix& q, int64_t col_begin, int64_t col_end,
+                           const StatsBlockView& out) {
+  const int64_t k = q.cols();
+  const int64_t wpc = x.words_per_column();
+  const double* DASH_RESTRICT qd = q.data();
+  std::vector<double> proj(
+      static_cast<size_t>(kPackedColBlock * std::max<int64_t>(k, 1)), 0.0);
+  std::vector<double> xyacc(static_cast<size_t>(kPackedColBlock), 0.0);
+  std::vector<int64_t> het(static_cast<size_t>(kPackedColBlock), 0);
+  std::vector<int64_t> hom(static_cast<size_t>(kPackedColBlock), 0);
+
+  for (int64_t j0 = col_begin; j0 < col_end; j0 += kPackedColBlock) {
+    const int64_t j1 = std::min(col_end, j0 + kPackedColBlock);
+    std::fill(proj.begin(), proj.end(), 0.0);
+    std::fill(xyacc.begin(), xyacc.end(), 0.0);
+    std::fill(het.begin(), het.end(), 0);
+    std::fill(hom.begin(), hom.end(), 0);
+
+    for (int64_t w0 = 0; w0 < wpc; w0 += kPackedPanelWords) {
+      const int64_t w1 = std::min(wpc, w0 + kPackedPanelWords);
+      for (int64_t j = j0; j < j1; ++j) {
+        const uint64_t* DASH_RESTRICT words = x.column_words(j);
+        const size_t c = static_cast<size_t>(j - j0);
+        double acc = xyacc[c];
+        double* DASH_RESTRICT pr = proj.data() + static_cast<size_t>(j - j0) * k;
+        int64_t hets = 0;
+        int64_t homs = 0;
+        for (int64_t wi = w0; wi < w1; ++wi) {
+          const uint64_t word = words[wi];
+          if (word == 0) continue;
+          const uint64_t lo = word & kEvenBits;
+          const uint64_t hi = (word >> 1) & kEvenBits;
+          uint64_t nz = (lo | hi) & ~(lo & hi);
+          hets += __builtin_popcountll(lo & ~hi);
+          homs += __builtin_popcountll(hi & ~lo);
+          const int64_t base = wi * PackedGenotypeMatrix::kRowsPerWord;
+          while (nz != 0) {
+            const int b = __builtin_ctzll(nz);
+            nz &= nz - 1;
+            const int64_t i = base + (b >> 1);
+            const double v = kDosage[(word >> b) & 3u];
+            acc += v * y[i];
+            const double* DASH_RESTRICT qrow = qd + i * k;
+            for (int64_t kk = 0; kk < k; ++kk) pr[kk] += v * qrow[kk];
+          }
+        }
+        xyacc[c] = acc;
+        het[c] += hets;
+        hom[c] += homs;
+      }
+    }
+
+    for (int64_t j = j0; j < j1; ++j) {
+      const size_t c = static_cast<size_t>(j - j0);
+      const int64_t off = j - col_begin;
+      out.xy[off] = xyacc[c];
+      out.xx[off] = static_cast<double>(het[c]) +
+                    4.0 * static_cast<double>(hom[c]);
+      for (int64_t kk = 0; kk < k; ++kk) {
+        out.qtx[kk * out.qtx_stride + off] =
+            proj[static_cast<size_t>(j - j0) * k + static_cast<size_t>(kk)];
+      }
+    }
+  }
+}
+
+}  // namespace kernels
+}  // namespace dash

@@ -21,17 +21,28 @@
 // ComputeStatsColumns: columns are tiled into blocks of kStatsColBlock,
 // each block's accumulators (X.y, X.X and a covariate-major K×w QᵀX
 // tile, so each row's update is K contiguous length-w axpys) live in
-// L1 for the whole N-row sweep, and rows are strip-mined into panels of
-// kStatsRowPanel that are dispatched to a branchless dense micro-kernel
-// or a zero-skipping sparse micro-kernel depending on the panel's
-// measured density. The scalar reference kernels (the original
-// implementation) are kept as ComputeLocalStatsScalar /
-// ComputeLocalStatsSparseScalar; the blocked kernels are BIT-IDENTICAL
-// to them for finite inputs: every output element is accumulated over
-// rows in the same order, the dense micro-kernel's ±0.0 contributions
-// cannot change an IEEE-754 accumulator that starts at +0.0, and no
-// reduction is ever reassociated (tests/core_kernel_identity_test.cc
-// pins this).
+// L1 for the whole N-row sweep. Per column block the kernel picks one
+// of two paths:
+//
+//   - Hard-call dosage data (every value in {0, 1, 2}, probed cheaply
+//     and verified during packing) is repacked into a per-task 2-bit
+//     PackedGenotypeMatrix scratch and handed to the popcount kernel,
+//     whose flop count is proportional to the block's nonzeros (claim
+//     C6) — it beats the dense path at every genotype density.
+//   - Anything else runs the dense row-panel sweep, strip-mined into
+//     panels of kStatsRowPanel rows that dispatch to a branchless dense
+//     micro-kernel or a zero-skipping sparse one by measured density.
+//
+// The inner kernels of both paths are runtime ISA-dispatched (portable
+// / AVX2 / AVX-512; src/core/kernels/stats_kernels.h, DESIGN.md §13).
+// The scalar reference kernels (the original implementation) are kept
+// as ComputeLocalStatsScalar / ComputeLocalStatsSparseScalar; every
+// dispatchable kernel is BIT-IDENTICAL to them for finite inputs:
+// every output element is accumulated over rows in the same order,
+// SIMD lanes map to distinct output columns, skipped zeros / added
+// ±0.0 contributions cannot change an IEEE-754 accumulator that starts
+// at +0.0, and no reduction is ever reassociated
+// (tests/core_kernel_identity_test.cc pins this).
 
 #ifndef DASH_CORE_SUFF_STATS_H_
 #define DASH_CORE_SUFF_STATS_H_
@@ -39,6 +50,7 @@
 #include <cstdint>
 
 #include "linalg/matrix.h"
+#include "linalg/packed_matrix.h"
 #include "linalg/sparse_matrix.h"
 #include "linalg/vector_ops.h"
 #include "util/status.h"
@@ -115,16 +127,42 @@ void ComputeStatsColumnsSparse(const SparseColumnMatrix& x, const Vector& y,
                                int64_t col_end, const StatsBlockView& out,
                                ThreadPool* pool = nullptr);
 
+// Packed-genotype variant: consumes an already 2-bit-packed X with the
+// popcount kernel — O(nnz) flops plus one popcount per 32 genotypes.
+// Bit-identical to the dense paths on the expanded matrix (missing
+// calls expand to 0.0).
+void ComputeStatsColumnsPacked(const PackedGenotypeMatrix& x, const Vector& y,
+                               const Matrix& q, int64_t col_begin,
+                               int64_t col_end, const StatsBlockView& out,
+                               ThreadPool* pool = nullptr);
+
 // Computes one party's summand given its rows of Q. `pool` may be null
 // (serial); otherwise column blocks are sharded across its threads.
 ScanSufficientStats ComputeLocalStats(const Matrix& x, const Vector& y,
                                       const Matrix& q,
                                       ThreadPool* pool = nullptr);
 
-// Sparse-X variant: per column costs O(nnz * K) instead of O(N * K).
+// Sparse-X variant. Dosage-valued sparse data (every stored value in
+// {0, 1, 2} — the common genotype case) is repacked once into the
+// 2-bit popcount kernel; anything else runs the legacy per-column
+// sparse path. Both are bit-identical to ComputeLocalStatsSparseScalar.
 ScanSufficientStats ComputeLocalStatsSparse(const SparseColumnMatrix& x,
                                             const Vector& y, const Matrix& q,
                                             ThreadPool* pool = nullptr);
+
+// Packed-X form for callers that keep genotypes 2-bit packed (the
+// steady state of a resident scan service: pack once, scan many).
+ScanSufficientStats ComputeLocalStatsPacked(const PackedGenotypeMatrix& x,
+                                            const Vector& y, const Matrix& q,
+                                            ThreadPool* pool = nullptr);
+
+// Dense-only form of ComputeLocalStats: the same blocked row-panel
+// sweep (still ISA-dispatched) but never repacking dosage blocks into
+// the 2-bit kernel. The bench baseline ("blocked/*" entries) and an
+// escape hatch if a workload's pack probe ever misfires.
+ScanSufficientStats ComputeLocalStatsDense(const Matrix& x, const Vector& y,
+                                           const Matrix& q,
+                                           ThreadPool* pool = nullptr);
 
 // Zero-copy form: the summand computed directly into a contiguous
 // wire-order arena (StatsWireLayout), ready for the secure sum with no
@@ -134,6 +172,9 @@ Vector ComputeLocalStatsFlat(const Matrix& x, const Vector& y, const Matrix& q,
                              ThreadPool* pool = nullptr);
 Vector ComputeLocalStatsSparseFlat(const SparseColumnMatrix& x, const Vector& y,
                                    const Matrix& q, ThreadPool* pool = nullptr);
+Vector ComputeLocalStatsPackedFlat(const PackedGenotypeMatrix& x,
+                                   const Vector& y, const Matrix& q,
+                                   ThreadPool* pool = nullptr);
 
 // The original scalar kernels, kept as the bit-identity reference for
 // tests and as the bench baseline. Semantics match ComputeLocalStats /

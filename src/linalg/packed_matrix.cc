@@ -1,0 +1,139 @@
+#include "linalg/packed_matrix.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dash {
+namespace {
+
+// Even-bit masks over a packed word: lo holds the low bit of every
+// 2-bit code, hi the high bit, both left in the even positions.
+constexpr uint64_t kEvenBits = 0x5555555555555555ULL;
+
+}  // namespace
+
+PackedGenotypeMatrix::PackedGenotypeMatrix(int64_t rows, int64_t cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_column_((rows + kRowsPerWord - 1) / kRowsPerWord),
+      words_(static_cast<size_t>(cols * words_per_column_), 0) {
+  DASH_CHECK_GE(rows, 0);
+  DASH_CHECK_GE(cols, 0);
+}
+
+bool PackedGenotypeMatrix::IsDosageMatrix(const Matrix& dense) {
+  const double* p = dense.data();
+  const int64_t total = dense.size();
+  for (int64_t i = 0; i < total; ++i) {
+    if (!IsDosageValue(p[i])) return false;
+  }
+  return true;
+}
+
+std::optional<PackedGenotypeMatrix> PackedGenotypeMatrix::TryFromDense(
+    const Matrix& dense) {
+  PackedGenotypeMatrix packed(dense.rows(), dense.cols());
+  const int64_t wpc = packed.words_per_column_;
+  // Row-major sweep of the source: each of the cols() current words
+  // stays hot for 32 consecutive rows.
+  for (int64_t i = 0; i < dense.rows(); ++i) {
+    const double* row = dense.row_data(i);
+    const int64_t word_index = i / kRowsPerWord;
+    const int shift = static_cast<int>(2 * (i % kRowsPerWord));
+    for (int64_t j = 0; j < dense.cols(); ++j) {
+      const double v = row[j];
+      if (!IsDosageValue(v)) return std::nullopt;
+      packed.words_[static_cast<size_t>(j * wpc + word_index)] |=
+          static_cast<uint64_t>(v) << shift;
+    }
+  }
+  return packed;
+}
+
+std::optional<PackedGenotypeMatrix> PackedGenotypeMatrix::TryFromSparse(
+    const SparseColumnMatrix& sparse) {
+  PackedGenotypeMatrix packed(sparse.rows(), sparse.cols());
+  const int64_t wpc = packed.words_per_column_;
+  for (int64_t j = 0; j < sparse.cols(); ++j) {
+    uint64_t* words = packed.words_.data() + static_cast<size_t>(j * wpc);
+    for (const auto& e : sparse.ColumnEntries(j)) {
+      if (e.value == 0.0) continue;  // an explicitly stored zero
+      if (e.value != 1.0 && e.value != 2.0) return std::nullopt;
+      words[e.row / kRowsPerWord] |= static_cast<uint64_t>(e.value)
+                                     << (2 * (e.row % kRowsPerWord));
+    }
+  }
+  return packed;
+}
+
+PackedGenotypeMatrix PackedGenotypeMatrix::FromDense(const Matrix& dense) {
+  auto packed = TryFromDense(dense);
+  DASH_CHECK(packed.has_value())
+      << "FromDense requires every entry in {0, 1, 2}";
+  return *std::move(packed);
+}
+
+PackedGenotypeMatrix PackedGenotypeMatrix::FromSparse(
+    const SparseColumnMatrix& sparse) {
+  auto packed = TryFromSparse(sparse);
+  DASH_CHECK(packed.has_value())
+      << "FromSparse requires every stored value in {0, 1, 2}";
+  return *std::move(packed);
+}
+
+Matrix PackedGenotypeMatrix::ToDense() const {
+  Matrix dense(rows_, cols_);
+  for (int64_t j = 0; j < cols_; ++j) {
+    const uint64_t* words = column_words(j);
+    for (int64_t i = 0; i < rows_; ++i) {
+      const uint8_t code = static_cast<uint8_t>(
+          (words[i / kRowsPerWord] >> (2 * (i % kRowsPerWord))) & 3u);
+      dense(i, j) =
+          code == kMissingCode ? 0.0 : static_cast<double>(code);
+    }
+  }
+  return dense;
+}
+
+void PackedGenotypeMatrix::Set(int64_t i, int64_t j, uint8_t code) {
+  DASH_CHECK(0 <= i && i < rows_ && 0 <= j && j < cols_);
+  DASH_CHECK_LE(code, 3);
+  uint64_t& word =
+      words_[static_cast<size_t>(j * words_per_column_ + i / kRowsPerWord)];
+  const int shift = static_cast<int>(2 * (i % kRowsPerWord));
+  word = (word & ~(3ULL << shift)) | (static_cast<uint64_t>(code) << shift);
+}
+
+void PackedGenotypeMatrix::Clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+PackedGenotypeMatrix::ColumnCounts PackedGenotypeMatrix::Counts(
+    int64_t j) const {
+  ColumnCounts c;
+  const uint64_t* words = column_words(j);
+  for (int64_t w = 0; w < words_per_column_; ++w) {
+    const uint64_t lo = words[w] & kEvenBits;
+    const uint64_t hi = (words[w] >> 1) & kEvenBits;
+    c.het += __builtin_popcountll(lo & ~hi);
+    c.hom += __builtin_popcountll(hi & ~lo);
+    c.missing += __builtin_popcountll(lo & hi);
+  }
+  return c;
+}
+
+int64_t PackedGenotypeMatrix::TotalNnz() const {
+  int64_t total = 0;
+  for (int64_t j = 0; j < cols_; ++j) total += ColumnNnz(j);
+  return total;
+}
+
+double PackedGenotypeMatrix::Density() const {
+  const int64_t total = rows_ * cols_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(TotalNnz()) /
+                          static_cast<double>(total);
+}
+
+}  // namespace dash

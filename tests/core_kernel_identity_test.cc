@@ -3,6 +3,14 @@
 // arithmetic: every output element accumulates over rows in the same
 // order, so for finite inputs the wire images must be identical — any
 // single-bit drift here is a bug, not tolerance noise.
+//
+// The ISA sweep below repeats the contract for every dispatchable
+// kernel table this CPU can run (portable, and AVX2 / AVX-512 where
+// supported), pinned in-process via ForceStatsIsaForTesting, across
+// dense, packed and sparse storage and shapes that straddle every
+// block/vector boundary. Running under DASH_FORCE_ISA=<isa> narrows
+// AvailableStatsIsas-independent paths too (CI pins portable on the
+// sanitizer jobs and avx2 on runners that have it).
 
 #include <gtest/gtest.h>
 
@@ -11,16 +19,28 @@
 #include <string>
 #include <vector>
 
+#include "core/kernels/stats_kernels.h"
 #include "core/scan_pipeline.h"
 #include "core/secure_scan.h"
 #include "core/suff_stats.h"
 #include "data/genotype_generator.h"
 #include "data/workloads.h"
+#include "linalg/packed_matrix.h"
 #include "linalg/qr.h"
 #include "util/random.h"
 
 namespace dash {
 namespace {
+
+// Pins the kernel dispatch table to one ISA for the enclosing scope.
+struct ScopedIsa {
+  explicit ScopedIsa(kernels::StatsIsa isa) {
+    kernels::ForceStatsIsaForTesting(isa);
+  }
+  ~ScopedIsa() { kernels::ResetStatsIsaForTesting(); }
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+};
 
 void ExpectBitIdentical(const Vector& a, const Vector& b, const char* what) {
   ASSERT_EQ(a.size(), b.size()) << what;
@@ -142,6 +162,176 @@ TEST(KernelIdentityTest, SparseBlockedMatchesSparseScalar) {
   ThreadPool pool(3);
   ExpectStatsBitIdentical(ComputeLocalStatsSparse(x, y, q, &pool),
                           ComputeLocalStatsSparseScalar(x, y, q));
+}
+
+// ---- ISA sweep: every dispatchable kernel table, every storage ----
+
+TEST(KernelIdentityTest, IsaSweepDenseGaussian) {
+  for (const kernels::StatsIsa isa : kernels::AvailableStatsIsas()) {
+    ScopedIsa pin(isa);
+    SCOPED_TRACE(kernels::StatsIsaName(isa));
+    for (const int64_t m : kVariantSizes) {
+      for (const int64_t n : kSampleSizes) {
+        Rng rng(static_cast<uint64_t>(n * 1000 + m));
+        const Matrix x = GaussianMatrix(n, m, &rng);
+        const Vector y = GaussianVector(n, &rng);
+        const Matrix q = MakeQ(n, 3, &rng);
+        SCOPED_TRACE("n=" + std::to_string(n) + " m=" + std::to_string(m));
+        ExpectStatsBitIdentical(ComputeLocalStatsDense(x, y, q),
+                                ComputeLocalStatsScalar(x, y, q));
+      }
+    }
+  }
+}
+
+TEST(KernelIdentityTest, IsaSweepGenotypeAllStorages) {
+  // One genotype draw per shape; each ISA must reproduce the scalar
+  // kernel bit for bit through the auto path (which packs dosage
+  // blocks), the pre-packed path, the dense no-pack path, the flat
+  // arena, and the sparse repack path.
+  for (const int64_t m : kVariantSizes) {
+    for (const int64_t n : {33, 301}) {
+      GenotypeOptions geno;
+      geno.num_samples = n;
+      geno.num_variants = m;
+      geno.maf_min = 0.01;
+      geno.maf_max = 0.4;
+      geno.seed = static_cast<uint64_t>(m * 1000 + n);
+      const Matrix x = GenerateGenotypes(geno);
+      Rng rng(static_cast<uint64_t>(m) + 99);
+      const Vector y = GaussianVector(n, &rng);
+      const Matrix q = MakeQ(n, 4, &rng);
+      const ScanSufficientStats want = ComputeLocalStatsScalar(x, y, q);
+      const PackedGenotypeMatrix packed = PackedGenotypeMatrix::FromDense(x);
+      const SparseColumnMatrix sparse = SparseColumnMatrix::FromDense(x);
+      for (const kernels::StatsIsa isa : kernels::AvailableStatsIsas()) {
+        ScopedIsa pin(isa);
+        SCOPED_TRACE(std::string(kernels::StatsIsaName(isa)) +
+                     " n=" + std::to_string(n) + " m=" + std::to_string(m));
+        ExpectStatsBitIdentical(ComputeLocalStats(x, y, q), want);
+        ExpectStatsBitIdentical(ComputeLocalStatsPacked(packed, y, q), want);
+        ExpectStatsBitIdentical(ComputeLocalStatsDense(x, y, q), want);
+        ExpectBitIdentical(ComputeLocalStatsFlat(x, y, q),
+                           FlattenStats(want), "flat arena");
+        ExpectBitIdentical(ComputeLocalStatsPackedFlat(packed, y, q),
+                           FlattenStats(want), "packed flat arena");
+        ExpectStatsBitIdentical(ComputeLocalStatsSparse(sparse, y, q), want);
+      }
+    }
+  }
+}
+
+TEST(KernelIdentityTest, IsaSweepCovariateWidths) {
+  // K straddles every projection-accumulator specialization (KP covers
+  // K covariates plus the phenotype lane, so the widest K is 23 on
+  // AVX-512 and 15 on AVX2): the 4-wide steps, the odd widths that
+  // exercise the padded tail lanes, and K past the widest
+  // specialization, which must fall back to the portable packed kernel
+  // — still bit-identically.
+  for (const int64_t k : {0, 1, 3, 4, 7, 8, 12, 16, 17, 24, 27}) {
+    GenotypeOptions geno;
+    geno.num_samples = 300;
+    geno.num_variants = 130;
+    geno.maf_min = 0.05;
+    geno.maf_max = 0.4;
+    geno.seed = static_cast<uint64_t>(k) + 5;
+    const Matrix x = GenerateGenotypes(geno);
+    Rng rng(static_cast<uint64_t>(k) + 77);
+    const Vector y = GaussianVector(300, &rng);
+    const Matrix q = MakeQ(300, k, &rng);
+    const ScanSufficientStats want = ComputeLocalStatsScalar(x, y, q);
+    const PackedGenotypeMatrix packed = PackedGenotypeMatrix::FromDense(x);
+    for (const kernels::StatsIsa isa : kernels::AvailableStatsIsas()) {
+      ScopedIsa pin(isa);
+      SCOPED_TRACE(std::string(kernels::StatsIsaName(isa)) +
+                   " k=" + std::to_string(k));
+      ExpectStatsBitIdentical(ComputeLocalStatsPacked(packed, y, q), want);
+      ExpectStatsBitIdentical(ComputeLocalStatsDense(x, y, q), want);
+    }
+  }
+}
+
+TEST(KernelIdentityTest, IsaSweepAllZeroAndAllMissingColumns) {
+  // Degenerate columns: all-zero (no nonzero words at all) and
+  // all-missing (code 3 everywhere — nnz masks empty, missing popcounts
+  // full). The packed kernels must agree with the scalar kernel run on
+  // the expanded dense image (missing expands to dosage 0).
+  const int64_t n = 290, m = 130;
+  PackedGenotypeMatrix packed(n, m);
+  Rng rng(123);
+  for (int64_t j = 0; j < m; ++j) {
+    if (j % 5 == 1) continue;  // all-zero column
+    if (j % 5 == 3) {          // all-missing column
+      for (int64_t i = 0; i < n; ++i) {
+        packed.Set(i, j, PackedGenotypeMatrix::kMissingCode);
+      }
+      continue;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      const double u = rng.UniformDouble();
+      packed.Set(i, j, u < 0.15 ? 1 : (u < 0.2 ? 2 : 0));
+    }
+  }
+  const Matrix x = packed.ToDense();
+  const Vector y = GaussianVector(n, &rng);
+  const Matrix q = MakeQ(n, 4, &rng);
+  const ScanSufficientStats want = ComputeLocalStatsScalar(x, y, q);
+  for (const kernels::StatsIsa isa : kernels::AvailableStatsIsas()) {
+    ScopedIsa pin(isa);
+    SCOPED_TRACE(kernels::StatsIsaName(isa));
+    ExpectStatsBitIdentical(ComputeLocalStatsPacked(packed, y, q), want);
+    ExpectStatsBitIdentical(ComputeLocalStatsDense(x, y, q), want);
+    ExpectStatsBitIdentical(ComputeLocalStats(x, y, q), want);
+  }
+}
+
+TEST(KernelIdentityTest, IsaSweepSparseNonDosageFallsBack) {
+  // A sparse matrix with a non-dosage value cannot repack; the legacy
+  // sparse path must still match the sparse scalar reference under
+  // every pinned ISA.
+  GenotypeOptions geno;
+  geno.num_samples = 400;
+  geno.num_variants = 150;
+  geno.maf_min = 0.01;
+  geno.maf_max = 0.15;
+  geno.seed = 23;
+  SparseColumnMatrix x = GenerateSparseGenotypes(geno);
+  x.PushEntry(149, 399, 0.5);  // poisons the dosage check
+  Rng rng(29);
+  const Vector y = GaussianVector(400, &rng);
+  const Matrix q = MakeQ(400, 4, &rng);
+  const ScanSufficientStats want = ComputeLocalStatsSparseScalar(x, y, q);
+  for (const kernels::StatsIsa isa : kernels::AvailableStatsIsas()) {
+    ScopedIsa pin(isa);
+    SCOPED_TRACE(kernels::StatsIsaName(isa));
+    ExpectStatsBitIdentical(ComputeLocalStatsSparse(x, y, q), want);
+    ExpectBitIdentical(ComputeLocalStatsSparseFlat(x, y, q),
+                       FlattenStats(want), "sparse flat arena");
+  }
+}
+
+TEST(KernelIdentityTest, IsaSweepThreadPoolAndPackedRoundTrip) {
+  GenotypeOptions geno;
+  geno.num_samples = 600;
+  geno.num_variants = 300;
+  geno.maf_min = 0.05;
+  geno.maf_max = 0.4;
+  geno.seed = 7;
+  const Matrix x = GenerateGenotypes(geno);
+  Rng rng(71);
+  const Vector y = GaussianVector(600, &rng);
+  const Matrix q = MakeQ(600, 5, &rng);
+  const ScanSufficientStats want = ComputeLocalStatsScalar(x, y, q);
+  const PackedGenotypeMatrix packed = PackedGenotypeMatrix::FromDense(x);
+  EXPECT_TRUE(packed.ToDense() == x);
+  ThreadPool pool(4);
+  for (const kernels::StatsIsa isa : kernels::AvailableStatsIsas()) {
+    ScopedIsa pin(isa);
+    SCOPED_TRACE(kernels::StatsIsaName(isa));
+    ExpectStatsBitIdentical(ComputeLocalStatsPacked(packed, y, q, &pool),
+                            want);
+    ExpectStatsBitIdentical(ComputeLocalStats(x, y, q, &pool), want);
+  }
 }
 
 TEST(KernelIdentityTest, ColumnRangeMatchesFullComputation) {

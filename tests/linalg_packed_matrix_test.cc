@@ -1,0 +1,144 @@
+#include "linalg/packed_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "data/genotype_generator.h"
+#include "linalg/sparse_matrix.h"
+#include "util/random.h"
+
+namespace dash {
+namespace {
+
+Matrix MakeGenotypes(int64_t n, int64_t m, uint64_t seed) {
+  GenotypeOptions opts;
+  opts.num_samples = n;
+  opts.num_variants = m;
+  opts.maf_min = 0.05;
+  opts.maf_max = 0.5;
+  opts.seed = seed;
+  return GenerateGenotypes(opts);
+}
+
+TEST(PackedMatrixTest, DenseRoundTrip) {
+  // 67 rows: two full words plus a 3-row tail word per column.
+  const Matrix dense = MakeGenotypes(67, 9, 11);
+  const PackedGenotypeMatrix packed = PackedGenotypeMatrix::FromDense(dense);
+  EXPECT_EQ(packed.rows(), 67);
+  EXPECT_EQ(packed.cols(), 9);
+  EXPECT_EQ(packed.words_per_column(), 3);
+  EXPECT_TRUE(packed.ToDense() == dense);
+  for (int64_t i = 0; i < dense.rows(); ++i) {
+    for (int64_t j = 0; j < dense.cols(); ++j) {
+      EXPECT_EQ(static_cast<double>(packed.Code(i, j)), dense(i, j));
+    }
+  }
+}
+
+TEST(PackedMatrixTest, SparseRoundTripAndExplicitZero) {
+  const Matrix dense = MakeGenotypes(40, 6, 3);
+  const SparseColumnMatrix sparse = SparseColumnMatrix::FromDense(dense);
+  const PackedGenotypeMatrix packed = PackedGenotypeMatrix::FromSparse(sparse);
+  EXPECT_TRUE(packed.ToDense() == dense);
+
+  // An explicitly stored zero is tolerated and packs as code 0.
+  SparseColumnMatrix with_zero(4, 1);
+  with_zero.PushEntry(0, 1, 1.0);
+  with_zero.PushEntry(0, 2, 0.0);
+  with_zero.PushEntry(0, 3, 2.0);
+  const auto p = PackedGenotypeMatrix::TryFromSparse(with_zero);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->Code(0, 0), 0);
+  EXPECT_EQ(p->Code(1, 0), 1);
+  EXPECT_EQ(p->Code(2, 0), 0);
+  EXPECT_EQ(p->Code(3, 0), 2);
+}
+
+TEST(PackedMatrixTest, NonDosageValuesRejected) {
+  Matrix dense(3, 2);
+  dense(1, 1) = 1.5;
+  EXPECT_FALSE(PackedGenotypeMatrix::IsDosageMatrix(dense));
+  EXPECT_FALSE(PackedGenotypeMatrix::TryFromDense(dense).has_value());
+  dense(1, 1) = 3.0;  // code-range but not a dosage value
+  EXPECT_FALSE(PackedGenotypeMatrix::TryFromDense(dense).has_value());
+  dense(1, 1) = -1.0;
+  EXPECT_FALSE(PackedGenotypeMatrix::TryFromDense(dense).has_value());
+  dense(1, 1) = 2.0;
+  EXPECT_TRUE(PackedGenotypeMatrix::TryFromDense(dense).has_value());
+
+  SparseColumnMatrix sparse(3, 1);
+  sparse.PushEntry(0, 1, 0.5);
+  EXPECT_FALSE(PackedGenotypeMatrix::TryFromSparse(sparse).has_value());
+}
+
+TEST(PackedMatrixTest, CountsAndDensity) {
+  Matrix dense(70, 2);
+  int64_t het = 0, hom = 0;
+  for (int64_t i = 0; i < 70; ++i) {
+    if (i % 3 == 0) {
+      dense(i, 0) = 1.0;
+      ++het;
+    } else if (i % 7 == 0) {
+      dense(i, 0) = 2.0;
+      ++hom;
+    }
+  }
+  PackedGenotypeMatrix packed = PackedGenotypeMatrix::FromDense(dense);
+  const auto c0 = packed.Counts(0);
+  EXPECT_EQ(c0.het, het);
+  EXPECT_EQ(c0.hom, hom);
+  EXPECT_EQ(c0.missing, 0);
+  EXPECT_EQ(packed.ColumnNnz(0), het + hom);
+  EXPECT_EQ(packed.ColumnNnz(1), 0);
+  EXPECT_EQ(packed.TotalNnz(), het + hom);
+  EXPECT_DOUBLE_EQ(packed.Density(),
+                   static_cast<double>(het + hom) / (70.0 * 2.0));
+
+  // Missing calls count as missing, not as nonzeros, and expand to 0.
+  packed.Set(5, 1, PackedGenotypeMatrix::kMissingCode);
+  EXPECT_EQ(packed.Counts(1).missing, 1);
+  EXPECT_EQ(packed.ColumnNnz(1), 0);
+  EXPECT_DOUBLE_EQ(packed.ToDense()(5, 1), 0.0);
+}
+
+TEST(PackedMatrixTest, SetAndCode) {
+  PackedGenotypeMatrix packed(33, 2);  // row 32 lands in the second word
+  EXPECT_EQ(packed.Code(32, 1), 0);
+  packed.Set(32, 1, 2);
+  packed.Set(0, 1, 1);
+  EXPECT_EQ(packed.Code(32, 1), 2);
+  EXPECT_EQ(packed.Code(0, 1), 1);
+  packed.Set(32, 1, 0);
+  EXPECT_EQ(packed.Code(32, 1), 0);
+  EXPECT_EQ(packed.Code(0, 1), 1);
+  packed.Clear();
+  EXPECT_EQ(packed.Code(0, 1), 0);
+}
+
+TEST(PackedMatrixTest, TailRowsBeyondRowsStayZero) {
+  // 5 rows: 27 tail slots in the single word must stay code 0 so
+  // kernels can consume whole words without a tail guard.
+  Matrix dense(5, 1);
+  for (int64_t i = 0; i < 5; ++i) dense(i, 0) = 2.0;
+  const PackedGenotypeMatrix packed = PackedGenotypeMatrix::FromDense(dense);
+  ASSERT_EQ(packed.words_per_column(), 1);
+  const uint64_t word = packed.column_words(0)[0];
+  EXPECT_EQ(word >> 10, 0u);  // bits beyond row 4's code
+  EXPECT_EQ(packed.ColumnNnz(0), 5);
+}
+
+TEST(PackedMatrixTest, EmptyShapes) {
+  const PackedGenotypeMatrix none(0, 0);
+  EXPECT_EQ(none.TotalNnz(), 0);
+  EXPECT_DOUBLE_EQ(none.Density(), 0.0);
+  const PackedGenotypeMatrix rows_only(17, 0);
+  EXPECT_EQ(rows_only.TotalNnz(), 0);
+  const PackedGenotypeMatrix cols_only(0, 4);
+  EXPECT_EQ(cols_only.words_per_column(), 0);
+  EXPECT_EQ(cols_only.TotalNnz(), 0);
+  EXPECT_TRUE(cols_only.ToDense() == Matrix(0, 4));
+}
+
+}  // namespace
+}  // namespace dash

@@ -33,6 +33,19 @@ Rules (each has a stable ID used in messages and suppressions):
       path (src/net/serialization.h -> DASH_NET_SERIALIZATION_H_), and
       no file includes via a relative "../" path.
 
+  DL006 SIMD intrinsics outside src/core/kernels/
+      Per-ISA code is confined to the kernel translation units under
+      src/core/kernels/, which the build compiles with matching
+      per-file -m flags and -ffp-contract=off, and which the runtime
+      dispatch table (stats_kernels.h) gates behind a cpuid probe. An
+      <immintrin.h> include, an _mm* intrinsic call, or an __m128/256/512
+      vector type anywhere else either crashes on CPUs without the ISA
+      (no dispatch gate) or silently compiles without the target flag.
+      ISA-specific translation units in src/core/kernels/ must also
+      carry the matching compile-time guard (#ifndef __AVX2__/#error,
+      #ifndef __AVX512F__/#error) so a build-system regression that
+      drops the per-file flag fails loudly instead of miscompiling.
+
   DL005 unauditable randomness in the MPC layer
       Masks and shares are only secure if their randomness comes from
       the audited, deterministically-seeded RNG path (util/random.h,
@@ -60,11 +73,30 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 # Files under the bit-identity contract: reordering their accumulation
 # changes revealed bits across party/thread configurations.
 KERNEL_FILES = {
+    "src/core/kernels/isa_dispatch.cc",
+    "src/core/kernels/stats_kernels.h",
+    "src/core/kernels/stats_kernels_avx2.cc",
+    "src/core/kernels/stats_kernels_avx512.cc",
+    "src/core/kernels/stats_kernels_portable.cc",
     "src/core/suff_stats.cc",
     "src/core/suff_stats.h",
+    "src/linalg/packed_matrix.cc",
+    "src/linalg/packed_matrix.h",
     "src/linalg/vector_ops.cc",
     "src/linalg/vector_ops.h",
 }
+
+# The only directory that may contain SIMD intrinsics (DL006); its
+# ISA-specific TUs must carry the matching #ifndef/#error guard.
+INTRINSICS_DIR = "src/core/kernels/"
+INTRINSIC_RE = re.compile(
+    r"immintrin\.h|x86intrin\.h|[exs]mmintrin\.h|avx\w*intrin\.h"
+    r"|\b_mm\d*_\w+\s*\(|\b__m(?:128|256|512)[di]?\b")
+# file-name pattern -> macro whose absence must stop compilation.
+ISA_GUARDS = [
+    (re.compile(r"_avx2\.(cc|cpp)$"), "__AVX2__"),
+    (re.compile(r"_avx512\.(cc|cpp)$"), "__AVX512F__"),
+]
 
 # The only files that may call memcpy. Everything that touches wire
 # bytes goes through ByteWriter/ByteReader or the frame codec; the
@@ -269,6 +301,16 @@ class Linter:
                     "raw memcpy outside net/serialization and "
                     "transport/frame; use ByteWriter/ByteReader")
 
+            # DL006 — intrinsics outside src/core/kernels/.
+            if (not relpath.startswith(INTRINSICS_DIR)
+                    and INTRINSIC_RE.search(code)
+                    and not line_disables(line, "DL006")):
+                self.report(
+                    path, i, "DL006",
+                    "SIMD intrinsics are confined to src/core/kernels/ "
+                    "(runtime-dispatched, per-file target flags); use "
+                    "the kernel dispatch table instead")
+
             # DL004 — relative includes.
             if RELATIVE_INCLUDE_RE.search(code) \
                     and not line_disables(line, "DL004"):
@@ -281,6 +323,26 @@ class Linter:
                 stmt_prefix = ""
             else:
                 stmt_prefix = (stmt_prefix + " " + stripped)[-400:]
+
+        # DL006 — ISA translation units must guard their target macro so
+        # a dropped per-file -m flag is a compile error, not a silent
+        # portable miscompile.
+        if relpath.startswith(INTRINSICS_DIR):
+            for name_re, macro in ISA_GUARDS:
+                if not name_re.search(relpath):
+                    continue
+                has_guard = any(
+                    re.match(r"#\s*ifndef\s+" + macro + r"\b", l.strip())
+                    for l in lines)
+                has_error = any(
+                    re.match(r"#\s*error\b", l.strip()) for l in lines)
+                if not (has_guard and has_error) and not any(
+                        line_disables(l, "DL006") for l in lines[:20]):
+                    self.report(
+                        path, 1, "DL006",
+                        f"ISA translation unit lacks the '#ifndef {macro}' "
+                        "+ '#error' guard that catches a missing per-file "
+                        "target flag")
 
         # DL004 — include-guard naming for headers under src/.
         if relpath.startswith("src/") and relpath.endswith(".h"):

@@ -1,0 +1,20 @@
+// dash-lint-fixture-as: src/core/association_scan.cc
+// Fixture: SIMD intrinsics leaking outside src/core/kernels/ (DL006).
+// Without the per-file target flag this miscompiles; without the
+// runtime dispatch gate it crashes on CPUs lacking the ISA.
+// EXPECT-LINT: DL006@9
+// EXPECT-LINT: DL006@13
+// EXPECT-LINT: DL006@14
+
+#include <immintrin.h>
+
+namespace dash {
+static double SumLanes(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  _mm256_storeu_pd(const_cast<double*>(p), v);
+  return p[0];
+}
+
+// Accepted with a visible justification:
+// __m512d is fine here  // dash-lint: disable=DL006
+}  // namespace dash

@@ -1,0 +1,16 @@
+// dash-lint-fixture-as: src/core/kernels/fixture_avx2.cc
+// Fixture: an ISA translation unit missing its #ifndef __AVX2__ +
+// #error guard (DL006). If the build ever drops the per-file -mavx2
+// flag, this file would silently compile as portable code instead of
+// failing loudly.
+// EXPECT-LINT: DL006@1
+
+#include <immintrin.h>
+
+namespace dash {
+namespace kernels {
+static void Kernel(double* p) {
+  _mm256_storeu_pd(p, _mm256_setzero_pd());
+}
+}  // namespace kernels
+}  // namespace dash
