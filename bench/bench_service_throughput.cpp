@@ -23,12 +23,10 @@
 
 #include <algorithm>
 #include <cinttypes>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +41,7 @@
 #include "transport/party_runner.h"
 #include "transport/session_mux.h"
 #include "transport/tcp_transport.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -86,23 +85,23 @@ class Barrier {
  public:
   explicit Barrier(int count) : count_(count) {}
   void Arrive() {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const int64_t generation = generation_;
     if (++arrived_ == count_) {
       arrived_ = 0;
       ++generation_;
-      cv_.notify_all();
+      cv_.NotifyAll();
     } else {
-      cv_.wait(lock, [&] { return generation_ != generation; });
+      while (generation_ == generation) cv_.Wait(&mu_);
     }
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_{LockRank::kLeaf};
+  CondVar cv_;
   const int count_;
-  int arrived_ = 0;
-  int64_t generation_ = 0;
+  int arrived_ DASH_GUARDED_BY(mu_) = 0;
+  int64_t generation_ DASH_GUARDED_BY(mu_) = 0;
 };
 
 // One wave as one party's scheduler saw it.

@@ -59,8 +59,13 @@ def required_isa(name):
 def absence_reason(name, isas):
     """Why `name` may legitimately be missing from a file, or None."""
     isa = required_isa(name)
-    if isa is None or isas is None:
+    if isa is None:
         return None
+    if isas is None:
+        # Pre-`isas` files (older bench runs) can't say what the machine
+        # supported; be explicit that this is a skip, not a silent pass.
+        return ("requires %s, but the file has no `isas` field "
+                "(older bench run) — skipped, not failed" % isa)
     if isa in isas:
         return None
     return "requires %s, absent on that machine" % isa

@@ -26,10 +26,8 @@
 
 #include <chrono>
 #include <cinttypes>
-#include <condition_variable>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -47,6 +45,7 @@
 #include "transport/session_mux.h"
 #include "transport/tcp_transport.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 #include "util/strings.h"
 
 namespace {
@@ -153,7 +152,7 @@ class MeshManager {
     auto mesh = Dial(tcp_options_);
     if (!mesh.ok()) return mesh.status();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       mesh_ = std::move(mesh).value();
     }
     monitor_ = std::thread([this] { MonitorLoop(); });
@@ -162,10 +161,10 @@ class MeshManager {
 
   void Shutdown() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       shutting_down_ = true;
       mesh_.reset();
-      mesh_cv_.notify_all();
+      mesh_cv_.NotifyAll();
     }
     if (monitor_.joinable()) monitor_.join();
   }
@@ -179,10 +178,13 @@ class MeshManager {
     for (;;) {
       std::shared_ptr<Mesh> mesh;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        mesh_cv_.wait_for(lock, std::chrono::milliseconds(200), [this] {
-          return shutting_down_ || mesh_ != nullptr;
-        });
+        MutexLock lock(&mu_);
+        const auto poll_deadline = std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(200);
+        while (!shutting_down_ && mesh_ == nullptr &&
+               mesh_cv_.WaitUntil(&mu_, poll_deadline) !=
+                   std::cv_status::timeout) {
+        }
         if (shutting_down_) {
           return UnavailableError("daemon shutting down");
         }
@@ -241,9 +243,13 @@ class MeshManager {
     if (redial.connect_timeout_ms > 3000) redial.connect_timeout_ms = 3000;
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        mesh_cv_.wait_for(lock, std::chrono::milliseconds(300),
-                          [this] { return shutting_down_; });
+        MutexLock lock(&mu_);
+        const auto poll_deadline = std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(300);
+        while (!shutting_down_ &&
+               mesh_cv_.WaitUntil(&mu_, poll_deadline) !=
+                   std::cv_status::timeout) {
+        }
         if (shutting_down_) return;
         if (mesh_ != nullptr) {
           const Status health = mesh_->mux->LinkHealth();
@@ -256,7 +262,7 @@ class MeshManager {
         }
       }
       auto mesh = Dial(redial);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (shutting_down_) return;
       if (mesh.ok() && mesh_ == nullptr) {
         mesh_ = std::move(mesh).value();
@@ -264,7 +270,7 @@ class MeshManager {
         // log level, like the startup "mesh up" line.
         std::fprintf(stderr, "[partyd %d] mesh restored (%d parties)\n",
                      party_, cluster_.num_parties());
-        mesh_cv_.notify_all();
+        mesh_cv_.NotifyAll();
       }
     }
   }
@@ -274,10 +280,12 @@ class MeshManager {
   const TcpTransportOptions tcp_options_;
   const int64_t remesh_budget_ms_ = 120000;
 
-  std::mutex mu_;
-  std::condition_variable mesh_cv_;
-  bool shutting_down_ = false;
-  std::shared_ptr<Mesh> mesh_;
+  // Rank kMeshManager nests OUTSIDE kSessionMux: the monitor probes
+  // LinkHealth() and Shutdown/remesh destroy the mux under mu_.
+  Mutex mu_{LockRank::kMeshManager};
+  CondVar mesh_cv_;
+  bool shutting_down_ DASH_GUARDED_BY(mu_) = false;
+  std::shared_ptr<Mesh> mesh_ DASH_GUARDED_BY(mu_);
   std::thread monitor_;
 };
 
@@ -479,14 +487,14 @@ int RealMain(int argc, char** argv) {
       },
       &cache, scheduler_options);
 
-  std::mutex shutdown_mu;
-  std::condition_variable shutdown_cv;
+  Mutex shutdown_mu(LockRank::kLeaf);
+  CondVar shutdown_cv;
   bool shutdown_requested = false;
   ControlServer control(&scheduler, &cache,
                         [&] {
-                          std::lock_guard<std::mutex> lock(shutdown_mu);
+                          MutexLock lock(&shutdown_mu);
                           shutdown_requested = true;
-                          shutdown_cv.notify_all();
+                          shutdown_cv.NotifyAll();
                         },
                         control_options);
   const Status started = control.Start();
@@ -505,8 +513,8 @@ int RealMain(int argc, char** argv) {
                scheduler_options.max_queued);
 
   {
-    std::unique_lock<std::mutex> lock(shutdown_mu);
-    shutdown_cv.wait(lock, [&] { return shutdown_requested; });
+    MutexLock lock(&shutdown_mu);
+    while (!shutdown_requested) shutdown_cv.Wait(&shutdown_mu);
   }
   std::fprintf(stderr, "[partyd %d] SHUTDOWN received; draining...\n", party);
   control.Stop();

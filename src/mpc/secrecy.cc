@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 
 #include "net/serialization.h"
+#include "util/mutex.h"
 
 namespace dash {
 namespace {
@@ -15,15 +15,19 @@ constexpr size_t kMaxRecordedSites = 256;
 
 std::atomic<int64_t> g_declassify_count{0};
 
-std::mutex& SitesMutex() {
-  static std::mutex mu;
-  return mu;
-}
+// Process-wide audit state behind one ranked mutex (a function-local
+// static so it works from any thread at any time, including before
+// main). kSecrecyAudit is near-innermost: Record runs inside scan jobs
+// that may already hold scheduler and mux locks.
+struct AuditRegistry {
+  Mutex mu{LockRank::kSecrecyAudit};
+  std::vector<std::string> sites DASH_GUARDED_BY(mu);
 
-std::vector<std::string>& SitesLocked() {
-  static std::vector<std::string> sites;
-  return sites;
-}
+  static AuditRegistry& Instance() {
+    static AuditRegistry registry;
+    return registry;
+  }
+};
 
 }  // namespace
 
@@ -32,26 +36,29 @@ int64_t SecrecyAudit::count() {
 }
 
 std::vector<std::string> SecrecyAudit::Sites() {
-  std::lock_guard<std::mutex> lock(SitesMutex());
-  return SitesLocked();
+  AuditRegistry& registry = AuditRegistry::Instance();
+  MutexLock lock(&registry.mu);
+  return registry.sites;
 }
 
 void SecrecyAudit::Record(const DeclassifyContext& ctx) {
   g_declassify_count.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(SitesMutex());
-  auto& sites = SitesLocked();
-  if (sites.size() >= kMaxRecordedSites) return;
+  AuditRegistry& registry = AuditRegistry::Instance();
+  MutexLock lock(&registry.mu);
+  if (registry.sites.size() >= kMaxRecordedSites) return;
   std::string site = std::string(ctx.file) + ":" + std::to_string(ctx.line) +
                      ": " + ctx.reason;
-  if (std::find(sites.begin(), sites.end(), site) == sites.end()) {
-    sites.push_back(std::move(site));
+  if (std::find(registry.sites.begin(), registry.sites.end(), site) ==
+      registry.sites.end()) {
+    registry.sites.push_back(std::move(site));
   }
 }
 
 void SecrecyAudit::ResetForTest() {
   g_declassify_count.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(SitesMutex());
-  SitesLocked().clear();
+  AuditRegistry& registry = AuditRegistry::Instance();
+  MutexLock lock(&registry.mu);
+  registry.sites.clear();
 }
 
 std::vector<uint8_t> MaskAndSerialize(const Masked<RingVector>& masked) {

@@ -120,7 +120,7 @@ void ControlServer::Stop() {
   }
   std::vector<std::thread> conns;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     conns.swap(connections_);
   }
   for (auto& t : conns) {
@@ -135,7 +135,7 @@ void ControlServer::AcceptLoop() {
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(&conn_mu_);
     connections_.emplace_back([this, fd] { ServeConnection(fd); });
   }
 }

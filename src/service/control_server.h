@@ -24,13 +24,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "service/job_scheduler.h"
 #include "service/phase1_cache.h"
+#include "util/mutex.h"
 #include "util/status.h"
 
 namespace dash {
@@ -82,8 +82,8 @@ class ControlServer {
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> connections_;
+  Mutex conn_mu_{LockRank::kControlServerConns};
+  std::vector<std::thread> connections_ DASH_GUARDED_BY(conn_mu_);
 };
 
 }  // namespace dash

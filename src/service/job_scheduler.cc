@@ -50,7 +50,7 @@ Status JobScheduler::Submit(const JobSpec& spec) {
         "job_id must be in [1, " + std::to_string(kFrameMaxSessionId) +
         "] (it doubles as the transport session id)");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (stopping_) {
     ++stats_.rejected;
     return UnavailableError("scheduler is shutting down");
@@ -74,12 +74,12 @@ Status JobScheduler::Submit(const JobSpec& spec) {
   queue_.push_back(spec.job_id);
   ++stats_.submitted;
   stats_.queued = static_cast<int>(queue_.size());
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return Status::Ok();
 }
 
 Result<JobRecord> JobScheduler::Query(uint32_t job_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     return NotFoundError("no job " + std::to_string(job_id));
@@ -88,7 +88,7 @@ Result<JobRecord> JobScheduler::Query(uint32_t job_id) const {
 }
 
 Status JobScheduler::Cancel(uint32_t job_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = jobs_.find(job_id);
   if (it == jobs_.end()) {
     return NotFoundError("no job " + std::to_string(job_id));
@@ -131,13 +131,13 @@ Status JobScheduler::Cancel(uint32_t job_id) {
 }
 
 JobSchedulerStats JobScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 void JobScheduler::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!stopping_) {
       stopping_ = true;
       while (!queue_.empty()) {
@@ -154,8 +154,8 @@ void JobScheduler::Shutdown() {
         if (run.abort) run.abort(UnavailableError("daemon shutting down"));
       }
     }
-    work_cv_.notify_all();
-    watchdog_cv_.notify_all();
+    work_cv_.NotifyAll();
+    watchdog_cv_.NotifyAll();
   }
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
@@ -167,8 +167,8 @@ void JobScheduler::WorkerLoop() {
   for (;;) {
     uint32_t job_id = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.Wait(&mu_);
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -195,7 +195,7 @@ void JobScheduler::WorkerLoop() {
 void JobScheduler::RunJob(uint32_t job_id) {
   JobSpec spec;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     spec = jobs_.at(job_id).spec;
   }
 
@@ -207,7 +207,7 @@ void JobScheduler::RunJob(uint32_t job_id) {
   Result<ScanSession> session = factory_(spec);
   if (!session.ok()) {
     if (cache_ != nullptr) cache_->Put(spec.cohort_key, std::move(phase1));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto run = running_.find(job_id);
     const bool cancelled =
         run != running_.end() && run->second.cancel_requested;
@@ -222,7 +222,7 @@ void JobScheduler::RunJob(uint32_t job_id) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto run = running_.find(job_id);
     if (run != running_.end()) {
       run->second.abort = session.value().abort;
@@ -240,7 +240,7 @@ void JobScheduler::RunJob(uint32_t job_id) {
   if (cache_ != nullptr) cache_->Put(spec.cohort_key, std::move(phase1));
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto run = running_.find(job_id);
     bool cancelled = false;
     if (run != running_.end()) {
@@ -288,13 +288,16 @@ void JobScheduler::FinishLocked(uint32_t job_id, JobState state,
 
 void JobScheduler::WatchdogLoop() {
   for (;;) {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Own condition variable: sharing work_cv_ would let the watchdog
     // steal Submit's notify_one and leave a worker asleep with a job
     // queued (there is no later notify to recover it).
-    watchdog_cv_.wait_for(
-        lock, std::chrono::milliseconds(options_.watchdog_interval_ms),
-        [this] { return stopping_; });
+    const auto poll_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.watchdog_interval_ms);
+    while (!stopping_ && watchdog_cv_.WaitUntil(&mu_, poll_deadline) !=
+                             std::cv_status::timeout) {
+    }
     if (stopping_) return;
     for (auto& [id, run] : running_) {
       if (run.deadline_ms <= 0 || run.deadline_fired) continue;

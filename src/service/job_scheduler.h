@@ -27,19 +27,18 @@
 #ifndef DASH_SERVICE_JOB_SCHEDULER_H_
 #define DASH_SERVICE_JOB_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "service/job.h"
 #include "service/phase1_cache.h"
 #include "transport/transport.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -135,23 +134,27 @@ class JobScheduler {
   void WorkerLoop();
   void WatchdogLoop();
   void RunJob(uint32_t job_id);
-  // mu_ held. Moves a job to its terminal state and updates counters.
-  void FinishLocked(uint32_t job_id, JobState state, const Status& error);
+  // Moves a job to its terminal state and updates counters.
+  void FinishLocked(uint32_t job_id, JobState state, const Status& error)
+      DASH_REQUIRES(mu_);
 
   const SessionFactory factory_;
   const ScanFn scan_;
   Phase1Cache* const cache_;
   const JobSchedulerOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;      // workers: queue / stopping
-  std::condition_variable watchdog_cv_;  // watchdog only (see WatchdogLoop)
-  bool stopping_ = false;
-  std::map<uint32_t, JobRecord> jobs_;
-  std::map<uint32_t, Stopwatch> submit_times_;
-  std::deque<uint32_t> queue_;
-  std::map<uint32_t, RunningJob> running_;
-  JobSchedulerStats stats_;
+  // Rank kJobScheduler nests OUTSIDE kSessionMux: Cancel/Shutdown/the
+  // watchdog call a running job's abort hook (SessionMux::ChannelAbort
+  // takes the mux lock) while holding mu_.
+  mutable Mutex mu_{LockRank::kJobScheduler};
+  CondVar work_cv_;      // workers: queue / stopping
+  CondVar watchdog_cv_;  // watchdog only (see WatchdogLoop)
+  bool stopping_ DASH_GUARDED_BY(mu_) = false;
+  std::map<uint32_t, JobRecord> jobs_ DASH_GUARDED_BY(mu_);
+  std::map<uint32_t, Stopwatch> submit_times_ DASH_GUARDED_BY(mu_);
+  std::deque<uint32_t> queue_ DASH_GUARDED_BY(mu_);
+  std::map<uint32_t, RunningJob> running_ DASH_GUARDED_BY(mu_);
+  JobSchedulerStats stats_ DASH_GUARDED_BY(mu_);
 
   std::vector<std::thread> workers_;
   std::thread watchdog_;

@@ -8,7 +8,7 @@ Phase1Cache::Phase1Cache(size_t max_entries)
     : max_entries_(max_entries == 0 ? 1 : max_entries) {}
 
 Phase1State Phase1Cache::Take(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(key);
   if (it == entries_.end() || !it->second.state.valid) {
     ++stats_.take_misses;
@@ -29,7 +29,7 @@ Phase1State Phase1Cache::Take(const std::string& key) {
 
 void Phase1Cache::Put(const std::string& key, Phase1State state) {
   if (!state.valid) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.state = std::move(state);
@@ -51,7 +51,7 @@ void Phase1Cache::Put(const std::string& key, Phase1State state) {
 }
 
 void Phase1Cache::Invalidate(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return;
   lru_.erase(it->second.lru_pos);
@@ -61,7 +61,7 @@ void Phase1Cache::Invalidate(const std::string& key) {
 }
 
 void Phase1Cache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_.invalidations += static_cast<int64_t>(entries_.size());
   entries_.clear();
   lru_.clear();
@@ -69,7 +69,7 @@ void Phase1Cache::Clear() {
 }
 
 Phase1CacheStats Phase1Cache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

@@ -26,11 +26,11 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "transport/party_runner.h"
+#include "util/mutex.h"
 
 namespace dash {
 
@@ -67,8 +67,8 @@ class Phase1Cache {
   Phase1CacheStats stats() const;
 
  private:
-  // mu_ held. Moves `key` to the back of the recency list.
-  void TouchLocked(const std::string& key);
+  // Moves `key` to the back of the recency list.
+  void TouchLocked(const std::string& key) DASH_REQUIRES(mu_);
 
   struct Entry {
     Phase1State state;
@@ -76,10 +76,11 @@ class Phase1Cache {
   };
 
   const size_t max_entries_;
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = coldest
-  Phase1CacheStats stats_;
+  mutable Mutex mu_{LockRank::kPhase1Cache};
+  std::map<std::string, Entry> entries_ DASH_GUARDED_BY(mu_);
+  // front = coldest
+  std::list<std::string> lru_ DASH_GUARDED_BY(mu_);
+  Phase1CacheStats stats_ DASH_GUARDED_BY(mu_);
 };
 
 }  // namespace dash

@@ -23,7 +23,7 @@ SessionMux::SessionMux(Transport* inner, SessionMuxOptions options)
 
 SessionMux::~SessionMux() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
   pump_.join();
@@ -39,7 +39,7 @@ Result<std::unique_ptr<SessionChannel>> SessionMux::OpenSession(
         "session id must be in [1, " + std::to_string(kFrameMaxSessionId) +
         "]; 0 is the sessionless stream");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (stopping_) {
     return UnavailableError("session mux shut down");
   }
@@ -74,7 +74,7 @@ Result<std::unique_ptr<SessionChannel>> SessionMux::OpenSession(
 }
 
 Status SessionMux::LinkHealth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const Status& link : link_fail_) {
     if (!link.ok()) return link;
   }
@@ -82,7 +82,7 @@ Status SessionMux::LinkHealth() const {
 }
 
 SessionMuxStats SessionMux::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
@@ -95,7 +95,7 @@ void SessionMux::PumpLoop() {
     std::vector<SendOp*> ops;
     bool stop = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ops.swap(pending_sends_);
       stop = stopping_;
     }
@@ -103,10 +103,10 @@ void SessionMux::PumpLoop() {
       Status result = inner_->SendOnSession(
           op->msg.session, op->msg.from, op->msg.to, op->msg.tag,
           std::move(op->msg.payload));
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       op->result = std::move(result);
       op->done = true;
-      send_cv_.notify_all();
+      send_cv_.NotifyAll();
     }
     if (stop) break;
 
@@ -118,12 +118,12 @@ void SessionMux::PumpLoop() {
       while (true) {
         Result<Message> msg = inner_->TryReceiveAny(local_party_, peer);
         if (!msg.ok()) break;  // NotFound: nothing deliverable now
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         RouteLocked(std::move(msg).value());
       }
       Status link = inner_->LinkStatus(peer);
       if (!link.ok()) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         if (link_fail_[static_cast<size_t>(peer)].ok()) {
           link_fail_[static_cast<size_t>(peer)] = link;
           FailAllSessionsLocked(link);
@@ -138,14 +138,14 @@ void SessionMux::PumpLoop() {
   }
 
   // Shutdown: nothing may stay blocked on a thread that no longer runs.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const Status gone = UnavailableError("session mux shut down");
   for (SendOp* op : pending_sends_) {
     op->result = gone;
     op->done = true;
   }
   pending_sends_.clear();
-  send_cv_.notify_all();
+  send_cv_.NotifyAll();
   FailAllSessionsLocked(gone);
 }
 
@@ -185,26 +185,26 @@ void SessionMux::DeliverLocked(SessionState* session, Message msg) {
     if (session->fail.ok()) {
       session->fail = MakeAbortStatus(DecodeAbortPayload(msg.payload));
     }
-    session->cv.notify_all();
+    session->cv.NotifyAll();
     return;
   }
   session->inboxes[static_cast<size_t>(msg.from)].push_back(std::move(msg));
   stats_.routed_messages += 1;
-  session->cv.notify_all();
+  session->cv.NotifyAll();
 }
 
 void SessionMux::FailAllSessionsLocked(const Status& status) {
   for (auto& entry : sessions_) {
     SessionState* session = entry.second.get();
     if (session->fail.ok()) session->fail = status;
-    session->cv.notify_all();
+    session->cv.NotifyAll();
   }
 }
 
 Status SessionMux::ChannelSend(uint32_t session_id, Message msg) {
   SendOp op;
   op.msg = std::move(msg);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (stopping_) return UnavailableError("session mux shut down");
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) {
@@ -220,13 +220,13 @@ Status SessionMux::ChannelSend(uint32_t session_id, Message msg) {
   pending_sends_.push_back(&op);
   // The pump always completes every queued op (its own deadline bounds
   // a stuck send; shutdown fails the queue), so this wait terminates.
-  send_cv_.wait(lock, [&op] { return op.done; });
+  while (!op.done) send_cv_.Wait(&mu_);
   return op.result;
 }
 
 Result<Message> SessionMux::ChannelReceive(uint32_t session_id, int from,
                                            MessageTag expected_tag) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) {
     return FailedPreconditionError("session " + std::to_string(session_id) +
@@ -241,7 +241,7 @@ Result<Message> SessionMux::ChannelReceive(uint32_t session_id, int from,
     // A latched failure (peer abort, dead link, local poison) beats
     // waiting out the timeout — same rule as the TCP backend.
     if (!session->fail.ok()) return session->fail;
-    if (session->cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+    if (session->cv.WaitUntil(&mu_, deadline) == std::cv_status::timeout &&
         inbox.empty() && session->fail.ok()) {
       return DeadlineExceededError(
           "session " + std::to_string(session_id) + ": party " +
@@ -263,7 +263,7 @@ Result<Message> SessionMux::ChannelReceive(uint32_t session_id, int from,
 }
 
 bool SessionMux::ChannelHasPending(uint32_t session_id, int from) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return false;
   return !it->second->inboxes[static_cast<size_t>(from)].empty();
@@ -271,15 +271,15 @@ bool SessionMux::ChannelHasPending(uint32_t session_id, int from) {
 
 void SessionMux::ChannelAbort(uint32_t session_id, Status status) {
   DASH_CHECK(!status.ok());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return;
   if (it->second->fail.ok()) it->second->fail = std::move(status);
-  it->second->cv.notify_all();
+  it->second->cv.NotifyAll();
 }
 
 void SessionMux::CloseSession(uint32_t session_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sessions_.erase(session_id);
   stats_.open_sessions = static_cast<int>(sessions_.size());
 }

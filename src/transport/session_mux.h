@@ -48,16 +48,15 @@
 #ifndef DASH_TRANSPORT_SESSION_MUX_H_
 #define DASH_TRANSPORT_SESSION_MUX_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "transport/transport.h"
+#include "util/mutex.h"
 
 namespace dash {
 
@@ -119,6 +118,10 @@ class SessionMux {
  private:
   friend class SessionChannel;
 
+  // Every field of SessionState (and of SendOp once queued) is guarded
+  // by the owning mux's mu_; the annotation cannot be written on the
+  // nested struct (mu_ is not in its scope), so the discipline is
+  // carried by DASH_REQUIRES(mu_) on every method that touches one.
   struct SessionState {
     uint32_t id = 0;
     // inboxes[peer] = frames from that peer awaiting Receive.
@@ -126,7 +129,7 @@ class SessionMux {
     // First failure this session saw: a peer's kAbort, a dead link, a
     // local Abort() poison. Sticky.
     Status fail = Status::Ok();
-    std::condition_variable cv;
+    CondVar cv;
   };
 
   struct SendOp {
@@ -136,12 +139,12 @@ class SessionMux {
   };
 
   void PumpLoop();
-  // mu_ held. Routes one intake frame to its session / orphans / drops.
-  void RouteLocked(Message msg);
-  // mu_ held. Applies one frame to an open session (latches aborts).
-  void DeliverLocked(SessionState* session, Message msg);
-  // mu_ held. Poisons every open session with the link failure.
-  void FailAllSessionsLocked(const Status& status);
+  // Routes one intake frame to its session / orphans / drops.
+  void RouteLocked(Message msg) DASH_REQUIRES(mu_);
+  // Applies one frame to an open session (latches aborts).
+  void DeliverLocked(SessionState* session, Message msg) DASH_REQUIRES(mu_);
+  // Poisons every open session with the link failure.
+  void FailAllSessionsLocked(const Status& status) DASH_REQUIRES(mu_);
 
   // Channel-side entry points (any job thread).
   Status ChannelSend(uint32_t session_id, Message msg);
@@ -156,15 +159,17 @@ class SessionMux {
   int num_parties_;
   int local_party_;
 
-  mutable std::mutex mu_;
-  bool stopping_ = false;
-  std::map<uint32_t, std::unique_ptr<SessionState>> sessions_;
-  std::map<uint32_t, std::deque<Message>> orphans_;
-  size_t orphan_count_ = 0;
-  std::vector<SendOp*> pending_sends_;
-  std::condition_variable send_cv_;
-  std::vector<Status> link_fail_;  // per peer; Ok while healthy
-  SessionMuxStats stats_;
+  mutable Mutex mu_{LockRank::kSessionMux};
+  bool stopping_ DASH_GUARDED_BY(mu_) = false;
+  std::map<uint32_t, std::unique_ptr<SessionState>> sessions_
+      DASH_GUARDED_BY(mu_);
+  std::map<uint32_t, std::deque<Message>> orphans_ DASH_GUARDED_BY(mu_);
+  size_t orphan_count_ DASH_GUARDED_BY(mu_) = 0;
+  std::vector<SendOp*> pending_sends_ DASH_GUARDED_BY(mu_);
+  CondVar send_cv_;
+  // Per peer; Ok while healthy.
+  std::vector<Status> link_fail_ DASH_GUARDED_BY(mu_);
+  SessionMuxStats stats_ DASH_GUARDED_BY(mu_);
 
   std::thread pump_;
 };

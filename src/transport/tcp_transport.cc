@@ -452,7 +452,7 @@ Status TcpTransport::SendOnSession(uint32_t session, int from, int to,
     DASH_RETURN_IF_ERROR(Pump(10));
   }
 
-  RecordSendLocked(msg, frame.size());
+  RecordWireSend(msg, frame.size());
   return Status::Ok();
 }
 
@@ -605,7 +605,7 @@ void TcpTransport::ReadAvailable(int party) {
     break;
   }
   if (received > 0) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     wire_stats_.bytes_received += received;
   }
   // Parse whatever arrived BEFORE the failure so complete frames ahead
@@ -660,7 +660,7 @@ Status TcpTransport::ParseFrames(int party) {
     msg.tag = static_cast<MessageTag>(header.tag);
     msg.payload = std::move(payload);
     peer.inbox.push_back(std::move(msg));
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(&stats_mutex_);
     wire_stats_.frames_received += 1;
   }
   if (peer.rx_consumed == peer.rx.size()) {
@@ -703,15 +703,15 @@ void TcpTransport::ScanForAborts() {
   }
 }
 
-void TcpTransport::RecordSendLocked(const Message& msg, size_t frame_bytes) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+void TcpTransport::RecordWireSend(const Message& msg, size_t frame_bytes) {
+  MutexLock lock(&stats_mutex_);
   RecordSend(msg);
   wire_stats_.bytes_sent += static_cast<int64_t>(frame_bytes);
   wire_stats_.frames_sent += 1;
 }
 
 TcpWireStats TcpTransport::wire_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(&stats_mutex_);
   return wire_stats_;
 }
 

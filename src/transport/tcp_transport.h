@@ -53,11 +53,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "transport/cluster_config.h"
 #include "transport/transport.h"
+#include "util/mutex.h"
 
 namespace dash {
 
@@ -149,8 +149,8 @@ class TcpTransport : public Transport {
   // propagated here, so one broken link cannot fail another link's
   // Receive.
   Status Pump(int timeout_ms);
-  void ReadAvailable(int peer);
-  Status ParseFrames(int peer);
+  void ReadAvailable(int peer) DASH_EXCLUDES(stats_mutex_);
+  Status ParseFrames(int peer) DASH_EXCLUDES(stats_mutex_);
 
   // Latches the first kAbort found in any inbox into abort_status_.
   void ScanForAborts();
@@ -163,7 +163,11 @@ class TcpTransport : public Transport {
   // survivor reports the same code — else return `local` unchanged.
   Status PreferAbort(Status local);
 
-  void RecordSendLocked(const Message& msg, size_t frame_bytes);
+  // Records one outbound frame in both the logical TrafficMetrics and
+  // the physical wire counters; takes stats_mutex_ itself (callers on
+  // the protocol thread hold no lock here).
+  void RecordWireSend(const Message& msg, size_t frame_bytes)
+      DASH_EXCLUDES(stats_mutex_);
   void CloseAll();
 
   ClusterConfig cluster_;
@@ -173,8 +177,11 @@ class TcpTransport : public Transport {
   std::vector<Peer> peers_;  // index == party id; slot local_party_ unused
   Status abort_status_ = Status::Ok();  // first peer abort, transport-wide
 
-  mutable std::mutex stats_mutex_;  // guards metrics() + wire_stats_
-  TcpWireStats wire_stats_;
+  // Guards the wire counters (and serializes TrafficMetrics snapshots
+  // against the protocol thread) for the one supported cross-thread
+  // reader: a monitor thread polling metrics()/wire_stats().
+  mutable Mutex stats_mutex_{LockRank::kTransportStats};
+  TcpWireStats wire_stats_ DASH_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace dash

@@ -1,0 +1,128 @@
+// Annotated mutex / scoped lock / condition variable wrappers
+// (DESIGN.md §14).
+//
+// std::mutex is invisible to clang's thread-safety analysis, so every
+// lock in the tree outside this directory is a dash::Mutex (DL007).
+// The wrappers add exactly two things over the std types:
+//
+//  * the DASH_CAPABILITY / DASH_ACQUIRE / DASH_RELEASE annotations the
+//    static analysis needs to prove guarded fields are touched under
+//    their lock; and
+//  * a mandatory LockRank (util/lock_rank.h) checked at acquire time in
+//    debug builds, which catches cross-class lock-order inversions the
+//    static analysis cannot see.
+//
+// CondVar deliberately has NO predicate overloads: the analysis cannot
+// look through a predicate lambda (it would flag the guarded reads
+// inside it as unlocked), so waits are written as explicit
+// `while (!condition) cv.Wait(&mu);` loops, which it reads natively.
+// The std wait-loop semantics are unchanged — Wait atomically releases
+// the mutex, sleeps, and reacquires before returning, so the condition
+// re-check always runs under the lock.
+
+#ifndef DASH_UTIL_MUTEX_H_
+#define DASH_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
+
+namespace dash {
+
+class CondVar;
+
+class DASH_CAPABILITY("mutex") Mutex {
+ public:
+  // Every mutex declares its place in the global acquisition order;
+  // there is intentionally no default. See util/lock_rank.h.
+  explicit Mutex(LockRank rank) : rank_(rank) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DASH_ACQUIRE() {
+    lock_rank_internal::NoteAcquire(rank_);
+    raw_.lock();
+  }
+
+  void Unlock() DASH_RELEASE() {
+    raw_.unlock();
+    lock_rank_internal::NoteRelease(rank_);
+  }
+
+  LockRank rank() const { return rank_; }
+
+ private:
+  friend class CondVar;
+  std::mutex raw_;
+  const LockRank rank_;
+};
+
+// RAII holder; the only way the rest of the tree takes a Mutex (scoped
+// release keeps the rank stack LIFO and the analysis's lock sets exact).
+class DASH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DASH_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() DASH_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// Condition variable bound to a dash::Mutex at each wait. All waits
+// require the mutex held (DASH_REQUIRES) and return with it held; the
+// held-rank stack is left untouched across the internal release/
+// reacquire because the sleeping thread cannot acquire anything else
+// meanwhile.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) DASH_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->raw_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex* mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      DASH_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->raw_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status;
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      Mutex* mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      DASH_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->raw_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  // Like the std types, notification does not require the mutex; the
+  // waiter's predicate re-check under the lock is what makes the
+  // pattern race-free (see DESIGN.md §14 on notify-outside-lock).
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dash
+
+#endif  // DASH_UTIL_MUTEX_H_

@@ -1,0 +1,76 @@
+// Clang Thread Safety Analysis attribute macros (DESIGN.md §14).
+//
+// The analysis (-Wthread-safety -Wthread-safety-beta, promoted to
+// errors in clang builds) proves at compile time that every access to a
+// DASH_GUARDED_BY field happens with its mutex held and that every
+// DASH_REQUIRES method is only called under the right lock. std::mutex
+// and friends are invisible to it, so all lockable state goes through
+// the annotated wrappers in util/mutex.h — DL007 enforces that outside
+// src/util/.
+//
+// Under gcc (which has no thread-safety analysis) every macro expands
+// to nothing; the runtime lock-rank checker (util/lock_rank.h) still
+// runs there, so debug builds on either compiler catch lock-order
+// inversions dynamically even where the static analysis is unavailable.
+
+#ifndef DASH_UTIL_THREAD_ANNOTATIONS_H_
+#define DASH_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define DASH_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DASH_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+// On the lockable class itself: declares it a capability the analysis
+// tracks ("mutex" is the diagnostic noun clang prints).
+#define DASH_CAPABILITY(x) DASH_THREAD_ANNOTATION_(capability(x))
+
+// On an RAII lock holder: acquisition in the constructor, release in
+// the destructor (util/mutex.h MutexLock).
+#define DASH_SCOPED_CAPABILITY DASH_THREAD_ANNOTATION_(scoped_lockable)
+
+// On a data member: reads and writes require holding the named mutex
+// (constructors and destructors are exempt — no concurrent access can
+// exist there).
+#define DASH_GUARDED_BY(x) DASH_THREAD_ANNOTATION_(guarded_by(x))
+
+// On a pointer member: the POINTED-TO data is guarded, the pointer
+// itself is not.
+#define DASH_PT_GUARDED_BY(x) DASH_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// On a function: callers must already hold the named mutex(es). This is
+// the contract of every private *Locked helper.
+#define DASH_REQUIRES(...) \
+  DASH_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+// On a function: acquires / releases the named mutex(es) (or, with no
+// argument on a capability's own methods, `this`).
+#define DASH_ACQUIRE(...) \
+  DASH_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define DASH_RELEASE(...) \
+  DASH_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define DASH_TRY_ACQUIRE(...) \
+  DASH_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// On a function: callers must NOT hold the named mutex(es) — the
+// function acquires them itself and would self-deadlock otherwise.
+#define DASH_EXCLUDES(...) DASH_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// On a function returning a reference to a capability.
+#define DASH_RETURN_CAPABILITY(x) DASH_THREAD_ANNOTATION_(lock_returned(x))
+
+// Opts one function out of the analysis. The reason string is
+// MANDATORY (enforced by the string concatenation below under clang and
+// by DL007 everywhere): every opt-out must say why the analysis cannot
+// see the pattern — e.g. lock ownership handed across threads, or the
+// adopt/release dance inside CondVar. "it warned" is not a reason.
+#if defined(__clang__)
+#define DASH_NO_THREAD_SAFETY_ANALYSIS(reason)              \
+  __attribute__((no_thread_safety_analysis))                \
+  __attribute__((annotate("dash-no-tsa: " reason)))
+#else
+#define DASH_NO_THREAD_SAFETY_ANALYSIS(reason)
+#endif
+
+#endif  // DASH_UTIL_THREAD_ANNOTATIONS_H_

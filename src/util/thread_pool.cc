@@ -23,10 +23,14 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  // Notify outside the lock: every waiter re-checks shutdown_ under mu_
+  // after waking, so there is no lost wakeup, and the woken workers can
+  // take mu_ immediately instead of bouncing off the notifier
+  // (DESIGN.md §14).
+  work_cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -39,8 +43,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(&mu_);
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -50,8 +54,8 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) done_cv_.notify_all();
+      MutexLock lock(&mu_);
+      if (--in_flight_ == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -64,11 +68,11 @@ void ThreadPool::Schedule(std::function<void()> fn) {
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push(std::move(fn));
     ++in_flight_;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
@@ -76,8 +80,8 @@ void ThreadPool::Wait() {
       << "ThreadPool::Wait() called from one of the pool's own workers; "
          "the caller's task is still in flight, so this would deadlock. "
          "Restructure so only the owning thread joins scheduled work.";
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) done_cv_.Wait(&mu_);
 }
 
 void ThreadPool::ParallelFor(int64_t begin, int64_t end,

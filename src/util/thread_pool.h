@@ -28,13 +28,13 @@
 #ifndef DASH_UTIL_THREAD_POOL_H_
 #define DASH_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace dash {
 
@@ -91,12 +91,12 @@ class ThreadPool {
 
   int num_threads_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::queue<std::function<void()>> queue_;
-  int64_t in_flight_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_{LockRank::kThreadPool};
+  CondVar work_cv_;
+  CondVar done_cv_;
+  std::queue<std::function<void()>> queue_ DASH_GUARDED_BY(mu_);
+  int64_t in_flight_ DASH_GUARDED_BY(mu_) = 0;
+  bool shutdown_ DASH_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dash

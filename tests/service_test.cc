@@ -6,10 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -21,6 +19,7 @@
 #include "service/phase1_cache.h"
 #include "transport/frame.h"
 #include "transport/transport.h"
+#include "util/mutex.h"
 
 namespace dash {
 namespace {
@@ -104,26 +103,26 @@ class FakeTransport : public Transport {
 // Lets a test hold a "scan" mid-flight until the scheduler aborts it
 // (deadline, cancel) or the test releases it.
 struct JobGate {
-  std::mutex mu;
-  std::condition_variable cv;
-  Status abort_status = Status::Ok();
-  bool released = false;
+  Mutex mu{LockRank::kLeaf};
+  CondVar cv;
+  Status abort_status DASH_GUARDED_BY(mu) = Status::Ok();
+  bool released DASH_GUARDED_BY(mu) = false;
 
   void Abort(const Status& status) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     abort_status = status;
-    cv.notify_all();
+    cv.NotifyAll();
   }
   void Release() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     released = true;
-    cv.notify_all();
+    cv.NotifyAll();
   }
   // Blocks like a scan blocked on its transport; returns the abort
   // status (or Ok when released normally).
   Status Wait() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return released || !abort_status.ok(); });
+    MutexLock lock(&mu);
+    while (!released && abort_status.ok()) cv.Wait(&mu);
     return abort_status;
   }
 };
@@ -278,12 +277,12 @@ TEST(JobSchedulerTest, CacheStateFlowsThroughRepeatJobs) {
   Phase1Cache cache(4);
   // The scan marks the state valid; a repeat job on the cohort must see
   // the previous job's state.
-  std::mutex mu;
+  Mutex mu(LockRank::kLeaf);
   std::vector<bool> seen_valid;
   const ScanFn scan = [&](Transport*, const JobSpec&,
                           Phase1State* phase1) -> Result<SecureScanOutput> {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       seen_valid.push_back(phase1->valid);
     }
     phase1->valid = true;
@@ -302,11 +301,13 @@ TEST(JobSchedulerTest, CacheStateFlowsThroughRepeatJobs) {
   ASSERT_TRUE(scheduler.Submit(Spec(2, "cohort")).ok());
   EXPECT_EQ(WaitSettled(&scheduler, 2).state, JobState::kDone);
 
-  std::lock_guard<std::mutex> lock(mu);
+  // Query the cache before taking mu: kPhase1Cache (30) may not be
+  // acquired while a kLeaf (90) lock is held (util/lock_rank.h).
+  EXPECT_EQ(cache.stats().take_hits, 1);
+  MutexLock lock(&mu);
   ASSERT_EQ(seen_valid.size(), 2u);
   EXPECT_FALSE(seen_valid[0]);  // first job: cold cache
   EXPECT_TRUE(seen_valid[1]);   // repeat job: previous state checked in
-  EXPECT_EQ(cache.stats().take_hits, 1);
 }
 
 // ---------------------------------------------------------------------

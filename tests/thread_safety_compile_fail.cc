@@ -1,0 +1,43 @@
+// Negative compile test for the thread-safety annotations (DESIGN.md
+// §14): reading a DASH_GUARDED_BY field without holding its mutex must
+// NOT compile under clang's -Werror=thread-safety-analysis. Registered
+// WILL_FAIL in tests/CMakeLists.txt; the _control variant defines
+// DASH_TS_CONTROL, takes the lock properly, and must compile — proving
+// the failure is the analysis and not an unrelated syntax error.
+//
+// gcc has no thread-safety analysis, so the annotations expand to
+// nothing there. The #error below keeps the WILL_FAIL expectation
+// honest on gcc builds: the test still fails to compile, just for a
+// stated reason instead of a silent pass.
+
+#include "util/mutex.h"
+
+#if !defined(__clang__) && !defined(DASH_TS_CONTROL)
+#error "gcc cannot run thread-safety analysis; failing deliberately so \
+the WILL_FAIL expectation holds on non-clang builds"
+#endif
+
+namespace dash {
+namespace {
+
+class Counter {
+ public:
+  int Read() {
+#ifdef DASH_TS_CONTROL
+    MutexLock lock(&mu_);
+#endif
+    return count_;  // unguarded read: clang rejects this line
+  }
+
+ private:
+  Mutex mu_{LockRank::kLeaf};
+  int count_ DASH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+}  // namespace dash
+
+int main() {
+  dash::Counter counter;
+  return counter.Read();
+}

@@ -4,9 +4,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace dash {
 namespace {
@@ -14,12 +15,12 @@ namespace {
 // Records every chunk a ParallelFor hands out and verifies the chunks
 // tile [begin, end) exactly once.
 struct ChunkRecorder {
-  std::mutex mu;
-  std::vector<std::pair<int64_t, int64_t>> chunks;
+  Mutex mu{LockRank::kLeaf};
+  std::vector<std::pair<int64_t, int64_t>> chunks DASH_GUARDED_BY(mu);
 
   std::function<void(int64_t, int64_t)> Fn() {
     return [this](int64_t lo, int64_t hi) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       chunks.emplace_back(lo, hi);
     };
   }

@@ -54,6 +54,24 @@ Rules (each has a stable ID used in messages and suppressions):
       `std::random_device` (unseedable, unauditable entropy), and
       unseeded `std::mt19937` are forbidden.
 
+  DL007 concurrency discipline (DESIGN.md §14)
+      Clang's thread-safety analysis and the lock-rank checker only see
+      locks that go through the annotated wrappers in util/mutex.h, so:
+      (a) bare std sync primitives (std::mutex, std::lock_guard,
+          std::unique_lock, std::scoped_lock, std::condition_variable,
+          ...) are forbidden outside src/util/ — use dash::Mutex /
+          MutexLock / CondVar;
+      (b) every dash::Mutex member/variable must be constructed with a
+          LockRank (util/lock_rank.h keeps the global total order);
+      (c) in src/ classes that hold a ranked Mutex, later data members
+          with the trailing-underscore naming (the guarded-looking
+          ones) must carry DASH_GUARDED_BY(...) — declare genuinely
+          unguarded members BEFORE the mutex, or annotate why not
+          (atomics, threads, and the sync primitives themselves are
+          exempt);
+      (d) DASH_NO_THREAD_SAFETY_ANALYSIS requires a non-empty reason
+          string — an opt-out that cannot say why is a bug magnet.
+
 Usage:
   tools/dash_lint.py                 # lint the tree, exit 0/1
   tools/dash_lint.py FILE...         # lint specific files
@@ -137,6 +155,32 @@ RANDOM_PATTERNS = [
     (re.compile(r"\bstd::mt19937(?:_64)?\s+\w+\s*(?:;|\{\s*\}|\(\s*\))"),
      "unseeded std::mt19937 default-constructs a fixed, documented state"),
 ]
+
+# DL007(a): std sync primitives that bypass util/mutex.h.
+STD_SYNC_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+# DL007(b): a dash::Mutex declaration (member or local; the missing
+# space in MutexLock keeps RAII holders out of this).
+MUTEX_DECL_RE = re.compile(
+    r"(?:^|[\s(])(?:mutable\s+)?(?:dash::)?Mutex\s+\w+\s*[;{(=]")
+# DL007(c): arming declaration — a ranked Mutex member.
+MUTEX_ARM_RE = re.compile(
+    r"(?:^|\s)(?:mutable\s+)?(?:dash::)?Mutex\s+(\w+)\s*[{(]\s*LockRank::")
+# DL007(c): a plain data-member declaration with the trailing-underscore
+# naming, no parentheses anywhere (so function declarations never match).
+GUARDED_LOOKING_RE = re.compile(
+    r"^(?:mutable\s+)?[\w:<>,&\*\s]+?\s(\w+_)\s*"
+    r"(?:=\s*[\w:.\->]+\s*|\{[^()]*\}\s*)?;$")
+# Types/specifiers that legitimately sit unannotated after a mutex.
+GUARD_EXEMPT_TOKENS = ("DASH_GUARDED_BY", "DASH_PT_GUARDED_BY",
+                       "std::atomic", "std::thread", "CondVar", "Mutex",
+                       "static ", "constexpr ", "friend ", "using ")
+# DL007(d): the opt-out attribute and its mandatory reason string.
+NO_TSA_RE = re.compile(r"DASH_NO_THREAD_SAFETY_ANALYSIS\s*\(")
+NO_TSA_REASON_RE = re.compile(
+    r'DASH_NO_THREAD_SAFETY_ANALYSIS\s*\(\s*"[^"]')
 
 MEMCPY_RE = re.compile(r"\b(?:std::)?memcpy\s*\(")
 # The sanctioned scalar bit-cast idiom (pre-C++20 std::bit_cast):
@@ -249,6 +293,10 @@ class Linter:
                 relpath = m.group(1)
                 break
         stmt_prefix = ""
+        # DL007(c) state: the name of the ranked dash::Mutex member seen
+        # in the class currently being scanned, cleared at its `};`.
+        armed_mutex = None
+        in_util = relpath.startswith("src/util/")
         for i, raw in enumerate(lines, start=1):
             line = raw.rstrip()
             code = strip_comment(line)
@@ -317,6 +365,57 @@ class Linter:
                 self.report(path, i, "DL004",
                             'relative "../" include; use a path rooted '
                             "at src/")
+
+            # DL007(a) — bare std sync primitives outside src/util/.
+            if (not in_util and STD_SYNC_RE.search(code)
+                    and not line_disables(line, "DL007")):
+                self.report(
+                    path, i, "DL007",
+                    f"bare {STD_SYNC_RE.search(code).group(0)} is invisible "
+                    "to thread-safety analysis and the lock-rank checker; "
+                    "use dash::Mutex / MutexLock / CondVar (util/mutex.h)")
+
+            # DL007(d) — the analysis opt-out must carry a reason. The
+            # reason may wrap to the next line, so peek one line ahead.
+            if (not in_util and NO_TSA_RE.search(code)
+                    and not code.lstrip().startswith("#")
+                    and not line_disables(line, "DL007")):
+                window = code + " " + (lines[i] if i < len(lines) else "")
+                if not NO_TSA_REASON_RE.search(window):
+                    self.report(
+                        path, i, "DL007",
+                        "DASH_NO_THREAD_SAFETY_ANALYSIS needs a non-empty "
+                        "reason string explaining why the analysis cannot "
+                        "see this pattern")
+
+            # DL007(b,c) — evaluated on whole statements so annotations
+            # and initializers on continuation lines are seen.
+            if (not in_util and code.strip().endswith(";")
+                    and not line_disables(line, "DL007")):
+                stmt = (stmt_prefix + " " + code.strip()).strip()
+                arm = MUTEX_ARM_RE.search(stmt)
+                if arm:
+                    armed_mutex = arm.group(1)
+                elif MUTEX_DECL_RE.search(stmt) \
+                        and "LockRank::" not in stmt:
+                    self.report(
+                        path, i, "DL007",
+                        "dash::Mutex must be constructed with a LockRank "
+                        "(util/lock_rank.h keeps the global lock order "
+                        "total)")
+                elif (armed_mutex is not None
+                      and relpath.startswith("src/")
+                      and not any(t in stmt for t in GUARD_EXEMPT_TOKENS)):
+                    member = GUARDED_LOOKING_RE.match(stmt)
+                    if member:
+                        self.report(
+                            path, i, "DL007",
+                            f"member {member.group(1)} follows ranked "
+                            f"mutex {armed_mutex} but has no "
+                            "DASH_GUARDED_BY(...); annotate it or declare "
+                            "genuinely unguarded members before the mutex")
+            if code.strip() == "};":
+                armed_mutex = None
 
             stripped = code.strip()
             if not stripped or stripped.endswith((";", "{", "}")):

@@ -1,0 +1,20 @@
+// dash-lint-fixture-as: src/service/fixture_norank.h
+//
+// DL007(b): a dash::Mutex constructed without a LockRank breaks the
+// global lock order (util/lock_rank.h) that the runtime checker
+// enforces.
+// EXPECT-LINT: DL007@15
+
+#ifndef DASH_SERVICE_FIXTURE_NORANK_H_
+#define DASH_SERVICE_FIXTURE_NORANK_H_
+
+namespace dash {
+
+class NoRank {
+ private:
+  Mutex mu_;
+};
+
+}  // namespace dash
+
+#endif  // DASH_SERVICE_FIXTURE_NORANK_H_

@@ -1,0 +1,18 @@
+// dash-lint-fixture-as: src/service/fixture_notsa.cc
+//
+// DL007(d): DASH_NO_THREAD_SAFETY_ANALYSIS must state a non-empty
+// reason; an unexplained opt-out is indistinguishable from a race.
+// EXPECT-LINT: DL007@12
+// EXPECT-LINT: DL007@13
+
+namespace dash {
+
+class NoReason {
+ public:
+  void Sneaky() DASH_NO_THREAD_SAFETY_ANALYSIS() {}
+  void Empty() DASH_NO_THREAD_SAFETY_ANALYSIS("") {}
+  void Fine() DASH_NO_THREAD_SAFETY_ANALYSIS(
+      "lock handed across threads by the session pump") {}
+};
+
+}  // namespace dash

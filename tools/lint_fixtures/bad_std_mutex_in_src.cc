@@ -1,0 +1,24 @@
+// dash-lint-fixture-as: src/service/fixture_std_mutex.cc
+//
+// DL007(a): bare std synchronization primitives outside src/util/ are
+// invisible to thread-safety analysis and the lock-rank checker.
+// EXPECT-LINT: DL007@14
+// EXPECT-LINT: DL007@19
+// EXPECT-LINT: DL007@20
+
+namespace dash {
+
+class BadCounter {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
+}  // namespace dash

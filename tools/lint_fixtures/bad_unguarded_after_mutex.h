@@ -1,0 +1,23 @@
+// dash-lint-fixture-as: src/service/fixture_unguarded.h
+//
+// DL007(c): a guarded-looking member declared after a ranked mutex
+// must carry DASH_GUARDED_BY(...) or be declared before the mutex.
+// EXPECT-LINT: DL007@16
+
+#ifndef DASH_SERVICE_FIXTURE_UNGUARDED_H_
+#define DASH_SERVICE_FIXTURE_UNGUARDED_H_
+
+namespace dash {
+
+class Unguarded {
+ private:
+  Mutex mu_{LockRank::kLeaf};
+  CondVar cv_;
+  int counter_ = 0;
+  int annotated_ DASH_GUARDED_BY(mu_) = 0;
+  std::thread worker_;
+};
+
+}  // namespace dash
+
+#endif  // DASH_SERVICE_FIXTURE_UNGUARDED_H_

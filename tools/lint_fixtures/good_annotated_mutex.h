@@ -1,0 +1,30 @@
+// dash-lint-fixture-as: src/service/fixture_good_mutex.h
+//
+// Positive control for DL007: a ranked mutex with properly annotated
+// guarded state, exempt members (atomics, threads, sync primitives),
+// and genuinely unguarded members declared before the mutex.
+// No findings expected.
+
+#ifndef DASH_SERVICE_FIXTURE_GOOD_MUTEX_H_
+#define DASH_SERVICE_FIXTURE_GOOD_MUTEX_H_
+
+namespace dash {
+
+class GoodMutex {
+ public:
+  void Touch();
+
+ private:
+  void DrainLocked() DASH_REQUIRES(mu_);
+
+  int unguarded_before_ = 0;
+  Mutex mu_{LockRank::kLeaf};
+  CondVar cv_;
+  int counter_ DASH_GUARDED_BY(mu_) = 0;
+  std::atomic<int> peeks_{0};
+  std::thread worker_;
+};
+
+}  // namespace dash
+
+#endif  // DASH_SERVICE_FIXTURE_GOOD_MUTEX_H_
