@@ -22,10 +22,21 @@
 // for bench/compare_bench.py; the JSON carries an `isas` list so the
 // gate can skip (not fail) ISA entries a smaller runner cannot produce.
 //
+// --stream (with --kernel-bench) adds the out-of-core path: the
+// genotype draw is written to a temporary DASHPACK study and streamed
+// back through the checkpointed panel loop (core/streaming_stats.h) in
+// both read modes — `stream_file/genotype` (chunked pread) and
+// `stream_mmap/genotype` (one mmap). Both checksums are asserted equal
+// to the scalar kernel's, extending the bit-identity smoke across the
+// disk round trip. compare_bench.py treats `stream_*` as I/O-bound
+// info rows: reported, checksum-compared, never speed-gated.
+//
 // Usage:
 //   bench_plaintext_speed                      # E2 ratio series
-//   bench_plaintext_speed --kernel-bench
+//   bench_plaintext_speed --kernel-bench [--stream]
 //     [--n 100000] [--m 10000] [--k 10] [--reps 1] [--json BENCH_scan.json]
+
+#include <unistd.h>
 
 #include <cinttypes>
 #include <cstdio>
@@ -38,8 +49,10 @@
 #include "core/association_scan.h"
 #include "core/kernels/stats_kernels.h"
 #include "core/secure_scan.h"
+#include "core/streaming_stats.h"
 #include "core/suff_stats.h"
 #include "data/genotype_generator.h"
+#include "data/panel_stream.h"
 #include "data/workloads.h"
 #include "linalg/packed_matrix.h"
 #include "util/stopwatch.h"
@@ -144,6 +157,7 @@ struct KernelArgs {
   int64_t m = 10000;
   int64_t k = 10;
   int reps = 1;
+  bool stream = false;
   std::string json_path;
 };
 
@@ -277,6 +291,45 @@ void BenchPacked(const KernelArgs& a, const Matrix& x_geno, const Vector& y,
   std::printf("\n");
 }
 
+// Round-trips the genotype draw through a temporary DASHPACK study and
+// times the out-of-core panel loop in both read modes. The interesting
+// assertion is not the wall time (I/O-bound; compare_bench.py reports
+// `stream_*` rows as info only) but the checksum: streamed-from-disk
+// must equal the in-memory scalar kernel bit for bit.
+void BenchStream(const KernelArgs& a, const Matrix& x_geno, const Vector& y,
+                 const Matrix& q, uint64_t scalar_sum,
+                 std::vector<dash_bench::BenchEntry>* entries) {
+  const PackedGenotypeMatrix packed = PackedGenotypeMatrix::FromDense(x_geno);
+  const std::string path =
+      "/tmp/dash_bench_stream_" + std::to_string(getpid()) + ".dpk";
+  const Status written = WritePackedStudy(path, packed, y, q, /*tag=*/0xbe9c5);
+  DASH_CHECK(written.ok()) << written;
+  std::printf("-- genotype, out-of-core DASHPACK stream --\n");
+  const struct {
+    const char* name;
+    StudyReadMode mode;
+  } kModes[] = {{"stream_file", StudyReadMode::kChunked},
+                {"stream_mmap", StudyReadMode::kMmap}};
+  for (const auto& m : kModes) {
+    uint64_t stream_sum = 0;
+    // Open inside the timed region: the reader's header/factor load is
+    // part of what an out-of-core scan pays per study.
+    const double stream_s = TimeBest(a.reps, &stream_sum, [&] {
+      auto reader = PackedStudyReader::Open(path, m.mode);
+      DASH_CHECK(reader.ok()) << reader.status();
+      const auto r = ComputeLocalStatsStreamed(reader.value().get(), y, q);
+      DASH_CHECK(r.ok()) << r.status();
+      return WireChecksum(r.value().flat);
+    });
+    AddEntry(entries, a, std::string(m.name) + "/genotype", stream_s,
+             stream_sum);
+    DASH_CHECK(scalar_sum == stream_sum)
+        << m.name << " streamed result diverged from scalar";
+  }
+  std::remove(path.c_str());
+  std::printf("\n");
+}
+
 int RunKernelBench(const KernelArgs& a) {
 #ifndef __OPTIMIZE__
   std::printf(
@@ -329,6 +382,10 @@ int RunKernelBench(const KernelArgs& a) {
   std::printf("  speedup sparse packed/scalar: %.2fx\n\n",
               sp_scalar_s / sp_packed_s);
 
+  if (a.stream) {
+    BenchStream(a, x_geno, y, q, geno_scalar_sum, &entries);
+  }
+
   if (!a.json_path.empty()) {
     std::vector<std::string> isa_names;
     for (const kernels::StatsIsa isa : kernels::AvailableStatsIsas()) {
@@ -357,6 +414,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--kernel-bench") {
       kernel_bench = true;
+    } else if (arg == "--stream") {
+      args.stream = true;
     } else if (arg == "--n") {
       next_i64(&args.n);
     } else if (arg == "--m") {

@@ -23,7 +23,14 @@ the 100k x 10k reference and the 20k x 2k CI smoke). The dense and
 repack entries are printed for information but never fail this gate:
 they are memory-geometry-bound, and their speedup over scalar legit-
 imately swings with the working-set size (blocked/gaussian measures
-1.4x at 8 GB and 0.9x at 320 MB on the same machine). A gated kernel
+1.4x at 8 GB and 0.9x at 320 MB on the same machine). The out-of-core
+`stream_*` entries (bench --stream: the checkpointed panel loop fed
+from a DASHPACK file) are a third family: I/O-BOUND. Their wall time
+is dominated by the page cache, the filesystem, and whatever else the
+runner is doing to the disk, so they are info rows under BOTH gates —
+never a wall-time regression, never a speedup regression. Their
+checksums ARE still enforced: streamed results must stay bit-identical
+to the in-memory kernels whatever the disk does. A gated kernel
 fails when its candidate speedup falls below baseline_speedup /
 max-regression. Checksums are still compared whenever shapes match.
 
@@ -115,6 +122,15 @@ def shape_stable(name):
     return name.split("/", 1)[0].startswith("packed")
 
 
+def io_bound(name):
+    """True for the out-of-core `stream_*` entries (stream_file,
+    stream_mmap, stream_resume, ...). Their wall time measures the
+    disk and the page cache, not the kernels, so neither the raw
+    wall-time gate nor --gate-speedup may fail on them — info rows
+    only. Checksums are still enforced elsewhere."""
+    return name.split("/", 1)[0].startswith("stream")
+
+
 def gate_speedups(base, cand, names, max_regression, cand_isas):
     """Machine-normalized regression gate; returns a list of failures."""
     failures = []
@@ -134,6 +150,10 @@ def gate_speedups(base, cand, names, max_regression, cand_isas):
             continue
         base_speedup = base[ref]["ns"] / base[name]["ns"]
         cand_speedup = cand[ref]["ns"] / cand[name]["ns"]
+        if io_bound(name):
+            print("%-28s %9.2fx %9.2fx  info (I/O-bound; not gated)"
+                  % (name, base_speedup, cand_speedup))
+            continue
         if not shape_stable(name):
             print("%-28s %9.2fx %9.2fx  info (memory-bound; not gated)"
                   % (name, base_speedup, cand_speedup))
@@ -196,8 +216,12 @@ def main():
             check = "shape-differs"
         flag = ""
         if not args.gate_speedup and ratio > args.max_regression:
-            flag = "  <-- regression"
-            failures.append("%s: %.2fx slower than baseline" % (name, ratio))
+            if io_bound(name):
+                flag = "  (slower, but I/O-bound; info only)"
+            else:
+                flag = "  <-- regression"
+                failures.append("%s: %.2fx slower than baseline"
+                                % (name, ratio))
         print("%-28s %10s %10s %7.2fx  %s%s"
               % (name, fmt_ns(b["ns"]), fmt_ns(c["ns"]), ratio, check, flag))
 

@@ -15,11 +15,14 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/secure_scan.h"
+#include "data/panel_stream.h"
 #include "data/workloads.h"
 #include "transport/cluster_config.h"
 #include "transport/party_runner.h"
@@ -40,7 +43,11 @@ void PrintUsage() {
       "                  [--frac-bits N] [--seed S] [--data-seed S]\n"
       "                  [--pipeline-block B]\n"
       "                  [--connect-timeout-ms T] [--receive-timeout-ms T]\n"
-      "                  [--stall-ms T] [--out results.csv]\n");
+      "                  [--stall-ms T] [--out results.csv]\n"
+      "  out-of-core (X streams from a dash_pack file instead of RAM):\n"
+      "                  [--stream study.dpk] [--stream-mmap]\n"
+      "                  [--checkpoint ckpt.dck] [--checkpoint-every K]\n"
+      "                  [--stream-delay-ms T] [--fail-after-panels J]\n");
 }
 
 int RealMain(int argc, char** argv) {
@@ -54,6 +61,9 @@ int RealMain(int argc, char** argv) {
   uint64_t data_seed = 42;
   int64_t stall_ms = 0;
   std::string out_path;
+  std::string stream_path;
+  bool stream_mmap = false;
+  StreamingPartyScan stream_config;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -153,6 +163,26 @@ int RealMain(int argc, char** argv) {
     } else if (arg == "--receive-timeout-ms") {
       if (!next_i64(&v)) return 2;
       tcp_options.receive_timeout_ms = static_cast<int>(v);
+    } else if (arg == "--stream") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      stream_path = value;
+    } else if (arg == "--stream-mmap") {
+      stream_mmap = true;
+    } else if (arg == "--checkpoint") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      stream_config.checkpoint_path = value;
+    } else if (arg == "--checkpoint-every") {
+      if (!next_i64(&stream_config.checkpoint_every_panels)) return 2;
+    } else if (arg == "--stream-delay-ms") {
+      // Test hook: stretch the panel loop so the kill smokes can
+      // reliably SIGKILL this process mid-stream.
+      if (!next_i64(&stream_config.panel_delay_ms)) return 2;
+    } else if (arg == "--fail-after-panels") {
+      // Test hook: simulated crash after this many newly streamed
+      // panels (see StreamingStatsOptions::fail_after_panels).
+      if (!next_i64(&stream_config.fail_after_panels)) return 2;
     } else if (arg == "--stall-ms") {
       // Test hook: sleep between mesh-up and the scan, so fault tests
       // can kill this process at a deterministic protocol point.
@@ -182,6 +212,27 @@ int RealMain(int argc, char** argv) {
     return 2;
   }
 
+  // Out-of-core mode: y/C/X all come from the packed study file; the
+  // self-generated workload is bypassed entirely.
+  std::unique_ptr<PackedStudyReader> reader;
+  if (!stream_path.empty()) {
+    if (scan_options.center_per_party) {
+      std::fprintf(stderr,
+                   "--center is incompatible with --stream (X is immutable "
+                   "on disk; center before dash_pack)\n");
+      return 2;
+    }
+    auto opened = PackedStudyReader::Open(
+        stream_path,
+        stream_mmap ? StudyReadMode::kMmap : StudyReadMode::kChunked);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "--stream: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    reader = std::move(opened).value();
+  }
+
   // Same seed + same cluster size => every process generates the same
   // pooled study; each keeps only its own slice.
   data_options.party_sizes.assign(static_cast<size_t>(cluster.num_parties()),
@@ -189,23 +240,30 @@ int RealMain(int argc, char** argv) {
   data_options.num_variants = variants;
   data_options.seed = data_seed;
   if (scan_options.center_per_party) data_options.num_covariates = 3;
-  auto workload = MakeGwasWorkload(data_options);
-  if (!workload.ok()) {
-    std::fprintf(stderr, "workload: %s\n",
-                 workload.status().ToString().c_str());
-    return 1;
-  }
-  PartyData my_data =
-      std::move(workload.value().parties[static_cast<size_t>(party)]);
-  if (scan_options.center_per_party) {
-    // The GWAS workload's first covariate column is an intercept, which
-    // per-party centering absorbs; drop it.
-    Matrix c(my_data.c.rows(), my_data.c.cols() - 1);
-    for (int64_t r = 0; r < c.rows(); ++r) {
-      for (int64_t j = 0; j < c.cols(); ++j) c(r, j) = my_data.c(r, j + 1);
+  PartyData my_data;
+  if (reader == nullptr) {
+    auto workload = MakeGwasWorkload(data_options);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "workload: %s\n",
+                   workload.status().ToString().c_str());
+      return 1;
     }
-    my_data.c = std::move(c);
+    my_data =
+        std::move(workload.value().parties[static_cast<size_t>(party)]);
+    if (scan_options.center_per_party) {
+      // The GWAS workload's first covariate column is an intercept, which
+      // per-party centering absorbs; drop it.
+      Matrix c(my_data.c.rows(), my_data.c.cols() - 1);
+      for (int64_t r = 0; r < c.rows(); ++r) {
+        for (int64_t j = 0; j < c.cols(); ++j) c(r, j) = my_data.c(r, j + 1);
+      }
+      my_data.c = std::move(c);
+    }
   }
+  const int64_t my_samples =
+      reader != nullptr ? reader->num_samples() : my_data.num_samples();
+  const int64_t my_variants =
+      reader != nullptr ? reader->num_variants() : variants;
 
   std::fprintf(stderr, "[party %d] listening on %s:%u, connecting to %d peers...\n",
                party, cluster.endpoints[static_cast<size_t>(party)].host.c_str(),
@@ -218,15 +276,24 @@ int RealMain(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr, "[party %d] mesh up; running %s scan (M=%" PRId64
-               ", N_p=%" PRId64 ")\n",
+               ", N_p=%" PRId64 "%s)\n",
                party, AggregationModeName(scan_options.aggregation),
-               static_cast<int64_t>(variants), my_data.num_samples());
+               my_variants, my_samples,
+               reader != nullptr ? ", streamed" : "");
   if (stall_ms > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
   }
 
-  auto output = RunPartySecureScan(transport.value().get(), my_data,
-                                   scan_options);
+  Result<SecureScanOutput> output =
+      reader != nullptr
+          ? [&]() -> Result<SecureScanOutput> {
+              stream_config.source = reader.get();
+              return RunPartySecureScanStreamed(
+                  transport.value().get(), reader->phenotype(),
+                  reader->covariates(), stream_config, scan_options);
+            }()
+          : RunPartySecureScan(transport.value().get(), my_data,
+                               scan_options);
   if (!output.ok()) {
     // One-line diagnosis for scripts and operators: which party, which
     // round (carried in the Status message), and what failed.
@@ -251,6 +318,14 @@ int RealMain(int argc, char** argv) {
   }
   std::printf("result checksum  %016" PRIx64 "  (identical at every party)\n",
               ScanResultChecksum(result));
+  if (metrics.streamed) {
+    // STREAM line is machine-read by the kill smokes: resumed_from > 0
+    // proves this run continued a prior run's checkpoint.
+    std::printf("STREAM panels_streamed=%" PRId64 " resumed_from=%" PRId64
+                " checkpoints=%" PRId64 "\n",
+                metrics.panels_streamed, metrics.resumed_from_panel,
+                metrics.checkpoints_written);
+  }
   std::printf("logical traffic  %" PRId64 " bytes in %" PRId64
               " messages, %d rounds (this party's sends)\n",
               metrics.total_bytes, metrics.total_messages, metrics.rounds);

@@ -28,6 +28,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -35,7 +36,9 @@
 #include <vector>
 
 #include "core/secure_scan.h"
+#include "data/panel_stream.h"
 #include "data/workloads.h"
+#include "linalg/packed_matrix.h"
 #include "service/control_server.h"
 #include "service/job.h"
 #include "service/job_scheduler.h"
@@ -73,6 +76,69 @@ SecureScanOptions ScanOptionsForSpec(const JobSpec& spec) {
   options.aggregation = spec.mode;
   options.seed = spec.protocol_seed;
   return options;
+}
+
+// Knobs for streamed jobs (spec.stream), set by daemon flags: where the
+// packed studies and checkpoints live, how often the scan checkpoints,
+// and an optional per-panel delay so the kill smokes can reliably
+// SIGKILL a daemon mid-stream.
+struct StreamingConfig {
+  std::string checkpoint_dir;
+  int64_t checkpoint_every_panels = 1;
+  int64_t panel_delay_ms = 0;
+};
+
+// The streamed side of the scheduler's ScanFn: derive this party's
+// cohort slice exactly like the in-memory path, pack it to a DASHPACK
+// study on first touch (a restarted daemon finds the prior file — the
+// fingerprint check guarantees it is byte-for-byte the same study and
+// therefore that any leftover checkpoint is resumable), then stream the
+// panels through the checkpointed scan loop.
+Result<SecureScanOutput> RunStreamedJob(Transport* transport,
+                                        const JobSpec& spec, int party,
+                                        int num_parties,
+                                        const StreamingConfig& config,
+                                        Phase1State* phase1) {
+  if (config.checkpoint_dir.empty()) {
+    return FailedPreconditionError(
+        "job asks for streaming but this daemon was started without "
+        "--checkpoint-dir");
+  }
+  DASH_ASSIGN_OR_RETURN(ScanWorkload workload,
+                        WorkloadForSpec(spec, num_parties));
+  PartyData mine =
+      std::move(workload.parties[static_cast<size_t>(party)]);
+  std::optional<PackedGenotypeMatrix> packed =
+      PackedGenotypeMatrix::TryFromDense(mine.x);
+  if (!packed.has_value()) {
+    return InvalidArgumentError(
+        "streamed job: cohort genotypes are not 2-bit hard calls");
+  }
+  const uint64_t tag = spec.data_seed;
+  const uint64_t fingerprint = StudyFingerprint(*packed, mine.y, mine.c, tag);
+  const std::string stem = config.checkpoint_dir + "/" + spec.cohort_key +
+                           "_p" + std::to_string(party);
+  const std::string study_path = stem + ".dpk";
+  bool have_study = false;
+  {
+    auto existing = PackedStudyReader::Open(study_path);
+    have_study =
+        existing.ok() && existing.value()->fingerprint() == fingerprint;
+  }
+  if (!have_study) {
+    DASH_RETURN_IF_ERROR(
+        WritePackedStudy(study_path, *packed, mine.y, mine.c, tag));
+  }
+  DASH_ASSIGN_OR_RETURN(std::unique_ptr<PackedStudyReader> reader,
+                        PackedStudyReader::Open(study_path));
+  StreamingPartyScan stream;
+  stream.source = reader.get();
+  stream.checkpoint_path = stem + ".dck";
+  stream.checkpoint_every_panels = config.checkpoint_every_panels;
+  stream.panel_delay_ms = config.panel_delay_ms;
+  return RunPartySecureScanStreamed(transport, reader->phenotype(),
+                                    reader->covariates(), stream,
+                                    ScanOptionsForSpec(spec), phase1);
 }
 
 // ---------------------------------------------------------------------
@@ -298,12 +364,22 @@ void PrintUsage() {
       "                   --control-port PORT [--control-host H]\n"
       "                   [--max-concurrent N] [--max-queued N]\n"
       "                   [--cache-entries N]\n"
+      "                   [--checkpoint-dir DIR] [--checkpoint-every K]\n"
+      "                   [--stream-delay-ms T]\n"
       "                   [--connect-timeout-ms T] [--receive-timeout-ms T]\n"
       "       dash_partyd --simulate-job \"<submit-args>\" --parties P\n"
       "\n"
+      "--checkpoint-dir enables streamed jobs (SUBMIT's trailing 'stream'\n"
+      "token): the cohort is packed to DIR as a DASHPACK study and the\n"
+      "scan checkpoints its accumulators there every K panels, so a\n"
+      "killed+restarted daemon resumes the job instead of recomputing.\n"
+      "--stream-delay-ms stretches each panel (crash-test knob).\n"
+      "\n"
       "--simulate-job runs the job in-process (the simulator) and prints\n"
       "the reference checksum; <submit-args> are the SUBMIT verb's\n"
-      "arguments, e.g. \"7 cohortA 64 96 3 42 masked 0\".\n");
+      "arguments, e.g. \"7 cohortA 64 96 3 42 masked 0\". A trailing\n"
+      "'stream' token is accepted and ignored: streamed results are\n"
+      "bit-identical, so the reference checksum is the same.\n");
 }
 
 // Parses the SUBMIT verb's argument list (shared with --simulate-job so
@@ -321,6 +397,9 @@ bool ParseSubmitArgs(const std::string& args, JobSpec* spec) {
     if (mode == AggregationModeName(m)) {
       spec->mode = m;
       in >> spec->protocol_seed;  // optional
+      if (in.fail()) in.clear();
+      std::string extra;
+      if (in >> extra && extra == "stream") spec->stream = true;
       return true;
     }
   }
@@ -358,6 +437,7 @@ int RealMain(int argc, char** argv) {
   TcpTransportOptions tcp_options;
   ControlServerOptions control_options;
   JobSchedulerOptions scheduler_options;
+  StreamingConfig streaming;
   int64_t cache_entries = 8;
   std::string simulate_args;
   int64_t simulate_parties = 3;
@@ -423,6 +503,14 @@ int RealMain(int argc, char** argv) {
       scheduler_options.max_queued = static_cast<int>(v);
     } else if (arg == "--cache-entries") {
       if (!next_i64(&cache_entries)) return 2;
+    } else if (arg == "--checkpoint-dir") {
+      const char* value = next();
+      if (value == nullptr) return 2;
+      streaming.checkpoint_dir = value;
+    } else if (arg == "--checkpoint-every") {
+      if (!next_i64(&streaming.checkpoint_every_panels)) return 2;
+    } else if (arg == "--stream-delay-ms") {
+      if (!next_i64(&streaming.panel_delay_ms)) return 2;
     } else if (arg == "--connect-timeout-ms") {
       if (!next_i64(&v)) return 2;
       tcp_options.connect_timeout_ms = static_cast<int>(v);
@@ -476,9 +564,14 @@ int RealMain(int argc, char** argv) {
   const int num_parties = cluster.num_parties();
   JobScheduler scheduler(
       [&mesh](const JobSpec& spec) { return mesh.OpenJobSession(spec); },
-      [party, num_parties](Transport* transport, const JobSpec& spec,
-                           Phase1State* phase1)
+      [party, num_parties, streaming](Transport* transport,
+                                      const JobSpec& spec,
+                                      Phase1State* phase1)
           -> Result<SecureScanOutput> {
+        if (spec.stream) {
+          return RunStreamedJob(transport, spec, party, num_parties,
+                                streaming, phase1);
+        }
         DASH_ASSIGN_OR_RETURN(ScanWorkload workload,
                               WorkloadForSpec(spec, num_parties));
         return RunPartySecureScan(

@@ -59,9 +59,14 @@ using DensePanelFn = void (*)(const double* x, int64_t x_stride, int64_t rows,
                               const double* y, const double* q, int64_t k,
                               int64_t w, double* xy, double* xx, double* tile);
 
-// Computes xy/xx/qtx for packed columns [col_begin, col_end) into
-// `out` (column j writes at offset j - col_begin). y has x.rows()
-// entries; q is row-major x.rows() x K.
+// ACCUMULATES xy/xx/qtx for packed columns [col_begin, col_end) into
+// `out` (column j lands at offset j - col_begin; the caller zeroes the
+// destination before the first call). y has x.rows() entries; q is
+// row-major x.rows() x K. The accumulate contract — per-column proj
+// lanes seeded from `out`, X·X added as an exact per-call integer
+// count — lets the out-of-core path feed row panels through repeated
+// calls while every output element keeps the one unbroken add chain of
+// a full in-memory sweep.
 using PackedColumnsFn = void (*)(const PackedGenotypeMatrix& x,
                                  const double* y, const Matrix& q,
                                  int64_t col_begin, int64_t col_end,

@@ -152,7 +152,21 @@ void PackedColumnsImpl(const PackedGenotypeMatrix& x, const double* y,
 
   for (int64_t j0 = col_begin; j0 < col_end; j0 += kPackedColBlock) {
     const int64_t j1 = std::min(col_end, j0 + kPackedColBlock);
-    std::fill(proj.begin(), proj.end(), 0.0);
+    // Seed proj from `out` (lane kk = QᵀX, lane k = X·y, padding lanes
+    // 0): the kernel ACCUMULATES into its destination (callers zero the
+    // arena before the first call), so an out-of-core sweep feeding row
+    // panels through repeated calls continues the exact per-element add
+    // chain of a single full-matrix sweep. het/hom stay per-call
+    // integer counts; out.xx picks them up with an exact integer add.
+    for (int64_t j = j0; j < j1; ++j) {
+      const int64_t off = j - col_begin;
+      double* pr = projd + (j - j0) * KP;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        pr[kk] = out.qtx[kk * out.qtx_stride + off];
+      }
+      pr[k] = out.xy[off];
+      for (int64_t kk = k + 1; kk < KP; ++kk) pr[kk] = 0.0;
+    }
     std::fill(het.begin(), het.end(), 0);
     std::fill(hom.begin(), hom.end(), 0);
 
@@ -238,8 +252,8 @@ void PackedColumnsImpl(const PackedGenotypeMatrix& x, const double* y,
       const int64_t off = j - col_begin;
       const double* pr = projd + (j - j0) * KP;
       out.xy[off] = pr[k];
-      out.xx[off] = static_cast<double>(hetd[j - j0]) +
-                    4.0 * static_cast<double>(homd[j - j0]);
+      out.xx[off] += static_cast<double>(hetd[j - j0]) +
+                     4.0 * static_cast<double>(homd[j - j0]);
       for (int64_t kk = 0; kk < k; ++kk) {
         out.qtx[kk * out.qtx_stride + off] = pr[kk];
       }

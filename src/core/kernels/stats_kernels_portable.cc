@@ -78,8 +78,21 @@ void PackedColumnsPortable(const PackedGenotypeMatrix& x, const double* y,
 
   for (int64_t j0 = col_begin; j0 < col_end; j0 += kPackedColBlock) {
     const int64_t j1 = std::min(col_end, j0 + kPackedColBlock);
-    std::fill(proj.begin(), proj.end(), 0.0);
-    std::fill(xyacc.begin(), xyacc.end(), 0.0);
+    // Seed the block's accumulators from `out`: the kernel ACCUMULATES
+    // into its destination (callers zero the arena before the first
+    // call), so an out-of-core sweep that feeds row panels through
+    // repeated calls continues the exact per-element add chain a single
+    // full-matrix sweep produces. het/hom are per-call integer counts;
+    // out.xx picks them up with an exact integer add at the store.
+    for (int64_t j = j0; j < j1; ++j) {
+      const size_t c = static_cast<size_t>(j - j0);
+      const int64_t off = j - col_begin;
+      xyacc[c] = out.xy[off];
+      for (int64_t kk = 0; kk < k; ++kk) {
+        proj[c * static_cast<size_t>(k) + static_cast<size_t>(kk)] =
+            out.qtx[kk * out.qtx_stride + off];
+      }
+    }
     std::fill(het.begin(), het.end(), 0);
     std::fill(hom.begin(), hom.end(), 0);
 
@@ -121,8 +134,8 @@ void PackedColumnsPortable(const PackedGenotypeMatrix& x, const double* y,
       const size_t c = static_cast<size_t>(j - j0);
       const int64_t off = j - col_begin;
       out.xy[off] = xyacc[c];
-      out.xx[off] = static_cast<double>(het[c]) +
-                    4.0 * static_cast<double>(hom[c]);
+      out.xx[off] += static_cast<double>(het[c]) +
+                     4.0 * static_cast<double>(hom[c]);
       for (int64_t kk = 0; kk < k; ++kk) {
         out.qtx[kk * out.qtx_stride + off] =
             proj[static_cast<size_t>(j - j0) * k + static_cast<size_t>(kk)];

@@ -1,0 +1,64 @@
+// Durable checkpoints of partial scan sufficient statistics
+// (DESIGN.md §15).
+//
+// The streaming scan (core/streaming_stats.h) folds genotype panels
+// into a wire-order accumulator; every K panels it snapshots that
+// accumulator to disk so a killed party resumes from the last snapshot
+// instead of panel 0. A checkpoint is a plain file:
+//
+//   [magic "DASHCKPT" | u64 version | u64 key | i64 panels_done |
+//    i64 len | len doubles | u64 checksum]
+//
+// with the FNV-1a checksum closing every preceding byte. Writes are
+// atomic and durable (tmp file + fsync + rename + directory fsync via
+// AtomicWriteFile), so a crash mid-write leaves either the previous
+// checkpoint or a complete new one under the final name — never a torn
+// file. `key` binds the snapshot to the study content fingerprint plus
+// the scan shape; LoadScanCheckpoint refuses anything whose key, size,
+// or checksum disagrees, and resume logic treats EVERY load failure as
+// "no checkpoint" (restart from panel 0) — a corrupt snapshot can cost
+// time, never correctness.
+//
+// Secrecy note (PROTOCOL.md): the snapshot holds one party's LOCAL
+// accumulator — data that party computed from its own rows and already
+// holds in RAM. It is written only to that party's own disk and read
+// only by that party; no new reveal point is introduced.
+
+#ifndef DASH_CORE_SCAN_CHECKPOINT_H_
+#define DASH_CORE_SCAN_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/vector_ops.h"
+#include "util/status.h"
+
+namespace dash {
+
+struct ScanCheckpoint {
+  uint64_t key = 0;          // ScanCheckpointKey() of the job
+  int64_t panels_done = 0;   // panels [0, panels_done) are folded in
+  Vector flat;               // wire-order accumulator (StatsWireLayout)
+};
+
+// The binding key: study content fingerprint (data/panel_stream.h)
+// chained with the scan shape, so a checkpoint can never be resumed
+// against different data or a different (M, K).
+uint64_t ScanCheckpointKey(uint64_t study_fingerprint, int64_t num_variants,
+                           int64_t num_covariates);
+
+// Atomic, durable snapshot write (see file comment).
+Status SaveScanCheckpoint(const std::string& path, const ScanCheckpoint& ckpt);
+
+// Reads and fully validates a snapshot (magic, version, checksum,
+// declared length vs file size). NotFound when absent; DataLoss when
+// present but unusable.
+Result<ScanCheckpoint> LoadScanCheckpoint(const std::string& path);
+
+// Best-effort removal (success's cleanup; a leftover checkpoint is
+// harmless because the key check rejects it once the study changes).
+void RemoveScanCheckpoint(const std::string& path);
+
+}  // namespace dash
+
+#endif  // DASH_CORE_SCAN_CHECKPOINT_H_

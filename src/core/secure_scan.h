@@ -108,6 +108,13 @@ struct SecureScanMetrics {
   // Phase1State): the sample-count and R-combination rounds were
   // replaced by a single kPhase1Probe round.
   bool phase1_cache_hit = false;
+  // Out-of-core accounting (RunPartySecureScanStreamed only; see
+  // core/streaming_stats.h). resumed_from_panel > 0 means this run
+  // continued a prior run's checkpoint instead of starting at panel 0.
+  bool streamed = false;
+  int64_t resumed_from_panel = 0;
+  int64_t panels_streamed = 0;
+  int64_t checkpoints_written = 0;
 };
 
 struct SecureScanOutput {

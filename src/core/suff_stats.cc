@@ -55,7 +55,11 @@ void SparsePanel(const double* DASH_RESTRICT x, int64_t x_stride, int64_t rows,
 
 // Full row sweep for columns [j0, j1); accumulators stay resident for
 // the whole sweep so every output element sees one unbroken,
-// row-ordered accumulation chain.
+// row-ordered accumulation chain. The block accumulators are SEEDED
+// from `out` (the kernel accumulates into its destination; callers
+// zero the arena before the first call), so out-of-core sweeps that
+// feed row panels through repeated calls continue the identical
+// per-element add chain of one full-matrix sweep.
 void ComputeColumnBlock(const Matrix& x, const Vector& y, const Matrix& q,
                         int64_t j0, int64_t j1, int64_t col_begin,
                         const StatsBlockView& out, double* tile,
@@ -63,11 +67,15 @@ void ComputeColumnBlock(const Matrix& x, const Vector& y, const Matrix& q,
   const int64_t n = x.rows();
   const int64_t k = q.cols();
   const int64_t w = j1 - j0;
+  const int64_t off = j0 - col_begin;
   double xy_blk[kStatsColBlock];
   double xx_blk[kStatsColBlock];
-  std::fill_n(xy_blk, w, 0.0);
-  std::fill_n(xx_blk, w, 0.0);
-  std::fill_n(tile, w * k, 0.0);
+  std::memcpy(xy_blk, out.xy + off, static_cast<size_t>(w) * sizeof(double));
+  std::memcpy(xx_blk, out.xx + off, static_cast<size_t>(w) * sizeof(double));
+  for (int64_t kk = 0; kk < k; ++kk) {
+    std::memcpy(tile + kk * w, out.qtx + kk * out.qtx_stride + off,
+                static_cast<size_t>(w) * sizeof(double));
+  }
 
   for (int64_t p0 = 0; p0 < n; p0 += kStatsRowPanel) {
     const int64_t p1 = std::min(n, p0 + kStatsRowPanel);
@@ -94,7 +102,6 @@ void ComputeColumnBlock(const Matrix& x, const Vector& y, const Matrix& q,
     }
   }
 
-  const int64_t off = j0 - col_begin;
   std::memcpy(out.xy + off, xy_blk, static_cast<size_t>(w) * sizeof(double));
   std::memcpy(out.xx + off, xx_blk, static_cast<size_t>(w) * sizeof(double));
   // The covariate-major tile rows are already wire order: K contiguous
@@ -314,9 +321,16 @@ void ComputeStatsColumnsSparse(const SparseColumnMatrix& x, const Vector& y,
   const auto work = [&](int64_t lo, int64_t hi) {
     std::vector<double> proj(static_cast<size_t>(std::max<int64_t>(k, 1)));
     for (int64_t j = lo; j < hi; ++j) {
-      double xyv = 0.0;
-      double xxv = 0.0;
-      std::fill(proj.begin(), proj.end(), 0.0);
+      // Seeded from `out`: like the blocked and packed kernels, this
+      // path accumulates into its destination (a left-fold continued
+      // from the caller's arena), keeping streamed row partitions
+      // bit-identical to one full sweep.
+      const int64_t seed_off = j - col_begin;
+      double xyv = out.xy[seed_off];
+      double xxv = out.xx[seed_off];
+      for (int64_t kk = 0; kk < k; ++kk) {
+        proj[static_cast<size_t>(kk)] = out.qtx[kk * out.qtx_stride + seed_off];
+      }
       double* DASH_RESTRICT pr = proj.data();
       for (const auto& e : x.ColumnEntries(j)) {
         xyv += e.value * y[static_cast<size_t>(e.row)];

@@ -113,15 +113,23 @@ struct StatsBlockView {
 inline constexpr int64_t kStatsColBlock = 128;
 inline constexpr int64_t kStatsRowPanel = 256;
 
-// Computes xy/xx/qtx for columns [col_begin, col_end) of x into `out`
-// with the blocked kernel. Requires finite inputs for the bit-identity
-// guarantee (no NaN/Inf in x, y, q). `pool` may be null; otherwise
-// column blocks are cost-chunked across its threads.
+// ACCUMULATES xy/xx/qtx for columns [col_begin, col_end) of x into
+// `out` with the blocked kernel; the caller zeroes the destination
+// before the first call. The accumulate contract (shared by all three
+// ComputeStatsColumns* entry points) is what lets the out-of-core path
+// stream X in row panels: repeated calls over a row partition continue
+// each output element's left-folded add chain exactly where the
+// previous call left it, so the streamed result is bit-identical to
+// one full in-memory sweep (core/streaming_stats.h). Requires finite
+// inputs for the bit-identity guarantee (no NaN/Inf in x, y, q).
+// `pool` may be null; otherwise column blocks are cost-chunked across
+// its threads.
 void ComputeStatsColumns(const Matrix& x, const Vector& y, const Matrix& q,
                          int64_t col_begin, int64_t col_end,
                          const StatsBlockView& out, ThreadPool* pool = nullptr);
 
 // Sparse-X variant: per column costs O(nnz * K) instead of O(N * K).
+// Same accumulate-into-out contract as ComputeStatsColumns.
 void ComputeStatsColumnsSparse(const SparseColumnMatrix& x, const Vector& y,
                                const Matrix& q, int64_t col_begin,
                                int64_t col_end, const StatsBlockView& out,
@@ -130,7 +138,7 @@ void ComputeStatsColumnsSparse(const SparseColumnMatrix& x, const Vector& y,
 // Packed-genotype variant: consumes an already 2-bit-packed X with the
 // popcount kernel — O(nnz) flops plus one popcount per 32 genotypes.
 // Bit-identical to the dense paths on the expanded matrix (missing
-// calls expand to 0.0).
+// calls expand to 0.0). Same accumulate-into-out contract.
 void ComputeStatsColumnsPacked(const PackedGenotypeMatrix& x, const Vector& y,
                                const Matrix& q, int64_t col_begin,
                                int64_t col_end, const StatsBlockView& out,

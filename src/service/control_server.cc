@@ -28,6 +28,11 @@ std::string Render(const JobRecord& record) {
       << " messages=" << record.metrics.total_messages
       << " queue_ms=" << record.queue_seconds * 1e3
       << " run_ms=" << record.run_seconds * 1e3;
+  if (record.metrics.streamed) {
+    out << " streamed=1 resumed_from=" << record.metrics.resumed_from_panel
+        << " panels_streamed=" << record.metrics.panels_streamed
+        << " checkpoints=" << record.metrics.checkpoints_written;
+  }
   if (!record.error.ok()) {
     // Last field, free-form: everything after "error=" is the message.
     out << " error=" << StatusCodeToString(record.error.code()) << ": "
@@ -189,13 +194,22 @@ std::string ControlServer::HandleLine(const std::string& line) {
     if (in.fail()) {
       return "ERR InvalidArgument: want SUBMIT <job_id> <cohort> "
              "<variants> <samples> <covariates> <data_seed> <mode> "
-             "<deadline_ms> [protocol_seed]";
+             "<deadline_ms> [protocol_seed] [stream]";
     }
     if (!ParseMode(mode, &spec.mode)) {
       return "ERR InvalidArgument: unknown mode '" + mode +
              "' (public|additive|masked|shamir)";
     }
     in >> spec.protocol_seed;  // optional; keeps the default on failure
+    if (in.fail()) in.clear();  // no seed; "stream" may still follow
+    std::string extra;
+    if (in >> extra) {
+      if (extra != "stream") {
+        return "ERR InvalidArgument: unknown trailing token '" + extra +
+               "' (only 'stream')";
+      }
+      spec.stream = true;
+    }
     const Status submitted = scheduler_->Submit(spec);
     if (!submitted.ok()) return ErrLine(submitted);
     return "OK submitted " + std::to_string(spec.job_id);

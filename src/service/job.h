@@ -45,6 +45,15 @@ struct JobSpec {
   AggregationMode mode = AggregationMode::kMasked;
   uint64_t protocol_seed = 0xda5b;
 
+  // Run this party's side out-of-core: pack the cohort slice to a
+  // DASHPACK study under the daemon's --checkpoint-dir (reusing the
+  // file when its fingerprint already matches), stream the genotype
+  // panels through the checkpointed scan loop, and resume from the last
+  // durable checkpoint if a previous daemon died mid-job on this
+  // cohort. The revealed result is bit-identical to the in-memory path,
+  // so streamed and non-streamed daemons may serve the same job.
+  bool stream = false;
+
   // Wall-clock budget for the RUNNING phase; 0 = none. On expiry the
   // scheduler aborts the job's session, which surfaces as
   // DeadlineExceeded here and as a scoped session abort at the peers.

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "core/party_local.h"
+#include "core/scan_checkpoint.h"
 #include "core/scan_pipeline.h"
+#include "core/streaming_stats.h"
 #include "core/suff_stats.h"
 #include "linalg/qr.h"
 #include "linalg/tsqr.h"
@@ -405,16 +407,40 @@ uint64_t Phase1Fingerprint(const PartyData& party, int64_t absorbed_params,
 }
 
 // The protocol proper; RunPartySecureScan wraps it with the abort
-// notification and round tagging.
+// notification and round tagging. `stream` non-null switches Phase 2 to
+// the out-of-core path (X from a PanelSource, checkpoint/resume).
 Result<SecureScanOutput> RunPartyScanProtocol(
     Transport* transport, const PartyData& input_party,
-    const SecureScanOptions& options, Phase1State* phase1) {
+    const SecureScanOptions& options, Phase1State* phase1,
+    const StreamingPartyScan* stream) {
   const int local = transport->local_party();
   const int num_parties = transport->num_parties();
   if (options.projection == ProjectionSecurity::kBeaverDotProducts) {
     return UnimplementedError(
         "Beaver-triple projection is not wired for party-bound transports "
         "yet; use ProjectionSecurity::kRevealProjectedSums");
+  }
+  if (stream != nullptr) {
+    if (stream->source == nullptr) {
+      return InvalidArgumentError("streamed scan: no PanelSource supplied");
+    }
+    if (options.center_per_party) {
+      return InvalidArgumentError(
+          "streamed scan: center_per_party mutates X, which is immutable "
+          "on disk — center before packing (dash_pack)");
+    }
+    if (options.pipeline_block_variants > 0) {
+      return InvalidArgumentError(
+          "streamed scan: pipeline_block_variants also restructures "
+          "Phase 2; pick one of streaming or block pipelining");
+    }
+    if (stream->source->num_samples() != input_party.num_samples()) {
+      return InvalidArgumentError(
+          "streamed scan: study has " +
+          std::to_string(stream->source->num_samples()) +
+          " samples but y/C carry " +
+          std::to_string(input_party.num_samples()));
+    }
   }
   DASH_RETURN_IF_ERROR(ValidateParties({input_party}));
   if (options.trace != nullptr) transport->AttachTrace(options.trace);
@@ -443,7 +469,8 @@ Result<SecureScanOutput> RunPartyScanProtocol(
     absorbed_params = num_parties;
   }
 
-  const int64_t m = party->x.cols();
+  const int64_t m =
+      stream != nullptr ? stream->source->num_variants() : party->x.cols();
   const int64_t k = party->c.cols();
   Stopwatch protocol_timer;
   Stopwatch local_timer;
@@ -583,7 +610,40 @@ Result<SecureScanOutput> RunPartyScanProtocol(
   PartySecureVectorSum secure_sum(transport, sum_options);
 
   Vector flat_totals;
-  if (options.pipeline_block_variants > 0) {
+  int64_t resumed_from_panel = 0;
+  int64_t panels_streamed = 0;
+  int64_t checkpoints_written = 0;
+  if (stream != nullptr) {
+    // Stage 3 (local, out-of-core): stream X's panels into the
+    // wire-order summand, checkpointing as configured. Bit-identical to
+    // the in-memory arena below (core/streaming_stats.h).
+    local_timer.Reset();
+    StreamingStatsOptions stream_opts;
+    stream_opts.checkpoint_path = stream->checkpoint_path;
+    stream_opts.checkpoint_every_panels = stream->checkpoint_every_panels;
+    stream_opts.fail_after_panels = stream->fail_after_panels;
+    stream_opts.panel_delay_ms = stream->panel_delay_ms;
+    stream_opts.prefetch = stream->prefetch;
+    stream_opts.pool = pool.get();
+    DASH_ASSIGN_OR_RETURN(
+        StreamingStatsResult streamed,
+        ComputeLocalStatsStreamed(stream->source, party->y, q_p, stream_opts));
+    local_seconds += local_timer.ElapsedSeconds();
+    resumed_from_panel = streamed.resumed_from_panel;
+    panels_streamed = streamed.panels_streamed;
+    checkpoints_written = streamed.checkpoints_written;
+    if (resumed_from_panel > 0) {
+      DASH_LOG(Info) << "party " << local << " resumed from checkpoint at "
+                     << "panel " << resumed_from_panel << "/"
+                     << stream->source->num_panels();
+    }
+
+    // Stage 4 (network): one secure-sum aggregation of everything.
+    protocol_timer.Reset();
+    DASH_ASSIGN_OR_RETURN(flat_totals,
+                          secure_sum.Run(Secret<Vector>(streamed.flat)));
+    protocol_seconds += protocol_timer.ElapsedSeconds();
+  } else if (options.pipeline_block_variants > 0) {
     // Stage 3+4 (pipelined): the round schedule of core/scan_pipeline.h,
     // identical to the in-process driver's — header round, then one
     // round per variant block, with block b+1 computed while block b's
@@ -686,6 +746,13 @@ Result<SecureScanOutput> RunPartyScanProtocol(
     protocol_seconds += protocol_timer.ElapsedSeconds();
   }
 
+  // The revealed (and, when enabled, commit-verified) result is in
+  // hand: the checkpoint has served its purpose. A crash before this
+  // point keeps the snapshot for the next run.
+  if (stream != nullptr && !stream->checkpoint_path.empty()) {
+    RemoveScanCheckpoint(stream->checkpoint_path);
+  }
+
   SecureScanOutput out;
   out.result = std::move(result);
   out.metrics.total_bytes = transport->metrics().total_bytes();
@@ -695,6 +762,10 @@ Result<SecureScanOutput> RunPartyScanProtocol(
   out.metrics.local_compute_seconds = local_seconds;
   out.metrics.protocol_seconds = protocol_seconds;
   out.metrics.phase1_cache_hit = cache_hit;
+  out.metrics.streamed = stream != nullptr;
+  out.metrics.resumed_from_panel = resumed_from_panel;
+  out.metrics.panels_streamed = panels_streamed;
+  out.metrics.checkpoints_written = checkpoints_written;
   DASH_LOG(Info) << "party " << local << "/" << num_parties
                  << " secure scan: N=" << total_samples << " M=" << m
                  << " K=" << k << " mode="
@@ -703,19 +774,12 @@ Result<SecureScanOutput> RunPartyScanProtocol(
   return out;
 }
 
-}  // namespace
-
-Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
-                                            const PartyData& input_party,
-                                            const SecureScanOptions& options) {
-  return RunPartySecureScan(transport, input_party, options,
-                            /*phase1=*/nullptr);
-}
-
-Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
-                                            const PartyData& input_party,
-                                            const SecureScanOptions& options,
-                                            Phase1State* phase1) {
+// Shared tail of every public entry point: validate the transport
+// binding, run the protocol, and on failure best-effort notify peers.
+Result<SecureScanOutput> RunPartyScanWithAbortPropagation(
+    Transport* transport, const PartyData& input_party,
+    const SecureScanOptions& options, Phase1State* phase1,
+    const StreamingPartyScan* stream) {
   DASH_CHECK(transport != nullptr);
   const int local = transport->local_party();
   if (local < 0) {
@@ -725,7 +789,7 @@ Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
         "SecureAssociationScan::Run");
   }
   Result<SecureScanOutput> out =
-      RunPartyScanProtocol(transport, input_party, options, phase1);
+      RunPartyScanProtocol(transport, input_party, options, phase1, stream);
   if (out.ok()) return out;
   const Status cause = out.status();
   const int round = transport->metrics().rounds();
@@ -754,6 +818,38 @@ Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
   if (IsAbortStatus(cause)) return cause;
   return Status(cause.code(),
                 "round " + std::to_string(round) + ": " + cause.message());
+}
+
+}  // namespace
+
+Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
+                                            const PartyData& input_party,
+                                            const SecureScanOptions& options) {
+  return RunPartyScanWithAbortPropagation(transport, input_party, options,
+                                          /*phase1=*/nullptr,
+                                          /*stream=*/nullptr);
+}
+
+Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
+                                            const PartyData& input_party,
+                                            const SecureScanOptions& options,
+                                            Phase1State* phase1) {
+  return RunPartyScanWithAbortPropagation(transport, input_party, options,
+                                          phase1, /*stream=*/nullptr);
+}
+
+Result<SecureScanOutput> RunPartySecureScanStreamed(
+    Transport* transport, const Vector& y, const Matrix& c,
+    const StreamingPartyScan& stream, const SecureScanOptions& options,
+    Phase1State* phase1) {
+  // Phases 0–1 consume only y and C; a zero-column X satisfies the
+  // party validation while Phase 2 reads the real X from the source.
+  PartyData party;
+  party.x = Matrix(static_cast<int64_t>(y.size()), 0);
+  party.y = y;
+  party.c = c;
+  return RunPartyScanWithAbortPropagation(transport, party, options, phase1,
+                                          &stream);
 }
 
 }  // namespace dash

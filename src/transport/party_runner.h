@@ -29,8 +29,10 @@
 #define DASH_TRANSPORT_PARTY_RUNNER_H_
 
 #include <cstdint>
+#include <string>
 
 #include "core/secure_scan.h"
+#include "data/panel_stream.h"
 #include "data/party_split.h"
 #include "linalg/matrix.h"
 #include "mpc/secrecy.h"
@@ -88,6 +90,39 @@ Result<SecureScanOutput> RunPartySecureScan(Transport* transport,
                                             const PartyData& party,
                                             const SecureScanOptions& options,
                                             Phase1State* phase1);
+
+// Out-of-core scan configuration for RunPartySecureScanStreamed: this
+// party's genotype block streams from `source` one panel at a time
+// (core/streaming_stats.h) instead of living in PartyData.x, and the
+// partial accumulator is durably checkpointed so a killed party
+// resumes from the last snapshot. The revealed result is bit-identical
+// to the in-memory scan on the same data, resumed or not.
+struct StreamingPartyScan {
+  PanelSource* source = nullptr;  // required; must outlive the call
+
+  // Empty disables checkpoint/resume.
+  std::string checkpoint_path;
+  int64_t checkpoint_every_panels = 8;
+
+  // Test hooks (crash injection and pacing for the kill smokes); see
+  // StreamingStatsOptions.
+  int64_t fail_after_panels = -1;
+  int64_t panel_delay_ms = 0;
+
+  bool prefetch = true;
+};
+
+// Streamed variant of RunPartySecureScan: y and the permanent
+// covariates C stay RAM-resident (they are all Phases 0–1 need), X
+// streams from stream.source during Phase 2. Incompatible with
+// center_per_party (X is immutable on disk — pre-center before
+// packing) and with pipeline_block_variants (both restructure Phase
+// 2). On success the checkpoint file, if any, is removed; on failure
+// it is left behind so the next run resumes.
+Result<SecureScanOutput> RunPartySecureScanStreamed(
+    Transport* transport, const Vector& y, const Matrix& c,
+    const StreamingPartyScan& stream, const SecureScanOptions& options,
+    Phase1State* phase1 = nullptr);
 
 }  // namespace dash
 

@@ -22,6 +22,8 @@ const char* LockRankName(LockRank rank) {
       return "kTransportStats";
     case LockRank::kSecrecyAudit:
       return "kSecrecyAudit";
+    case LockRank::kPanelPrefetch:
+      return "kPanelPrefetch";
     case LockRank::kLeaf:
       return "kLeaf";
   }

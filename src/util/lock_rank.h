@@ -24,6 +24,9 @@
 //    50   ThreadPool::mu_                       (leaf)
 //    60   TcpTransport::stats_mutex_            (leaf)
 //    70   SecrecyAudit registry                 (leaf)
+//    80   PanelPrefetcher::mu_                  (leaf; hand-off between
+//                                               the prefetch I/O thread
+//                                               and the scan loop)
 //    90   kLeaf — innermost; tests and one-off  (nothing)
 //         mutexes that never call out
 //
@@ -48,6 +51,7 @@ enum class LockRank : int32_t {
   kThreadPool = 50,
   kTransportStats = 60,
   kSecrecyAudit = 70,
+  kPanelPrefetch = 80,
   kLeaf = 90,
 };
 

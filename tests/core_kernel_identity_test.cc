@@ -350,7 +350,9 @@ TEST(KernelIdentityTest, ColumnRangeMatchesFullComputation) {
     SCOPED_TRACE("[" + std::to_string(r.begin) + ", " + std::to_string(r.end) +
                  ")");
     const int64_t w = r.end - r.begin;
-    Vector buf(static_cast<size_t>((2 + k) * w), -1.0);
+    // The column-range kernels ACCUMULATE into their destination, so
+    // the buffer must start zeroed (as every production caller does).
+    Vector buf(static_cast<size_t>((2 + k) * w), 0.0);
     ComputeStatsColumns(x, y, q, r.begin, r.end, PipelineBlockView(buf.data(), w));
     for (int64_t j = 0; j < w; ++j) {
       Vector got{buf[static_cast<size_t>(j)], buf[static_cast<size_t>(w + j)]};

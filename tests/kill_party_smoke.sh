@@ -1,15 +1,26 @@
 #!/usr/bin/env bash
-# Kill-a-party integration smoke: three real dash_party processes form a
-# mesh; party 2 is stalled before the protocol starts and then killed
-# with SIGKILL. Both survivors must exit NONZERO within the receive
-# timeout, each printing a one-line diagnosis that names the failed
-# round and a transport Status (Unavailable / DeadlineExceeded) — no
-# hang, no zero exit, no silent death.
+# Kill-a-party integration smoke, two phases.
 #
-# Usage: kill_party_smoke.sh /path/to/dash_party
+# Phase 1 — fail fast: three real dash_party processes form a mesh;
+# party 2 is stalled before the protocol starts and then killed with
+# SIGKILL. Both survivors must exit NONZERO within the receive timeout,
+# each printing a one-line diagnosis that names the failed round and a
+# transport Status (Unavailable / DeadlineExceeded) — no hang, no zero
+# exit, no silent death.
+#
+# Phase 2 — crash + RESUME: the parties re-run out-of-core (dash_pack
+# study files, --stream, per-panel checkpoints). Party 2 is SIGKILLed
+# mid-stream after its first durable checkpoint; all three are then
+# restarted with the same checkpoint paths and must (a) resume from a
+# checkpoint (STREAM resumed_from > 0) instead of recomputing from
+# round 0, and (b) reveal the EXACT checksum of an uninterrupted
+# in-memory run — the streamed/resumed path is bit-identical.
+#
+# Usage: kill_party_smoke.sh /path/to/dash_party [/path/to/dash_pack]
 set -u
 
-DASH_PARTY="${1:?usage: kill_party_smoke.sh /path/to/dash_party}"
+DASH_PARTY="${1:?usage: kill_party_smoke.sh /path/to/dash_party [/path/to/dash_pack]}"
+DASH_PACK="${2:-$(dirname "$DASH_PARTY")/dash_pack}"
 WORKDIR="$(mktemp -d)"
 trap 'kill -9 ${PIDS[@]:-} 2>/dev/null; rm -rf "$WORKDIR"' EXIT
 
@@ -99,5 +110,139 @@ done
 if [ "$fail" -eq 0 ]; then
   echo "PASS: both survivors exited nonzero with a round-tagged diagnosis"
   grep -h "scan FAILED after" "$WORKDIR/err0" "$WORKDIR/err1"
+fi
+[ "$fail" -ne 0 ] && exit "$fail"
+
+# ---------------------------------------------------------------------
+# Phase 2: streamed scan, SIGKILL mid-stream, resume from checkpoint.
+
+if [ ! -x "$DASH_PACK" ]; then
+  echo "SKIP phase 2: dash_pack not found at $DASH_PACK" >&2
+  exit 0
+fi
+
+# Small but multi-panel: 600 samples/party = 3 x 256-row panels, so a
+# per-panel checkpoint exists well before the stream finishes.
+SPEC=(--variants 64 --samples 600 --data-seed 9)
+for p in 0 1 2; do
+  "$DASH_PACK" --party "$p" --parties 3 "${SPEC[@]}" \
+    --out "$WORKDIR/p$p.dpk" >/dev/null || {
+    echo "FAIL: dash_pack party $p" >&2; exit 1; }
+done
+
+# Fresh ports for each mesh (TIME_WAIT from the previous one).
+new_ports() {
+  read -r P0 P1 P2 <<EOF
+$(python3 - <<'PY'
+import socket
+socks = [socket.socket() for _ in range(3)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(*(s.getsockname()[1] for s in socks))
+for s in socks:
+    s.close()
+PY
+)
+EOF
+  CLUSTER="127.0.0.1:${P0},127.0.0.1:${P1},127.0.0.1:${P2}"
+}
+
+# Reference: an uninterrupted IN-MEMORY run. The resumed streamed run
+# below must reveal this exact checksum.
+new_ports
+PIDS=()
+for p in 0 1 2; do
+  "$DASH_PARTY" --party "$p" --cluster "$CLUSTER" "${SPEC[@]}" \
+    --receive-timeout-ms 8000 \
+    >"$WORKDIR/ref_out$p" 2>"$WORKDIR/ref_err$p" &
+  PIDS+=($!)
+done
+for p in 0 1 2; do wait "${PIDS[$p]}" || {
+  echo "FAIL: reference in-memory run, party $p" >&2
+  cat "$WORKDIR/ref_err$p" >&2; exit 1; }
+done
+WANT="$(awk '/result checksum/{print $3}' "$WORKDIR/ref_out0")"
+if [ -z "$WANT" ]; then
+  echo "FAIL: reference run printed no checksum" >&2; exit 1
+fi
+
+# Streamed run: per-panel checkpoints, panels stretched so the SIGKILL
+# lands mid-stream. Kill party 2 as soon as its checkpoint is durable.
+new_ports
+STREAM_COMMON=(--cluster "$CLUSTER" --receive-timeout-ms 4000
+               --checkpoint-every 1 --stream-delay-ms 300)
+PIDS=()
+for p in 0 1 2; do
+  "$DASH_PARTY" --party "$p" "${STREAM_COMMON[@]}" \
+    --stream "$WORKDIR/p$p.dpk" --checkpoint "$WORKDIR/p$p.dck" \
+    >"$WORKDIR/s_out$p" 2>"$WORKDIR/s_err$p" &
+  PIDS+=($!)
+done
+for _ in $(seq 1 200); do
+  [ -f "$WORKDIR/p2.dck" ] && break
+  sleep 0.05
+done
+if [ ! -f "$WORKDIR/p2.dck" ]; then
+  echo "FAIL: party 2 never wrote a checkpoint" >&2
+  cat "$WORKDIR/s_err2" >&2; exit 1
+fi
+kill -9 "${PIDS[2]}"
+
+# Survivors fail (phase 1 already proved the diagnosis shape); their
+# checkpoints must SURVIVE the failed run — that is what resume needs.
+wait "${PIDS[0]}" 2>/dev/null
+wait "${PIDS[1]}" 2>/dev/null
+for p in 0 1; do
+  if [ ! -f "$WORKDIR/p$p.dck" ]; then
+    echo "FAIL: party $p dropped its checkpoint on a failed run" >&2
+    fail=1
+  fi
+done
+
+# Restart all three with the SAME checkpoint paths: every party must
+# resume (resumed_from > 0) and the revealed result must be the
+# reference checksum, bit for bit.
+new_ports
+STREAM_COMMON=(--cluster "$CLUSTER" --receive-timeout-ms 8000
+               --checkpoint-every 1)
+PIDS=()
+for p in 0 1 2; do
+  "$DASH_PARTY" --party "$p" "${STREAM_COMMON[@]}" \
+    --stream "$WORKDIR/p$p.dpk" --checkpoint "$WORKDIR/p$p.dck" \
+    >"$WORKDIR/r_out$p" 2>"$WORKDIR/r_err$p" &
+  PIDS+=($!)
+done
+for p in 0 1 2; do
+  if ! wait "${PIDS[$p]}"; then
+    echo "FAIL: resumed run, party $p exited nonzero" >&2
+    cat "$WORKDIR/r_err$p" >&2
+    fail=1
+  fi
+done
+for p in 0 1 2; do
+  GOT="$(awk '/result checksum/{print $3}' "$WORKDIR/r_out$p")"
+  RESUMED="$(sed -n 's/.*STREAM .*resumed_from=\([0-9]*\).*/\1/p' \
+    "$WORKDIR/r_out$p")"
+  if [ "$GOT" != "$WANT" ]; then
+    echo "FAIL: party $p resumed checksum $GOT != in-memory $WANT" >&2
+    fail=1
+  fi
+  if [ -z "$RESUMED" ] || [ "$RESUMED" -le 0 ]; then
+    echo "FAIL: party $p did not resume from a checkpoint" \
+         "(STREAM line: $(grep STREAM "$WORKDIR/r_out$p"))" >&2
+    fail=1
+  fi
+done
+for p in 0 1 2; do
+  if [ -f "$WORKDIR/p$p.dck" ]; then
+    echo "FAIL: party $p left its checkpoint behind after success" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "PASS: SIGKILLed streamed scan resumed from checkpoints with the"
+  echo "      in-memory checksum $WANT"
+  grep -h "STREAM" "$WORKDIR/r_out0" "$WORKDIR/r_out1" "$WORKDIR/r_out2"
 fi
 exit "$fail"

@@ -66,9 +66,12 @@ def parse_status(response):
 
 
 def submit_line(args):
-    return (f"SUBMIT {args.job} {args.cohort} {args.variants} "
+    line = (f"SUBMIT {args.job} {args.cohort} {args.variants} "
             f"{args.samples} {args.covariates} {args.data_seed} "
             f"{args.mode} {args.deadline_ms} {args.protocol_seed}")
+    if args.stream:
+        line += " stream"
+    return line
 
 
 def cmd_wait(args):
@@ -128,6 +131,9 @@ def main():
                    choices=["public", "additive", "masked", "shamir"])
     p.add_argument("--deadline-ms", type=int, default=0)
     p.add_argument("--protocol-seed", type=int, default=0xDA5B)
+    p.add_argument("--stream", action="store_true",
+                   help="run out-of-core with checkpoint/resume (daemons "
+                        "need --checkpoint-dir)")
 
     for verb in ("status", "result", "cancel", "wait"):
         p = sub.add_parser(verb)

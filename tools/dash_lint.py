@@ -119,11 +119,19 @@ ISA_GUARDS = [
 # The only files that may call memcpy. Everything that touches wire
 # bytes goes through ByteWriter/ByteReader or the frame codec; the
 # suff_stats entries are kernel scratch-block copies of doubles (plus a
-# documented bit-cast), not wire data.
+# documented bit-cast), not wire data. The streaming trio are the
+# on-DISK codec boundary (DESIGN.md §15): panel_stream.cc and
+# scan_checkpoint.cc pack/unpack the DASHPACK / DASHCKPT byte images
+# the same way frame.cc packs the wire image, and streaming_stats.cc
+# spills/reseeds accumulator doubles into checkpoint buffers — local
+# scratch like suff_stats, never wire data.
 MEMCPY_ALLOWLIST = {
     "src/net/serialization.cc",
     "src/transport/frame.cc",
     "src/core/suff_stats.cc",
+    "src/data/panel_stream.cc",
+    "src/core/scan_checkpoint.cc",
+    "src/core/streaming_stats.cc",
 }
 
 SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools/lint_fixtures")
