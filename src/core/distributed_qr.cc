@@ -5,6 +5,7 @@
 
 #include "linalg/qr.h"
 #include "linalg/tsqr.h"
+#include "net/round_annotations.h"
 #include "net/serialization.h"
 
 namespace dash {
@@ -30,6 +31,7 @@ Result<DistributedQrResult> RunBroadcastStack(
   for (int i = 0; i < p; ++i) {
     ByteWriter w;
     w.PutMatrix(local_r[static_cast<size_t>(i)]);
+    DASH_ROUND(phase1_rfactor, kRFactor);
     DASH_RETURN_IF_ERROR(network->Broadcast(i, MessageTag::kRFactor, w.Take()));
   }
   // Each party stacks what it received (plus its own) and factors; the
@@ -38,6 +40,7 @@ Result<DistributedQrResult> RunBroadcastStack(
   std::vector<Matrix> stack(static_cast<size_t>(p));
   stack[0] = local_r[0];
   for (int q = 1; q < p; ++q) {
+    DASH_ROUND(phase1_rfactor, kRFactor);
     DASH_ASSIGN_OR_RETURN(Message msg,
                           network->Receive(0, q, MessageTag::kRFactor));
     ByteReader r(msg.payload);
@@ -46,6 +49,7 @@ Result<DistributedQrResult> RunBroadcastStack(
   for (int i = 1; i < p; ++i) {
     for (int q = 0; q < p; ++q) {
       if (q == i) continue;
+      DASH_ROUND_DRAIN(phase1_rfactor, kRFactor);
       DASH_RETURN_IF_ERROR(
           network->Receive(i, q, MessageTag::kRFactor).status());
     }
@@ -74,6 +78,7 @@ Result<DistributedQrResult> RunBinaryTree(Transport* network,
       if ((i / stride) % 2 == 1 && i - stride >= 0) {
         ByteWriter w;
         w.PutMatrix(current[static_cast<size_t>(i)]);
+        DASH_ROUND(phase1_tree_merge, kTreeR);
         DASH_RETURN_IF_ERROR(
             network->Send(i, i - stride, MessageTag::kTreeR, w.Take()));
       }
@@ -83,6 +88,7 @@ Result<DistributedQrResult> RunBinaryTree(Transport* network,
       if ((i / stride) % 2 == 1 && i - stride >= 0) {
         active[static_cast<size_t>(i)] = false;
       } else if (i + stride < p && active[static_cast<size_t>(i + stride)]) {
+        DASH_ROUND(phase1_tree_merge, kTreeR);
         DASH_ASSIGN_OR_RETURN(
             Message msg, network->Receive(i, i + stride, MessageTag::kTreeR));
         ByteReader r(msg.payload);
@@ -99,8 +105,10 @@ Result<DistributedQrResult> RunBinaryTree(Transport* network,
     ++rounds;
     ByteWriter w;
     w.PutMatrix(current[0]);
+    DASH_ROUND(phase1_tree_root, kRFactor);
     DASH_RETURN_IF_ERROR(network->Broadcast(0, MessageTag::kRFactor, w.Take()));
     for (int i = 1; i < p; ++i) {
+      DASH_ROUND(phase1_tree_root, kRFactor);
       DASH_RETURN_IF_ERROR(
           network->Receive(i, 0, MessageTag::kRFactor).status());
     }

@@ -8,6 +8,7 @@
 #include "core/scan_pipeline.h"
 #include "mpc/secure_projection.h"
 #include "net/network.h"
+#include "net/round_annotations.h"
 #include "net/serialization.h"
 #include "core/suff_stats.h"
 #include "util/logging.h"
@@ -115,11 +116,13 @@ Result<SecureScanOutput> SecureAssociationScan::Run(
     for (int i = 0; i < num_parties; ++i) {
       ByteWriter w;
       w.PutI64((*parties)[static_cast<size_t>(i)].num_samples());
+      DASH_ROUND(phase0_samplecount, kSampleCount);
       DASH_RETURN_IF_ERROR(
           network.Broadcast(i, MessageTag::kSampleCount, w.Take()));
     }
     total_samples = (*parties)[0].num_samples();
     for (int q = 1; q < num_parties; ++q) {
+      DASH_ROUND(phase0_samplecount, kSampleCount);
       DASH_ASSIGN_OR_RETURN(Message msg,
                             network.Receive(0, q, MessageTag::kSampleCount));
       ByteReader r(msg.payload);
@@ -129,6 +132,7 @@ Result<SecureScanOutput> SecureAssociationScan::Run(
     for (int i = 1; i < num_parties; ++i) {
       for (int q = 0; q < num_parties; ++q) {
         if (q == i) continue;
+        DASH_ROUND_DRAIN(phase0_samplecount, kSampleCount);
         DASH_RETURN_IF_ERROR(
             network.Receive(i, q, MessageTag::kSampleCount).status());
       }
@@ -347,12 +351,14 @@ Result<SecureScanOutput> SecureAssociationScan::Run(
     w.PutU64(checksum);
     const std::vector<uint8_t> payload = w.Take();
     for (int i = 0; i < num_parties; ++i) {
+      DASH_ROUND(phase4_commit, kCommit);
       DASH_RETURN_IF_ERROR(
           network.Broadcast(i, MessageTag::kCommit, payload));
     }
     for (int i = 0; i < num_parties; ++i) {
       for (int q = 0; q < num_parties; ++q) {
         if (q == i) continue;
+        DASH_ROUND(phase4_commit, kCommit);
         DASH_ASSIGN_OR_RETURN(Message msg,
                               network.Receive(i, q, MessageTag::kCommit));
         ByteReader r(msg.payload);

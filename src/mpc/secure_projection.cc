@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "net/round_annotations.h"
 #include "util/check.h"
 
 namespace dash {
@@ -129,6 +130,7 @@ Result<ProjectedStats> SecureProjectedAggregation::Run(
     }
     de_shares[static_cast<size_t>(i)] =
         Masked<RingVector>::Seal(std::move(mine), pass);
+    DASH_ROUND(beaver_open_operands, kMaskedValue);
     DASH_RETURN_IF_ERROR(
         network_->Broadcast(i, MessageTag::kMaskedValue,
                             MaskAndSerialize(de_shares[static_cast<size_t>(i)])));
@@ -143,6 +145,7 @@ Result<ProjectedStats> SecureProjectedAggregation::Run(
   for (int to = 0; to < p; ++to) {
     for (int from = 0; from < p; ++from) {
       if (from == to) continue;
+      DASH_ROUND(beaver_open_operands, kMaskedValue);
       DASH_RETURN_IF_ERROR(
           network_->Receive(to, from, MessageTag::kMaskedValue).status());
     }
@@ -180,6 +183,7 @@ Result<ProjectedStats> SecureProjectedAggregation::Run(
   // the revealed scalars — individually uniform, hence Masked.
   network_->BeginRound();
   for (int i = 0; i < p; ++i) {
+    DASH_ROUND(beaver_open_result, kPartialSum);
     DASH_RETURN_IF_ERROR(
         network_->Broadcast(i, MessageTag::kPartialSum,
                             MaskAndSerialize(result_shares[static_cast<size_t>(i)])));
@@ -193,6 +197,7 @@ Result<ProjectedStats> SecureProjectedAggregation::Run(
   for (int to = 0; to < p; ++to) {
     for (int from = 0; from < p; ++from) {
       if (from == to) continue;
+      DASH_ROUND(beaver_open_result, kPartialSum);
       DASH_RETURN_IF_ERROR(
           network_->Receive(to, from, MessageTag::kPartialSum).status());
     }

@@ -8,6 +8,7 @@
 #include "mpc/key_exchange.h"
 #include "mpc/masked_aggregation.h"
 #include "mpc/shamir.h"
+#include "net/round_annotations.h"
 #include "net/serialization.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -53,6 +54,7 @@ Status SecureVectorSum::Setup() {
           DiffieHellman::GeneratePrivate(&party_rngs_[static_cast<size_t>(i)]);
       ByteWriter w;
       w.PutU64(DiffieHellman::PublicValue(privates[static_cast<size_t>(i)]));
+      DASH_ROUND(phase0b_keyagree, kPublicKey);
       DASH_RETURN_IF_ERROR(
           network_->Broadcast(i, MessageTag::kPublicKey, w.Take()));
     }
@@ -62,6 +64,7 @@ Status SecureVectorSum::Setup() {
     for (int i = 0; i < p; ++i) {
       for (int q = 0; q < p; ++q) {
         if (q == i) continue;
+        DASH_ROUND(phase0b_keyagree, kPublicKey);
         DASH_ASSIGN_OR_RETURN(Message msg,
                               network_->Receive(i, q, MessageTag::kPublicKey));
         ByteReader r(msg.payload);
@@ -148,12 +151,14 @@ Result<Vector> SecureVectorSum::RunPublic(
   for (int i = 0; i < p; ++i) {
     ByteWriter w;
     w.PutDoubleVector(plain[static_cast<size_t>(i)]);
+    DASH_ROUND(phase2_public, kPlainStats);
     DASH_RETURN_IF_ERROR(
         network_->Broadcast(i, MessageTag::kPlainStats, w.Take()));
   }
   // Every party computes the identical total; we return party 0's view.
   Vector total = plain[0];
   for (int q = 1; q < p; ++q) {
+    DASH_ROUND(phase2_public, kPlainStats);
     DASH_ASSIGN_OR_RETURN(Message msg,
                           network_->Receive(0, q, MessageTag::kPlainStats));
     ByteReader r(msg.payload);
@@ -167,6 +172,7 @@ Result<Vector> SecureVectorSum::RunPublic(
   for (int i = 1; i < p; ++i) {
     for (int q = 0; q < p; ++q) {
       if (q == i) continue;
+      DASH_ROUND_DRAIN(phase2_public, kPlainStats);
       DASH_RETURN_IF_ERROR(
           network_->Receive(i, q, MessageTag::kPlainStats).status());
     }
@@ -192,6 +198,7 @@ Result<Vector> SecureVectorSum::RunAdditive(
     kept[static_cast<size_t>(i)] = std::move(shares[static_cast<size_t>(i)]);
     for (int j = 0; j < p; ++j) {
       if (j == i) continue;
+      DASH_ROUND(phase2_additive_share, kAdditiveShare);
       DASH_RETURN_IF_ERROR(
           network_->Send(i, j, MessageTag::kAdditiveShare,
                          SerializeShareForHolder(shares[static_cast<size_t>(j)])));
@@ -207,6 +214,7 @@ Result<Vector> SecureVectorSum::RunAdditive(
     received.reserve(static_cast<size_t>(p - 1));
     for (int i = 0; i < p; ++i) {
       if (i == j) continue;
+      DASH_ROUND(phase2_additive_share, kAdditiveShare);
       DASH_ASSIGN_OR_RETURN(
           Message msg, network_->Receive(j, i, MessageTag::kAdditiveShare));
       ByteReader r(msg.payload);
@@ -216,6 +224,7 @@ Result<Vector> SecureVectorSum::RunAdditive(
     DASH_ASSIGN_OR_RETURN(
         Masked<RingVector> partial,
         AccumulateAdditiveShares(kept[static_cast<size_t>(j)], received));
+    DASH_ROUND(phase2_additive_reveal, kPartialSum);
     DASH_RETURN_IF_ERROR(network_->Broadcast(j, MessageTag::kPartialSum,
                                              MaskAndSerialize(partial)));
     partials[static_cast<size_t>(j)] = std::move(partial);
@@ -226,6 +235,7 @@ Result<Vector> SecureVectorSum::RunAdditive(
   std::vector<RingVector> peer_partials;
   peer_partials.reserve(static_cast<size_t>(p - 1));
   for (int q = 1; q < p; ++q) {
+    DASH_ROUND(phase2_additive_reveal, kPartialSum);
     DASH_ASSIGN_OR_RETURN(Message msg,
                           network_->Receive(0, q, MessageTag::kPartialSum));
     ByteReader r(msg.payload);
@@ -235,6 +245,7 @@ Result<Vector> SecureVectorSum::RunAdditive(
   for (int i = 1; i < p; ++i) {
     for (int q = 0; q < p; ++q) {
       if (q == i) continue;
+      DASH_ROUND_DRAIN(phase2_additive_reveal, kPartialSum);
       DASH_RETURN_IF_ERROR(
           network_->Receive(i, q, MessageTag::kPartialSum).status());
     }
@@ -258,6 +269,7 @@ Result<Vector> SecureVectorSum::RunMasked(
         codec_.EncodeSecretVector(inputs[static_cast<size_t>(i)]));
     Masked<RingVector> masked = ApplyPairwiseMasks(
         i, encoded, pairwise_keys_[static_cast<size_t>(i)], round_nonce_);
+    DASH_ROUND(phase2_masked, kMaskedValue);
     DASH_RETURN_IF_ERROR(network_->Broadcast(i, MessageTag::kMaskedValue,
                                              MaskAndSerialize(masked)));
     if (i == 0) own_masked = std::move(masked);
@@ -268,6 +280,7 @@ Result<Vector> SecureVectorSum::RunMasked(
   std::vector<RingVector> peer_masked;
   peer_masked.reserve(static_cast<size_t>(p - 1));
   for (int q = 1; q < p; ++q) {
+    DASH_ROUND(phase2_masked, kMaskedValue);
     DASH_ASSIGN_OR_RETURN(Message msg,
                           network_->Receive(0, q, MessageTag::kMaskedValue));
     ByteReader r(msg.payload);
@@ -277,6 +290,7 @@ Result<Vector> SecureVectorSum::RunMasked(
   for (int i = 1; i < p; ++i) {
     for (int q = 0; q < p; ++q) {
       if (q == i) continue;
+      DASH_ROUND_DRAIN(phase2_masked, kMaskedValue);
       DASH_RETURN_IF_ERROR(
           network_->Receive(i, q, MessageTag::kMaskedValue).status());
     }
@@ -323,6 +337,7 @@ Result<Vector> SecureVectorSum::RunShamir(
         own_kept[static_cast<size_t>(j)] =
             std::move(shares[static_cast<size_t>(j)]);
       } else {
+        DASH_ROUND(phase2_shamir_share, kShamirShare);
         DASH_RETURN_IF_ERROR(network_->Send(
             i, j, MessageTag::kShamirShare,
             SerializeShareForHolder(shares[static_cast<size_t>(j)])));
@@ -351,6 +366,7 @@ Result<Vector> SecureVectorSum::RunShamir(
     received.reserve(static_cast<size_t>(p - 1));
     for (int i = 0; i < p; ++i) {
       if (i == j) continue;
+      DASH_ROUND(phase2_shamir_share, kShamirShare);
       DASH_ASSIGN_OR_RETURN(Message msg,
                             network_->Receive(j, i, MessageTag::kShamirShare));
       ByteReader r(msg.payload);
@@ -364,6 +380,7 @@ Result<Vector> SecureVectorSum::RunShamir(
         MaskAndSerialize(held[static_cast<size_t>(j)]);
     for (int to = 0; to < survivors; ++to) {
       if (to == j) continue;
+      DASH_ROUND(phase2_shamir_reveal, kPartialSum);
       DASH_RETURN_IF_ERROR(
           network_->Send(j, to, MessageTag::kPartialSum, payload));
     }
@@ -375,6 +392,7 @@ Result<Vector> SecureVectorSum::RunShamir(
     for (int i = 0; i < p; ++i) {
       if (i == j) continue;
       while (network_->HasPending(j, i)) {
+        DASH_ROUND_DRAIN(phase2_shamir_share, kShamirShare);
         DASH_RETURN_IF_ERROR(
             network_->Receive(j, i, MessageTag::kShamirShare).status());
       }
@@ -387,6 +405,7 @@ Result<Vector> SecureVectorSum::RunShamir(
   // distributed in phase 1.
   std::vector<RingVector> sum_shares(static_cast<size_t>(survivors));
   for (int q = 1; q < survivors; ++q) {
+    DASH_ROUND(phase2_shamir_reveal, kPartialSum);
     DASH_ASSIGN_OR_RETURN(Message msg,
                           network_->Receive(0, q, MessageTag::kPartialSum));
     ByteReader r(msg.payload);
@@ -395,6 +414,7 @@ Result<Vector> SecureVectorSum::RunShamir(
   for (int i = 1; i < survivors; ++i) {
     for (int q = 0; q < survivors; ++q) {
       if (q == i) continue;
+      DASH_ROUND_DRAIN(phase2_shamir_reveal, kPartialSum);
       DASH_RETURN_IF_ERROR(
           network_->Receive(i, q, MessageTag::kPartialSum).status());
     }

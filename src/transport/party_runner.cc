@@ -20,6 +20,7 @@
 #include "mpc/secrecy.h"
 #include "mpc/shamir.h"
 #include "net/abort.h"
+#include "net/round_annotations.h"
 #include "net/serialization.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -105,12 +106,14 @@ class PartySecureVectorSum {
           DiffieHellman::GeneratePrivate(&rng_);
       ByteWriter w;
       w.PutU64(DiffieHellman::PublicValue(private_key));
+      DASH_ROUND(phase0b_keyagree, kPublicKey);
       DASH_RETURN_IF_ERROR(
           net_->Broadcast(local_, MessageTag::kPublicKey, w.Take()));
       pairwise_keys_.assign(static_cast<size_t>(p),
                             Secret<ChaCha20Rng::Key>{});
       for (int q = 0; q < p; ++q) {
         if (q == local_) continue;
+        DASH_ROUND(phase0b_keyagree, kPublicKey);
         DASH_ASSIGN_OR_RETURN(
             Message msg, net_->Receive(local_, q, MessageTag::kPublicKey));
         ByteReader r(msg.payload);
@@ -132,6 +135,7 @@ class PartySecureVectorSum {
     net_->BeginRound();
     ByteWriter w;
     w.PutDoubleVector(input);
+    DASH_ROUND(phase2_public, kPlainStats);
     DASH_RETURN_IF_ERROR(
         net_->Broadcast(local_, MessageTag::kPlainStats, w.Take()));
     // Sum in ascending party order — float addition is order-sensitive
@@ -142,6 +146,7 @@ class PartySecureVectorSum {
       if (q == local_) {
         v = input;
       } else {
+        DASH_ROUND(phase2_public, kPlainStats);
         DASH_ASSIGN_OR_RETURN(
             Message msg, net_->Receive(local_, q, MessageTag::kPlainStats));
         ByteReader r(msg.payload);
@@ -170,6 +175,7 @@ class PartySecureVectorSum {
         std::move(shares[static_cast<size_t>(local_)]);
     for (int j = 0; j < p; ++j) {
       if (j == local_) continue;
+      DASH_ROUND(phase2_additive_share, kAdditiveShare);
       DASH_RETURN_IF_ERROR(
           net_->Send(local_, j, MessageTag::kAdditiveShare,
                      SerializeShareForHolder(shares[static_cast<size_t>(j)])));
@@ -180,6 +186,7 @@ class PartySecureVectorSum {
     received.reserve(static_cast<size_t>(p - 1));
     for (int i = 0; i < p; ++i) {
       if (i == local_) continue;
+      DASH_ROUND(phase2_additive_share, kAdditiveShare);
       DASH_ASSIGN_OR_RETURN(
           Message msg, net_->Receive(local_, i, MessageTag::kAdditiveShare));
       ByteReader r(msg.payload);
@@ -188,6 +195,7 @@ class PartySecureVectorSum {
     }
     DASH_ASSIGN_OR_RETURN(Masked<RingVector> partial,
                           AccumulateAdditiveShares(own, received));
+    DASH_ROUND(phase2_additive_reveal, kPartialSum);
     DASH_RETURN_IF_ERROR(net_->Broadcast(local_, MessageTag::kPartialSum,
                                          MaskAndSerialize(partial)));
 
@@ -195,6 +203,7 @@ class PartySecureVectorSum {
     peer_partials.reserve(static_cast<size_t>(p - 1));
     for (int q = 0; q < p; ++q) {
       if (q == local_) continue;
+      DASH_ROUND(phase2_additive_reveal, kPartialSum);
       DASH_ASSIGN_OR_RETURN(Message msg,
                             net_->Receive(local_, q, MessageTag::kPartialSum));
       ByteReader r(msg.payload);
@@ -212,6 +221,7 @@ class PartySecureVectorSum {
                           codec_.EncodeSecretVector(input));
     const Masked<RingVector> masked =
         ApplyPairwiseMasks(local_, encoded, pairwise_keys_, round_nonce_);
+    DASH_ROUND(phase2_masked, kMaskedValue);
     DASH_RETURN_IF_ERROR(net_->Broadcast(local_, MessageTag::kMaskedValue,
                                          MaskAndSerialize(masked)));
 
@@ -219,6 +229,7 @@ class PartySecureVectorSum {
     peers.reserve(static_cast<size_t>(p - 1));
     for (int q = 0; q < p; ++q) {
       if (q == local_) continue;
+      DASH_ROUND(phase2_masked, kMaskedValue);
       DASH_ASSIGN_OR_RETURN(Message msg,
                             net_->Receive(local_, q, MessageTag::kMaskedValue));
       ByteReader r(msg.payload);
@@ -254,6 +265,7 @@ class PartySecureVectorSum {
         std::move(shares[static_cast<size_t>(local_)]);
     for (int j = 0; j < p; ++j) {
       if (j == local_) continue;
+      DASH_ROUND(phase2_shamir_share, kShamirShare);
       DASH_RETURN_IF_ERROR(
           net_->Send(local_, j, MessageTag::kShamirShare,
                      SerializeShareForHolder(shares[static_cast<size_t>(j)])));
@@ -265,6 +277,7 @@ class PartySecureVectorSum {
     received.reserve(static_cast<size_t>(p - 1));
     for (int i = 0; i < p; ++i) {
       if (i == local_) continue;
+      DASH_ROUND(phase2_shamir_share, kShamirShare);
       DASH_ASSIGN_OR_RETURN(Message msg,
                             net_->Receive(local_, i, MessageTag::kShamirShare));
       ByteReader r(msg.payload);
@@ -277,6 +290,7 @@ class PartySecureVectorSum {
       const std::vector<uint8_t> payload = MaskAndSerialize(held);
       for (int to = 0; to < p; ++to) {
         if (to == local_) continue;
+        DASH_ROUND(phase2_shamir_reveal, kPartialSum);
         DASH_RETURN_IF_ERROR(
             net_->Send(local_, to, MessageTag::kPartialSum, payload));
       }
@@ -287,6 +301,7 @@ class PartySecureVectorSum {
     std::vector<RingVector> sum_shares(static_cast<size_t>(p));
     for (int q = 0; q < p; ++q) {
       if (q == local_) continue;
+      DASH_ROUND(phase2_shamir_reveal, kPartialSum);
       DASH_ASSIGN_OR_RETURN(Message msg,
                             net_->Receive(local_, q, MessageTag::kPartialSum));
       ByteReader r(msg.payload);
@@ -315,11 +330,13 @@ Result<Matrix> CombineBroadcastStack(Transport* net, int local,
   net->BeginRound();
   ByteWriter w;
   w.PutMatrix(own_r);
+  DASH_ROUND(phase1_rfactor, kRFactor);
   DASH_RETURN_IF_ERROR(net->Broadcast(local, MessageTag::kRFactor, w.Take()));
   std::vector<Matrix> stack(static_cast<size_t>(p));
   stack[static_cast<size_t>(local)] = own_r;
   for (int q = 0; q < p; ++q) {
     if (q == local) continue;
+    DASH_ROUND(phase1_rfactor, kRFactor);
     DASH_ASSIGN_OR_RETURN(Message msg,
                           net->Receive(local, q, MessageTag::kRFactor));
     ByteReader r(msg.payload);
@@ -342,10 +359,12 @@ Result<Matrix> CombineBinaryTree(Transport* net, int local,
         local - stride >= 0) {
       ByteWriter w;
       w.PutMatrix(current);
+      DASH_ROUND(phase1_tree_merge, kTreeR);
       DASH_RETURN_IF_ERROR(
           net->Send(local, local - stride, MessageTag::kTreeR, w.Take()));
     } else if (active[static_cast<size_t>(local)] && local + stride < p &&
                active[static_cast<size_t>(local + stride)]) {
+      DASH_ROUND(phase1_tree_merge, kTreeR);
       DASH_ASSIGN_OR_RETURN(
           Message msg, net->Receive(local, local + stride, MessageTag::kTreeR));
       ByteReader r(msg.payload);
@@ -365,9 +384,11 @@ Result<Matrix> CombineBinaryTree(Transport* net, int local,
   if (local == 0) {
     ByteWriter w;
     w.PutMatrix(current);
+    DASH_ROUND(phase1_tree_root, kRFactor);
     DASH_RETURN_IF_ERROR(net->Broadcast(0, MessageTag::kRFactor, w.Take()));
     return current;
   }
+  DASH_ROUND(phase1_tree_root, kRFactor);
   DASH_ASSIGN_OR_RETURN(Message msg,
                         net->Receive(local, 0, MessageTag::kRFactor));
   ByteReader r(msg.payload);
@@ -496,11 +517,13 @@ Result<SecureScanOutput> RunPartyScanProtocol(
       transport->BeginRound();
       ByteWriter w;
       w.PutU32(have ? 1u : 0u);
+      DASH_ROUND(phase1_probe, kPhase1Probe);
       DASH_RETURN_IF_ERROR(
           transport->Broadcast(local, MessageTag::kPhase1Probe, w.Take()));
       bool all_have = have;
       for (int q = 0; q < num_parties; ++q) {
         if (q == local) continue;
+        DASH_ROUND(phase1_probe, kPhase1Probe);
         DASH_ASSIGN_OR_RETURN(
             Message msg,
             transport->Receive(local, q, MessageTag::kPhase1Probe));
@@ -540,6 +563,7 @@ Result<SecureScanOutput> RunPartyScanProtocol(
       transport->BeginRound();
       ByteWriter w;
       w.PutI64(party->num_samples());
+      DASH_ROUND(phase0_samplecount, kSampleCount);
       DASH_RETURN_IF_ERROR(
           transport->Broadcast(local, MessageTag::kSampleCount, w.Take()));
       for (int q = 0; q < num_parties; ++q) {
@@ -547,6 +571,7 @@ Result<SecureScanOutput> RunPartyScanProtocol(
           total_samples += party->num_samples();
           continue;
         }
+        DASH_ROUND(phase0_samplecount, kSampleCount);
         DASH_ASSIGN_OR_RETURN(
             Message msg,
             transport->Receive(local, q, MessageTag::kSampleCount));
@@ -727,10 +752,12 @@ Result<SecureScanOutput> RunPartyScanProtocol(
     const uint64_t checksum = ScanResultChecksum(result);
     ByteWriter w;
     w.PutU64(checksum);
+    DASH_ROUND(phase4_commit, kCommit);
     DASH_RETURN_IF_ERROR(
         transport->Broadcast(local, MessageTag::kCommit, w.Take()));
     for (int q = 0; q < num_parties; ++q) {
       if (q == local) continue;
+      DASH_ROUND(phase4_commit, kCommit);
       DASH_ASSIGN_OR_RETURN(Message msg,
                             transport->Receive(local, q, MessageTag::kCommit));
       ByteReader r(msg.payload);
@@ -810,6 +837,7 @@ Result<SecureScanOutput> RunPartyScanWithAbortPropagation(
     for (int q = 0; q < transport->num_parties(); ++q) {
       if (q == local) continue;
       // Best effort: a link that is itself down must not mask `cause`.
+      DASH_ROUND(abort_notify, kAbort);
       const Status notify =
           transport->Send(local, q, MessageTag::kAbort, payload);
       (void)notify;

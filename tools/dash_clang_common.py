@@ -1,0 +1,191 @@
+"""Shared libclang bootstrap for the DASH static analyzers.
+
+dash_taint.py, dash_lint.py, and dash_proto.py all follow the same
+two-engine architecture: an exact libclang (clang.cindex) engine driven
+by compile_commands.json, and a pure-text regex fallback used when the
+python3-clang bindings are unavailable. This module owns everything the
+engines share so the three tools cannot drift:
+
+  * load_cindex / pick_engine   binding discovery and engine selection
+  * load_compile_db             compile_commands.json -> {abs path: entry}
+  * compile_args_for            scrub a compile entry into libclang args
+  * parse_tu                    one TU with detailed preprocessing record
+  * function_extents            (name, start, end) for every definition
+  * cursor_tokens               token spellings of a cursor's extent
+  * strip_noise / read_lines    text utilities shared by regex engines
+
+Nothing here imports clang at module load time; the bindings are probed
+lazily so the tools keep working (in regex mode) on machines without
+libclang.
+"""
+
+import json
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+FUNCTION_KINDS = ("FUNCTION_DECL", "CXX_METHOD", "CONSTRUCTOR",
+                  "DESTRUCTOR", "FUNCTION_TEMPLATE")
+
+
+def rel(path):
+    return os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+
+
+def read_lines(path):
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        return f.read().splitlines()
+
+
+def strip_noise(line, in_block_comment):
+    """Drop comments and string/char literal contents (keep the quotes).
+
+    Returns (code, still_in_block_comment). Brace counting and pattern
+    matching downstream must not see braces inside strings or comments.
+    """
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    out.append(quote)
+                    i += 1
+                    break
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def load_cindex():
+    """The clang.cindex module with a working libclang, or None."""
+    try:
+        from clang import cindex  # noqa: PLC0415
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        return None
+
+
+def pick_engine(mode, tool):
+    """Resolve --mode auto|clang|regex to (cindex_or_None, engine_name).
+
+    Exits with status 2 when clang was explicitly requested but the
+    bindings are unavailable — CI legs that gate on clang mode must not
+    silently degrade to regex.
+    """
+    if mode == "regex":
+        return None, "regex"
+    cindex = load_cindex()
+    if cindex is None:
+        if mode == "clang":
+            print("%s: --mode clang but clang.cindex is unavailable "
+                  "(install python3-clang)" % tool, file=sys.stderr)
+            sys.exit(2)
+        return None, "regex"
+    return cindex, "clang"
+
+
+def load_compile_db(build_dir):
+    """compile_commands.json as {abs source path: entry}, or None."""
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(path):
+        return None
+    with open(path) as f:
+        db = json.load(f)
+    out = {}
+    for entry in db:
+        src = os.path.join(entry.get("directory", ""), entry["file"])
+        out[os.path.abspath(src)] = entry
+    return out
+
+
+def compile_args_for(entry):
+    """Strip compiler/output/input tokens from a compile_commands entry."""
+    args = []
+    raw = entry.get("arguments")
+    if raw is None:
+        raw = entry.get("command", "").split()
+    skip_next = False
+    for a in raw[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if a in ("-o", "-c"):
+            skip_next = a == "-o"
+            continue
+        if a.endswith((".cc", ".cpp", ".o")):
+            continue
+        args.append(a)
+    return args
+
+
+def default_compile_args():
+    """Fallback args for files outside the compile DB (headers, fixtures)."""
+    return ["-std=c++20", "-I" + os.path.join(REPO_ROOT, "src")]
+
+
+def args_for_path(path, compile_db):
+    entry = (compile_db or {}).get(os.path.abspath(path))
+    return compile_args_for(entry) if entry else default_compile_args()
+
+
+def parse_tu(cindex, path, compile_args):
+    """Parse one TU with the detailed preprocessing record (macro cursors)."""
+    index = cindex.Index.create()
+    return index.parse(
+        path, args=compile_args,
+        options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+
+
+def in_main_file(cursor, path):
+    loc = cursor.location
+    return (loc.file is not None
+            and os.path.abspath(loc.file.name) == os.path.abspath(path))
+
+
+def function_extents(tu, path):
+    """(spelling, start_line, end_line) of every definition in `path`."""
+    extents = []
+
+    def walk(cursor):
+        for child in cursor.get_children():
+            if child.kind.name in FUNCTION_KINDS and child.is_definition() \
+                    and in_main_file(child, path):
+                extents.append((child.spelling,
+                                child.extent.start.line,
+                                child.extent.end.line))
+            walk(child)
+
+    walk(tu.cursor)
+    return extents
+
+
+def cursor_tokens(cursor):
+    """Token spellings spanning a cursor's extent."""
+    return [t.spelling for t in cursor.get_tokens()]

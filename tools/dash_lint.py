@@ -72,10 +72,22 @@ Rules (each has a stable ID used in messages and suppressions):
       (d) DASH_NO_THREAD_SAFETY_ANALYSIS requires a non-empty reason
           string — an opt-out that cannot say why is a bug magnet.
 
+Engines (DL002 only; every other rule is text-based in both modes):
+
+  clang   call sites come from the AST: any statement-level CALL_EXPR
+          whose *canonical* return type is Status/Result<T> is a
+          dropped result — aliases (`using StatusAlias = Status`) and
+          wrapper functions the header scraper never saw stop slipping
+          past the regex. Files outside compile_commands.json fall
+          back to the regex engine.
+  regex   header-scraped name list + bare-statement pattern (default
+          when the clang bindings are unavailable).
+
 Usage:
   tools/dash_lint.py                 # lint the tree, exit 0/1
   tools/dash_lint.py FILE...         # lint specific files
   tools/dash_lint.py --self-test     # run against tools/lint_fixtures
+  tools/dash_lint.py --mode clang    # force the libclang DL002 engine
 
 A line can opt out with a trailing `// dash-lint: disable=DLxxx` comment;
 each use must justify itself to a reviewer.
@@ -86,7 +98,10 @@ import os
 import re
 import sys
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from dash_clang_common import (  # noqa: E402
+    REPO_ROOT, args_for_path, in_main_file, load_compile_db, parse_tu,
+    pick_engine)
 
 # Files under the bit-identity contract: reordering their accumulation
 # changes revealed bits across party/thread configurations.
@@ -267,6 +282,48 @@ def scrape_status_functions():
     return names
 
 
+# Canonical return types that must not be dropped (clang engine).
+DL002_TYPE_RE = re.compile(r"^(?:const\s+)?(?:dash::)?(?:Status\b|Result<)")
+
+
+def clang_dl002(cindex, path, compile_args):
+    """(line, callee) of every statement-level dropped Status/Result.
+
+    Walks compound statements and flags direct children that are bare
+    CALL_EXPRs with a Status/Result canonical return type. Checked
+    forms never appear as bare calls: assignments are DECL_STMTs,
+    DASH_RETURN_IF_ERROR expands to a do-while, and `(void)` casts are
+    CSTYLE_CAST_EXPRs.
+    """
+    tu = parse_tu(cindex, path, compile_args)
+    hits = []
+
+    def unwrap(c):
+        while c.kind.name in ("UNEXPOSED_EXPR", "PAREN_EXPR"):
+            kids = list(c.get_children())
+            if len(kids) != 1:
+                break
+            c = kids[0]
+        return c
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            if child.kind.name == "COMPOUND_STMT" \
+                    and in_main_file(child, path):
+                for stmt in child.get_children():
+                    expr = unwrap(stmt)
+                    if expr.kind.name != "CALL_EXPR":
+                        continue
+                    ty = expr.type.get_canonical().spelling
+                    if DL002_TYPE_RE.match(ty):
+                        hits.append((stmt.extent.start.line,
+                                     expr.spelling or "call"))
+            visit(child)
+
+    visit(tu.cursor)
+    return hits
+
+
 def expected_guard(relpath):
     stem = relpath
     if stem.startswith("src/"):
@@ -286,13 +343,27 @@ class Linter:
     def report(self, path, lineno, rule, message):
         self.findings.append(f"{rel(path)}:{lineno}: {rule}: {message}")
 
-    def lint_file(self, path):
+    def lint_file(self, path, clang_dl002_hits=None):
+        """Lint one file. clang_dl002_hits=None means regex DL002; a
+        list (possibly empty) means the AST engine already ran and its
+        findings replace the regex rule for this file."""
         relpath = rel(path)
         try:
             lines = read_lines(path)
         except OSError as e:
             self.report(path, 0, "DL000", f"unreadable: {e}")
             return
+        if clang_dl002_hits is not None:
+            for (lineno, callee) in clang_dl002_hits:
+                line = lines[lineno - 1] if lineno <= len(lines) else ""
+                if line_disables(line, "DL002"):
+                    continue
+                self.report(
+                    path, lineno, "DL002",
+                    f"result of {callee}() is dropped (canonical return "
+                    "type is Status/Result); assign it, wrap in "
+                    "DASH_RETURN_IF_ERROR, or cast to (void) with a "
+                    "reason")
         # Fixtures masquerade as an in-tree path so the path-scoped
         # rules (DL001 kernel set, DL003 allowlist, DL004 guards) fire.
         for line in lines[:5]:
@@ -330,8 +401,10 @@ class Linter:
             # DL002 — unchecked Status/Result call as a bare statement.
             # `stmt_prefix` holds the earlier lines of the statement this
             # line continues, so a DASH_ASSIGN_OR_RETURN( three lines up
-            # still counts as checking the call.
-            if (self.call_re is not None and code.strip().endswith(";")
+            # still counts as checking the call. Skipped entirely when
+            # the AST engine already covered this file.
+            if (clang_dl002_hits is None and self.call_re is not None
+                    and code.strip().endswith(";")
                     and not line_disables(line, "DL002")):
                 m = self.call_re.match(code)
                 full_stmt = stmt_prefix + " " + code
@@ -468,24 +541,52 @@ class Linter:
                             f"be {want}")
 
 
-def run_lint(paths):
+def clang_hits_for(path, cindex, compile_db):
+    """AST DL002 hits for `path`, or None to fall back to regex."""
+    if cindex is None or not path.endswith((".cc", ".cpp")):
+        return None
+    try:
+        return clang_dl002(cindex, path, args_for_path(path, compile_db))
+    except Exception as e:
+        print(f"dash_lint: libclang failed on {rel(path)} ({e}); regex "
+              "DL002 for this file", file=sys.stderr)
+        return None
+
+
+def run_lint(paths, mode, build_dir):
+    cindex, engine = pick_engine(mode, "dash_lint")
+    compile_db = load_compile_db(build_dir) if engine == "clang" else None
     status_names = scrape_status_functions()
     linter = Linter(status_names)
     count = 0
     for path in iter_source_files(paths):
         if rel(path).startswith("tools/lint_fixtures/") and not paths:
             continue  # fixtures are intentionally bad
-        linter.lint_file(path)
+        hits = None
+        if engine == "clang" and compile_db \
+                and os.path.abspath(path) in compile_db:
+            hits = clang_hits_for(path, cindex, compile_db)
+        linter.lint_file(path, clang_dl002_hits=hits)
         count += 1
     for finding in linter.findings:
         print(finding)
-    print(f"dash_lint: {count} files, {len(linter.findings)} findings",
-          file=sys.stderr)
+    print(f"dash_lint[{engine}]: {count} files, "
+          f"{len(linter.findings)} findings", file=sys.stderr)
     return 1 if linter.findings else 0
 
 
-def run_self_test():
-    """Every fixture declares its expected findings in EXPECT lines."""
+def run_self_test(mode):
+    """Every fixture declares its expected findings in EXPECT lines.
+
+    `EXPECT-LINT: DLxxx@n` is the regex-mode expectation. Fixtures that
+    are self-contained enough for libclang additionally carry
+    `EXPECT-LINT[clang]: DL002@n` markers; in clang mode those fixtures
+    run with the AST DL002 engine, expecting the clang markers plus
+    their non-DL002 regex markers. Fixtures without clang markers run
+    with the regex engine in both modes (they reference real src/
+    declarations and are not parseable in isolation).
+    """
+    cindex, engine = pick_engine(mode, "dash_lint")
     fixture_dir = os.path.join(REPO_ROOT, "tools", "lint_fixtures")
     fixtures = sorted(
         os.path.join(fixture_dir, f) for f in os.listdir(fixture_dir)
@@ -496,13 +597,24 @@ def run_self_test():
     status_names = scrape_status_functions()
     failures = []
     for path in fixtures:
-        expected = set()
+        expected_regex = set()
+        expected_clang = set()
         for line in read_lines(path):
             m = re.search(r"EXPECT-LINT:\s*(DL\d{3})@(\d+)", line)
             if m:
-                expected.add((m.group(1), int(m.group(2))))
+                expected_regex.add((m.group(1), int(m.group(2))))
+            m = re.search(r"EXPECT-LINT\[clang\]:\s*(DL\d{3})@(\d+)", line)
+            if m:
+                expected_clang.add((m.group(1), int(m.group(2))))
         linter = Linter(status_names)
-        linter.lint_file(path)
+        if engine == "clang" and expected_clang:
+            hits = clang_hits_for(path, cindex, None)
+            linter.lint_file(path, clang_dl002_hits=hits)
+            expected = expected_clang | {
+                e for e in expected_regex if e[0] != "DL002"}
+        else:
+            linter.lint_file(path)
+            expected = expected_regex
         got = set()
         for finding in linter.findings:
             m = re.match(r"[^:]+:(\d+): (DL\d{3}):", finding)
@@ -514,8 +626,8 @@ def run_self_test():
     for f in failures:
         print("self-test FAIL:", f)
     n_ok = len(fixtures) - len(failures)
-    print(f"dash_lint --self-test: {n_ok}/{len(fixtures)} fixtures pass",
-          file=sys.stderr)
+    print(f"dash_lint[{engine}] --self-test: {n_ok}/{len(fixtures)} "
+          "fixtures pass", file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -525,10 +637,16 @@ def main():
                         help="files to lint (default: the whole tree)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the linter against tools/lint_fixtures")
+    parser.add_argument("--mode", choices=("auto", "clang", "regex"),
+                        default="auto",
+                        help="DL002 engine (default: clang when available)")
+    parser.add_argument("--build-dir",
+                        default=os.path.join(REPO_ROOT, "build"),
+                        help="directory holding compile_commands.json")
     args = parser.parse_args()
     if args.self_test:
-        return run_self_test()
-    return run_lint(args.files)
+        return run_self_test(args.mode)
+    return run_lint(args.files, args.mode, args.build_dir)
 
 
 if __name__ == "__main__":

@@ -73,12 +73,15 @@ justify itself to a reviewer.
 """
 
 import argparse
-import json
 import os
 import re
 import sys
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from dash_clang_common import (  # noqa: E402
+    REPO_ROOT, args_for_path, in_main_file, load_compile_db, parse_tu,
+    pick_engine as common_pick_engine, read_lines, rel, strip_noise)
+
 ALLOWLIST_PATH = os.path.join(REPO_ROOT, "tools", "secrecy_allowlist.txt")
 PROTOCOL_PATH = os.path.join(REPO_ROOT, "PROTOCOL.md")
 FIXTURE_DIR = os.path.join(REPO_ROOT, "tools", "taint_fixtures")
@@ -111,58 +114,6 @@ NOT_FUNC_KEYWORDS = {"if", "for", "while", "switch", "catch", "return",
 FUNC_SIG_RE = re.compile(
     r"([A-Za-z_]\w*(?:::~?[A-Za-z_]\w*)*)\s*\(([^;{}]*)\)\s*"
     r"(?:const\s*|noexcept\s*|override\s*|final\s*)*(?:->\s*[^{]+?)?$")
-
-
-def rel(path):
-    return os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
-
-
-def read_lines(path):
-    with open(path, "r", encoding="utf-8", errors="replace") as f:
-        return f.read().splitlines()
-
-
-def strip_noise(line, in_block_comment):
-    """Drop comments and string/char literal contents (keep the quotes).
-
-    Returns (code, still_in_block_comment). Brace counting and pattern
-    matching downstream must not see braces inside strings or comments.
-    """
-    out = []
-    i = 0
-    n = len(line)
-    while i < n:
-        if in_block_comment:
-            end = line.find("*/", i)
-            if end < 0:
-                return "".join(out), True
-            i = end + 2
-            in_block_comment = False
-            continue
-        c = line[i]
-        if c == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        if c == "/" and i + 1 < n and line[i + 1] == "*":
-            in_block_comment = True
-            i += 2
-            continue
-        if c in "\"'":
-            quote = c
-            out.append(quote)
-            i += 1
-            while i < n:
-                if line[i] == "\\":
-                    i += 2
-                    continue
-                if line[i] == quote:
-                    out.append(quote)
-                    i += 1
-                    break
-                i += 1
-            continue
-        out.append(c)
-        i += 1
-    return "".join(out), in_block_comment
 
 
 def secret_decl_names(code):
@@ -443,38 +394,23 @@ class TaintEngine:
 
 # --------------------------------------------------------------------
 # clang engine: exact extents and seeds from libclang, same flow rules.
+# The bootstrap (binding discovery, compile DB, TU parsing) lives in
+# dash_clang_common.py, shared with dash_lint.py and dash_proto.py.
 # --------------------------------------------------------------------
-
-def load_cindex():
-    try:
-        from clang import cindex  # noqa: PLC0415
-        cindex.Index.create()
-        return cindex
-    except Exception:
-        return None
-
 
 def clang_file_facts(cindex, path, compile_args):
     """(function_ranges, seeds, extra_sources) for one TU via libclang."""
-    index = cindex.Index.create()
-    tu = index.parse(path, args=compile_args,
-                     options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+    tu = parse_tu(cindex, path, compile_args)
     ranges = []
     seeds = []
     extra_sources = set()
-    target = os.path.abspath(path)
-
-    def in_main_file(cursor):
-        loc = cursor.location
-        return (loc.file is not None
-                and os.path.abspath(loc.file.name) == target)
 
     def walk(cursor):
         for child in cursor.get_children():
             kind = child.kind.name
             if kind in ("FUNCTION_DECL", "CXX_METHOD", "CONSTRUCTOR",
                         "DESTRUCTOR", "FUNCTION_TEMPLATE") \
-                    and child.is_definition() and in_main_file(child):
+                    and child.is_definition() and in_main_file(child, path):
                 ranges.append((child.spelling,
                                child.extent.start.line,
                                child.extent.end.line))
@@ -482,7 +418,7 @@ def clang_file_facts(cindex, path, compile_args):
                              child.result_type.spelling or ""):
                     extra_sources.add(child.spelling)
             if kind in ("VAR_DECL", "PARM_DECL", "FIELD_DECL") \
-                    and in_main_file(child):
+                    and in_main_file(child, path):
                 if re.search(r"\b(Secret|Masked)\s*<",
                              child.type.spelling or ""):
                     seeds.append((child.location.line, child.spelling))
@@ -490,25 +426,6 @@ def clang_file_facts(cindex, path, compile_args):
 
     walk(tu.cursor)
     return ranges, seeds, extra_sources
-
-
-def compile_args_for(entry):
-    args = []
-    raw = entry.get("arguments")
-    if raw is None:
-        raw = entry.get("command", "").split()
-    skip_next = False
-    for a in raw[1:]:
-        if skip_next:
-            skip_next = False
-            continue
-        if a in ("-o", "-c"):
-            skip_next = a == "-o"
-            continue
-        if a.endswith((".cc", ".cpp", ".o")):
-            continue
-        args.append(a)
-    return args
 
 
 # --------------------------------------------------------------------
@@ -575,16 +492,7 @@ def iter_tree_files():
 
 
 def pick_engine(mode):
-    if mode == "regex":
-        return None, "regex"
-    cindex = load_cindex()
-    if cindex is None:
-        if mode == "clang":
-            print("dash_taint: --mode clang but clang.cindex is "
-                  "unavailable (install python3-clang)", file=sys.stderr)
-            sys.exit(2)
-        return None, "regex"
-    return cindex, "clang"
+    return common_pick_engine(mode, "dash_taint")
 
 
 def analyze_paths(paths, engine, cindex, allowlist, sources, findings,
@@ -592,9 +500,7 @@ def analyze_paths(paths, engine, cindex, allowlist, sources, findings,
     for path in paths:
         ranges = seeds = None
         if engine == "clang":
-            entry = (compile_db or {}).get(os.path.abspath(path))
-            args = compile_args_for(entry) if entry else \
-                ["-std=c++20", "-I" + os.path.join(REPO_ROOT, "src")]
+            args = args_for_path(path, compile_db)
             try:
                 ranges, seeds, extra = clang_file_facts(cindex, path, args)
                 sources = sources | extra
@@ -605,19 +511,6 @@ def analyze_paths(paths, engine, cindex, allowlist, sources, findings,
                 ranges = seeds = None
         TaintEngine(allowlist, sources, findings).analyze_file(
             path, rel(path), function_ranges=ranges, extra_seeds=seeds)
-
-
-def load_compile_db(build_dir):
-    path = os.path.join(build_dir, "compile_commands.json")
-    if not os.path.isfile(path):
-        return None
-    with open(path) as f:
-        db = json.load(f)
-    out = {}
-    for entry in db:
-        src = os.path.join(entry.get("directory", ""), entry["file"])
-        out[os.path.abspath(src)] = entry
-    return out
 
 
 def run_scan(files, mode, build_dir):

@@ -1,0 +1,33 @@
+// dash-lint-fixture-as: src/mpc/fixture_aliased.cc
+// Dropped Status/Result values hidden behind an alias and wrapper
+// functions the header scraper never saw. The regex engine finds
+// nothing here (no EXPECT-LINT markers); the clang engine resolves the
+// canonical return types and flags both bare calls. Self-contained so
+// libclang can parse it without the real headers.
+namespace dash {
+struct Status {
+  bool ok() const;
+};
+template <typename T>
+struct Result {
+  T value;
+};
+}  // namespace dash
+
+using StatusAlias = dash::Status;
+
+StatusAlias WrappedNotify(int x);
+dash::Result<int> WrappedFetch();
+void SideEffectOnly(int x);
+
+void Demo() {
+  WrappedNotify(1);  // EXPECT-LINT[clang]: DL002@24
+  WrappedFetch();    // EXPECT-LINT[clang]: DL002@25
+
+  // GOOD: checked / deliberate forms the AST engine must not flag.
+  (void)WrappedNotify(2);
+  dash::Status s = WrappedNotify(3);
+  if (!s.ok()) return;
+  SideEffectOnly(4);
+  WrappedNotify(5);  // dash-lint: disable=DL002
+}

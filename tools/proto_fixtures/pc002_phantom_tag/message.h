@@ -1,0 +1,9 @@
+// Fixture stand-in for net/message.h. kGhost is a phantom round: the
+// enum defines it but no modeled round or non-round declaration
+// covers it.
+enum class MessageTag : unsigned char {
+  kPing = 1,
+  kPong = 2,
+  kDone = 3,
+  kGhost = 9,
+};

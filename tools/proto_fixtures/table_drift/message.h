@@ -1,0 +1,6 @@
+// Fixture stand-in for net/message.h.
+enum class MessageTag : unsigned char {
+  kPing = 1,
+  kPong = 2,
+  kDone = 3,
+};
